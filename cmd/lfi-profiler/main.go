@@ -1,0 +1,46 @@
+// Command lfi-profiler runs the automated library profiler (§2): it
+// statically analyzes a simulated library binary and emits the fault
+// profile XML (error return values and errno side effects per exported
+// function).
+//
+// Usage:
+//
+//	lfi-profiler -lib libc        # profile the built-in libc image
+//	lfi-profiler -lib libxml
+//	lfi-profiler -lib libapr
+//	lfi-profiler -lib libc -dis   # also dump the disassembly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lfi/internal/isa"
+	"lfi/internal/libspec"
+	"lfi/internal/profile"
+)
+
+func main() {
+	lib := flag.String("lib", "libc", "library to profile: libc, libxml, libapr")
+	dis := flag.Bool("dis", false, "dump the library disassembly to stderr")
+	flag.Parse()
+
+	var bin *isa.Binary
+	switch *lib {
+	case "libc":
+		bin = libspec.BuildLibc()
+	case "libxml":
+		bin = libspec.BuildLibxml()
+	case "libapr":
+		bin = libspec.BuildLibapr()
+	default:
+		fmt.Fprintf(os.Stderr, "lfi-profiler: unknown library %q\n", *lib)
+		os.Exit(2)
+	}
+	if *dis {
+		fmt.Fprintln(os.Stderr, bin.Disassemble())
+	}
+	p := profile.ProfileBinary(bin)
+	os.Stdout.Write(p.Serialize())
+}

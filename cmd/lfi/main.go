@@ -1,0 +1,109 @@
+// Command lfi is the LFI controller (§2): it takes an injection
+// scenario (XML file or the analyzer's generated set), conducts a test
+// against one of the built-in target systems, and prints the outcome
+// and the injection log.
+//
+// Usage:
+//
+//	lfi -app minivcs -scenario fail-read.xml
+//	lfi -app minidns -auto           # run all analyzer-generated scenarios
+//	lfi -app minidb -auto -v         # verbose: print every injection log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lfi/internal/apps/minidb"
+	"lfi/internal/apps/minidns"
+	"lfi/internal/apps/minivcs"
+	"lfi/internal/callsite"
+	"lfi/internal/controller"
+	"lfi/internal/isa"
+	"lfi/internal/libspec"
+	"lfi/internal/profile"
+	"lfi/internal/scenario"
+)
+
+func target(name string) (controller.Target, *isa.Binary, bool) {
+	switch name {
+	case "minivcs":
+		b, _ := minivcs.Binary()
+		return minivcs.Target(), b, true
+	case "minidns":
+		b, _ := minidns.Binary()
+		return minidns.Target(), b, true
+	case "minidb":
+		b, _ := minidb.Binary()
+		return minidb.Target(), b, true
+	}
+	return controller.Target{}, nil, false
+}
+
+func main() {
+	app := flag.String("app", "minivcs", "target system: minivcs, minidns, minidb")
+	scenFile := flag.String("scenario", "", "injection scenario XML file")
+	auto := flag.Bool("auto", false, "generate scenarios with the call-site analyzer and run them all")
+	verbose := flag.Bool("v", false, "print each run's injection log")
+	flag.Parse()
+
+	tgt, bin, ok := target(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lfi: unknown target %q\n", *app)
+		os.Exit(2)
+	}
+
+	var scens []*scenario.Scenario
+	switch {
+	case *scenFile != "":
+		f, err := os.Open(*scenFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi:", err)
+			os.Exit(1)
+		}
+		s, err := scenario.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi:", err)
+			os.Exit(1)
+		}
+		scens = append(scens, s)
+	case *auto:
+		profs := []*profile.Profile{
+			profile.ProfileBinary(libspec.BuildLibc()),
+			profile.ProfileBinary(libspec.BuildLibxml()),
+			profile.ProfileBinary(libspec.BuildLibapr()),
+		}
+		a := &callsite.Analyzer{}
+		rep := a.Analyze(bin, profs...)
+		yes, part, not := rep.ByClass()
+		scens = callsite.GenerateScenarios(bin, append(not, part...), profs...)
+		scens = append(scens, callsite.GenerateExercise(bin, yes, profs...)...)
+		fmt.Printf("analyzer generated %d scenarios for %s\n", len(scens), bin.Name)
+	default:
+		fmt.Fprintln(os.Stderr, "lfi: need -scenario FILE or -auto")
+		os.Exit(2)
+	}
+
+	outs, err := controller.Campaign(tgt, scens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi:", err)
+		os.Exit(1)
+	}
+	failures := 0
+	for _, o := range outs {
+		fmt.Println(o)
+		if *verbose && o.Log != nil && o.Log.Len() > 0 {
+			fmt.Print(o.Log)
+		}
+		if o.Failed() {
+			failures++
+		}
+	}
+	bugs := controller.DistinctBugs(*app, outs)
+	fmt.Printf("\n%d/%d runs failed; %d distinct failure signatures:\n", failures, len(outs), len(bugs))
+	for _, b := range bugs {
+		fmt.Printf("  %s (%d scenarios)\n", b.Signature, len(b.Scenarios))
+	}
+}

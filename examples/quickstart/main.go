@@ -1,0 +1,71 @@
+// Quickstart: intercept a program's library calls, inject a fault on
+// the second read(), and inspect the injection log.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfi/internal/core"
+	"lfi/internal/errno"
+	"lfi/internal/libsim"
+	"lfi/internal/scenario"
+)
+
+func main() {
+	// 1. A simulated process with a file to read.
+	proc := libsim.New(1 << 20)
+	proc.MustWriteFile("/data/input.txt", []byte("hello, fault injection"))
+	th := proc.NewThread("quickstart", "main")
+
+	// 2. A fault injection scenario in LFI's XML language: fail the
+	// second read() with -1/EINTR, exactly once.
+	s, err := scenario.ParseString(`
+	<scenario name="quickstart">
+	  <trigger id="second" class="CallCountTrigger"><args><n>2</n></args></trigger>
+	  <function name="read" argc="3" return="-1" errno="EINTR">
+	    <reftrigger ref="second" />
+	  </function>
+	</scenario>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compile the scenario and splice the LFI runtime in front of
+	// the simulated C library.
+	rt, err := core.New(proc, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Install()
+	defer rt.Uninstall()
+
+	// 4. The program under test: read the file in 8-byte chunks,
+	// retrying on EINTR the way robust recovery code should.
+	fd := th.Open("/data/input.txt", libsim.O_RDONLY)
+	if fd < 0 {
+		log.Fatalf("open: %v", th.Errno())
+	}
+	var out []byte
+	buf := make([]byte, 8)
+	for {
+		n := th.Read(fd, buf)
+		if n == -1 {
+			if th.Errno() == errno.EINTR {
+				fmt.Println("read interrupted (EINTR) — retrying, as recovery code should")
+				continue
+			}
+			log.Fatalf("read: %v", th.Errno())
+		}
+		if n == 0 {
+			break
+		}
+		out = append(out, buf[:n]...)
+	}
+	th.Close(fd)
+
+	fmt.Printf("read back: %q\n", out)
+	fmt.Printf("\ninjection log:\n%s", rt.Log())
+}

@@ -1,0 +1,205 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lfi/internal/controller"
+	"lfi/internal/core"
+	"lfi/internal/libsim"
+	"lfi/internal/scenario"
+)
+
+func TestSuiteCleanWithoutInjection(t *testing.T) {
+	out, err := controller.RunOne(Target(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() {
+		t.Fatalf("clean run failed: %v", out)
+	}
+}
+
+func TestDoubleUnlockBug(t *testing.T) {
+	// MySQL bug [19]: fail the close right after the mutex unlock in
+	// mi_create; the error path double-unlocks and aborts.
+	s, err := scenario.ParseString(`<scenario name="close-after-unlock">
+	  <trigger id="cau" class="CloseAfterUnlock"><args><distance>2</distance></args></trigger>
+	  <function name="pthread_mutex_unlock" return="unused" errno="unused">
+	    <reftrigger ref="cau" />
+	  </function>
+	  <function name="close" return="-1" errno="EIO">
+	    <reftrigger ref="cau" />
+	  </function>
+	</scenario>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := controller.RunOne(MergeBigTarget(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crash == nil || out.Crash.Kind != libsim.Abort {
+		t.Fatalf("expected double-unlock abort, got %v", out)
+	}
+	if !strings.Contains(out.Crash.Reason, "double unlock") {
+		t.Fatalf("crash reason %q", out.Crash.Reason)
+	}
+}
+
+func TestErrmsgReadBug(t *testing.T) {
+	// MySQL bug [20]: a failed read of errmsg.sys is logged but the
+	// uninitialized structure is accessed anyway.
+	_, offsets := Binary()
+	doc := fmt.Sprintf(`<scenario name="errmsg-read">
+	  <trigger id="cs" class="CallStackTrigger">
+	    <args><frame><module>%s</module><offset>%x</offset></frame></args>
+	  </trigger>
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="cs" /></function>
+	</scenario>`, Module, offsets["em_read"])
+	s, err := scenario.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := controller.RunOne(Target(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crash == nil || out.Crash.Kind != libsim.Segfault {
+		t.Fatalf("expected segfault, got %v", out)
+	}
+	if !strings.Contains(out.Crash.Reason, "errmsg") {
+		t.Fatalf("crash reason %q", out.Crash.Reason)
+	}
+}
+
+func TestErrmsgMissingFileHandled(t *testing.T) {
+	// Bug [21] is fixed: a failed open of errmsg.sys is an error, not
+	// a crash.
+	_, offsets := Binary()
+	doc := fmt.Sprintf(`<scenario name="errmsg-open">
+	  <trigger id="cs" class="CallStackTrigger">
+	    <args><frame><module>%s</module><offset>%x</offset></frame></args>
+	  </trigger>
+	  <function name="open" return="-1" errno="ENOENT"><reftrigger ref="cs" /></function>
+	</scenario>`, Module, offsets["em_open"])
+	s, err := scenario.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := controller.RunOne(Target(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crash != nil {
+		t.Fatalf("fixed path crashed: %v", out.Crash)
+	}
+	if out.WorkErr == nil {
+		t.Fatal("missing errmsg.sys should surface as an error")
+	}
+}
+
+func TestFileScopedTriggerOnlyHitsMiCreate(t *testing.T) {
+	// A 100% random trigger scoped to mi_create.c must never touch
+	// the handler closes.
+	s, err := scenario.ParseString(fmt.Sprintf(`<scenario name="in-file">
+	  <trigger id="file" class="CallStackTrigger">
+	    <args><frame><file>%s</file></frame></args>
+	  </trigger>
+	  <function name="close" return="-1" errno="EIO"><reftrigger ref="file" /></function>
+	</scenario>`, MiCreateFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := controller.RunOne(MergeBigTarget(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every injection's stack must include a mi_create.c frame.
+	for _, rec := range out.Log.Records() {
+		found := false
+		for _, f := range rec.Stack {
+			if f.File == MiCreateFile {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("injection outside %s: %+v", MiCreateFile, rec)
+		}
+	}
+	if out.Injections == 0 {
+		t.Fatal("file-scoped trigger never fired")
+	}
+}
+
+func TestOLTPTxns(t *testing.T) {
+	app := New()
+	if err := app.BufferPoolInit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := app.Txn(i%2 == 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if app.TxnCount() != 10 {
+		t.Fatalf("txn count %d", app.TxnCount())
+	}
+	log, ok := app.C.ReadFileRaw("/var/db/txn.log")
+	if !ok || len(log) == 0 {
+		t.Fatal("read-write txns wrote nothing")
+	}
+}
+
+func TestProgramStateTriggerOnThreadCount(t *testing.T) {
+	// The Table 6 trigger: inject only when thread_count > 64. The
+	// workload never exceeds 1, so nothing must be injected, but the
+	// trigger must evaluate.
+	app := New()
+	s, err := scenario.ParseString(`<scenario name="tc">
+	  <trigger id="tc" class="ProgramStateTrigger">
+	    <args><var>thread_count</var><op>gt</op><value>64</value></args>
+	  </trigger>
+	  <function name="fcntl" return="-1" errno="EBADF"><reftrigger ref="tc" /></function>
+	</scenario>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.New(app.C, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Install()
+	defer rt.Uninstall()
+	for i := 0; i < 5; i++ {
+		if err := app.Txn(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Injections() != 0 {
+		t.Fatal("injected despite thread_count <= 64")
+	}
+	if rt.Evals() == 0 {
+		t.Fatal("trigger never evaluated")
+	}
+}
+
+func TestShutdownVar(t *testing.T) {
+	app := New()
+	app.SetShutdown(true)
+	if v, _ := app.C.ReadVar("shutdown_in_progress"); v != 1 {
+		t.Fatal("shutdown var not set")
+	}
+	app.SetShutdown(false)
+	if v, _ := app.C.ReadVar("shutdown_in_progress"); v != 0 {
+		t.Fatal("shutdown var not cleared")
+	}
+}
+
+func TestMergeBigCleanWithoutInjection(t *testing.T) {
+	app := New()
+	if err := app.MergeBig(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package minidb
+
+import (
+	"lfi/internal/controller"
+	"lfi/internal/libsim"
+)
+
+// Target adapts minidb to the LFI controller (default suite workload).
+func Target() controller.Target {
+	var app *App
+	return controller.Target{
+		Name: Module,
+		Start: func() *libsim.C {
+			app = New()
+			return app.C
+		},
+		Workload: func(*libsim.C) error {
+			return app.RunSuite()
+		},
+	}
+}
+
+// MergeBigTarget runs only the merge-big component (Table 2).
+func MergeBigTarget() controller.Target {
+	var app *App
+	return controller.Target{
+		Name: Module + "-merge-big",
+		Start: func() *libsim.C {
+			app = New()
+			return app.C
+		},
+		Workload: func(*libsim.C) error {
+			return app.MergeBig()
+		},
+	}
+}

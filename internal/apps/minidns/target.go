@@ -1,0 +1,38 @@
+package minidns
+
+import (
+	"lfi/internal/controller"
+	"lfi/internal/coverage"
+	"lfi/internal/libsim"
+)
+
+// Target adapts minidns to the LFI controller.
+func Target() controller.Target {
+	var app *App
+	return controller.Target{
+		Name: Module,
+		Start: func() *libsim.C {
+			app = New()
+			return app.C
+		},
+		Workload: func(*libsim.C) error {
+			return app.RunSuite()
+		},
+	}
+}
+
+// TargetWithCoverage merges each run's coverage into acc (Table 3).
+func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
+	var app *App
+	return controller.Target{
+		Name: Module,
+		Start: func() *libsim.C {
+			app = New()
+			return app.C
+		},
+		Workload: func(*libsim.C) error {
+			defer func() { acc.Merge(app.Cov) }()
+			return app.RunSuite()
+		},
+	}
+}

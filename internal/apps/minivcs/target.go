@@ -1,0 +1,43 @@
+package minivcs
+
+import (
+	"lfi/internal/controller"
+	"lfi/internal/coverage"
+	"lfi/internal/libsim"
+)
+
+// Target adapts minivcs to the LFI controller: Start stages a fresh
+// repository, Workload runs the default test suite. The returned Target
+// carries its own App reference, so independent campaigns do not share
+// state (but a single Target must not be used from concurrent runs).
+func Target() controller.Target {
+	var app *App
+	return controller.Target{
+		Name: Module,
+		Start: func() *libsim.C {
+			app = New()
+			return app.C
+		},
+		Workload: func(*libsim.C) error {
+			return app.RunSuite()
+		},
+	}
+}
+
+// TargetWithCoverage is Target plus per-run coverage accumulation into
+// acc — the Table 3 workflow, where lcov data from every test run is
+// merged before computing campaign coverage.
+func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
+	var app *App
+	return controller.Target{
+		Name: Module,
+		Start: func() *libsim.C {
+			app = New()
+			return app.C
+		},
+		Workload: func(*libsim.C) error {
+			defer func() { acc.Merge(app.Cov) }()
+			return app.RunSuite()
+		},
+	}
+}

@@ -1,0 +1,217 @@
+// Package miniweb is the Apache 2.2.14 stand-in used by the Table 5
+// precision/performance study: a small web server whose request path
+// issues apr_file_read calls at high frequency, under both a cheap
+// static-HTML workload and a computation-heavy "PHP" workload.
+//
+// No bugs are seeded here — the study measures the overhead of trigger
+// evaluation, with 1-5 triggers stacked on apr_file_read and all calls
+// passed through (the paper did not inject during the measurement).
+package miniweb
+
+import (
+	"fmt"
+	"sync"
+
+	"lfi/internal/asm"
+	"lfi/internal/coverage"
+	"lfi/internal/isa"
+	"lfi/internal/libsim"
+)
+
+// Module is the binary/module name used in stack frames and scenarios.
+const Module = "miniweb"
+
+// Request method numbers, following Apache's request_rec.method_number.
+const (
+	MethodGET  = 0
+	MethodPOST = 2
+)
+
+// Sites is the ground-truth call-site model.
+func Sites() []asm.FuncSpec {
+	return []asm.FuncSpec{
+		{Name: "default_handler", Sites: []asm.SiteSpec{
+			{Label: "dh_open", Callee: "open", Style: asm.CheckIneq},
+			{Label: "dh_apr_read", Callee: "apr_file_read", Style: asm.CheckIneq},
+			{Label: "dh_close", Callee: "close", Style: asm.CheckIneq},
+		}},
+		{Name: "php_handler", Sites: []asm.SiteSpec{
+			{Label: "ph_open", Callee: "open", Style: asm.CheckIneq},
+			{Label: "ph_apr_read", Callee: "apr_file_read", Style: asm.CheckIneq},
+			{Label: "ph_close", Callee: "close", Style: asm.CheckIneq},
+		}},
+	}
+}
+
+var (
+	binOnce sync.Once
+	bin     *isa.Binary
+	offs    map[string]uint64
+)
+
+// Binary returns the compiled miniweb program image and site offsets.
+func Binary() (*isa.Binary, map[string]uint64) {
+	binOnce.Do(func() {
+		var err error
+		bin, offs, err = asm.Program(Module, Sites())
+		if err != nil {
+			panic("miniweb: " + err.Error())
+		}
+	})
+	return bin, offs
+}
+
+// App is one running miniweb instance.
+type App struct {
+	C   *libsim.C
+	Th  *libsim.Thread
+	Cov *coverage.Tracker
+
+	methodNumber int64
+	served       int64
+	mutex        int64
+}
+
+// New stages the document root and returns a ready instance.
+func New() *App {
+	c := libsim.New(1 << 22)
+	a := &App{C: c, Th: c.NewThread(Module, "main"), Cov: coverage.New()}
+	a.mutex = c.MutexInit()
+	c.MustMkdirAll("/www")
+	page := make([]byte, 16384)
+	for i := range page {
+		page[i] = byte('a' + i%26)
+	}
+	c.MustWriteFile("/www/index.html", page)
+	c.MustWriteFile("/www/app.php", []byte("<?php compute(); ?>"))
+	c.RegisterVar("method_number", func() int64 { return a.methodNumber })
+	a.Cov.Register("main.static", 40, false)
+	a.Cov.Register("main.php", 60, false)
+	a.Cov.Register("rec.dh_open", 6, true)
+	a.Cov.Register("rec.dh_read", 8, true)
+	a.Cov.Register("rec.ph_open", 6, true)
+	a.Cov.Register("rec.ph_read", 8, true)
+	return a
+}
+
+func (a *App) at(fn, label string) func() {
+	_, offsets := Binary()
+	return a.Th.Enter(Module, fn, offsets[label])
+}
+
+// ServeStatic handles one static-HTML request: open the file, read it
+// through apr_file_read in 1 KB chunks, close it. The request path runs
+// inside an ap_process_request_internal frame, which the Table 5
+// call-stack trigger matches, and holds the worker mutex during reads
+// for the custom WithMutex trigger.
+func (a *App) ServeStatic(path string, method int64) error {
+	t := a.Th
+	a.Cov.Hit("main.static")
+	a.methodNumber = method
+	popReq := t.Enter(Module, "ap_process_request_internal", 0)
+	defer popReq()
+
+	pop := a.at("default_handler", "dh_open")
+	fd := t.Open(path, libsim.O_RDONLY)
+	pop()
+	if fd < 0 {
+		a.Cov.Hit("rec.dh_open")
+		return fmt.Errorf("static: open %s: %v", path, t.Errno())
+	}
+	defer func() {
+		pop := a.at("default_handler", "dh_close")
+		t.Close(fd)
+		pop()
+	}()
+
+	t.MutexLock(a.mutex)
+	defer t.MutexUnlock(a.mutex)
+
+	buf := make([]byte, 1024)
+	for {
+		var n int64
+		pop := a.at("default_handler", "dh_apr_read")
+		st := t.APRFileRead(fd, buf, &n)
+		pop()
+		if st != 0 {
+			a.Cov.Hit("rec.dh_read")
+			return fmt.Errorf("static: apr_file_read: status %d", st)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	a.served++
+	return nil
+}
+
+// ServePHP handles one dynamic request: a read followed by
+// computational work (the paper's PHP workload is CPU-heavy, with fewer
+// library calls per unit time).
+func (a *App) ServePHP(path string, method int64) error {
+	t := a.Th
+	a.Cov.Hit("main.php")
+	a.methodNumber = method
+	popReq := t.Enter(Module, "ap_process_request_internal", 0)
+	defer popReq()
+
+	pop := a.at("php_handler", "ph_open")
+	fd := t.Open(path, libsim.O_RDONLY)
+	pop()
+	if fd < 0 {
+		a.Cov.Hit("rec.ph_open")
+		return fmt.Errorf("php: open %s: %v", path, t.Errno())
+	}
+	defer func() {
+		pop := a.at("php_handler", "ph_close")
+		t.Close(fd)
+		pop()
+	}()
+
+	buf := make([]byte, 256)
+	var n int64
+	pop = a.at("php_handler", "ph_apr_read")
+	st := t.APRFileRead(fd, buf, &n)
+	pop()
+	if st != 0 {
+		a.Cov.Hit("rec.ph_read")
+		return fmt.Errorf("php: apr_file_read: status %d", st)
+	}
+
+	// Interpret the "script": a pure-CPU hash loop.
+	var h uint64 = 14695981039346656037
+	for round := 0; round < 2000; round++ {
+		for _, b := range buf[:n] {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+	}
+	if h == 0 {
+		return fmt.Errorf("php: impossible hash")
+	}
+	a.served++
+	return nil
+}
+
+// Served returns the number of completed requests.
+func (a *App) Served() int64 { return a.served }
+
+// RunAB replays the Apache-benchmark workload: n requests, static or
+// PHP, alternating GET/POST so the program-state trigger sees both.
+func (a *App) RunAB(n int, php bool) error {
+	for i := 0; i < n; i++ {
+		method := int64(MethodGET)
+		if i%4 == 3 {
+			method = MethodPOST
+		}
+		var err error
+		if php {
+			err = a.ServePHP("/www/app.php", method)
+		} else {
+			err = a.ServeStatic("/www/index.html", method)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package miniweb
+
+import (
+	"fmt"
+
+	"lfi/internal/scenario"
+	"lfi/internal/trigger"
+)
+
+// Table5Scenario builds the k-trigger (1 ≤ k ≤ 5) observational stack
+// of the paper's Apache overhead study (§7.4, Table 5):
+//
+//  1. target apr_file_read calls whose descriptor points at a socket
+//     (checked via the raw apr_stat equivalent);
+//  2. require the caller to be Apache's core (a call-stack frame in the
+//     miniweb module), excluding dynamically loaded modules;
+//  3. require ap_process_request_internal on the call stack;
+//  4. require the request method to be POST (program-state trigger on
+//     the request_rec method_number);
+//  5. require the calling thread to hold a mutex (custom trigger).
+//
+// All associations are observational ("unused"): the study measures
+// trigger-evaluation overhead, not recovery, so calls pass through.
+func Table5Scenario(k int) (*scenario.Scenario, error) {
+	if k < 1 || k > 5 {
+		return nil, fmt.Errorf("miniweb: trigger count %d out of [1,5]", k)
+	}
+	b := scenario.NewBuilder(fmt.Sprintf("table5-%dtriggers", k))
+	refs := []string{b.Trigger("t1", "FDIsSocket", nil)}
+	if k >= 2 {
+		refs = append(refs, b.Trigger("t2", "CallStackTrigger", frameArgs("module", Module)))
+	}
+	if k >= 3 {
+		refs = append(refs, b.Trigger("t3", "CallStackTrigger",
+			frameArgs("function", "ap_process_request_internal")))
+	}
+	if k >= 4 {
+		refs = append(refs, b.Trigger("t4", "ProgramStateTrigger",
+			scenario.IntArgs("var", "method_number", "op", "eq", "value", MethodPOST)))
+	}
+	if k >= 5 {
+		refs = append(refs, b.Trigger("t5", "WithMutex", nil))
+	}
+	b.Observe("apr_file_read", refs...)
+	return b.Build()
+}
+
+// frameArgs builds a single-frame CallStackTrigger <args> tree matching
+// by one attribute (module or function).
+func frameArgs(kind, value string) *trigger.Args {
+	return &trigger.Args{
+		Name: "args",
+		Children: []*trigger.Args{{
+			Name:     "frame",
+			Children: []*trigger.Args{{Name: kind, Text: value}},
+		}},
+	}
+}

@@ -1,0 +1,195 @@
+// Package asm assembles synthetic binaries (package isa) for the
+// analyses to consume.
+//
+// Two producers use it: the target applications compile their call-site
+// models into program binaries (so the call-site analyzer has real code
+// to disassemble, with ground truth attached), and BuildLibrary compiles
+// library implementations whose error paths set errno and return error
+// constants (so the library profiler has real return/side-effect code to
+// infer fault profiles from).
+package asm
+
+import (
+	"fmt"
+
+	"lfi/internal/isa"
+)
+
+// Builder assembles one binary. Instructions are appended through the
+// emit helpers; labels give symbolic branch targets resolved at Build.
+type Builder struct {
+	name    string
+	insts   []isa.Inst
+	symbols []isa.Symbol
+	imports []string
+	impIdx  map[string]int
+
+	labels map[string]uint64 // label -> code offset
+	fixups []fixup
+
+	siteOffs map[string]uint64
+
+	curFunc string
+	funcBeg uint64
+	uniq    int
+}
+
+type fixup struct {
+	inst  int // index into insts
+	label string
+}
+
+// NewBuilder starts a binary named after the module.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		impIdx:   make(map[string]int),
+		labels:   make(map[string]uint64),
+		siteOffs: make(map[string]uint64),
+	}
+}
+
+// off returns the code offset the next instruction will occupy.
+func (b *Builder) off() uint64 { return uint64(len(b.insts)) * isa.InstSize }
+
+// Func opens a new function symbol, closing the previous one.
+func (b *Builder) Func(name string) {
+	b.endFunc()
+	b.curFunc = name
+	b.funcBeg = b.off()
+}
+
+func (b *Builder) endFunc() {
+	if b.curFunc == "" {
+		return
+	}
+	b.symbols = append(b.symbols, isa.Symbol{
+		Name: b.curFunc,
+		Off:  b.funcBeg,
+		Size: b.off() - b.funcBeg,
+	})
+	b.curFunc = ""
+}
+
+// Label binds a name to the current offset.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic("asm: duplicate label " + name)
+	}
+	b.labels[name] = b.off()
+}
+
+// fresh returns a unique label with the given prefix.
+func (b *Builder) fresh(prefix string) string {
+	b.uniq++
+	return fmt.Sprintf(".%s%d", prefix, b.uniq)
+}
+
+func (b *Builder) emit(i isa.Inst) int {
+	i.Offset = b.off()
+	b.insts = append(b.insts, i)
+	return len(b.insts) - 1
+}
+
+// Emit helpers (each returns the emitted instruction's offset).
+
+// Movi emits rd <- imm.
+func (b *Builder) Movi(rd byte, imm int32) { b.emit(isa.Inst{Op: isa.MOVI, Rd: rd, Imm: imm}) }
+
+// Mov emits rd <- rs.
+func (b *Builder) Mov(rd, rs byte) { b.emit(isa.Inst{Op: isa.MOV, Rd: rd, Rs: rs}) }
+
+// Addi emits rd <- rs + imm.
+func (b *Builder) Addi(rd, rs byte, imm int32) {
+	b.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Ld emits rd <- stack[slot].
+func (b *Builder) Ld(rd byte, slot int32) { b.emit(isa.Inst{Op: isa.LD, Rd: rd, Imm: slot}) }
+
+// St emits stack[slot] <- rs.
+func (b *Builder) St(slot int32, rs byte) { b.emit(isa.Inst{Op: isa.ST, Rs: rs, Imm: slot}) }
+
+// Cmpi emits flags <- compare(rs, imm).
+func (b *Builder) Cmpi(rs byte, imm int32) { b.emit(isa.Inst{Op: isa.CMPI, Rs: rs, Imm: imm}) }
+
+// Test emits flags <- compare(rs, 0).
+func (b *Builder) Test(rs byte) { b.emit(isa.Inst{Op: isa.TEST, Rs: rs}) }
+
+// J emits a branch (JE..JGE, JMP, CALLN) to a label.
+func (b *Builder) J(op isa.Op, label string) {
+	idx := b.emit(isa.Inst{Op: op})
+	b.fixups = append(b.fixups, fixup{inst: idx, label: label})
+}
+
+// MoviLabel emits rd <- address-of(label), used to feed indirect jumps.
+func (b *Builder) MoviLabel(rd byte, label string) {
+	idx := b.emit(isa.Inst{Op: isa.MOVI, Rd: rd})
+	b.fixups = append(b.fixups, fixup{inst: idx, label: label})
+}
+
+// IJmp emits an indirect jump through rs.
+func (b *Builder) IJmp(rs byte) { b.emit(isa.Inst{Op: isa.IJMP, Rs: rs}) }
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.emit(isa.Inst{Op: isa.RET}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Inst{Op: isa.NOP}) }
+
+// SetErrI emits errno <- imm (library error paths).
+func (b *Builder) SetErrI(imm int32) { b.emit(isa.Inst{Op: isa.SETERRI, Imm: imm}) }
+
+// GetErr emits rd <- errno (caller-side errno inspection).
+func (b *Builder) GetErr(rd byte) { b.emit(isa.Inst{Op: isa.GETERR, Rd: rd}) }
+
+// CallImport emits a call to an imported library function and returns
+// the call instruction's offset (the call-site address).
+func (b *Builder) CallImport(fn string) uint64 {
+	idx, ok := b.impIdx[fn]
+	if !ok {
+		idx = len(b.imports)
+		b.imports = append(b.imports, fn)
+		b.impIdx[fn] = idx
+	}
+	off := b.off()
+	b.emit(isa.Inst{Op: isa.CALL, Imm: int32(idx)})
+	return off
+}
+
+// SiteOffset returns the recorded offset of a labelled call site.
+func (b *Builder) SiteOffset(label string) (uint64, bool) {
+	off, ok := b.siteOffs[label]
+	return off, ok
+}
+
+// Build resolves fixups and returns the binary.
+func (b *Builder) Build() (*isa.Binary, error) {
+	b.endFunc()
+	for _, f := range b.fixups {
+		off, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		b.insts[f.inst].Imm = int32(off)
+	}
+	var code []byte
+	for _, in := range b.insts {
+		code = in.Encode(code)
+	}
+	return &isa.Binary{
+		Name:    b.name,
+		Code:    code,
+		Symbols: b.symbols,
+		Imports: b.imports,
+	}, nil
+}
+
+// MustBuild is Build for statically-known-correct programs.
+func (b *Builder) MustBuild() *isa.Binary {
+	bin, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return bin
+}

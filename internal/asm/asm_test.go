@@ -1,0 +1,158 @@
+package asm
+
+import (
+	"testing"
+
+	"lfi/internal/isa"
+)
+
+func TestBuilderLabelsAndFixups(t *testing.T) {
+	b := NewBuilder("m")
+	b.Func("f")
+	b.Cmpi(0, -1)
+	b.J(isa.JE, "err")
+	b.Movi(0, 1)
+	b.Ret()
+	b.Label("err")
+	b.Movi(0, -1)
+	b.Ret()
+	bin := b.MustBuild()
+
+	in, err := bin.DecodeAt(1 * isa.InstSize)
+	if err != nil || in.Op != isa.JE {
+		t.Fatalf("branch decode: %v %v", in, err)
+	}
+	if uint64(uint32(in.Imm)) != 4*isa.InstSize {
+		t.Fatalf("fixup target %#x, want %#x", in.Imm, 4*isa.InstSize)
+	}
+	sym, ok := bin.FindSymbol("f")
+	if !ok || sym.Off != 0 || sym.Size != 6*isa.InstSize {
+		t.Fatalf("symbol %+v", sym)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("m")
+	b.Func("f")
+	b.J(isa.JMP, "nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestBuilderImportsDeduplicated(t *testing.T) {
+	b := NewBuilder("m")
+	b.Func("f")
+	o1 := b.CallImport("read")
+	o2 := b.CallImport("read")
+	b.CallImport("close")
+	b.Ret()
+	bin := b.MustBuild()
+	if len(bin.Imports) != 2 {
+		t.Fatalf("imports %v", bin.Imports)
+	}
+	if o1 == o2 {
+		t.Fatal("call sites share an offset")
+	}
+	if got := bin.CallSites("read"); len(got) != 2 {
+		t.Fatalf("read call sites %v", got)
+	}
+}
+
+func TestProgramSiteOffsets(t *testing.T) {
+	bin, sites, err := Program("app", []FuncSpec{
+		{Name: "alpha", Sites: []SiteSpec{
+			{Label: "a1", Callee: "malloc", Style: CheckEqZero, Codes: []int64{0}},
+			{Label: "a2", Callee: "read", Style: CheckNone},
+		}},
+		{Name: "beta", Sites: []SiteSpec{
+			{Label: "b1", Callee: "close", Style: CheckIneq},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("site map %v", sites)
+	}
+	// Every labelled offset must hold a CALL to the right callee.
+	for label, callee := range map[string]string{"a1": "malloc", "a2": "read", "b1": "close"} {
+		off := sites[label]
+		in, err := bin.DecodeAt(off)
+		if err != nil || in.Op != isa.CALL {
+			t.Fatalf("site %s: %v %v", label, in, err)
+		}
+		if bin.ImportName(in.Imm) != callee {
+			t.Fatalf("site %s calls %s", label, bin.ImportName(in.Imm))
+		}
+	}
+	// Symbols should cover the sites.
+	if _, ok := bin.FindSymbol("alpha"); !ok {
+		t.Fatal("missing symbol")
+	}
+}
+
+func TestDuplicateSiteLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate site label accepted")
+		}
+	}()
+	b := NewBuilder("m")
+	b.Func("f")
+	b.EmitSite(SiteSpec{Label: "x", Callee: "read", Style: CheckNone})
+	b.EmitSite(SiteSpec{Label: "x", Callee: "read", Style: CheckNone})
+}
+
+func TestCheckStyleStrings(t *testing.T) {
+	styles := []CheckStyle{
+		CheckNone, CheckEq, CheckIneq, CheckEqZero, CheckEqViaCopy,
+		CheckIneqViaCopy, CheckHiddenIndirect, CheckBeyondWindow, CheckErrnoEq,
+	}
+	seen := map[string]bool{}
+	for _, s := range styles {
+		str := s.String()
+		if seen[str] {
+			t.Fatalf("duplicate style name %q", str)
+		}
+		seen[str] = true
+	}
+	if CheckNone.Checked() {
+		t.Fatal("CheckNone claims checked")
+	}
+	if !CheckHiddenIndirect.Checked() {
+		t.Fatal("hidden-indirect is a real check (ground truth)")
+	}
+}
+
+func TestBuildLibraryStructure(t *testing.T) {
+	bin, err := BuildLibrary("libc", []LibFuncSpec{
+		{Name: "close", Success: 0, Errors: []ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: []int64{9, 5}},
+		}},
+		{Name: "read", ComputedSuccess: true, Errors: []ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: []int64{4}},
+			{Ret: 0},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Symbols) != 2 {
+		t.Fatalf("symbols %v", bin.Symbols)
+	}
+	// close must contain a SETERRI and a MOVI -1.
+	sym, _ := bin.FindSymbol("close")
+	var sawSetErr, sawMinusOne bool
+	for _, in := range bin.DecodeRange(sym.Off, sym.Off+sym.Size) {
+		if in.Op == isa.SETERRI {
+			sawSetErr = true
+		}
+		if in.Op == isa.MOVI && in.Rd == 0 && in.Imm == -1 {
+			sawMinusOne = true
+		}
+	}
+	if !sawSetErr || !sawMinusOne {
+		t.Fatalf("close body missing error path: seterr=%v minusone=%v", sawSetErr, sawMinusOne)
+	}
+}

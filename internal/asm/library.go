@@ -1,0 +1,78 @@
+package asm
+
+import (
+	"lfi/internal/isa"
+)
+
+// ErrorReturn is one error behaviour of a library function: the value
+// returned and the errno codes that may accompany it. SetsErrno false
+// models returns like read()'s 0-at-EOF, which is not an errno-reported
+// failure but still a return the caller must handle.
+type ErrorReturn struct {
+	Ret       int64
+	Errnos    []int64
+	SetsErrno bool
+}
+
+// LibFuncSpec describes one exported library function for BuildLibrary.
+// Success is the value returned on the success path; ComputedSuccess
+// instead returns a data-dependent (non-constant) value, like read()'s
+// byte count.
+type LibFuncSpec struct {
+	Name            string
+	Errors          []ErrorReturn
+	Success         int64
+	ComputedSuccess bool
+}
+
+// BuildLibrary assembles a shared-library binary whose exported
+// functions branch to error paths that set errno and return error
+// constants, and otherwise return success. The profiler consumes these
+// binaries to infer fault profiles, exactly as LFI's profiler consumes
+// libc.so.
+//
+// The dispatch structure mirrors compiled C: a chain of compares on an
+// incoming argument selects the failure path.
+func BuildLibrary(name string, funcs []LibFuncSpec) (*isa.Binary, error) {
+	b := NewBuilder(name)
+	for _, f := range funcs {
+		b.Func(f.Name)
+		// Enumerate (ret, errno) paths: each gets its own branch.
+		type path struct {
+			ret   int64
+			errno int64 // 0 = none
+		}
+		var paths []path
+		for _, er := range f.Errors {
+			if !er.SetsErrno || len(er.Errnos) == 0 {
+				paths = append(paths, path{ret: er.Ret})
+				continue
+			}
+			for _, e := range er.Errnos {
+				paths = append(paths, path{ret: er.Ret, errno: e})
+			}
+		}
+		labels := make([]string, len(paths))
+		for i := range paths {
+			labels[i] = b.fresh("epath")
+			b.Cmpi(1, int32(i)) // dispatch on first argument
+			b.J(isa.JE, labels[i])
+		}
+		// Success path.
+		if f.ComputedSuccess {
+			b.Addi(0, 1, 42) // data-dependent result
+		} else {
+			b.Movi(0, int32(f.Success))
+		}
+		b.Ret()
+		for i, p := range paths {
+			b.Label(labels[i])
+			if p.errno != 0 {
+				b.SetErrI(int32(p.errno))
+			}
+			b.Movi(0, int32(p.ret))
+			b.Ret()
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,248 @@
+package asm
+
+import (
+	"fmt"
+
+	"lfi/internal/isa"
+)
+
+// CheckStyle describes how (and whether) a call site checks the callee's
+// error return. The styles cover the checking idioms the paper's
+// dataflow analysis must handle: direct equality/inequality tests,
+// checks on copies of the return value (through registers and stack
+// spills), checks hidden behind indirect branches (the analyzer ignores
+// those and reports a false positive, as with BIND's open in Table 4),
+// and checks placed beyond the analysis window.
+type CheckStyle int
+
+const (
+	// CheckNone: the result is ignored — a genuine bug site.
+	CheckNone CheckStyle = iota
+	// CheckEq: retval compared for equality against each of Codes.
+	CheckEq
+	// CheckIneq: a sign test (retval < 0), covering the whole range.
+	CheckIneq
+	// CheckEqZero: test+je against zero (the malloc NULL-check idiom).
+	CheckEqZero
+	// CheckEqViaCopy: retval copied through a register and a stack
+	// slot before the equality check.
+	CheckEqViaCopy
+	// CheckIneqViaCopy: copy chain ending in a sign test.
+	CheckIneqViaCopy
+	// CheckHiddenIndirect: a real check that control reaches only via
+	// an indirect jump; the analyzer cannot follow it (false positive).
+	CheckHiddenIndirect
+	// CheckBeyondWindow: a real check placed past the analysis window.
+	CheckBeyondWindow
+	// CheckErrnoEq: retval checked by inequality and errno compared
+	// against Errnos (the EINTR-retry idiom).
+	CheckErrnoEq
+)
+
+// String names the style in reports.
+func (s CheckStyle) String() string {
+	switch s {
+	case CheckNone:
+		return "none"
+	case CheckEq:
+		return "eq"
+	case CheckIneq:
+		return "ineq"
+	case CheckEqZero:
+		return "eq-zero"
+	case CheckEqViaCopy:
+		return "eq-via-copy"
+	case CheckIneqViaCopy:
+		return "ineq-via-copy"
+	case CheckHiddenIndirect:
+		return "hidden-indirect"
+	case CheckBeyondWindow:
+		return "beyond-window"
+	case CheckErrnoEq:
+		return "errno-eq"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// Checked reports whether the style actually checks the return value
+// (ground truth for accuracy measurement, independent of whether the
+// analyzer can see it).
+func (s CheckStyle) Checked() bool { return s != CheckNone }
+
+// SiteSpec models one library call site in an application function:
+// which function is called, how its return is checked, and how much
+// unrelated code sits between call and check.
+type SiteSpec struct {
+	Label  string // stable identifier; also the runtime site key
+	Callee string // imported library function
+	Style  CheckStyle
+	Codes  []int64 // codes checked by equality styles
+	Errnos []int64 // errno values checked by CheckErrnoEq
+	Filler int     // unrelated instructions between call and check
+}
+
+// EmitSite assembles one modelled call site inside the current function
+// and records its call offset under spec.Label. The emitted code is what
+// a compiler would produce for the corresponding C idiom.
+func (b *Builder) EmitSite(spec SiteSpec) uint64 {
+	off := b.CallImport(spec.Callee)
+	if _, dup := b.siteOffs[spec.Label]; dup {
+		panic("asm: duplicate site label " + spec.Label)
+	}
+	b.siteOffs[spec.Label] = off
+
+	// Unrelated work between the call and the check; r5/r6 never
+	// carry the return value, so the dataflow must skip over these.
+	for i := 0; i < spec.Filler; i++ {
+		b.Movi(5, int32(i))
+		b.Addi(6, 5, 1)
+	}
+
+	cont := b.fresh("cont")
+	err := b.fresh("err")
+	switch spec.Style {
+	case CheckNone:
+		// Result discarded; r0 immediately reused for something else.
+		b.Movi(0, 0)
+
+	case CheckEq:
+		for _, c := range spec.Codes {
+			b.Cmpi(0, int32(c))
+			b.J(isa.JE, err)
+		}
+		b.J(isa.JMP, cont)
+		b.Label(err)
+		b.emitRecovery()
+
+	case CheckEqZero:
+		b.Test(0)
+		b.J(isa.JE, err)
+		b.J(isa.JMP, cont)
+		b.Label(err)
+		b.emitRecovery()
+
+	case CheckIneq:
+		b.Test(0)
+		b.J(isa.JL, err)
+		b.J(isa.JMP, cont)
+		b.Label(err)
+		b.emitRecovery()
+
+	case CheckEqViaCopy:
+		b.Mov(4, 0)  // copy to r4
+		b.St(16, 4)  // spill
+		b.Movi(4, 7) // clobber the register copy
+		b.Ld(7, 16)  // reload into r7
+		for _, c := range spec.Codes {
+			b.Cmpi(7, int32(c))
+			b.J(isa.JE, err)
+		}
+		b.J(isa.JMP, cont)
+		b.Label(err)
+		b.emitRecovery()
+
+	case CheckIneqViaCopy:
+		b.Mov(4, 0)
+		b.St(24, 4)
+		b.Ld(8, 24)
+		b.Test(8)
+		b.J(isa.JL, err)
+		b.J(isa.JMP, cont)
+		b.Label(err)
+		b.emitRecovery()
+
+	case CheckHiddenIndirect:
+		// The check is real but reachable only through an indirect
+		// jump (a jump table in the original program). The analyzer
+		// ignores indirect branches (§5), so it cannot see the check.
+		tgt := b.fresh("itgt")
+		b.MoviLabel(9, tgt)
+		b.IJmp(9)
+		b.Label(tgt)
+		for _, c := range spec.Codes {
+			b.Cmpi(0, int32(c))
+			b.J(isa.JE, err)
+		}
+		b.J(isa.JMP, cont)
+		b.Label(err)
+		b.emitRecovery()
+
+	case CheckBeyondWindow:
+		// Push the check past the 100-instruction window with real
+		// filler; the site is checked but the bounded CFG misses it.
+		for i := 0; i < 110; i++ {
+			b.Nop()
+		}
+		b.Cmpi(0, int32(firstOr(spec.Codes, -1)))
+		b.J(isa.JE, err)
+		b.J(isa.JMP, cont)
+		b.Label(err)
+		b.emitRecovery()
+
+	case CheckErrnoEq:
+		b.Test(0)
+		b.J(isa.JGE, cont) // retval >= 0: success
+		b.GetErr(10)
+		for _, e := range spec.Errnos {
+			b.Cmpi(10, int32(e))
+			b.J(isa.JE, err) // e.g. EINTR: retry path
+		}
+		b.J(isa.JMP, cont)
+		b.Label(err)
+		b.emitRecovery()
+
+	default:
+		panic("asm: unknown check style")
+	}
+	b.Label(cont)
+	b.Nop()
+	return off
+}
+
+// emitRecovery assembles a small recovery block (what the error-handling
+// arm of the C code would compile to).
+func (b *Builder) emitRecovery() {
+	b.Movi(11, -1)
+	b.Movi(12, 0)
+	b.Nop()
+}
+
+func firstOr(cs []int64, def int64) int64 {
+	if len(cs) == 0 {
+		return def
+	}
+	return cs[0]
+}
+
+// Program assembles an application binary from per-function site lists.
+// Functions are emitted in order; each gets a prologue, its modelled
+// sites, and an epilogue. Returns the binary and the site-label → offset
+// map that the runtime application uses for its virtual stack frames.
+func Program(module string, funcs []FuncSpec) (*isa.Binary, map[string]uint64, error) {
+	b := NewBuilder(module)
+	for _, f := range funcs {
+		b.Func(f.Name)
+		b.Movi(13, 0) // prologue
+		for _, s := range f.Sites {
+			b.EmitSite(s)
+		}
+		b.Movi(0, 0) // function returns success
+		b.Ret()
+	}
+	bin, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	sites := make(map[string]uint64, len(b.siteOffs))
+	for k, v := range b.siteOffs {
+		sites[k] = v
+	}
+	return bin, sites, nil
+}
+
+// FuncSpec is one application function and its modelled call sites.
+type FuncSpec struct {
+	Name  string
+	Sites []SiteSpec
+}

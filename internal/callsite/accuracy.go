@@ -1,0 +1,95 @@
+package callsite
+
+import (
+	"fmt"
+
+	"lfi/internal/asm"
+	"lfi/internal/isa"
+)
+
+// Accuracy measurement against ground truth (§7.2). The confusion
+// matrix follows the paper:
+//
+//	                          actually checked | not actually checked
+//	LFI says checked                 TN        |         FN
+//	LFI says not checked             FP        |         TP
+//
+// "Checked" on the LFI side means classified C_yes; Partial and
+// Unchecked both count as "error return is not checked" for the purpose
+// of flagging a site as an injection target.
+type Accuracy struct {
+	Func           string
+	TP, TN, FP, FN int
+}
+
+// Total returns the number of call sites measured.
+func (a Accuracy) Total() int { return a.TP + a.TN + a.FP + a.FN }
+
+// Value computes (TP+TN) / (TP+TN+FP+FN).
+func (a Accuracy) Value() float64 {
+	t := a.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(a.TP+a.TN) / float64(t)
+}
+
+// String renders one Table 4 row.
+func (a Accuracy) String() string {
+	return fmt.Sprintf("%-12s TP+TN=%3d FN=%d FP=%d accuracy=%3.0f%%",
+		a.Func, a.TP+a.TN, a.FN, a.FP, 100*a.Value())
+}
+
+// MeasureAccuracy compares the analyzer's verdicts for one function
+// against the ground-truth site specs the binary was assembled from.
+// Sites whose spec label is absent from truth are skipped.
+func MeasureAccuracy(fn string, sites []Site, truth map[uint64]asm.SiteSpec) Accuracy {
+	acc := Accuracy{Func: fn}
+	for _, s := range sites {
+		spec, ok := truth[s.Offset]
+		if !ok || spec.Callee != fn {
+			continue
+		}
+		saysChecked := s.Class == Checked
+		actuallyChecked := spec.Style.Checked()
+		switch {
+		case saysChecked && actuallyChecked:
+			acc.TN++
+		case saysChecked && !actuallyChecked:
+			acc.FN++
+		case !saysChecked && actuallyChecked:
+			acc.FP++
+		default:
+			acc.TP++
+		}
+	}
+	return acc
+}
+
+// TruthByOffset indexes an application's site specs by the offsets the
+// assembler assigned, for accuracy measurement.
+func TruthByOffset(specs []asm.FuncSpec, siteOffs map[string]uint64) map[uint64]asm.SiteSpec {
+	out := make(map[uint64]asm.SiteSpec)
+	for _, f := range specs {
+		for _, s := range f.Sites {
+			if off, ok := siteOffs[s.Label]; ok {
+				out[off] = s
+			}
+		}
+	}
+	return out
+}
+
+// SiteAt finds the analyzed site at a given offset.
+func SiteAt(sites []Site, off uint64) (Site, bool) {
+	for _, s := range sites {
+		if s.Offset == off {
+			return s, true
+		}
+	}
+	return Site{}, false
+}
+
+// EnclosingSymbolName is exported for tools that want to resolve a call
+// site to its containing function (debug-symbol style reporting).
+func EnclosingSymbolName(b *isa.Binary, off uint64) string { return enclosingSymbol(b, off) }

@@ -1,0 +1,281 @@
+// Package callsite implements the call site analyzer of §5 (Algorithm
+// 1): it combs a target program binary for places where a library
+// function is called, builds a partial control-flow graph of the
+// instructions after each call, runs the dataflow analysis of package
+// dataflow, and classifies each site as fully checked (C_yes), partially
+// checked (C_part), or completely unchecked (C_not). From C_not and
+// C_part it generates fault injection scenarios that use call-stack
+// triggers aimed at the vulnerable sites.
+package callsite
+
+import (
+	"fmt"
+	"sort"
+
+	"lfi/internal/cfg"
+	"lfi/internal/dataflow"
+	"lfi/internal/errno"
+	"lfi/internal/isa"
+	"lfi/internal/profile"
+	"lfi/internal/scenario"
+	"lfi/internal/trigger"
+)
+
+// Class is the Algorithm 1 classification of one call site.
+type Class int
+
+const (
+	// Checked (C_yes): all error codes in E are checked by equality,
+	// or an inequality check covers the range.
+	Checked Class = iota
+	// Partial (C_part): some but not all error codes in E are checked
+	// by equality.
+	Partial
+	// Unchecked (C_not): no error code in E is checked, even if codes
+	// outside E are.
+	Unchecked
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Checked:
+		return "checked"
+	case Partial:
+		return "partial"
+	case Unchecked:
+		return "unchecked"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Site is the analysis result for one call site.
+type Site struct {
+	Offset   uint64 // call instruction offset in the binary
+	Callee   string // library function called
+	Caller   string // enclosing symbol, when resolvable
+	Class    Class
+	Missing  []int64 // error codes in E not covered by checks
+	ChkEq    []int64
+	ChkIneq  []int64
+	ErrnoChk []int64 // errno literals checked after this call
+	Indirect bool    // the partial CFG hit indirect branches
+}
+
+// Report is the analysis of one binary against a set of fault profiles.
+type Report struct {
+	Binary *isa.Binary
+	Sites  []Site
+}
+
+// ByClass partitions the report's sites — the <C_yes, C_part, C_not>
+// triple Algorithm 1 returns.
+func (r *Report) ByClass() (yes, part, not []Site) {
+	for _, s := range r.Sites {
+		switch s.Class {
+		case Checked:
+			yes = append(yes, s)
+		case Partial:
+			part = append(part, s)
+		default:
+			not = append(not, s)
+		}
+	}
+	return
+}
+
+// Analyzer runs Algorithm 1 with configurable window size.
+type Analyzer struct {
+	// Window is the post-call instruction budget (default 100, the
+	// paper's empirically sufficient value).
+	Window int
+}
+
+// AnalyzeFunction implements Algorithm 1 for one target function F with
+// error code set E, returning the classified call sites.
+func (a *Analyzer) AnalyzeFunction(b *isa.Binary, fn string, E []int64) []Site {
+	window := a.Window
+	if window <= 0 {
+		window = cfg.DefaultWindow
+	}
+	var sites []Site
+	for _, off := range b.CallSites(fn) { // line 2: parse all calls to F in X
+		g := cfg.BuildPartial(b, off+isa.InstSize, window) // line 4: partial CFG
+		res := dataflow.Analyze(g)                         // line 5: dataflow
+		s := Site{
+			Offset:   off,
+			Callee:   fn,
+			Caller:   enclosingSymbol(b, off),
+			ChkEq:    res.EqCodes(),
+			ChkIneq:  res.IneqCodes(),
+			ErrnoChk: res.ErrnoCodes(),
+			Indirect: g.Indirect > 0,
+		}
+		s.Class, s.Missing = classify(res, E) // lines 6-11
+		sites = append(sites, s)
+	}
+	return sites
+}
+
+// classify applies lines 6-11 of Algorithm 1.
+func classify(res dataflow.Result, E []int64) (Class, []int64) {
+	eqCovered := func(code int64) bool { return res.ChkEq[code] }
+	allEq := true
+	anyEq := false
+	var missing []int64
+	for _, code := range E {
+		if eqCovered(code) {
+			anyEq = true
+		} else {
+			allEq = false
+			missing = append(missing, code)
+		}
+	}
+	switch {
+	case (len(E) > 0 && allEq) || len(res.ChkIneq) > 0:
+		// Chk_eq ⊇ E  ∨  Chk_ineq ≠ ∅  (an inequality check is assumed
+		// to cover the entire range of error codes).
+		return Checked, nil
+	case anyEq:
+		// Chk_eq ≠ ∅ ∧ Chk_eq ⊂ E.
+		return Partial, missing
+	default:
+		// Nothing in E is checked — even if codes outside E are.
+		return Unchecked, missing
+	}
+}
+
+// Analyze runs Algorithm 1 for every profiled function the binary
+// imports, using each function's profile-derived error code set.
+func (a *Analyzer) Analyze(b *isa.Binary, profiles ...*profile.Profile) *Report {
+	rep := &Report{Binary: b}
+	for _, p := range profiles {
+		for _, fn := range p.FuncNames() {
+			fp := p.Func(fn)
+			E := fp.ErrorCodes()
+			if len(E) == 0 {
+				continue // nothing injectable for this function
+			}
+			if b.ImportIndex(fn) < 0 {
+				continue
+			}
+			rep.Sites = append(rep.Sites, a.AnalyzeFunction(b, fn, E)...)
+		}
+	}
+	sort.Slice(rep.Sites, func(i, j int) bool { return rep.Sites[i].Offset < rep.Sites[j].Offset })
+	return rep
+}
+
+func enclosingSymbol(b *isa.Binary, off uint64) string {
+	for _, s := range b.Symbols {
+		if off >= s.Off && off < s.Off+s.Size {
+			return s.Name
+		}
+	}
+	return ""
+}
+
+// --- scenario generation ---------------------------------------------------
+
+// lookupErrnos finds the errno side effects for (callee, code) across
+// the given profiles.
+func lookupErrnos(ps []*profile.Profile, callee string, code int64) []errno.Errno {
+	for _, p := range ps {
+		if fp := p.Func(callee); fp != nil {
+			if es := fp.ErrnosFor(code); len(es) > 0 {
+				return es
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateScenarios produces one injection scenario per (vulnerable
+// site, missing error code, errno side effect), each using a call-stack
+// trigger pinned to the site's module and offset composed with a
+// singleton so each test run injects the fault once. The sites argument
+// is typically C_not first, then C_part (§5: testers exhaust C_not
+// before moving on).
+func GenerateScenarios(b *isa.Binary, sites []Site, profiles ...*profile.Profile) []*scenario.Scenario {
+	var out []*scenario.Scenario
+	for _, s := range sites {
+		for _, code := range s.Missing {
+			errnos := lookupErrnos(profiles, s.Callee, code)
+			if len(errnos) == 0 {
+				errnos = []errno.Errno{errno.OK}
+			}
+			for _, e := range errnos {
+				name := fmt.Sprintf("%s-%s-%x-%d-%s", b.Name, s.Callee, s.Offset, code, e)
+				bld := scenario.NewBuilder(name)
+				csID := bld.Trigger(fmt.Sprintf("%x", s.Offset), "CallStackTrigger",
+					frameArgs(b.Name, s.Offset))
+				onceID := bld.Trigger("once", "SingletonTrigger", nil)
+				bld.Inject(s.Callee, 0, code, e, csID, onceID)
+				sc, err := bld.Build()
+				if err != nil {
+					// Generated scenarios are well-formed by construction.
+					panic(err)
+				}
+				out = append(out, sc)
+			}
+		}
+	}
+	return out
+}
+
+// GenerateExercise produces recovery-exercising scenarios for CHECKED
+// sites: one scenario per (site, error code in E, errno). Injecting at a
+// checked site runs its recovery code — this is how the coverage
+// campaign of Table 3 exercises recovery blocks, and how recovery-code
+// bugs behind correct checks (BIND's dst_lib_init, MySQL's mi_create)
+// surface.
+func GenerateExercise(b *isa.Binary, sites []Site, profiles ...*profile.Profile) []*scenario.Scenario {
+	var out []*scenario.Scenario
+	for _, s := range sites {
+		if s.Class != Checked {
+			continue
+		}
+		codes := s.ChkEq
+		if len(codes) == 0 {
+			// Inequality-checked: use the profile's error codes.
+			for _, p := range profiles {
+				if fp := p.Func(s.Callee); fp != nil {
+					codes = fp.ErrorCodes()
+					break
+				}
+			}
+		}
+		for _, code := range codes {
+			errnos := lookupErrnos(profiles, s.Callee, code)
+			if len(errnos) == 0 {
+				errnos = []errno.Errno{errno.OK}
+			}
+			name := fmt.Sprintf("exercise-%s-%s-%x-%d-%s", b.Name, s.Callee, s.Offset, code, errnos[0])
+			bld := scenario.NewBuilder(name)
+			csID := bld.Trigger(fmt.Sprintf("%x", s.Offset), "CallStackTrigger",
+				frameArgs(b.Name, s.Offset))
+			onceID := bld.Trigger("once", "SingletonTrigger", nil)
+			bld.Inject(s.Callee, 0, code, errnos[0], csID, onceID)
+			sc, err := bld.Build()
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+func frameArgs(module string, off uint64) *trigger.Args {
+	return &trigger.Args{
+		Name: "args",
+		Children: []*trigger.Args{{
+			Name: "frame",
+			Children: []*trigger.Args{
+				{Name: "module", Text: module},
+				{Name: "offset", Text: fmt.Sprintf("%x", off)},
+			},
+		}},
+	}
+}

@@ -1,0 +1,162 @@
+package callsite
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lfi/internal/asm"
+	"lfi/internal/libspec"
+	"lfi/internal/profile"
+)
+
+// Property (DESIGN.md): for randomly generated programs, the analyzer's
+// classification matches the ground truth derived from each site's
+// checking style — except for the deliberately-planted obfuscations
+// (hidden-indirect and beyond-window checks), where the analyzer must
+// report Unchecked (the documented false positive), never Checked.
+func TestPropertyAnalyzerMatchesGroundTruth(t *testing.T) {
+	libc := profile.ProfileBinary(libspec.BuildLibc())
+
+	// Callees with single-code E sets keep expected classes crisp.
+	callees := []struct {
+		fn   string
+		code int64
+	}{
+		{"malloc", 0},
+		{"close", -1},
+		{"unlink", -1},
+		{"setenv", -1},
+		{"fclose", -1},
+	}
+	styles := []asm.CheckStyle{
+		asm.CheckNone, asm.CheckEq, asm.CheckIneq, asm.CheckEqZero,
+		asm.CheckEqViaCopy, asm.CheckIneqViaCopy,
+		asm.CheckHiddenIndirect, asm.CheckBeyondWindow,
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nFuncs := 1 + rng.Intn(3)
+		var specs []asm.FuncSpec
+		label := 0
+		for fi := 0; fi < nFuncs; fi++ {
+			fn := asm.FuncSpec{Name: fmt.Sprintf("f%d", fi)}
+			for si := 0; si < 1+rng.Intn(4); si++ {
+				callee := callees[rng.Intn(len(callees))]
+				style := styles[rng.Intn(len(styles))]
+				codes := []int64{callee.code}
+				if style == asm.CheckEqZero && callee.code != 0 {
+					style = asm.CheckEq // test+je only checks 0
+				}
+				fn.Sites = append(fn.Sites, asm.SiteSpec{
+					Label:  fmt.Sprintf("s%d", label),
+					Callee: callee.fn,
+					Style:  style,
+					Codes:  codes,
+					Filler: rng.Intn(8),
+				})
+				label++
+			}
+			specs = append(specs, fn)
+		}
+		bin, offs, err := asm.Program("prop", specs)
+		if err != nil {
+			return false
+		}
+		a := &Analyzer{}
+		rep := a.Analyze(bin, libc)
+		truth := TruthByOffset(specs, offs)
+		for _, site := range rep.Sites {
+			spec, ok := truth[site.Offset]
+			if !ok {
+				return false
+			}
+			switch spec.Style {
+			case asm.CheckNone:
+				if site.Class != Unchecked {
+					t.Logf("seed %d: %s/%s style=%v class=%v", seed, spec.Label, spec.Callee, spec.Style, site.Class)
+					return false
+				}
+			case asm.CheckHiddenIndirect, asm.CheckBeyondWindow:
+				// The analyzer cannot see these checks; it must
+				// flag them (a false positive), never miss a real
+				// bug by calling them Checked.
+				if site.Class == Checked {
+					t.Logf("seed %d: obfuscated %s classified Checked", seed, spec.Label)
+					return false
+				}
+			default:
+				// Single-code E, directly checked: fully checked.
+				if site.Class != Checked {
+					t.Logf("seed %d: %s/%s style=%v class=%v eq=%v ineq=%v",
+						seed, spec.Label, spec.Callee, spec.Style, site.Class, site.ChkEq, site.ChkIneq)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scenario generation emits at least one valid scenario per
+// unchecked site, and every scenario references only the profiled
+// callee with a profile-sanctioned fault.
+func TestPropertyGeneratedScenariosValid(t *testing.T) {
+	libc := profile.ProfileBinary(libspec.BuildLibc())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sites []asm.SiteSpec
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			sites = append(sites, asm.SiteSpec{
+				Label:  fmt.Sprintf("u%d", i),
+				Callee: []string{"malloc", "close", "read", "fopen"}[rng.Intn(4)],
+				Style:  asm.CheckNone,
+			})
+		}
+		bin, _, err := asm.Program("prop2", []asm.FuncSpec{{Name: "f", Sites: sites}})
+		if err != nil {
+			return false
+		}
+		a := &Analyzer{}
+		rep := a.Analyze(bin, libc)
+		_, _, not := rep.ByClass()
+		if len(not) != len(sites) {
+			return false
+		}
+		scens := GenerateScenarios(bin, not, libc)
+		if len(scens) < len(sites) {
+			return false
+		}
+		for _, s := range scens {
+			if s.Validate() != nil {
+				return false
+			}
+			rv, _, err := s.Functions[0].RetvalErrno()
+			if err != nil {
+				return false
+			}
+			fp := libc.Func(s.Functions[0].Name)
+			if fp == nil {
+				return false
+			}
+			okCode := false
+			for _, c := range fp.ErrorCodes() {
+				if c == rv {
+					okCode = true
+				}
+			}
+			if !okCode {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

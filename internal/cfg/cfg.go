@@ -1,0 +1,135 @@
+// Package cfg builds control-flow graphs over synthetic binaries.
+//
+// The call-site analyzer needs a partial CFG of the instructions that
+// follow a library call (the paper found a 100-instruction window
+// sufficient, §5), and the library profiler needs a whole-function CFG.
+// Indirect branches are not followed — the paper's prototype ignores
+// them (only 0.13% of branches in its corpus were indirect) and the
+// analyzer records their presence so accuracy studies can attribute
+// misclassifications.
+package cfg
+
+import (
+	"lfi/internal/isa"
+)
+
+// DefaultWindow is the paper's empirically-sufficient post-call window.
+const DefaultWindow = 100
+
+// Graph is a per-instruction CFG: node i is Insts[i]; Succs[i] lists
+// successor node indices.
+type Graph struct {
+	Insts     []isa.Inst
+	Succs     [][]int
+	byOffset  map[uint64]int
+	Indirect  int  // indirect branches encountered (edges not followed)
+	Truncated bool // instruction budget exhausted before all paths ended
+}
+
+// NodeAt returns the node index of the instruction at a code offset.
+func (g *Graph) NodeAt(off uint64) (int, bool) {
+	i, ok := g.byOffset[off]
+	return i, ok
+}
+
+// Len returns the number of instructions in the graph.
+func (g *Graph) Len() int { return len(g.Insts) }
+
+// BuildPartial constructs the partial CFG of up to window instructions
+// reachable from start (typically the instruction after a call site).
+// Control flow follows fall-through, direct conditional branches (both
+// arms), and direct jumps; it stops at RET and at indirect branches.
+func BuildPartial(b *isa.Binary, start uint64, window int) *Graph {
+	return build(b, start, window, 0, uint64(len(b.Code)))
+}
+
+// BuildFunc constructs the CFG of one function symbol, bounded by the
+// symbol's extent.
+func BuildFunc(b *isa.Binary, sym isa.Symbol) *Graph {
+	limit := int(sym.Size / isa.InstSize)
+	if limit == 0 {
+		limit = 1
+	}
+	return build(b, sym.Off, limit, sym.Off, sym.Off+sym.Size)
+}
+
+func build(b *isa.Binary, start uint64, window int, lo, hi uint64) *Graph {
+	g := &Graph{byOffset: make(map[uint64]int)}
+	if start < lo || start >= hi {
+		return g
+	}
+	// Breadth-first discovery of reachable instructions, bounded by
+	// the window budget.
+	queue := []uint64{start}
+	seen := map[uint64]bool{start: true}
+	for len(queue) > 0 && len(g.Insts) < window {
+		off := queue[0]
+		queue = queue[1:]
+		in, err := b.DecodeAt(off)
+		if err != nil {
+			continue
+		}
+		idx := len(g.Insts)
+		g.Insts = append(g.Insts, in)
+		g.byOffset[off] = idx
+		for _, succ := range successors(in, lo, hi, g) {
+			if !seen[succ] {
+				seen[succ] = true
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if len(queue) > 0 {
+		g.Truncated = true
+	}
+	// Second pass: resolve successor offsets to node indices (some
+	// targets may have fallen outside the window).
+	g.Succs = make([][]int, len(g.Insts))
+	for i, in := range g.Insts {
+		for _, off := range successors(in, lo, hi, nil) {
+			if j, ok := g.byOffset[off]; ok {
+				g.Succs[i] = append(g.Succs[i], j)
+			}
+		}
+	}
+	return g
+}
+
+// successors computes the static successor offsets of an instruction.
+// When g is non-nil, indirect branches are tallied on it.
+func successors(in isa.Inst, lo, hi uint64, g *Graph) []uint64 {
+	next := in.Offset + isa.InstSize
+	var out []uint64
+	addNext := func() {
+		if next >= lo && next < hi {
+			out = append(out, next)
+		}
+	}
+	addTarget := func() {
+		t := uint64(uint32(in.Imm))
+		if t >= lo && t < hi {
+			out = append(out, t)
+		}
+	}
+	switch {
+	case in.Op == isa.RET:
+		// no successors
+	case in.Op == isa.JMP:
+		addTarget()
+	case in.Op == isa.IJMP:
+		if g != nil {
+			g.Indirect++
+		}
+	case in.Op == isa.ICALL:
+		if g != nil {
+			g.Indirect++
+		}
+		addNext() // the call returns; its target is unknown
+	case in.IsCondBranch():
+		addTarget()
+		addNext()
+	default:
+		addNext()
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package cfg
+
+import (
+	"testing"
+
+	"lfi/internal/asm"
+	"lfi/internal/isa"
+)
+
+func TestPartialCFGFollowsBothBranchArms(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.Cmpi(0, -1)
+	b.J(isa.JE, "err")
+	b.Movi(1, 1) // fallthrough arm
+	b.J(isa.JMP, "out")
+	b.Label("err")
+	b.Movi(1, 2) // error arm
+	b.Label("out")
+	b.Ret()
+	bin := b.MustBuild()
+
+	g := BuildPartial(bin, site+isa.InstSize, DefaultWindow)
+	if g.Len() != 6 {
+		t.Fatalf("graph has %d nodes, want 6", g.Len())
+	}
+	if g.Indirect != 0 || g.Truncated {
+		t.Fatalf("unexpected indirect/truncated: %+v", g)
+	}
+	// The conditional branch node must have two successors.
+	idx, ok := g.NodeAt(site + 2*isa.InstSize)
+	if !ok {
+		t.Fatal("branch node missing")
+	}
+	if len(g.Succs[idx]) != 2 {
+		t.Fatalf("cond branch succs %v", g.Succs[idx])
+	}
+}
+
+func TestPartialCFGStopsAtRet(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.Ret()
+	b.Func("g") // instructions after f must not leak into f's CFG
+	b.Movi(1, 1)
+	b.Ret()
+	bin := b.MustBuild()
+	g := BuildPartial(bin, site+isa.InstSize, DefaultWindow)
+	if g.Len() != 1 {
+		t.Fatalf("CFG leaked past RET: %d nodes", g.Len())
+	}
+}
+
+func TestPartialCFGStopsAtIndirectBranch(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.MoviLabel(7, "tgt")
+	b.IJmp(7)
+	b.Label("tgt")
+	b.Cmpi(0, -1)
+	b.J(isa.JE, "tgt2")
+	b.Label("tgt2")
+	b.Ret()
+	bin := b.MustBuild()
+	g := BuildPartial(bin, site+isa.InstSize, DefaultWindow)
+	// movi + ijmp reachable; everything behind the ijmp is invisible.
+	if g.Len() != 2 {
+		t.Fatalf("indirect jump followed: %d nodes", g.Len())
+	}
+	if g.Indirect != 1 {
+		t.Fatalf("indirect count %d", g.Indirect)
+	}
+}
+
+func TestPartialCFGWindowTruncation(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	for i := 0; i < 50; i++ {
+		b.Nop()
+	}
+	b.Ret()
+	bin := b.MustBuild()
+	g := BuildPartial(bin, site+isa.InstSize, 10)
+	if g.Len() != 10 || !g.Truncated {
+		t.Fatalf("window not enforced: len=%d truncated=%v", g.Len(), g.Truncated)
+	}
+}
+
+func TestPartialCFGLoop(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.Label("loop")
+	b.Cmpi(0, 0)
+	b.J(isa.JNE, "loop")
+	b.Ret()
+	bin := b.MustBuild()
+	g := BuildPartial(bin, site+isa.InstSize, DefaultWindow)
+	if g.Len() != 3 {
+		t.Fatalf("loop CFG %d nodes", g.Len())
+	}
+	// The back edge must exist: branch node's successors include loop head.
+	brIdx, _ := g.NodeAt(site + 2*isa.InstSize)
+	headIdx, _ := g.NodeAt(site + isa.InstSize)
+	found := false
+	for _, s := range g.Succs[brIdx] {
+		if s == headIdx {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("back edge missing")
+	}
+}
+
+func TestBuildFuncBounded(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	b.Movi(0, 1)
+	b.Ret()
+	b.Func("g")
+	b.Movi(0, 2)
+	b.Ret()
+	bin := b.MustBuild()
+	sym, _ := bin.FindSymbol("f")
+	g := BuildFunc(bin, sym)
+	if g.Len() != 2 {
+		t.Fatalf("BuildFunc crossed symbol boundary: %d nodes", g.Len())
+	}
+}
+
+func TestCallsFallThrough(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.CallImport("close") // a second call: analysis window continues past it
+	b.Movi(1, 1)
+	b.Ret()
+	bin := b.MustBuild()
+	g := BuildPartial(bin, site+isa.InstSize, DefaultWindow)
+	if g.Len() != 3 {
+		t.Fatalf("call did not fall through: %d nodes", g.Len())
+	}
+}
+
+func TestEmptyGraphOutOfRange(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	b.Ret()
+	bin := b.MustBuild()
+	g := BuildPartial(bin, 4096, DefaultWindow)
+	if g.Len() != 0 {
+		t.Fatal("out-of-range start produced nodes")
+	}
+}

@@ -1,0 +1,175 @@
+// Package controller orchestrates fault-injection test campaigns — the
+// LFI controller of §2.
+//
+// Given a target (how to start the program under test and how to
+// exercise it) and a set of injection scenarios, the controller runs one
+// test per scenario: it builds a fresh process image, compiles and
+// installs the scenario's runtime, invokes the workload script, monitors
+// whether the program terminates normally or abnormally (crash kind and
+// reason), and collects the injection log for diagnosis and replay.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lfi/internal/core"
+	"lfi/internal/libsim"
+	"lfi/internal/scenario"
+)
+
+// Target describes one program under test.
+type Target struct {
+	// Name identifies the system (e.g. "minivcs").
+	Name string
+	// Start builds a fresh process image with fixtures staged; it is
+	// called once per test so runs are independent.
+	Start func() *libsim.C
+	// Workload exercises the program (the developer-provided script).
+	// A returned error marks workload-detected misbehaviour that is
+	// not a crash (e.g. wrong output).
+	Workload func(c *libsim.C) error
+}
+
+// Outcome is the observed result of one test run.
+type Outcome struct {
+	Scenario   *scenario.Scenario
+	Crash      *libsim.Crash // non-nil on abnormal termination
+	WorkErr    error         // workload-detected failure (not a crash)
+	Injections int
+	Log        *core.Log
+	Elapsed    time.Duration
+}
+
+// Failed reports whether the run ended abnormally in any way.
+func (o Outcome) Failed() bool { return o.Crash != nil || o.WorkErr != nil }
+
+// String summarizes the outcome in one line.
+func (o Outcome) String() string {
+	name := "<none>"
+	if o.Scenario != nil {
+		name = o.Scenario.Name
+	}
+	switch {
+	case o.Crash != nil:
+		return fmt.Sprintf("%-50s %s (%s) after %d injections", name, "CRASH", o.Crash.Kind, o.Injections)
+	case o.WorkErr != nil:
+		return fmt.Sprintf("%-50s FAIL: %v (%d injections)", name, o.WorkErr, o.Injections)
+	default:
+		return fmt.Sprintf("%-50s ok (%d injections)", name, o.Injections)
+	}
+}
+
+// RunOne executes a single test: fresh process, scenario installed,
+// workload run under crash monitoring.
+func RunOne(tgt Target, s *scenario.Scenario, opts ...core.Option) (Outcome, error) {
+	begin := time.Now()
+	proc := tgt.Start()
+	out := Outcome{Scenario: s}
+	var rt *core.Runtime
+	if s != nil {
+		var err error
+		rt, err = core.New(proc, s, opts...)
+		if err != nil {
+			return out, err
+		}
+		rt.Install()
+		defer rt.Uninstall()
+	}
+	out.Crash, out.WorkErr = monitor(proc, tgt.Workload)
+	if rt != nil {
+		out.Injections = int(rt.Injections())
+		out.Log = rt.Log()
+	}
+	out.Elapsed = time.Since(begin)
+	return out, nil
+}
+
+// monitor runs the workload and converts simulated crashes (panics
+// carrying *libsim.Crash) into observations, re-raising anything else.
+func monitor(c *libsim.C, workload func(*libsim.C) error) (crash *libsim.Crash, werr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cr, ok := r.(*libsim.Crash); ok {
+				crash = cr
+				return
+			}
+			panic(r)
+		}
+	}()
+	werr = workload(c)
+	return
+}
+
+// Campaign runs one test per scenario and returns all outcomes.
+func Campaign(tgt Target, scenarios []*scenario.Scenario, opts ...core.Option) ([]Outcome, error) {
+	outcomes := make([]Outcome, 0, len(scenarios))
+	for _, s := range scenarios {
+		o, err := RunOne(tgt, s, opts...)
+		if err != nil {
+			return outcomes, fmt.Errorf("controller: scenario %q: %w", s.Name, err)
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}
+
+// Bug is a distinct failure discovered by a campaign, deduplicated by
+// failure signature (crash kind + reason, or workload error text).
+type Bug struct {
+	System    string
+	Signature string
+	Scenarios []string // scenarios that reproduced it
+}
+
+// DistinctBugs deduplicates campaign failures into the Table 1 shape.
+// The signature combines the failure (crash kind + reason, or workload
+// error) with the causal injection — the function and program call site
+// of the last fault injected before the failure. This is how the paper's
+// developers connect injections to bug manifestations via the LFI log,
+// and it distinguishes e.g. Git's three unchecked-malloc crashes, which
+// share a reason but live at different source locations.
+func DistinctBugs(system string, outcomes []Outcome) []Bug {
+	bySig := map[string]*Bug{}
+	for _, o := range outcomes {
+		if !o.Failed() {
+			continue
+		}
+		var sig string
+		if o.Crash != nil {
+			sig = fmt.Sprintf("%s: %s", o.Crash.Kind, o.Crash.Reason)
+		} else {
+			sig = "workload: " + o.WorkErr.Error()
+		}
+		if o.Crash != nil && o.Log != nil {
+			if recs := o.Log.Records(); len(recs) > 0 {
+				last := recs[len(recs)-1]
+				site := ""
+				if len(last.Stack) > 0 {
+					f := last.Stack[len(last.Stack)-1]
+					site = fmt.Sprintf("%s+%#x", f.Module, f.Offset)
+				}
+				sig += fmt.Sprintf(" [inject %s at %s]", last.Func, site)
+			}
+		}
+		b, ok := bySig[sig]
+		if !ok {
+			b = &Bug{System: system, Signature: sig}
+			bySig[sig] = b
+		}
+		if o.Scenario != nil {
+			b.Scenarios = append(b.Scenarios, o.Scenario.Name)
+		}
+	}
+	sigs := make([]string, 0, len(bySig))
+	for s := range bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	out := make([]Bug, 0, len(sigs))
+	for _, s := range sigs {
+		out = append(out, *bySig[s])
+	}
+	return out
+}

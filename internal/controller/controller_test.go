@@ -1,0 +1,172 @@
+package controller
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lfi/internal/errno"
+	"lfi/internal/libsim"
+	"lfi/internal/scenario"
+)
+
+// toyTarget reads a file; with injection the read fails and, in buggy
+// mode, the program dereferences a NULL pointer afterwards.
+func toyTarget(buggy bool) Target {
+	return Target{
+		Name: "toy",
+		Start: func() *libsim.C {
+			c := libsim.New(1 << 16)
+			c.MustWriteFile("/f", []byte("data"))
+			return c
+		},
+		Workload: func(c *libsim.C) error {
+			th := c.NewThread("toy", "main")
+			fd := th.Open("/f", libsim.O_RDONLY)
+			buf := make([]byte, 4)
+			if th.Read(fd, buf) < 0 {
+				if buggy {
+					th.Deref(0) // crash
+				}
+				return errors.New("read failed")
+			}
+			return nil
+		},
+	}
+}
+
+func injectRead(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	s, err := scenario.ParseString(`<scenario name="fail-read">
+	  <trigger id="a" class="CallCountTrigger"><args><n>1</n></args></trigger>
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="a" /></function>
+	</scenario>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunOneCleanRun(t *testing.T) {
+	out, err := RunOne(toyTarget(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() || out.Injections != 0 {
+		t.Fatalf("outcome %v", out)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("String: %s", out.String())
+	}
+}
+
+func TestRunOneWorkloadError(t *testing.T) {
+	out, err := RunOne(toyTarget(false), injectRead(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crash != nil || out.WorkErr == nil || out.Injections != 1 {
+		t.Fatalf("outcome %v", out)
+	}
+}
+
+func TestRunOneCrashObserved(t *testing.T) {
+	out, err := RunOne(toyTarget(true), injectRead(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crash == nil || out.Crash.Kind != libsim.Segfault {
+		t.Fatalf("outcome %v", out)
+	}
+	if out.Log == nil || out.Log.Len() != 1 {
+		t.Fatal("injection log missing")
+	}
+	if !strings.Contains(out.String(), "CRASH") {
+		t.Fatalf("String: %s", out.String())
+	}
+}
+
+func TestRunOneInvalidScenario(t *testing.T) {
+	bad := &scenario.Scenario{Functions: []scenario.FunctionAssoc{{Name: "read"}}}
+	if _, err := RunOne(toyTarget(false), bad); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestCampaignCollectsAllOutcomes(t *testing.T) {
+	outs, err := Campaign(toyTarget(true), []*scenario.Scenario{injectRead(t), injectRead(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	bugs := DistinctBugs("toy", outs)
+	if len(bugs) != 1 {
+		t.Fatalf("bugs %v", bugs)
+	}
+	if len(bugs[0].Scenarios) != 2 {
+		t.Fatalf("bug scenarios %v", bugs[0].Scenarios)
+	}
+}
+
+func TestDistinctBugsSeparatesSignatures(t *testing.T) {
+	outs := []Outcome{
+		{Crash: &libsim.Crash{Kind: libsim.Segfault, Reason: "a"}},
+		{Crash: &libsim.Crash{Kind: libsim.Abort, Reason: "b"}},
+		{WorkErr: errors.New("c")},
+		{}, // clean: ignored
+	}
+	bugs := DistinctBugs("x", outs)
+	if len(bugs) != 3 {
+		t.Fatalf("bugs %v", bugs)
+	}
+}
+
+func TestNonCrashPanicPropagates(t *testing.T) {
+	tgt := Target{
+		Name:     "panicky",
+		Start:    func() *libsim.C { return libsim.New(0) },
+		Workload: func(*libsim.C) error { panic("logic bug") },
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-crash panic was swallowed")
+		}
+	}()
+	RunOne(tgt, nil)
+}
+
+func TestErrnoUnusedInjection(t *testing.T) {
+	// return set, errno "unused": the errno must be left alone.
+	s, err := scenario.ParseString(`<scenario>
+	  <trigger id="a" class="CallCountTrigger"><args><n>1</n></args></trigger>
+	  <function name="read" return="-1" errno="unused"><reftrigger ref="a" /></function>
+	</scenario>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := Target{
+		Name:  "t",
+		Start: func() *libsim.C { c := libsim.New(0); c.MustWriteFile("/f", []byte("x")); return c },
+		Workload: func(c *libsim.C) error {
+			th := c.NewThread("t", "m")
+			th.SetErrno(errno.EBUSY)
+			fd := th.Open("/f", libsim.O_RDONLY)
+			if th.Read(fd, make([]byte, 1)) != -1 {
+				return errors.New("not injected")
+			}
+			if th.Errno() != errno.EBUSY {
+				return errors.New("errno clobbered: " + th.Errno().String())
+			}
+			return nil
+		},
+	}
+	out, err := RunOne(tgt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() {
+		t.Fatalf("outcome %v", out)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lfi/internal/errno"
+	"lfi/internal/interpose"
+	"lfi/internal/scenario"
+)
+
+// Record is one injected fault as written to the LFI log: which call was
+// failed, with what return value and side effect, and the events that
+// triggered it (per-function call count, thread, node, stack trace).
+// This is the information the paper uses to match injections to observed
+// program behaviour and to build deterministic replays.
+type Record struct {
+	Seq      int
+	Func     string
+	Retval   int64
+	Errno    errno.Errno
+	Triggers []string
+	Count    uint64
+	Thread   int
+	Node     string
+	Stack    []interpose.Frame
+}
+
+// Log collects injection records for one campaign run.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	errs    map[string]error
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log {
+	return &Log{errs: make(map[string]error)}
+}
+
+func (l *Log) record(call *interpose.Call, rv int64, e errno.Errno, triggers []string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	stack := make([]interpose.Frame, len(call.Stack))
+	copy(stack, call.Stack)
+	l.records = append(l.records, Record{
+		Seq:      len(l.records) + 1,
+		Func:     call.Func,
+		Retval:   rv,
+		Errno:    e,
+		Triggers: triggers,
+		Count:    call.Count,
+		Thread:   call.Thread,
+		Node:     call.Node,
+		Stack:    stack,
+	})
+}
+
+func (l *Log) noteError(id string, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.errs[id]; !dup {
+		l.errs[id] = err
+	}
+}
+
+// Records returns a snapshot of all injection records.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Len returns the number of injections logged.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// TriggerErrors returns initialization errors of misconfigured triggers,
+// keyed by trigger id.
+func (l *Log) TriggerErrors() map[string]error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]error, len(l.errs))
+	for k, v := range l.errs {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the log the way the lfi CLI prints it.
+func (l *Log) String() string {
+	var b bytes.Buffer
+	for _, r := range l.Records() {
+		fmt.Fprintf(&b, "#%d inject %s -> %d errno=%s (call %d, thread %d",
+			r.Seq, r.Func, r.Retval, r.Errno, r.Count, r.Thread)
+		if r.Node != "" {
+			fmt.Fprintf(&b, ", node %s", r.Node)
+		}
+		fmt.Fprintf(&b, ") triggers=%v\n", r.Triggers)
+		for i := len(r.Stack) - 1; i >= 0; i-- {
+			f := r.Stack[i]
+			fmt.Fprintf(&b, "    at %s!%s+%#x", f.Module, f.Func, f.Offset)
+			if f.File != "" {
+				fmt.Fprintf(&b, " (%s:%d)", f.File, f.Line)
+			}
+			b.WriteString("\n")
+		}
+	}
+	if errs := l.TriggerErrors(); len(errs) > 0 {
+		ids := make([]string, 0, len(errs))
+		for id := range errs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "trigger %s: ERROR %v\n", id, errs[id])
+		}
+	}
+	return b.String()
+}
+
+// ReplayScenario builds a scenario that deterministically re-injects one
+// logged fault: a call-count trigger pinned to the recorded per-function
+// call count. This is the log's "failure replay script" role — programs
+// driven deterministically by their environment replay the same failure.
+func (r Record) ReplayScenario() *scenario.Scenario {
+	b := scenario.NewBuilder(fmt.Sprintf("replay-%s-%d", r.Func, r.Count))
+	id := b.Trigger("replay", "CallCountTrigger", scenario.IntArgs("n", r.Count))
+	b.Inject(r.Func, 0, r.Retval, r.Errno, id)
+	s, err := b.Build()
+	if err != nil {
+		// The builder is fed only well-formed values above.
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,268 @@
+// Package core implements the LFI runtime: it compiles a fault
+// injection scenario into per-function interception entries, installs
+// itself as the interposition hook of a simulated process, evaluates
+// triggers on every intercepted call, injects faults (return value plus
+// errno side effect), and records everything in the injection log.
+//
+// The runtime reproduces the evaluation rules of §4.3:
+//
+//   - the trigger list for the intercepted function is found in O(1),
+//     independent of scenario size (a map from function name);
+//   - triggers inside one <function> element are a conjunction evaluated
+//     in scenario order with short-circuiting;
+//   - repeated <function> elements for the same function form a
+//     disjunction, evaluated in scenario order;
+//   - trigger instances are initialized lazily, right before their first
+//     evaluation, to avoid program-startup overhead.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"lfi/internal/errno"
+	"lfi/internal/interpose"
+	"lfi/internal/libsim"
+	"lfi/internal/scenario"
+	"lfi/internal/trigger"
+)
+
+// instance is one declared trigger instance. The same instance may be
+// referenced from several function associations (that is how stateful
+// triggers observe lock/unlock while injecting into read).
+type instance struct {
+	id    string
+	class string
+	args  *trigger.Args
+	env   *trigger.Env
+
+	once sync.Once
+	trig trigger.Trigger
+	err  error
+}
+
+// get lazily instantiates and initializes the trigger (§4.3: "each
+// trigger is initialized right before it is invoked for the first
+// time").
+func (in *instance) get() (trigger.Trigger, error) {
+	in.once.Do(func() {
+		t, err := trigger.New(in.class)
+		if err != nil {
+			in.err = err
+			return
+		}
+		if b, ok := t.(trigger.EnvBinder); ok {
+			b.SetEnv(in.env)
+		}
+		if in.args != nil {
+			if err := t.Init(in.args); err != nil {
+				in.err = err
+				return
+			}
+		} else if err := t.Init(&trigger.Args{Name: "args"}); err != nil {
+			in.err = err
+			return
+		}
+		in.trig = t
+	})
+	return in.trig, in.err
+}
+
+type compiledRef struct {
+	inst   *instance
+	negate bool
+}
+
+// entry is one compiled <function> association.
+type entry struct {
+	refs          []compiledRef
+	observational bool
+	retval        int64
+	e             errno.Errno
+	fired         atomic.Uint64
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithSeed fixes the random source used by Random triggers, making
+// campaigns reproducible.
+func WithSeed(seed int64) Option {
+	return func(r *Runtime) { r.seed = seed }
+}
+
+// WithDecider installs the distributed-trigger central controller.
+func WithDecider(d trigger.Decider) Option {
+	return func(r *Runtime) { r.decider = d }
+}
+
+// WithMaxInjections stops injecting after n faults (0 = unlimited). The
+// controller uses it for one-fault-per-run campaigns.
+func WithMaxInjections(n uint64) Option {
+	return func(r *Runtime) { r.maxInject = n }
+}
+
+// Runtime is the compiled, installable injection engine for one process.
+type Runtime struct {
+	proc      *libsim.C
+	entries   map[string][]*entry
+	instances map[string]*instance
+	log       *Log
+	env       *trigger.Env
+	seed      int64
+	decider   trigger.Decider
+	maxInject uint64
+	injected  atomic.Uint64
+	evals     atomic.Uint64
+}
+
+// inspector adapts libsim.C to the trigger.Inspector interface.
+type inspector struct{ c *libsim.C }
+
+func (i inspector) FDMode(fd int64) (int64, bool) {
+	st, ok := i.c.RawStatFD(fd)
+	return st.Mode, ok
+}
+func (i inspector) Nonblocking(fd int64) bool         { return i.c.RawNonblocking(fd) }
+func (i inspector) ReadVar(name string) (int64, bool) { return i.c.ReadVar(name) }
+
+// New compiles a scenario for the given process. The scenario is
+// validated; unknown trigger classes or dangling references fail here
+// rather than mid-campaign.
+func New(proc *libsim.C, s *scenario.Scenario, opts ...Option) (*Runtime, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		proc:      proc,
+		entries:   make(map[string][]*entry),
+		instances: make(map[string]*instance),
+		log:       NewLog(),
+		seed:      1,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	rng := rand.New(rand.NewSource(r.seed))
+	var rngMu sync.Mutex
+	r.env = &trigger.Env{
+		Rand: func() float64 {
+			rngMu.Lock()
+			defer rngMu.Unlock()
+			return rng.Float64()
+		},
+		Inspect: inspector{proc},
+		Dist:    r.decider,
+	}
+	for i := range s.Triggers {
+		td := &s.Triggers[i]
+		r.instances[td.ID] = &instance{id: td.ID, class: td.Class, args: td.Args, env: r.env}
+	}
+	for i := range s.Functions {
+		fa := &s.Functions[i]
+		en := &entry{observational: fa.Observational()}
+		if !en.observational {
+			rv, e, err := fa.RetvalErrno()
+			if err != nil {
+				return nil, err
+			}
+			en.retval, en.e = rv, e
+		}
+		for _, ref := range fa.Refs {
+			en.refs = append(en.refs, compiledRef{inst: r.instances[ref.Ref], negate: ref.Negate})
+		}
+		r.entries[fa.Name] = append(r.entries[fa.Name], en)
+	}
+	return r, nil
+}
+
+// Install splices the runtime into the process's dispatcher.
+func (r *Runtime) Install() { r.proc.Disp.Install(r) }
+
+// Uninstall removes the runtime from the dispatcher.
+func (r *Runtime) Uninstall() { r.proc.Disp.Install(nil) }
+
+// Log returns the injection log.
+func (r *Runtime) Log() *Log { return r.log }
+
+// Injections returns how many faults have been injected so far.
+func (r *Runtime) Injections() uint64 { return r.injected.Load() }
+
+// Evals returns how many trigger evaluations have run (the §7.4
+// overhead studies report triggerings/second from this counter).
+func (r *Runtime) Evals() uint64 { return r.evals.Load() }
+
+// TriggerInstance exposes a live trigger instance by id (tests use it to
+// reach stateful triggers). It forces initialization.
+func (r *Runtime) TriggerInstance(id string) (trigger.Trigger, error) {
+	in, ok := r.instances[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no trigger instance %q", id)
+	}
+	return in.get()
+}
+
+// Before implements interpose.Hook: it evaluates the disjunction of
+// entries for the intercepted function and injects on the first entry
+// whose conjunction holds.
+func (r *Runtime) Before(call *interpose.Call) interpose.Decision {
+	entries, ok := r.entries[call.Func]
+	if !ok {
+		return interpose.Decision{}
+	}
+	for _, en := range entries {
+		if !r.evalEntry(en, call) {
+			continue
+		}
+		if en.observational {
+			continue
+		}
+		if r.maxInject != 0 && r.injected.Load() >= r.maxInject {
+			continue
+		}
+		r.injected.Add(1)
+		en.fired.Add(1)
+		r.log.record(call, en.retval, en.e, r.refIDs(en))
+		return interpose.Decision{Inject: true, Retval: en.retval, Errno: en.e}
+	}
+	return interpose.Decision{}
+}
+
+// After implements interpose.Hook; pass-through results are not logged,
+// matching the paper's log (which records injections, not all calls).
+func (r *Runtime) After(*interpose.Call, int64, errno.Errno) {}
+
+// evalEntry evaluates one conjunction with short-circuiting.
+func (r *Runtime) evalEntry(en *entry, call *interpose.Call) bool {
+	if len(en.refs) == 0 {
+		return false
+	}
+	for _, ref := range en.refs {
+		t, err := ref.inst.get()
+		if err != nil {
+			// A misconfigured trigger never fires; the error is
+			// surfaced once in the log so the tester notices.
+			r.log.noteError(ref.inst.id, err)
+			return false
+		}
+		r.evals.Add(1)
+		v := t.Eval(call)
+		if ref.negate {
+			v = !v
+		}
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Runtime) refIDs(en *entry) []string {
+	ids := make([]string, len(en.refs))
+	for i, ref := range en.refs {
+		ids[i] = ref.inst.id
+	}
+	return ids
+}

@@ -1,0 +1,137 @@
+package coverage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterHitStats(t *testing.T) {
+	tr := New()
+	tr.Register("main.a", 10, false)
+	tr.Register("rec.a", 5, true)
+	tr.Register("rec.b", 7, true)
+	tr.Hit("main.a")
+	tr.Hit("rec.a")
+	tr.Hit("rec.a")
+
+	rec := tr.Recovery()
+	if rec.Blocks != 2 || rec.BlocksCovered != 1 || rec.LOC != 12 || rec.LOCCovered != 5 {
+		t.Fatalf("recovery stats %+v", rec)
+	}
+	tot := tr.Total()
+	if tot.Blocks != 3 || tot.BlocksCovered != 2 || tot.LOC != 22 || tot.LOCCovered != 15 {
+		t.Fatalf("total stats %+v", tot)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	tr := New()
+	tr.Register("a", 50, false)
+	tr.Register("b", 50, false)
+	tr.Hit("a")
+	if p := tr.Total().Percent(); p != 50 {
+		t.Fatalf("percent %v", p)
+	}
+	if (Stats{}).Percent() != 0 {
+		t.Fatal("empty percent")
+	}
+}
+
+func TestHitUnregisteredImplicit(t *testing.T) {
+	tr := New()
+	tr.Hit("surprise")
+	if tr.Total().BlocksCovered != 1 {
+		t.Fatal("implicit block lost")
+	}
+}
+
+func TestResetHits(t *testing.T) {
+	tr := New()
+	tr.Register("a", 1, true)
+	tr.Hit("a")
+	tr.ResetHits()
+	if tr.Recovery().BlocksCovered != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestReRegisterPreservesHits(t *testing.T) {
+	tr := New()
+	tr.Register("a", 1, false)
+	tr.Hit("a")
+	tr.Register("a", 9, true)
+	rec := tr.Recovery()
+	if rec.BlocksCovered != 1 || rec.LOC != 9 {
+		t.Fatalf("re-register %+v", rec)
+	}
+}
+
+func TestMergeUnion(t *testing.T) {
+	base := New()
+	base.Register("a", 5, true)
+	base.Register("b", 5, true)
+
+	run1 := New()
+	run1.Register("a", 5, true)
+	run1.Register("b", 5, true)
+	run1.Hit("a")
+
+	run2 := New()
+	run2.Register("a", 5, true)
+	run2.Register("b", 5, true)
+	run2.Hit("b")
+
+	base.Merge(run1)
+	base.Merge(run2)
+	rec := base.Recovery()
+	if rec.BlocksCovered != 2 {
+		t.Fatalf("merged coverage %+v", rec)
+	}
+}
+
+func TestMergeBringsNewBlocks(t *testing.T) {
+	base := New()
+	other := New()
+	other.Register("x", 3, true)
+	other.Hit("x")
+	base.Merge(other)
+	if base.Recovery().BlocksCovered != 1 {
+		t.Fatal("merge dropped new block")
+	}
+}
+
+func TestCoveredIDsSorted(t *testing.T) {
+	tr := New()
+	for _, id := range []string{"c", "a", "b"} {
+		tr.Register(id, 1, false)
+		tr.Hit(id)
+	}
+	ids := tr.CoveredIDs()
+	if len(ids) != 3 || ids[0] != "a" || ids[2] != "c" {
+		t.Fatalf("ids %v", ids)
+	}
+}
+
+// Property: covered counts never exceed totals, and merging is
+// monotone in covered blocks.
+func TestPropertyMergeMonotone(t *testing.T) {
+	f := func(hits []uint8) bool {
+		a, b := New(), New()
+		for i := 0; i < 8; i++ {
+			id := string(rune('a' + i))
+			a.Register(id, i+1, i%2 == 0)
+			b.Register(id, i+1, i%2 == 0)
+		}
+		for _, h := range hits {
+			b.Hit(string(rune('a' + int(h)%8)))
+		}
+		before := a.Total().BlocksCovered
+		a.Merge(b)
+		after := a.Total().BlocksCovered
+		tot := a.Total()
+		return after >= before && tot.BlocksCovered <= tot.Blocks && tot.LOCCovered <= tot.LOC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

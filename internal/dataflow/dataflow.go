@@ -1,0 +1,223 @@
+// Package dataflow implements the intra-procedural return-value
+// propagation analysis of §5: starting from the return register at a
+// call site, it follows every copy of the returned value through
+// registers and stack slots, and collects the literals the value (or any
+// copy of it) is compared against, split into equality checks (Chk_eq)
+// and inequality/range checks (Chk_ineq).
+//
+// The implementation is a standard forward may-analysis over the partial
+// CFG: the lattice element is the set of locations (16 registers plus
+// discovered stack slots) that may hold a copy of the return value; the
+// meet is union; the transfer function generates copies through MOV,
+// ST, and LD and kills overwritten locations. Iteration to a fixpoint
+// subsumes the paper's "iterate through any loops as long as the set of
+// copies increases".
+//
+// The same machinery runs a second lattice for errno copies (seeded by
+// GETERR, the __errno_location load), implementing the side-effect
+// analysis the paper describes as "virtually identical" to the
+// return-value analysis.
+package dataflow
+
+import (
+	"sort"
+
+	"lfi/internal/cfg"
+	"lfi/internal/isa"
+)
+
+// Result is the outcome of analyzing one call site.
+type Result struct {
+	ChkEq      map[int64]bool // literals checked via equality (==, !=)
+	ChkIneq    map[int64]bool // literals checked via inequality (<, <=, >, >=)
+	ErrnoChkEq map[int64]bool // errno literals checked via equality
+	Iterations int            // fixpoint iterations (efficiency reporting)
+}
+
+// EqCodes returns the sorted equality-checked literals.
+func (r Result) EqCodes() []int64 { return sortedKeys(r.ChkEq) }
+
+// IneqCodes returns the sorted inequality-checked literals.
+func (r Result) IneqCodes() []int64 { return sortedKeys(r.ChkIneq) }
+
+// ErrnoCodes returns the sorted errno literals checked.
+func (r Result) ErrnoCodes() []int64 { return sortedKeys(r.ErrnoChkEq) }
+
+func sortedKeys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// locSet is a bitmask over locations: bits 0..15 are registers, bits
+// 16..63 are stack slots interned per analysis.
+type locSet uint64
+
+const regCount = 16
+
+func regBit(r byte) locSet { return 1 << locSet(r) }
+
+type slotTable struct {
+	ids map[int32]uint
+}
+
+func (s *slotTable) bit(slot int32) (locSet, bool) {
+	id, ok := s.ids[slot]
+	if !ok {
+		id = uint(len(s.ids)) + regCount
+		if id >= 64 {
+			return 0, false // too many distinct slots; ignore
+		}
+		s.ids[slot] = id
+	}
+	return 1 << locSet(id), true
+}
+
+// Analyze runs the return-value (and errno) propagation analysis over a
+// partial CFG whose entry is the first instruction after the call.
+func Analyze(g *cfg.Graph) Result {
+	res := Result{
+		ChkEq:      make(map[int64]bool),
+		ChkIneq:    make(map[int64]bool),
+		ErrnoChkEq: make(map[int64]bool),
+	}
+	n := g.Len()
+	if n == 0 {
+		return res
+	}
+	slots := &slotTable{ids: make(map[int32]uint)}
+
+	// in[i] / inE[i]: locations that may hold the return value / an
+	// errno copy on entry to instruction i.
+	in := make([]locSet, n)
+	inE := make([]locSet, n)
+	// Entry: R0 holds the freshly returned value.
+	in[0] = regBit(0)
+
+	// Predecessor lists for the meet.
+	preds := make([][]int, n)
+	for i, ss := range g.Succs {
+		for _, s := range ss {
+			preds[s] = append(preds[s], i)
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		res.Iterations++
+		for i := 0; i < n; i++ {
+			var mIn, mInE locSet
+			if i == 0 {
+				mIn = regBit(0)
+			}
+			for _, p := range preds[i] {
+				outP, outPE := transfer(g.Insts[p], in[p], inE[p], slots)
+				mIn |= outP
+				mInE |= outPE
+			}
+			if mIn != in[i] || mInE != inE[i] {
+				in[i], inE[i] = mIn, mInE
+				changed = true
+			}
+		}
+		if res.Iterations > 4*n+8 {
+			break // defensive bound; the lattice is finite so this should not trigger
+		}
+	}
+
+	// Extract comparisons: a CMPI/TEST whose operand may hold the
+	// return value, followed by a conditional branch, is a check.
+	for i, ins := range g.Insts {
+		switch ins.Op {
+		case isa.CMPI:
+			lit := int64(ins.Imm)
+			if in[i]&regBit(ins.Rs) != 0 {
+				classify(&res, g, i, lit, false)
+			}
+			if inE[i]&regBit(ins.Rs) != 0 {
+				classify(&res, g, i, lit, true)
+			}
+		case isa.TEST:
+			if in[i]&regBit(ins.Rs) != 0 {
+				classify(&res, g, i, 0, false)
+			}
+			if inE[i]&regBit(ins.Rs) != 0 {
+				classify(&res, g, i, 0, true)
+			}
+		}
+	}
+	return res
+}
+
+// classify records the literal of a comparison according to the
+// conditional branch that consumes its flags.
+func classify(res *Result, g *cfg.Graph, cmpIdx int, lit int64, isErrno bool) {
+	for _, s := range g.Succs[cmpIdx] {
+		br := g.Insts[s]
+		if !br.IsCondBranch() {
+			continue
+		}
+		if isErrno {
+			if br.EqBranch() {
+				res.ErrnoChkEq[lit] = true
+			}
+			continue
+		}
+		if br.EqBranch() {
+			res.ChkEq[lit] = true
+		} else {
+			res.ChkIneq[lit] = true
+		}
+	}
+}
+
+// transfer applies one instruction to the (retval, errno) copy sets.
+func transfer(ins isa.Inst, in, inE locSet, slots *slotTable) (locSet, locSet) {
+	out, outE := in, inE
+	kill := func(b locSet) { out &^= b; outE &^= b }
+	switch ins.Op {
+	case isa.MOVI, isa.ADDI:
+		// A constant load or arithmetic result is no longer a copy.
+		kill(regBit(ins.Rd))
+	case isa.MOV:
+		kill(regBit(ins.Rd))
+		if in&regBit(ins.Rs) != 0 {
+			out |= regBit(ins.Rd)
+		}
+		if inE&regBit(ins.Rs) != 0 {
+			outE |= regBit(ins.Rd)
+		}
+	case isa.ST:
+		if b, ok := slots.bit(ins.Imm); ok {
+			kill(b)
+			if in&regBit(ins.Rs) != 0 {
+				out |= b
+			}
+			if inE&regBit(ins.Rs) != 0 {
+				outE |= b
+			}
+		}
+	case isa.LD:
+		kill(regBit(ins.Rd))
+		if b, ok := slots.bit(ins.Imm); ok {
+			if in&b != 0 {
+				out |= regBit(ins.Rd)
+			}
+			if inE&b != 0 {
+				outE |= regBit(ins.Rd)
+			}
+		}
+	case isa.CALL, isa.CALLN, isa.ICALL:
+		// The callee's return clobbers R0; errno may also change, so
+		// stale errno copies in R0 die with it.
+		kill(regBit(0))
+	case isa.GETERR:
+		out &^= regBit(ins.Rd)
+		outE |= regBit(ins.Rd)
+	}
+	return out, outE
+}

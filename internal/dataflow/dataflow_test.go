@@ -1,0 +1,207 @@
+package dataflow
+
+import (
+	"testing"
+
+	"lfi/internal/asm"
+	"lfi/internal/cfg"
+	"lfi/internal/isa"
+)
+
+// analyzeSite assembles one modelled call site and runs the analysis on
+// its post-call window.
+func analyzeSite(t *testing.T, spec asm.SiteSpec) Result {
+	t.Helper()
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	b.EmitSite(spec)
+	b.Ret()
+	bin := b.MustBuild()
+	off, ok := b.SiteOffset(spec.Label)
+	if !ok {
+		t.Fatal("site offset missing")
+	}
+	g := cfg.BuildPartial(bin, off+isa.InstSize, cfg.DefaultWindow)
+	return Analyze(g)
+}
+
+func TestDirectEqualityCheck(t *testing.T) {
+	res := analyzeSite(t, asm.SiteSpec{
+		Label: "s", Callee: "read", Style: asm.CheckEq, Codes: []int64{-1, 0},
+	})
+	if !res.ChkEq[-1] || !res.ChkEq[0] {
+		t.Fatalf("ChkEq = %v", res.EqCodes())
+	}
+	if len(res.ChkIneq) != 0 {
+		t.Fatalf("spurious ineq %v", res.IneqCodes())
+	}
+}
+
+func TestSignCheckIsInequality(t *testing.T) {
+	res := analyzeSite(t, asm.SiteSpec{
+		Label: "s", Callee: "close", Style: asm.CheckIneq,
+	})
+	if !res.ChkIneq[0] {
+		t.Fatalf("ChkIneq = %v", res.IneqCodes())
+	}
+	if len(res.ChkEq) != 0 {
+		t.Fatalf("spurious eq %v", res.EqCodes())
+	}
+}
+
+func TestNullCheckIsEqualityAgainstZero(t *testing.T) {
+	// test r0 + je — the compiled form of if (p == NULL).
+	res := analyzeSite(t, asm.SiteSpec{
+		Label: "s", Callee: "malloc", Style: asm.CheckEqZero,
+	})
+	if !res.ChkEq[0] {
+		t.Fatalf("ChkEq = %v", res.EqCodes())
+	}
+}
+
+func TestUncheckedSiteFindsNothing(t *testing.T) {
+	res := analyzeSite(t, asm.SiteSpec{Label: "s", Callee: "read", Style: asm.CheckNone})
+	if len(res.ChkEq) != 0 || len(res.ChkIneq) != 0 {
+		t.Fatalf("unchecked site reported checks: %v %v", res.EqCodes(), res.IneqCodes())
+	}
+}
+
+func TestCopyThroughRegisterAndStack(t *testing.T) {
+	res := analyzeSite(t, asm.SiteSpec{
+		Label: "s", Callee: "open", Style: asm.CheckEqViaCopy, Codes: []int64{-1},
+	})
+	if !res.ChkEq[-1] {
+		t.Fatalf("copy chain lost the return value: %v", res.EqCodes())
+	}
+}
+
+func TestCopyThroughMemorySignCheck(t *testing.T) {
+	res := analyzeSite(t, asm.SiteSpec{
+		Label: "s", Callee: "open", Style: asm.CheckIneqViaCopy,
+	})
+	if !res.ChkIneq[0] {
+		t.Fatalf("spilled copy lost: %v", res.IneqCodes())
+	}
+}
+
+func TestFillerDoesNotConfuse(t *testing.T) {
+	res := analyzeSite(t, asm.SiteSpec{
+		Label: "s", Callee: "read", Style: asm.CheckEq, Codes: []int64{-1}, Filler: 20,
+	})
+	if !res.ChkEq[-1] {
+		t.Fatalf("filler broke tracking: %v", res.EqCodes())
+	}
+}
+
+func TestHiddenIndirectCheckInvisible(t *testing.T) {
+	res := analyzeSite(t, asm.SiteSpec{
+		Label: "s", Callee: "open", Style: asm.CheckHiddenIndirect, Codes: []int64{-1},
+	})
+	if len(res.ChkEq) != 0 || len(res.ChkIneq) != 0 {
+		t.Fatal("check behind indirect branch should be invisible to the analysis")
+	}
+}
+
+func TestErrnoCheckDetected(t *testing.T) {
+	res := analyzeSite(t, asm.SiteSpec{
+		Label: "s", Callee: "read", Style: asm.CheckErrnoEq, Errnos: []int64{4}, // EINTR
+	})
+	if !res.ChkIneq[0] {
+		t.Fatalf("retval sign check missing: %v", res.IneqCodes())
+	}
+	if !res.ErrnoChkEq[4] {
+		t.Fatalf("errno check missing: %v", res.ErrnoCodes())
+	}
+}
+
+func TestClobberedReturnRegisterNotTracked(t *testing.T) {
+	// A second call kills r0; comparing r0 afterwards checks the NEW
+	// call's value, not the first one's.
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.CallImport("close")
+	b.Cmpi(0, -1)
+	b.J(isa.JE, "err")
+	b.Label("err")
+	b.Ret()
+	bin := b.MustBuild()
+	g := cfg.BuildPartial(bin, site+isa.InstSize, cfg.DefaultWindow)
+	res := Analyze(g)
+	if res.ChkEq[-1] {
+		t.Fatal("comparison after clobbering call attributed to first call")
+	}
+}
+
+func TestOverwrittenCopyNotTracked(t *testing.T) {
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.Mov(4, 0)   // r4 is a copy
+	b.Movi(4, 99) // ...until it is overwritten
+	b.Cmpi(4, -1)
+	b.J(isa.JE, "err")
+	b.Label("err")
+	b.Ret()
+	bin := b.MustBuild()
+	g := cfg.BuildPartial(bin, site+isa.InstSize, cfg.DefaultWindow)
+	res := Analyze(g)
+	if res.ChkEq[-1] {
+		t.Fatal("dead copy still tracked")
+	}
+}
+
+func TestLoopFixpointTerminatesAndFinds(t *testing.T) {
+	// A retry loop: the comparison sits inside a loop whose back edge
+	// re-enters before the check; the fixpoint must still attribute it.
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.Label("loop")
+	b.Mov(3, 0)
+	b.Cmpi(3, -1)
+	b.J(isa.JE, "loop") // retry on -1 (degenerate but legal)
+	b.Ret()
+	bin := b.MustBuild()
+	g := cfg.BuildPartial(bin, site+isa.InstSize, cfg.DefaultWindow)
+	res := Analyze(g)
+	if !res.ChkEq[-1] {
+		t.Fatalf("loop check lost: %v", res.EqCodes())
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestBranchKeepsCopiesOnBothArms(t *testing.T) {
+	// The check may occur on only one arm of an earlier branch.
+	b := asm.NewBuilder("m")
+	b.Func("f")
+	site := b.CallImport("read")
+	b.Cmpi(5, 10) // unrelated comparison
+	b.J(isa.JG, "arm2")
+	b.Nop()
+	b.J(isa.JMP, "join")
+	b.Label("arm2")
+	b.Cmpi(0, -1) // check on this arm only
+	b.J(isa.JE, "join")
+	b.Label("join")
+	b.Ret()
+	bin := b.MustBuild()
+	g := cfg.BuildPartial(bin, site+isa.InstSize, cfg.DefaultWindow)
+	res := Analyze(g)
+	if !res.ChkEq[-1] {
+		t.Fatalf("one-arm check lost: %v", res.EqCodes())
+	}
+	// The unrelated comparison on r5 must not be attributed.
+	if res.ChkIneq[10] || res.ChkEq[10] {
+		t.Fatal("unrelated comparison attributed to return value")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res := Analyze(&cfg.Graph{})
+	if len(res.ChkEq)+len(res.ChkIneq) != 0 {
+		t.Fatal("empty graph produced checks")
+	}
+}

@@ -1,0 +1,123 @@
+// Package distsim implements the central controller behind distributed
+// triggers (§3.2): node-local LFI runtimes forward intercepted calls
+// (node, function, arguments, stack) to one controller that decides,
+// from a global view of the system, whether the remote trigger fires.
+//
+// The policies here are the ones the evaluation uses on PBFT (§7.3):
+// uniform random loss across inter-replica links, silencing all
+// communication of a single replica, and the rotating burst attack (500
+// consecutive faults on R1, then R2, then R3, then R1 again, ...) aimed
+// at confusing the reconfiguration protocol.
+package distsim
+
+import (
+	"math/rand"
+	"sync"
+
+	"lfi/internal/interpose"
+	"lfi/internal/trigger"
+)
+
+// Controller is the distributed-trigger decider shared by every node's
+// runtime. It is safe for concurrent use by replicas.
+type Controller struct {
+	mu     sync.Mutex
+	policy Policy
+	calls  uint64 // global count of consulted calls
+}
+
+var _ trigger.Decider = (*Controller)(nil)
+
+// Policy decides from the global call stream.
+type Policy interface {
+	Decide(globalCount uint64, call *interpose.Call) bool
+}
+
+// NewController creates a controller with the given policy.
+func NewController(p Policy) *Controller {
+	return &Controller{policy: p}
+}
+
+// Decide implements trigger.Decider.
+func (c *Controller) Decide(call *interpose.Call) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.policy == nil {
+		return false
+	}
+	return c.policy.Decide(c.calls, call)
+}
+
+// Consulted returns how many calls reached the central controller (used
+// to verify that node-local composition keeps this number low).
+func (c *Controller) Consulted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// --- policies ----------------------------------------------------------------
+
+// LossPolicy drops inter-replica communication uniformly at random with
+// probability P — the Figure 3 degraded-network scenario.
+type LossPolicy struct {
+	P   float64
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// NewLossPolicy creates a seeded loss policy.
+func NewLossPolicy(p float64, seed int64) *LossPolicy {
+	return &LossPolicy{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Decide implements Policy.
+func (l *LossPolicy) Decide(_ uint64, _ *interpose.Call) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64() < l.P
+}
+
+// SilencePolicy fails every communication call made by one node —
+// rendering the replica practically inactive (the first DoS scenario).
+type SilencePolicy struct {
+	Node string
+}
+
+// Decide implements Policy.
+func (s SilencePolicy) Decide(_ uint64, call *interpose.Call) bool {
+	return call.Node == s.Node
+}
+
+// RotationPolicy injects Burst consecutive faults into the
+// communication of Nodes[0], then Nodes[1], ..., wrapping around — the
+// second DoS scenario targeting the view-change protocol. The burst
+// counter advances only on calls from the currently-targeted node, so
+// each node absorbs a full burst before the attack rotates.
+type RotationPolicy struct {
+	Nodes []string
+	Burst uint64
+
+	mu     sync.Mutex
+	idx    int
+	inTurn uint64
+}
+
+// Decide implements Policy.
+func (r *RotationPolicy) Decide(_ uint64, call *interpose.Call) bool {
+	if len(r.Nodes) == 0 || r.Burst == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if call.Node != r.Nodes[r.idx] {
+		return false
+	}
+	r.inTurn++
+	if r.inTurn >= r.Burst {
+		r.inTurn = 0
+		r.idx = (r.idx + 1) % len(r.Nodes)
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package distsim
+
+import (
+	"testing"
+
+	"lfi/internal/interpose"
+)
+
+func call(node string) *interpose.Call {
+	return &interpose.Call{Func: "sendto", Node: node}
+}
+
+func TestSilencePolicy(t *testing.T) {
+	c := NewController(SilencePolicy{Node: "R1"})
+	if !c.Decide(call("R1")) {
+		t.Fatal("target not silenced")
+	}
+	if c.Decide(call("R2")) {
+		t.Fatal("non-target silenced")
+	}
+	if c.Consulted() != 2 {
+		t.Fatalf("consulted %d", c.Consulted())
+	}
+}
+
+func TestLossPolicyRate(t *testing.T) {
+	c := NewController(NewLossPolicy(0.25, 42))
+	dropped := 0
+	const n = 8000
+	for i := 0; i < n; i++ {
+		if c.Decide(call("R0")) {
+			dropped++
+		}
+	}
+	if dropped < n/5 || dropped > 3*n/10 {
+		t.Fatalf("p=0.25 dropped %d/%d", dropped, n)
+	}
+}
+
+func TestRotationPolicyBursts(t *testing.T) {
+	c := NewController(&RotationPolicy{Nodes: []string{"R1", "R2", "R3"}, Burst: 3})
+	// R1 absorbs exactly 3 faults, then the attack moves to R2.
+	for i := 0; i < 3; i++ {
+		if !c.Decide(call("R1")) {
+			t.Fatalf("R1 burst call %d not injected", i)
+		}
+	}
+	if c.Decide(call("R1")) {
+		t.Fatal("R1 still targeted after its burst")
+	}
+	if !c.Decide(call("R2")) {
+		t.Fatal("attack did not rotate to R2")
+	}
+	// Calls from non-targeted nodes never advance the burst.
+	for i := 0; i < 10; i++ {
+		if c.Decide(call("R0")) {
+			t.Fatal("untargeted node injected")
+		}
+	}
+	if !c.Decide(call("R2")) {
+		t.Fatal("R2 burst interrupted by other nodes' calls")
+	}
+}
+
+func TestRotationWrapsAround(t *testing.T) {
+	c := NewController(&RotationPolicy{Nodes: []string{"A", "B"}, Burst: 1})
+	seq := []string{"A", "B", "A", "B"}
+	for i, node := range seq {
+		if !c.Decide(call(node)) {
+			t.Fatalf("step %d (%s) not injected", i, node)
+		}
+	}
+}
+
+func TestNilPolicyNeverFires(t *testing.T) {
+	c := NewController(nil)
+	if c.Decide(call("R0")) {
+		t.Fatal("nil policy fired")
+	}
+}
+
+func TestEmptyRotation(t *testing.T) {
+	c := NewController(&RotationPolicy{})
+	if c.Decide(call("R0")) {
+		t.Fatal("empty rotation fired")
+	}
+}

@@ -1,0 +1,130 @@
+// Package errno defines the simulated C-library error numbers used
+// throughout the LFI reproduction.
+//
+// The values deliberately mirror the common Linux numbering so that fault
+// profiles, injection scenarios, and logs read like the paper's examples
+// (EINTR=4, EIO=5, ...). Everything that crosses the simulated
+// program/library boundary reports failure via a return value plus one of
+// these codes stored in the calling thread's errno slot.
+package errno
+
+import "fmt"
+
+// Errno is a simulated C errno value. The zero value means "no error".
+type Errno int
+
+// Simulated errno values (Linux numbering).
+const (
+	OK           Errno = 0   // no error
+	EPERM        Errno = 1   // operation not permitted
+	ENOENT       Errno = 2   // no such file or directory
+	EINTR        Errno = 4   // interrupted system call
+	EIO          Errno = 5   // I/O error
+	EBADF        Errno = 9   // bad file descriptor
+	EAGAIN       Errno = 11  // resource temporarily unavailable
+	ENOMEM       Errno = 12  // cannot allocate memory
+	EACCES       Errno = 13  // permission denied
+	EFAULT       Errno = 14  // bad address
+	EBUSY        Errno = 16  // device or resource busy
+	EEXIST       Errno = 17  // file exists
+	ENOTDIR      Errno = 20  // not a directory
+	EISDIR       Errno = 21  // is a directory
+	EINVAL       Errno = 22  // invalid argument
+	ENFILE       Errno = 23  // too many open files in system
+	EMFILE       Errno = 24  // too many open files
+	ENOSPC       Errno = 28  // no space left on device
+	EPIPE        Errno = 32  // broken pipe
+	ENAMETOOLONG Errno = 36  // file name too long
+	ENOSYS       Errno = 38  // function not implemented
+	ELOOP        Errno = 40  // too many levels of symbolic links
+	ECONNRESET   Errno = 104 // connection reset by peer
+	ETIMEDOUT    Errno = 110 // connection timed out
+	ECONNREFUSED Errno = 111 // connection refused
+	EHOSTUNREACH Errno = 113 // no route to host
+)
+
+var names = map[Errno]string{
+	OK:           "OK",
+	EPERM:        "EPERM",
+	ENOENT:       "ENOENT",
+	EINTR:        "EINTR",
+	EIO:          "EIO",
+	EBADF:        "EBADF",
+	EAGAIN:       "EAGAIN",
+	ENOMEM:       "ENOMEM",
+	EACCES:       "EACCES",
+	EFAULT:       "EFAULT",
+	EBUSY:        "EBUSY",
+	EEXIST:       "EEXIST",
+	ENOTDIR:      "ENOTDIR",
+	EISDIR:       "EISDIR",
+	EINVAL:       "EINVAL",
+	ENFILE:       "ENFILE",
+	EMFILE:       "EMFILE",
+	ENOSPC:       "ENOSPC",
+	EPIPE:        "EPIPE",
+	ENAMETOOLONG: "ENAMETOOLONG",
+	ENOSYS:       "ENOSYS",
+	ELOOP:        "ELOOP",
+	ECONNRESET:   "ECONNRESET",
+	ETIMEDOUT:    "ETIMEDOUT",
+	ECONNREFUSED: "ECONNREFUSED",
+	EHOSTUNREACH: "EHOSTUNREACH",
+}
+
+var byName map[string]Errno
+
+func init() {
+	byName = make(map[string]Errno, len(names))
+	for e, n := range names {
+		byName[n] = e
+	}
+}
+
+// String returns the symbolic name ("EINTR") or a numeric form for
+// unknown values.
+func (e Errno) String() string {
+	if n, ok := names[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// Error implements the error interface so simulated failures can flow
+// through Go error plumbing in tests and tools.
+func (e Errno) Error() string { return e.String() }
+
+// Parse maps a symbolic name ("EIO") or decimal string to an Errno.
+// It returns OK,false for names it does not know.
+func Parse(s string) (Errno, bool) {
+	if e, ok := byName[s]; ok {
+		return e, true
+	}
+	var v int
+	if _, err := fmt.Sscanf(s, "%d", &v); err == nil {
+		return Errno(v), true
+	}
+	return OK, false
+}
+
+// Known reports whether e is one of the defined errno constants.
+func Known(e Errno) bool {
+	_, ok := names[e]
+	return ok
+}
+
+// All returns every defined errno value except OK, in ascending order.
+func All() []Errno {
+	out := make([]Errno, 0, len(names)-1)
+	for e := range names {
+		if e != OK {
+			out = append(out, e)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package errno
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringKnown(t *testing.T) {
+	cases := map[Errno]string{
+		OK: "OK", EINTR: "EINTR", EIO: "EIO", ENOMEM: "ENOMEM", EAGAIN: "EAGAIN",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(e), got, want)
+		}
+	}
+}
+
+func TestStringUnknown(t *testing.T) {
+	if got := Errno(9999).String(); got != "errno(9999)" {
+		t.Errorf("unknown errno = %q", got)
+	}
+}
+
+func TestParseSymbolic(t *testing.T) {
+	e, ok := Parse("EINTR")
+	if !ok || e != EINTR {
+		t.Fatalf("Parse(EINTR) = %v, %v", e, ok)
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	e, ok := Parse("5")
+	if !ok || e != EIO {
+		t.Fatalf("Parse(5) = %v, %v", e, ok)
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, ok := Parse("NOT_AN_ERRNO"); ok {
+		t.Fatal("Parse accepted garbage")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, e := range All() {
+		got, ok := Parse(e.String())
+		if !ok || got != e {
+			t.Errorf("round trip failed for %v", e)
+		}
+	}
+}
+
+func TestAllSortedAndKnown(t *testing.T) {
+	all := All()
+	if len(all) == 0 {
+		t.Fatal("All returned nothing")
+	}
+	for i, e := range all {
+		if e == OK {
+			t.Error("All contains OK")
+		}
+		if !Known(e) {
+			t.Errorf("All contains unknown errno %v", e)
+		}
+		if i > 0 && all[i-1] >= e {
+			t.Errorf("All not strictly ascending at %d: %v >= %v", i, all[i-1], e)
+		}
+	}
+}
+
+func TestErrorInterface(t *testing.T) {
+	var err error = EIO
+	if err.Error() != "EIO" {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		Parse(s)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7). Each experiment returns a structured result with a
+// String method that renders the same rows/series the paper reports;
+// cmd/lfi-experiments and the top-level benchmarks share these entry
+// points.
+//
+// Per the reproduction brief, absolute numbers are not expected to match
+// the authors' 2010 testbed — the shape is: who wins, by roughly what
+// factor, and where crossovers fall. EXPERIMENTS.md records paper-vs-
+// measured for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lfi/internal/isa"
+	"lfi/internal/libspec"
+	"lfi/internal/profile"
+	"lfi/internal/trigger"
+)
+
+// profiles builds the fault profiles of all three simulated libraries by
+// actually running the library profiler over the library binaries.
+func profiles() []*profile.Profile {
+	return []*profile.Profile{
+		profile.ProfileBinary(libspec.BuildLibc()),
+		profile.ProfileBinary(libspec.BuildLibxml()),
+		profile.ProfileBinary(libspec.BuildLibapr()),
+	}
+}
+
+// header renders a table caption.
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+// binaryOf is a tiny helper alias to keep experiment files short.
+type binaryOf = isa.Binary
+
+// moduleFrameArgs builds a CallStackTrigger <args> tree matching any
+// frame of the given module.
+func moduleFrameArgs(module string) *trigger.Args {
+	return &trigger.Args{
+		Name: "args",
+		Children: []*trigger.Args{{
+			Name:     "frame",
+			Children: []*trigger.Args{{Name: "module", Text: module}},
+		}},
+	}
+}

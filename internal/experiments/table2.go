@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lfi/internal/apps/minidb"
+	"lfi/internal/controller"
+	"lfi/internal/core"
+	"lfi/internal/libsim"
+	"lfi/internal/scenario"
+)
+
+// Table2Result reproduces Table 2: precision of three trigger scenarios
+// targeting the MySQL close/double-unlock bug over repeated runs of the
+// merge-big workload.
+type Table2Result struct {
+	Runs      int
+	Random    float64 // Random (10%)
+	InFile    float64 // Random (10%) within the bug's file
+	AfterLock float64 // Close-after-mutex-unlock trigger
+}
+
+// String renders the table.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Table 2: trigger precision on the minidb close bug (%d runs each)", r.Runs))
+	fmt.Fprintf(&b, "%-36s %5.0f%%\n", "Random (10%)", 100*r.Random)
+	fmt.Fprintf(&b, "%-36s %5.0f%%\n", "Random (10%) within bug's file", 100*r.InFile)
+	fmt.Fprintf(&b, "%-36s %5.0f%%\n", "Close after mutex unlock", 100*r.AfterLock)
+	return b.String()
+}
+
+// table2Scenarios builds the three §7.1 scenarios.
+func table2Scenarios() (random, inFile, afterUnlock *scenario.Scenario, err error) {
+	random, err = scenario.ParseString(`<scenario name="random-close-10">
+	  <trigger id="rnd" class="RandomTrigger"><args><probability>0.1</probability></args></trigger>
+	  <function name="close" return="-1" errno="EIO"><reftrigger ref="rnd" /></function>
+	</scenario>`)
+	if err != nil {
+		return
+	}
+	inFile, err = scenario.ParseString(fmt.Sprintf(`<scenario name="random-close-10-in-file">
+	  <trigger id="rnd" class="RandomTrigger"><args><probability>0.1</probability></args></trigger>
+	  <trigger id="file" class="CallStackTrigger">
+	    <args><frame><file>%s</file></frame></args>
+	  </trigger>
+	  <function name="close" return="-1" errno="EIO">
+	    <reftrigger ref="file" />
+	    <reftrigger ref="rnd" />
+	  </function>
+	</scenario>`, minidb.MiCreateFile))
+	if err != nil {
+		return
+	}
+	afterUnlock, err = scenario.ParseString(`<scenario name="close-after-unlock-2">
+	  <trigger id="cau" class="CloseAfterUnlock"><args><distance>2</distance></args></trigger>
+	  <function name="pthread_mutex_unlock" return="unused" errno="unused">
+	    <reftrigger ref="cau" />
+	  </function>
+	  <function name="close" return="-1" errno="EIO"><reftrigger ref="cau" /></function>
+	</scenario>`)
+	return
+}
+
+// Table2 measures how often each scenario activates the double-unlock
+// bug across n runs of merge-big (the paper used 100).
+func Table2(runs int) (Table2Result, error) {
+	if runs <= 0 {
+		runs = 100
+	}
+	random, inFile, afterUnlock, err := table2Scenarios()
+	if err != nil {
+		return Table2Result{}, err
+	}
+	res := Table2Result{Runs: runs}
+	measure := func(s *scenario.Scenario) (float64, error) {
+		hits := 0
+		for seed := 0; seed < runs; seed++ {
+			out, err := controller.RunOne(minidb.MergeBigTarget(), s, core.WithSeed(int64(seed)))
+			if err != nil {
+				return 0, err
+			}
+			if out.Crash != nil && out.Crash.Kind == libsim.Abort &&
+				strings.Contains(out.Crash.Reason, "double unlock") {
+				hits++
+			}
+		}
+		return float64(hits) / float64(runs), nil
+	}
+	if res.Random, err = measure(random); err != nil {
+		return res, err
+	}
+	if res.InFile, err = measure(inFile); err != nil {
+		return res, err
+	}
+	if res.AfterLock, err = measure(afterUnlock); err != nil {
+		return res, err
+	}
+	return res, nil
+}

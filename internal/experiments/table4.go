@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lfi/internal/apps/minidns"
+	"lfi/internal/apps/minivcs"
+	"lfi/internal/asm"
+	"lfi/internal/callsite"
+	"lfi/internal/pbft"
+)
+
+// Table4Row is one (system, function) accuracy measurement.
+type Table4Row struct {
+	System string
+	callsite.Accuracy
+}
+
+// Table4Result reproduces Table 4: call-site analysis accuracy against
+// manually established ground truth (here: the site models the binaries
+// were assembled from).
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// String renders the table.
+func (r Table4Result) String() string {
+	var b strings.Builder
+	header(&b, "Table 4: call-site analysis accuracy (no source, no docs)")
+	fmt.Fprintf(&b, "%-8s %-10s %6s %4s %4s %9s\n", "System", "Function", "TP+TN", "FN", "FP", "Accuracy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-10s %6d %4d %4d %8.0f%%\n",
+			row.System, row.Func, row.TP+row.TN, row.FN, row.FP, 100*row.Value())
+	}
+	return b.String()
+}
+
+// Table4 measures analyzer accuracy per function, following the paper's
+// system/function selection: BIND (minidns) malloc/unlink/open/close,
+// Git (minivcs) malloc/close/readlink, PBFT fopen.
+func Table4() Table4Result {
+	profs := profiles()
+	a := &callsite.Analyzer{}
+	type sysdef struct {
+		name  string
+		bin   *binaryOf
+		specs []asm.FuncSpec
+		offs  map[string]uint64
+		funcs []string
+	}
+	dnsBin, dnsOffs := minidns.Binary()
+	vcsBin, vcsOffs := minivcs.Binary()
+	pbftBin, pbftOffs := pbft.Binary()
+	systems := []sysdef{
+		{"minidns", dnsBin, minidns.Sites(), dnsOffs, []string{"malloc", "unlink", "open", "close"}},
+		{"minivcs", vcsBin, minivcs.Sites(), vcsOffs, []string{"malloc", "close", "readlink"}},
+		{"pbft", pbftBin, pbft.Sites(), pbftOffs, []string{"fopen"}},
+	}
+	var res Table4Result
+	for _, sys := range systems {
+		rep := a.Analyze(sys.bin, profs...)
+		truth := callsite.TruthByOffset(sys.specs, sys.offs)
+		for _, fn := range sys.funcs {
+			acc := callsite.MeasureAccuracy(fn, rep.Sites, truth)
+			if acc.Total() == 0 {
+				continue
+			}
+			res.Rows = append(res.Rows, Table4Row{System: sys.name, Accuracy: acc})
+		}
+	}
+	return res
+}
+
+// EfficiencyResult reproduces the §7.2 efficiency paragraph: analysis
+// wall-clock time per binary.
+type EfficiencyResult struct {
+	Rows []struct {
+		System  string
+		Sites   int
+		Elapsed time.Duration
+	}
+}
+
+// String renders the measurement.
+func (r EfficiencyResult) String() string {
+	var b strings.Builder
+	header(&b, "Analyzer efficiency (§7.2)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %4d call sites analyzed in %v\n", row.System, row.Sites, row.Elapsed)
+	}
+	return b.String()
+}
+
+// Efficiency times the analyzer over every application binary.
+func Efficiency() EfficiencyResult {
+	profs := profiles()
+	a := &callsite.Analyzer{}
+	var res EfficiencyResult
+	for _, sys := range []struct {
+		name string
+		bin  *binaryOf
+	}{
+		{"minidns", firstBin(minidns.Binary())},
+		{"minivcs", firstBin(minivcs.Binary())},
+		{"pbft", firstBin(pbft.Binary())},
+	} {
+		start := time.Now()
+		rep := a.Analyze(sys.bin, profs...)
+		res.Rows = append(res.Rows, struct {
+			System  string
+			Sites   int
+			Elapsed time.Duration
+		}{sys.name, len(rep.Sites), time.Since(start)})
+	}
+	return res
+}

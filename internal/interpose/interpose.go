@@ -1,0 +1,150 @@
+// Package interpose implements the shim layer between simulated programs
+// and the simulated C library.
+//
+// In the paper, LFI synthesizes a shared library whose stub functions are
+// spliced in front of the real library with LD_PRELOAD (UNIX) or Detours
+// (Windows). Each stub resolves the original function, evaluates the
+// triggers attached to that function, and either injects an erroneous
+// return (plus side effects such as errno) or jumps to the original.
+//
+// Here the splice point is a dispatch table: every call made through
+// libsim routes through Dispatcher.Dispatch, which consults the installed
+// Hook. The decision procedure is identical to the paper's stub; only the
+// splicing mechanism differs (documented in DESIGN.md).
+package interpose
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lfi/internal/errno"
+)
+
+// Frame is one entry of a virtual call stack, identifying the program
+// location from which a library call was (transitively) made. Module is
+// the object-file name, Offset the call-site offset within that module's
+// binary image, and File/Line optional DWARF-style debug info.
+type Frame struct {
+	Module string
+	Func   string
+	Offset uint64
+	File   string
+	Line   int
+}
+
+// Call describes one intercepted library call. It is what a stub passes
+// to the trigger machinery: the function name, word-sized arguments, the
+// calling thread's identity and stack, and the running per-function call
+// count (1-based: the first call to a function has Count==1).
+type Call struct {
+	Func   string
+	Args   []int64
+	Thread int         // simulated thread id
+	Stack  []Frame     // innermost frame last
+	Count  uint64      // per-function call count, including this call
+	Node   string      // node name in distributed setups ("" locally)
+	Locks  int         // POSIX mutexes currently held by the thread
+	Errno  errno.Errno // thread errno value before the call
+}
+
+// Arg returns the i-th argument or 0 when absent, mirroring the paper's
+// convention that stubs pass exactly argc word-sized values.
+func (c *Call) Arg(i int) int64 {
+	if i < 0 || i >= len(c.Args) {
+		return 0
+	}
+	return c.Args[i]
+}
+
+// Decision is a hook's verdict for one intercepted call.
+type Decision struct {
+	Inject bool
+	Retval int64
+	Errno  errno.Errno
+}
+
+// Hook is the interface the LFI runtime implements to observe and steer
+// intercepted calls. Before is invoked for every dispatched call; if it
+// returns Inject==true the original implementation is NOT executed and
+// the caller observes (Retval, Errno). After is invoked only for calls
+// that passed through, with the original result, so that stateful
+// triggers and logs can observe real outcomes.
+type Hook interface {
+	Before(call *Call) Decision
+	After(call *Call, retval int64, e errno.Errno)
+}
+
+// Dispatcher owns the interposition state for one simulated process. The
+// zero value is ready to use and passes every call straight through.
+type Dispatcher struct {
+	mu     sync.RWMutex
+	hook   Hook
+	counts sync.Map // func name -> *uint64
+	total  atomic.Uint64
+}
+
+// Install splices a hook in front of the library. Passing nil uninstalls.
+func (d *Dispatcher) Install(h Hook) {
+	d.mu.Lock()
+	d.hook = h
+	d.mu.Unlock()
+}
+
+// Installed reports whether a hook is currently spliced in.
+func (d *Dispatcher) Installed() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.hook != nil
+}
+
+// TotalCalls returns the number of calls dispatched so far.
+func (d *Dispatcher) TotalCalls() uint64 { return d.total.Load() }
+
+// CallCount returns how many times the named function has been dispatched.
+func (d *Dispatcher) CallCount(fn string) uint64 {
+	if p, ok := d.counts.Load(fn); ok {
+		return atomic.LoadUint64(p.(*uint64))
+	}
+	return 0
+}
+
+func (d *Dispatcher) bump(fn string) uint64 {
+	p, ok := d.counts.Load(fn)
+	if !ok {
+		p, _ = d.counts.LoadOrStore(fn, new(uint64))
+	}
+	d.total.Add(1)
+	return atomic.AddUint64(p.(*uint64), 1)
+}
+
+// ResetCounts zeroes all per-function call counters (used between test
+// campaigns so call-count triggers are reproducible).
+func (d *Dispatcher) ResetCounts() {
+	d.counts.Range(func(k, v any) bool {
+		atomic.StoreUint64(v.(*uint64), 0)
+		return true
+	})
+	d.total.Store(0)
+}
+
+// Dispatch routes one library call through the shim. impl runs the
+// original library implementation and returns (retval, errno). The
+// returned values are what the calling program observes.
+func (d *Dispatcher) Dispatch(call *Call, impl func() (int64, errno.Errno)) (int64, errno.Errno) {
+	call.Count = d.bump(call.Func)
+
+	d.mu.RLock()
+	h := d.hook
+	d.mu.RUnlock()
+
+	if h != nil {
+		if dec := h.Before(call); dec.Inject {
+			return dec.Retval, dec.Errno
+		}
+	}
+	ret, e := impl()
+	if h != nil {
+		h.After(call, ret, e)
+	}
+	return ret, e
+}

@@ -1,0 +1,159 @@
+package interpose
+
+import (
+	"sync"
+	"testing"
+
+	"lfi/internal/errno"
+)
+
+type fakeHook struct {
+	mu      sync.Mutex
+	befores []string
+	afters  []string
+	decide  func(*Call) Decision
+}
+
+func (h *fakeHook) Before(c *Call) Decision {
+	h.mu.Lock()
+	h.befores = append(h.befores, c.Func)
+	h.mu.Unlock()
+	if h.decide != nil {
+		return h.decide(c)
+	}
+	return Decision{}
+}
+
+func (h *fakeHook) After(c *Call, rv int64, e errno.Errno) {
+	h.mu.Lock()
+	h.afters = append(h.afters, c.Func)
+	h.mu.Unlock()
+}
+
+func TestDispatchPassThrough(t *testing.T) {
+	var d Dispatcher
+	ran := false
+	rv, e := d.Dispatch(&Call{Func: "read"}, func() (int64, errno.Errno) {
+		ran = true
+		return 42, errno.OK
+	})
+	if !ran || rv != 42 || e != errno.OK {
+		t.Fatalf("pass-through broken: ran=%v rv=%d e=%v", ran, rv, e)
+	}
+}
+
+func TestDispatchInjectSkipsImpl(t *testing.T) {
+	var d Dispatcher
+	h := &fakeHook{decide: func(*Call) Decision {
+		return Decision{Inject: true, Retval: -1, Errno: errno.EIO}
+	}}
+	d.Install(h)
+	ran := false
+	rv, e := d.Dispatch(&Call{Func: "read"}, func() (int64, errno.Errno) {
+		ran = true
+		return 0, errno.OK
+	})
+	if ran {
+		t.Fatal("impl ran despite injection")
+	}
+	if rv != -1 || e != errno.EIO {
+		t.Fatalf("got %d/%v", rv, e)
+	}
+	if len(h.afters) != 0 {
+		t.Fatal("After called on injected call")
+	}
+}
+
+func TestDispatchAfterOnPassThrough(t *testing.T) {
+	var d Dispatcher
+	h := &fakeHook{}
+	d.Install(h)
+	d.Dispatch(&Call{Func: "open"}, func() (int64, errno.Errno) { return 3, errno.OK })
+	if len(h.befores) != 1 || len(h.afters) != 1 {
+		t.Fatalf("hook calls: before=%d after=%d", len(h.befores), len(h.afters))
+	}
+}
+
+func TestCallCounts(t *testing.T) {
+	var d Dispatcher
+	var counts []uint64
+	h := &fakeHook{decide: func(c *Call) Decision {
+		counts = append(counts, c.Count)
+		return Decision{}
+	}}
+	d.Install(h)
+	for i := 0; i < 3; i++ {
+		d.Dispatch(&Call{Func: "read"}, func() (int64, errno.Errno) { return 0, errno.OK })
+	}
+	d.Dispatch(&Call{Func: "write"}, func() (int64, errno.Errno) { return 0, errno.OK })
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 3 || counts[3] != 1 {
+		t.Fatalf("per-function counts wrong: %v", counts)
+	}
+	if d.CallCount("read") != 3 || d.CallCount("write") != 1 {
+		t.Fatalf("CallCount: read=%d write=%d", d.CallCount("read"), d.CallCount("write"))
+	}
+	if d.TotalCalls() != 4 {
+		t.Fatalf("TotalCalls = %d", d.TotalCalls())
+	}
+}
+
+func TestResetCounts(t *testing.T) {
+	var d Dispatcher
+	d.Dispatch(&Call{Func: "read"}, func() (int64, errno.Errno) { return 0, errno.OK })
+	d.ResetCounts()
+	if d.CallCount("read") != 0 || d.TotalCalls() != 0 {
+		t.Fatal("ResetCounts did not zero counters")
+	}
+	d.Dispatch(&Call{Func: "read"}, func() (int64, errno.Errno) { return 0, errno.OK })
+	if d.CallCount("read") != 1 {
+		t.Fatal("count after reset wrong")
+	}
+}
+
+func TestUninstall(t *testing.T) {
+	var d Dispatcher
+	h := &fakeHook{decide: func(*Call) Decision {
+		return Decision{Inject: true, Retval: -1, Errno: errno.EIO}
+	}}
+	d.Install(h)
+	if !d.Installed() {
+		t.Fatal("Installed() false after Install")
+	}
+	d.Install(nil)
+	if d.Installed() {
+		t.Fatal("Installed() true after uninstall")
+	}
+	rv, _ := d.Dispatch(&Call{Func: "read"}, func() (int64, errno.Errno) { return 7, errno.OK })
+	if rv != 7 {
+		t.Fatal("uninstalled hook still injecting")
+	}
+}
+
+func TestArgHelper(t *testing.T) {
+	c := &Call{Args: []int64{10, 20}}
+	if c.Arg(0) != 10 || c.Arg(1) != 20 {
+		t.Fatal("Arg values wrong")
+	}
+	if c.Arg(2) != 0 || c.Arg(-1) != 0 {
+		t.Fatal("out-of-range Arg should be 0")
+	}
+}
+
+func TestConcurrentDispatch(t *testing.T) {
+	var d Dispatcher
+	d.Install(&fakeHook{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				d.Dispatch(&Call{Func: "read"}, func() (int64, errno.Errno) { return 0, errno.OK })
+			}
+		}()
+	}
+	wg.Wait()
+	if d.CallCount("read") != 8000 {
+		t.Fatalf("concurrent count = %d, want 8000", d.CallCount("read"))
+	}
+}

@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := []Inst{
+		{Op: MOVI, Rd: 3, Imm: -1},
+		{Op: MOV, Rd: 1, Rs: 0},
+		{Op: CMPI, Rs: 0, Imm: -1},
+		{Op: JE, Imm: 0x40},
+		{Op: CALL, Imm: 7},
+		{Op: RET},
+		{Op: SETERRI, Imm: 5},
+		{Op: ST, Rs: 4, Imm: 16},
+	}
+	var code []byte
+	for _, in := range ins {
+		code = in.Encode(code)
+	}
+	for i, want := range ins {
+		got, err := Decode(code, uint64(i*InstSize))
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		want.Offset = uint64(i * InstSize)
+		if got != want {
+			t.Fatalf("inst %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	code := Inst{Op: RET}.Encode(nil)
+	if _, err := Decode(code, 8); err == nil {
+		t.Fatal("decode past end accepted")
+	}
+	if _, err := Decode(code, 3); err == nil {
+		t.Fatal("misaligned decode accepted")
+	}
+	bad := append([]byte(nil), code...)
+	bad[0] = 0xFF
+	if _, err := Decode(bad, 0); err == nil {
+		t.Fatal("invalid opcode accepted")
+	}
+}
+
+func TestPropertyEncodeDecode(t *testing.T) {
+	f := func(op byte, rd, rs, rt byte, imm int32) bool {
+		o := Op(op % 24)
+		if !o.Valid() {
+			return true
+		}
+		in := Inst{Op: o, Rd: rd, Rs: rs, Rt: rt, Imm: imm}
+		got, err := Decode(in.Encode(nil), 0)
+		return err == nil && got.Op == o && got.Rd == rd && got.Rs == rs && got.Rt == rt && got.Imm == imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchPredicates(t *testing.T) {
+	if !(Inst{Op: JE}).IsCondBranch() || !(Inst{Op: JGE}).IsCondBranch() {
+		t.Fatal("JE/JGE not cond branches")
+	}
+	if (Inst{Op: JMP}).IsCondBranch() {
+		t.Fatal("JMP is not conditional")
+	}
+	if !(Inst{Op: JMP}).IsBranch() || !(Inst{Op: RET}).IsBranch() || !(Inst{Op: IJMP}).IsBranch() {
+		t.Fatal("IsBranch wrong")
+	}
+	if (Inst{Op: CALL}).IsBranch() {
+		t.Fatal("CALL falls through, not a block terminator here")
+	}
+	if !(Inst{Op: JE}).EqBranch() || !(Inst{Op: JNE}).EqBranch() || (Inst{Op: JL}).EqBranch() {
+		t.Fatal("EqBranch wrong")
+	}
+}
+
+func TestBinaryLookups(t *testing.T) {
+	b := &Binary{
+		Name:    "m",
+		Symbols: []Symbol{{Name: "f", Off: 0, Size: 16}, {Name: "g", Off: 16, Size: 8}},
+		Imports: []string{"read", "close"},
+	}
+	if s, ok := b.FindSymbol("g"); !ok || s.Off != 16 {
+		t.Fatal("FindSymbol")
+	}
+	if _, ok := b.FindSymbol("h"); ok {
+		t.Fatal("ghost symbol found")
+	}
+	if b.ImportIndex("close") != 1 || b.ImportIndex("mmap") != -1 {
+		t.Fatal("ImportIndex")
+	}
+	if b.ImportName(0) != "read" || b.ImportName(9) != "" {
+		t.Fatal("ImportName")
+	}
+}
+
+func TestCallSitesScan(t *testing.T) {
+	var code []byte
+	code = Inst{Op: CALL, Imm: 0}.Encode(code) // read
+	code = Inst{Op: NOP}.Encode(code)
+	code = Inst{Op: CALL, Imm: 1}.Encode(code) // close
+	code = Inst{Op: CALL, Imm: 0}.Encode(code) // read
+	b := &Binary{Code: code, Imports: []string{"read", "close"}}
+	sites := b.CallSites("read")
+	if len(sites) != 2 || sites[0] != 0 || sites[1] != 24 {
+		t.Fatalf("read sites %v", sites)
+	}
+	if len(b.CallSites("close")) != 1 {
+		t.Fatal("close sites")
+	}
+	if b.CallSites("mmap") != nil {
+		t.Fatal("unimported function has sites")
+	}
+}
+
+func TestDisassembleContainsSymbolsAndImports(t *testing.T) {
+	var code []byte
+	code = Inst{Op: CALL, Imm: 0}.Encode(code)
+	code = Inst{Op: RET}.Encode(code)
+	b := &Binary{
+		Code:    code,
+		Symbols: []Symbol{{Name: "main", Off: 0, Size: 16}},
+		Imports: []string{"malloc"},
+	}
+	dis := b.Disassemble()
+	for _, want := range []string{"<main>:", "call malloc", "ret"} {
+		if !contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInstStrings(t *testing.T) {
+	cases := map[string]Inst{
+		"movi r1, -5":    {Op: MOVI, Rd: 1, Imm: -5},
+		"cmpi r0, -1":    {Op: CMPI, Rs: 0, Imm: -1},
+		"test r0":        {Op: TEST, Rs: 0},
+		"ld r2, [sp+16]": {Op: LD, Rd: 2, Imm: 16},
+		"st [sp+8], r3":  {Op: ST, Rs: 3, Imm: 8},
+		"seterri 5":      {Op: SETERRI, Imm: 5},
+		"geterr r4":      {Op: GETERR, Rd: 4},
+		"ijmp r7":        {Op: IJMP, Rs: 7},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%v) = %q want %q", in.Op, got, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package libsim
+
+import (
+	"fmt"
+
+	"lfi/internal/interpose"
+)
+
+// CrashKind classifies abnormal terminations of a simulated program,
+// mirroring how the paper's controller distinguishes observed failures
+// (segmentation faults, aborts, data loss detected by the workload).
+type CrashKind int
+
+const (
+	// Segfault models dereferencing an invalid pointer (NULL FILE*,
+	// NULL DIR*, freed or never-allocated heap pointer, ...).
+	Segfault CrashKind = iota
+	// Abort models assertion failures and abort() calls, e.g. BIND's
+	// dst_lib_destroy assertion or a double pthread_mutex_unlock.
+	Abort
+	// DataLoss models silent corruption detected by workload checks,
+	// e.g. Git running an external command with an incomplete
+	// environment after a failed setenv.
+	DataLoss
+)
+
+func (k CrashKind) String() string {
+	switch k {
+	case Segfault:
+		return "SIGSEGV"
+	case Abort:
+		return "SIGABRT"
+	case DataLoss:
+		return "DATA-LOSS"
+	default:
+		return fmt.Sprintf("crash(%d)", int(k))
+	}
+}
+
+// Crash is the panic payload raised when a simulated program performs an
+// operation that would kill a real process. The controller recovers it
+// and records an abnormal exit, exactly as the paper's controller
+// observes a non-zero exit status or a core dump.
+type Crash struct {
+	Kind   CrashKind
+	Reason string
+	Thread int
+	Stack  []interpose.Frame
+}
+
+func (c *Crash) Error() string {
+	return fmt.Sprintf("%s in thread %d: %s", c.Kind, c.Thread, c.Reason)
+}
+
+// RaiseCrash terminates the simulated program with a crash, capturing the
+// calling thread's virtual stack.
+func (t *Thread) RaiseCrash(kind CrashKind, format string, args ...any) {
+	panic(&Crash{
+		Kind:   kind,
+		Reason: fmt.Sprintf(format, args...),
+		Thread: t.ID,
+		Stack:  t.StackCopy(),
+	})
+}
+
+// Assert models a C assert(): the program aborts when cond is false.
+func (t *Thread) Assert(cond bool, format string, args ...any) {
+	if !cond {
+		t.RaiseCrash(Abort, "assertion failed: "+format, args...)
+	}
+}

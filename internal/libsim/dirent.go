@@ -1,0 +1,80 @@
+package libsim
+
+import (
+	"sort"
+
+	"lfi/internal/errno"
+)
+
+// dirStream is the object behind a DIR* handle.
+type dirStream struct {
+	names []string
+	pos   int
+}
+
+// Opendir models opendir(3): a non-zero DIR* handle, or 0 (NULL) on
+// error. The entry list is snapshotted and sorted for reproducibility.
+func (t *Thread) Opendir(path string) int64 {
+	c := t.C
+	return t.call("opendir", []int64{int64(len(path))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n, e := c.lookup(path)
+		if e != errno.OK {
+			return 0, e
+		}
+		if n.kind != S_IFDIR {
+			return 0, errno.ENOTDIR
+		}
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		h := c.nextDir
+		c.nextDir++
+		c.dirs[h] = &dirStream{names: names}
+		return h, errno.OK
+	})
+}
+
+// Readdir models readdir(3). It returns the next entry name and true, or
+// "",false at end of stream. Passing a NULL or invalid DIR* crashes the
+// program — the Git bug class (readdir after an unchecked opendir).
+func (t *Thread) Readdir(dir int64) (string, bool) {
+	c := t.C
+	var name string
+	var ok bool
+	t.call("readdir", []int64{dir}, func() (int64, errno.Errno) {
+		if dir == 0 {
+			t.RaiseCrash(Segfault, "readdir(NULL DIR*)")
+		}
+		c.mu.Lock()
+		d, found := c.dirs[dir]
+		c.mu.Unlock()
+		if !found {
+			t.RaiseCrash(Segfault, "readdir on invalid DIR* %#x", dir)
+		}
+		if d.pos >= len(d.names) {
+			return 0, errno.OK
+		}
+		name, ok = d.names[d.pos], true
+		d.pos++
+		return 1, errno.OK
+	})
+	return name, ok
+}
+
+// Closedir models closedir(3).
+func (t *Thread) Closedir(dir int64) int64 {
+	c := t.C
+	return t.call("closedir", []int64{dir}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, ok := c.dirs[dir]; !ok {
+			return -1, errno.EBADF
+		}
+		delete(c.dirs, dir)
+		return 0, errno.OK
+	})
+}

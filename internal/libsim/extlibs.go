@@ -1,0 +1,149 @@
+package libsim
+
+import (
+	"lfi/internal/errno"
+)
+
+// This file models the non-libc shared libraries that the paper's target
+// systems link against: a sliver of libxml2 (used by BIND's HTTP stats
+// channel) and of the Apache Portable Runtime (used by the Apache/miniweb
+// overhead study). Like their real counterparts they are separate
+// libraries with their own fault profiles, but they share the process's
+// dispatcher, just as multiple LFI shim libraries coexist in one process.
+
+// --- libxml -------------------------------------------------------------
+
+// xmlWriter is the object behind an xmlTextWriter handle; it accumulates
+// serialized output in memory.
+type xmlWriter struct {
+	buf []byte
+}
+
+func (c *C) xmlState() *xmlLib {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.xml == nil {
+		c.xml = &xmlLib{m: map[int64]*xmlWriter{}, next: 0x7000_0000}
+	}
+	return c.xml
+}
+
+// xmlLib is the per-process libxml state.
+type xmlLib struct {
+	m    map[int64]*xmlWriter
+	next int64
+}
+
+// XMLNewTextWriterDoc models xmlNewTextWriterDoc: a writer handle, or 0
+// (NULL) when the allocation fails. The underlying buffer comes from the
+// process heap so that heap exhaustion propagates naturally.
+func (t *Thread) XMLNewTextWriterDoc() int64 {
+	c := t.C
+	return t.call("xmlNewTextWriterDoc", nil, func() (int64, errno.Errno) {
+		if _, e := c.heap.alloc(256); e != errno.OK {
+			return 0, errno.ENOMEM
+		}
+		x := c.xmlState()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		h := x.next
+		x.next++
+		x.m[h] = &xmlWriter{}
+		return h, errno.OK
+	})
+}
+
+// XMLTextWriterWriteElement appends <name>value</name> to the document.
+// Writing through a NULL writer crashes — the BIND statschannel bug.
+func (t *Thread) XMLTextWriterWriteElement(w int64, name, value string) int64 {
+	c := t.C
+	return t.call("xmlTextWriterWriteElement", []int64{w, int64(len(name)), int64(len(value))}, func() (int64, errno.Errno) {
+		if w == 0 {
+			t.RaiseCrash(Segfault, "xmlTextWriterWriteElement(NULL writer)")
+		}
+		x := c.xmlState()
+		c.mu.Lock()
+		wr, ok := x.m[w]
+		c.mu.Unlock()
+		if !ok {
+			t.RaiseCrash(Segfault, "xmlTextWriterWriteElement on invalid writer %#x", w)
+		}
+		wr.buf = append(wr.buf, '<')
+		wr.buf = append(wr.buf, name...)
+		wr.buf = append(wr.buf, '>')
+		wr.buf = append(wr.buf, value...)
+		wr.buf = append(wr.buf, "</"...)
+		wr.buf = append(wr.buf, name...)
+		wr.buf = append(wr.buf, '>')
+		return 0, errno.OK
+	})
+}
+
+// XMLFreeTextWriter releases a writer; the document text is returned so
+// callers (minidns) can ship it to the client.
+func (t *Thread) XMLFreeTextWriter(w int64) string {
+	c := t.C
+	var doc string
+	t.call("xmlFreeTextWriter", []int64{w}, func() (int64, errno.Errno) {
+		if w == 0 {
+			t.RaiseCrash(Segfault, "xmlFreeTextWriter(NULL writer)")
+		}
+		x := c.xmlState()
+		c.mu.Lock()
+		wr, ok := x.m[w]
+		if ok {
+			delete(x.m, w)
+		}
+		c.mu.Unlock()
+		if !ok {
+			t.RaiseCrash(Segfault, "xmlFreeTextWriter on invalid writer %#x", w)
+		}
+		doc = string(wr.buf)
+		return 0, errno.OK
+	})
+	return doc
+}
+
+// --- Apache Portable Runtime (apr) ---------------------------------------
+
+// APRFileRead models apr_file_read: read into buf through an apr file,
+// which in this simulation is an ordinary descriptor. Returns APR_SUCCESS
+// (0) and updates *n, or an errno-like status.
+func (t *Thread) APRFileRead(fd int64, buf []byte, n *int64) int64 {
+	c := t.C
+	return t.call("apr_file_read", []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		d, ok := c.fds[int(fd)]
+		c.mu.Unlock()
+		if !ok {
+			return int64(errno.EBADF), errno.EBADF
+		}
+		if d.node == nil || d.node.kind != S_IFREG {
+			return int64(errno.EINVAL), errno.EINVAL
+		}
+		d.node.mu.Lock()
+		defer d.node.mu.Unlock()
+		if d.off >= int64(len(d.node.data)) {
+			*n = 0
+			return 0, errno.OK
+		}
+		cnt := copy(buf, d.node.data[d.off:])
+		d.off += int64(cnt)
+		*n = int64(cnt)
+		return 0, errno.OK
+	})
+}
+
+// APRStat models apr_stat over a descriptor (the paper's Trigger 1 uses
+// it to check whether a descriptor points at a socket).
+func (t *Thread) APRStat(fd int64, out *Stat) int64 {
+	c := t.C
+	return t.call("apr_stat", []int64{fd}, func() (int64, errno.Errno) {
+		st, ok := c.RawStatFD(fd)
+		if !ok {
+			return int64(errno.EBADF), errno.EBADF
+		}
+		*out = st
+		return 0, errno.OK
+	})
+}

@@ -1,0 +1,480 @@
+package libsim
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"lfi/internal/errno"
+)
+
+// File kind bits, mirroring the st_mode format bits of struct stat.
+const (
+	S_IFREG  = 0x8000
+	S_IFDIR  = 0x4000
+	S_IFIFO  = 0x1000
+	S_IFSOCK = 0xC000
+)
+
+// open(2) flag bits used by the simulation.
+const (
+	O_RDONLY = 0x0
+	O_WRONLY = 0x1
+	O_RDWR   = 0x2
+	O_CREAT  = 0x40
+	O_TRUNC  = 0x200
+	O_APPEND = 0x400
+)
+
+// Stat is the simulated struct stat.
+type Stat struct {
+	Mode int64
+	Size int64
+}
+
+// IsFIFO reports whether the stat describes a pipe, as S_ISFIFO would.
+func (s Stat) IsFIFO() bool { return s.Mode&0xF000 == S_IFIFO }
+
+// IsDir reports whether the stat describes a directory.
+func (s Stat) IsDir() bool { return s.Mode&0xF000 == S_IFDIR }
+
+// IsSock reports whether the stat describes a socket.
+func (s Stat) IsSock() bool { return s.Mode&0xF000 == S_IFSOCK }
+
+type inode struct {
+	mu       sync.Mutex
+	kind     int64 // S_IFREG, S_IFDIR, S_IFIFO
+	data     []byte
+	children map[string]*inode
+	pipe     *pipeBuf
+}
+
+func newDir() *inode  { return &inode{kind: S_IFDIR, children: make(map[string]*inode)} }
+func newFile() *inode { return &inode{kind: S_IFREG} }
+
+type fdesc struct {
+	node  *inode
+	off   int64
+	flags int64
+	ep    NetEndpoint // non-nil for sockets
+	pipe  *pipeBuf    // non-nil for pipe ends
+	pipeW bool        // this fd is the write end
+}
+
+type pipeBuf struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	data    []byte
+	readers int
+	writers int
+}
+
+func newPipeBuf() *pipeBuf {
+	p := &pipeBuf{readers: 1, writers: 1}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// --- path resolution (caller holds c.mu) --------------------------------
+
+func splitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" && p != "." {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (c *C) lookup(path string) (*inode, errno.Errno) {
+	n := c.root
+	for _, part := range splitPath(path) {
+		if n.kind != S_IFDIR {
+			return nil, errno.ENOTDIR
+		}
+		child, ok := n.children[part]
+		if !ok {
+			return nil, errno.ENOENT
+		}
+		n = child
+	}
+	return n, errno.OK
+}
+
+func (c *C) lookupParent(path string) (*inode, string, errno.Errno) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, "", errno.EINVAL
+	}
+	n := c.root
+	for _, part := range parts[:len(parts)-1] {
+		child, ok := n.children[part]
+		if !ok {
+			return nil, "", errno.ENOENT
+		}
+		if child.kind != S_IFDIR {
+			return nil, "", errno.ENOTDIR
+		}
+		n = child
+	}
+	return n, parts[len(parts)-1], errno.OK
+}
+
+func (c *C) newFD(d *fdesc) int {
+	fd := c.nexfd
+	c.nexfd++
+	c.fds[fd] = d
+	return fd
+}
+
+// --- filesystem setup helpers (not interposed) ---------------------------
+
+// MustWriteFile creates path (and parents) with the given contents,
+// bypassing the dispatcher. Tests and workloads use it to stage fixtures.
+func (c *C) MustWriteFile(path string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.root
+	parts := splitPath(path)
+	for _, part := range parts[:len(parts)-1] {
+		child, ok := n.children[part]
+		if !ok {
+			child = newDir()
+			n.children[part] = child
+		}
+		n = child
+	}
+	f := newFile()
+	f.data = append([]byte(nil), data...)
+	n.children[parts[len(parts)-1]] = f
+}
+
+// MustMkdirAll creates a directory path, bypassing the dispatcher.
+func (c *C) MustMkdirAll(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.root
+	for _, part := range splitPath(path) {
+		child, ok := n.children[part]
+		if !ok {
+			child = newDir()
+			n.children[part] = child
+		}
+		n = child
+	}
+}
+
+// ReadFileRaw returns a file's contents, bypassing the dispatcher.
+func (c *C) ReadFileRaw(path string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, e := c.lookup(path)
+	if e != errno.OK || n.kind != S_IFREG {
+		return nil, false
+	}
+	return append([]byte(nil), n.data...), true
+}
+
+// --- interposed filesystem calls -----------------------------------------
+
+// Open models open(2), returning a file descriptor or -1.
+func (t *Thread) Open(path string, flags int64) int64 {
+	c := t.C
+	return t.call("open", []int64{int64(len(path)), flags}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n, e := c.lookup(path)
+		if e != errno.OK {
+			if flags&O_CREAT == 0 {
+				return -1, e
+			}
+			parent, name, pe := c.lookupParent(path)
+			if pe != errno.OK {
+				return -1, pe
+			}
+			n = newFile()
+			parent.children[name] = n
+		} else if n.kind == S_IFDIR && flags&(O_WRONLY|O_RDWR) != 0 {
+			return -1, errno.EISDIR
+		}
+		if flags&O_TRUNC != 0 && n.kind == S_IFREG {
+			n.data = nil
+		}
+		d := &fdesc{node: n, flags: flags}
+		if flags&O_APPEND != 0 {
+			d.off = int64(len(n.data))
+		}
+		return int64(c.newFD(d)), errno.OK
+	})
+}
+
+// Close models close(2).
+func (t *Thread) Close(fd int64) int64 {
+	c := t.C
+	return t.call("close", []int64{fd}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		d, ok := c.fds[int(fd)]
+		if ok {
+			delete(c.fds, int(fd))
+		}
+		c.mu.Unlock()
+		if !ok {
+			return -1, errno.EBADF
+		}
+		if d.ep != nil {
+			d.ep.Close()
+		}
+		if d.pipe != nil {
+			d.pipe.mu.Lock()
+			if d.pipeW {
+				d.pipe.writers--
+			} else {
+				d.pipe.readers--
+			}
+			d.pipe.cond.Broadcast()
+			d.pipe.mu.Unlock()
+		}
+		return 0, errno.OK
+	})
+}
+
+// Read models read(2) into buf, returning the byte count, 0 at EOF, or -1.
+func (t *Thread) Read(fd int64, buf []byte) int64 {
+	c := t.C
+	return t.call("read", []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		d, ok := c.fds[int(fd)]
+		c.mu.Unlock()
+		if !ok {
+			return -1, errno.EBADF
+		}
+		if d.pipe != nil && !d.pipeW {
+			return d.pipe.read(buf, d.flags&O_NONBLOCK != 0)
+		}
+		if d.node == nil || d.node.kind != S_IFREG {
+			return -1, errno.EINVAL
+		}
+		d.node.mu.Lock()
+		defer d.node.mu.Unlock()
+		if d.off >= int64(len(d.node.data)) {
+			return 0, errno.OK
+		}
+		n := copy(buf, d.node.data[d.off:])
+		d.off += int64(n)
+		return int64(n), errno.OK
+	})
+}
+
+// Write models write(2), returning the byte count or -1.
+func (t *Thread) Write(fd int64, buf []byte) int64 {
+	c := t.C
+	return t.call("write", []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		d, ok := c.fds[int(fd)]
+		c.mu.Unlock()
+		if !ok {
+			return -1, errno.EBADF
+		}
+		if d.pipe != nil && d.pipeW {
+			return d.pipe.write(buf)
+		}
+		if d.node == nil || d.node.kind != S_IFREG {
+			return -1, errno.EINVAL
+		}
+		d.node.mu.Lock()
+		defer d.node.mu.Unlock()
+		if gap := d.off - int64(len(d.node.data)); gap > 0 {
+			d.node.data = append(d.node.data, make([]byte, gap)...)
+		}
+		n := copy(d.node.data[d.off:], buf)
+		d.node.data = append(d.node.data, buf[n:]...)
+		d.off += int64(len(buf))
+		return int64(len(buf)), errno.OK
+	})
+}
+
+// Lseek models lseek(2) with SEEK_SET semantics only (whence 0).
+func (t *Thread) Lseek(fd, off int64) int64 {
+	c := t.C
+	return t.call("lseek", []int64{fd, off, 0}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		d, ok := c.fds[int(fd)]
+		if !ok {
+			return -1, errno.EBADF
+		}
+		if off < 0 || d.node == nil {
+			return -1, errno.EINVAL
+		}
+		d.off = off
+		return off, errno.OK
+	})
+}
+
+// Unlink models unlink(2).
+func (t *Thread) Unlink(path string) int64 {
+	c := t.C
+	return t.call("unlink", []int64{int64(len(path))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		parent, name, e := c.lookupParent(path)
+		if e != errno.OK {
+			return -1, e
+		}
+		n, ok := parent.children[name]
+		if !ok {
+			return -1, errno.ENOENT
+		}
+		if n.kind == S_IFDIR {
+			return -1, errno.EISDIR
+		}
+		delete(parent.children, name)
+		return 0, errno.OK
+	})
+}
+
+// Mkdir models mkdir(2).
+func (t *Thread) Mkdir(path string) int64 {
+	c := t.C
+	return t.call("mkdir", []int64{int64(len(path))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		parent, name, e := c.lookupParent(path)
+		if e != errno.OK {
+			return -1, e
+		}
+		if _, ok := parent.children[name]; ok {
+			return -1, errno.EEXIST
+		}
+		parent.children[name] = newDir()
+		return 0, errno.OK
+	})
+}
+
+// StatPath models stat(2); the out parameter plays the role of the
+// caller-provided struct stat buffer.
+func (t *Thread) StatPath(path string, out *Stat) int64 {
+	c := t.C
+	return t.call("stat", []int64{int64(len(path))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n, e := c.lookup(path)
+		if e != errno.OK {
+			return -1, e
+		}
+		out.Mode = n.kind
+		out.Size = int64(len(n.data))
+		return 0, errno.OK
+	})
+}
+
+// Fstat models fstat(2).
+func (t *Thread) Fstat(fd int64, out *Stat) int64 {
+	c := t.C
+	return t.call("fstat", []int64{fd}, func() (int64, errno.Errno) {
+		st, ok := c.RawStatFD(fd)
+		if !ok {
+			return -1, errno.EBADF
+		}
+		*out = st
+		return 0, errno.OK
+	})
+}
+
+// RawStatFD is Fstat without interposition, for use inside triggers.
+func (c *C) RawStatFD(fd int64) (Stat, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.fds[int(fd)]
+	if !ok {
+		return Stat{}, false
+	}
+	switch {
+	case d.pipe != nil:
+		return Stat{Mode: S_IFIFO}, true
+	case d.ep != nil:
+		return Stat{Mode: S_IFSOCK}, true
+	default:
+		d.node.mu.Lock()
+		defer d.node.mu.Unlock()
+		return Stat{Mode: d.node.kind, Size: int64(len(d.node.data))}, true
+	}
+}
+
+// Pipe models pipe(2): on success fds[0] is the read end and fds[1] the
+// write end.
+func (t *Thread) Pipe(fds *[2]int64) int64 {
+	c := t.C
+	return t.call("pipe", nil, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		p := newPipeBuf()
+		fds[0] = int64(c.newFD(&fdesc{pipe: p}))
+		fds[1] = int64(c.newFD(&fdesc{pipe: p, pipeW: true}))
+		return 0, errno.OK
+	})
+}
+
+func (p *pipeBuf) read(buf []byte, nonblock bool) (int64, errno.Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.data) == 0 {
+		if p.writers == 0 {
+			return 0, errno.OK // EOF
+		}
+		if nonblock {
+			return -1, errno.EAGAIN
+		}
+		p.cond.Wait()
+	}
+	n := copy(buf, p.data)
+	p.data = p.data[n:]
+	p.cond.Broadcast()
+	return int64(n), errno.OK
+}
+
+func (p *pipeBuf) write(buf []byte) (int64, errno.Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readers == 0 {
+		return -1, errno.EPIPE
+	}
+	p.data = append(p.data, buf...)
+	p.cond.Broadcast()
+	return int64(len(buf)), errno.OK
+}
+
+// Readlink models readlink(2). The simulated fs stores link targets as
+// file contents under a ".lnk" naming convention used by minivcs.
+func (t *Thread) Readlink(path string, buf []byte) int64 {
+	c := t.C
+	return t.call("readlink", []int64{int64(len(path)), 0, int64(len(buf))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n, e := c.lookup(path + ".lnk")
+		if e != errno.OK {
+			return -1, errno.EINVAL
+		}
+		cnt := copy(buf, n.data)
+		return int64(cnt), errno.OK
+	})
+}
+
+// ListDirRaw returns sorted child names of a directory, bypassing the
+// dispatcher (fixture/verification helper).
+func (c *C) ListDirRaw(path string) ([]string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, e := c.lookup(path)
+	if e != errno.OK || n.kind != S_IFDIR {
+		return nil, false
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, true
+}

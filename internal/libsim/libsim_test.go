@@ -1,0 +1,532 @@
+package libsim
+
+import (
+	"testing"
+
+	"lfi/internal/errno"
+)
+
+func newProc() (*C, *Thread) {
+	c := New(1 << 20)
+	t := c.NewThread("test", "main")
+	return c, t
+}
+
+// catchCrash runs f and returns the crash it raised, or nil.
+func catchCrash(f func()) (crash *Crash) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(*Crash); ok {
+				crash = c
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// --- filesystem ---------------------------------------------------------
+
+func TestOpenReadWriteClose(t *testing.T) {
+	c, th := newProc()
+	c.MustMkdirAll("/data")
+	fd := th.Open("/data/f.txt", O_CREAT|O_RDWR)
+	if fd < 0 {
+		t.Fatalf("open failed: %v", th.Errno())
+	}
+	if n := th.Write(fd, []byte("hello world")); n != 11 {
+		t.Fatalf("write = %d", n)
+	}
+	if th.Lseek(fd, 0) != 0 {
+		t.Fatal("lseek failed")
+	}
+	buf := make([]byte, 5)
+	if n := th.Read(fd, buf); n != 5 || string(buf) != "hello" {
+		t.Fatalf("read = %d %q", n, buf)
+	}
+	if th.Close(fd) != 0 {
+		t.Fatal("close failed")
+	}
+	if th.Close(fd) != -1 || th.Errno() != errno.EBADF {
+		t.Fatal("double close should fail with EBADF")
+	}
+}
+
+func TestOpenMissingSetsENOENT(t *testing.T) {
+	_, th := newProc()
+	if fd := th.Open("/nope", O_RDONLY); fd != -1 {
+		t.Fatalf("open succeeded: %d", fd)
+	}
+	if th.Errno() != errno.ENOENT {
+		t.Fatalf("errno = %v", th.Errno())
+	}
+}
+
+func TestErrnoPreservedOnSuccess(t *testing.T) {
+	c, th := newProc()
+	c.MustWriteFile("/f", []byte("x"))
+	th.Open("/missing", O_RDONLY) // sets ENOENT
+	fd := th.Open("/f", O_RDONLY)
+	if fd < 0 {
+		t.Fatal("open failed")
+	}
+	if th.Errno() != errno.ENOENT {
+		t.Fatal("successful call must not clear errno (POSIX)")
+	}
+}
+
+func TestReadAtEOFReturnsZero(t *testing.T) {
+	c, th := newProc()
+	c.MustWriteFile("/f", []byte("ab"))
+	fd := th.Open("/f", O_RDONLY)
+	buf := make([]byte, 8)
+	if n := th.Read(fd, buf); n != 2 {
+		t.Fatalf("first read = %d", n)
+	}
+	if n := th.Read(fd, buf); n != 0 {
+		t.Fatalf("read at EOF = %d, want 0", n)
+	}
+}
+
+func TestUnlinkAndStat(t *testing.T) {
+	c, th := newProc()
+	c.MustWriteFile("/dir/f", []byte("abc"))
+	var st Stat
+	if th.StatPath("/dir/f", &st) != 0 || st.Size != 3 || st.IsDir() {
+		t.Fatalf("stat: %+v", st)
+	}
+	if th.Unlink("/dir/f") != 0 {
+		t.Fatal("unlink failed")
+	}
+	if th.StatPath("/dir/f", &st) != -1 || th.Errno() != errno.ENOENT {
+		t.Fatal("stat after unlink should ENOENT")
+	}
+	if th.Unlink("/dir") != -1 || th.Errno() != errno.EISDIR {
+		t.Fatal("unlink dir should EISDIR")
+	}
+}
+
+func TestMkdirDuplicate(t *testing.T) {
+	_, th := newProc()
+	if th.Mkdir("/a") != 0 {
+		t.Fatal("mkdir failed")
+	}
+	if th.Mkdir("/a") != -1 || th.Errno() != errno.EEXIST {
+		t.Fatal("duplicate mkdir should EEXIST")
+	}
+}
+
+func TestOpenTruncAndAppend(t *testing.T) {
+	c, th := newProc()
+	c.MustWriteFile("/f", []byte("old-contents"))
+	fd := th.Open("/f", O_WRONLY|O_TRUNC)
+	th.Write(fd, []byte("new"))
+	th.Close(fd)
+	data, _ := c.ReadFileRaw("/f")
+	if string(data) != "new" {
+		t.Fatalf("after trunc: %q", data)
+	}
+	fd = th.Open("/f", O_WRONLY|O_APPEND)
+	th.Write(fd, []byte("+more"))
+	th.Close(fd)
+	data, _ = c.ReadFileRaw("/f")
+	if string(data) != "new+more" {
+		t.Fatalf("after append: %q", data)
+	}
+}
+
+func TestPipeReadWrite(t *testing.T) {
+	_, th := newProc()
+	var fds [2]int64
+	if th.Pipe(&fds) != 0 {
+		t.Fatal("pipe failed")
+	}
+	var st Stat
+	th.Fstat(fds[0], &st)
+	if !st.IsFIFO() {
+		t.Fatal("pipe fd should stat as FIFO")
+	}
+	th.Write(fds[1], []byte("ping"))
+	buf := make([]byte, 16)
+	if n := th.Read(fds[0], buf); n != 4 || string(buf[:4]) != "ping" {
+		t.Fatalf("pipe read = %d %q", n, buf[:n])
+	}
+	// Close write end: read now sees EOF.
+	th.Close(fds[1])
+	if n := th.Read(fds[0], buf); n != 0 {
+		t.Fatalf("read after writer close = %d, want EOF", n)
+	}
+}
+
+func TestPipeNonblockEAGAIN(t *testing.T) {
+	_, th := newProc()
+	var fds [2]int64
+	th.Pipe(&fds)
+	th.Fcntl(fds[0], F_SETFL, O_NONBLOCK)
+	buf := make([]byte, 4)
+	if n := th.Read(fds[0], buf); n != -1 || th.Errno() != errno.EAGAIN {
+		t.Fatalf("nonblocking empty pipe read = %d errno=%v", n, th.Errno())
+	}
+}
+
+func TestWriteToClosedPipeEPIPE(t *testing.T) {
+	_, th := newProc()
+	var fds [2]int64
+	th.Pipe(&fds)
+	th.Close(fds[0])
+	if n := th.Write(fds[1], []byte("x")); n != -1 || th.Errno() != errno.EPIPE {
+		t.Fatalf("write to closed pipe = %d errno=%v", n, th.Errno())
+	}
+}
+
+// --- heap ----------------------------------------------------------------
+
+func TestMallocFree(t *testing.T) {
+	c, th := newProc()
+	p := th.Malloc(100)
+	if p == 0 {
+		t.Fatal("malloc failed")
+	}
+	if c.Heap().Live() != 1 {
+		t.Fatal("live count wrong")
+	}
+	data := th.Deref(p)
+	if len(data) != 100 {
+		t.Fatalf("block size %d", len(data))
+	}
+	th.Free(p)
+	if c.Heap().Live() != 0 {
+		t.Fatal("block still live after free")
+	}
+}
+
+func TestMallocENOMEMOnCapacity(t *testing.T) {
+	c := New(64)
+	th := c.NewThread("test", "main")
+	if p := th.Malloc(65); p != 0 || th.Errno() != errno.ENOMEM {
+		t.Fatalf("oversized malloc = %d errno=%v", p, th.Errno())
+	}
+}
+
+func TestMallocFailNext(t *testing.T) {
+	c, th := newProc()
+	c.Heap().FailNext(1)
+	if p := th.Malloc(8); p != 0 {
+		t.Fatal("FailNext ignored")
+	}
+	if p := th.Malloc(8); p == 0 {
+		t.Fatal("allocation after FailNext window failed")
+	}
+}
+
+func TestFreeNULLNoop(t *testing.T) {
+	_, th := newProc()
+	if crash := catchCrash(func() { th.Free(0) }); crash != nil {
+		t.Fatalf("free(NULL) crashed: %v", crash)
+	}
+}
+
+func TestDoubleFreeAborts(t *testing.T) {
+	_, th := newProc()
+	p := th.Malloc(8)
+	th.Free(p)
+	crash := catchCrash(func() { th.Free(p) })
+	if crash == nil || crash.Kind != Abort {
+		t.Fatalf("double free: %v", crash)
+	}
+}
+
+func TestDerefNULLSegfaults(t *testing.T) {
+	_, th := newProc()
+	crash := catchCrash(func() { th.Deref(0) })
+	if crash == nil || crash.Kind != Segfault {
+		t.Fatalf("NULL deref: %v", crash)
+	}
+}
+
+func TestUseAfterFreeSegfaults(t *testing.T) {
+	_, th := newProc()
+	p := th.Malloc(8)
+	th.Free(p)
+	crash := catchCrash(func() { th.Deref(p) })
+	if crash == nil || crash.Kind != Segfault {
+		t.Fatalf("use-after-free: %v", crash)
+	}
+}
+
+// --- stdio -----------------------------------------------------------------
+
+func TestFopenFwriteFreadFclose(t *testing.T) {
+	c, th := newProc()
+	c.MustMkdirAll("/tmp")
+	fp := th.Fopen("/tmp/x", "w")
+	if fp == 0 {
+		t.Fatalf("fopen(w) failed: %v", th.Errno())
+	}
+	if th.Fwrite([]byte("data!"), fp) != 5 {
+		t.Fatal("fwrite short")
+	}
+	th.Fclose(fp)
+	fp = th.Fopen("/tmp/x", "r")
+	buf := make([]byte, 16)
+	if n := th.Fread(buf, fp); n != 5 || string(buf[:5]) != "data!" {
+		t.Fatalf("fread = %d %q", n, buf[:n])
+	}
+	th.Fclose(fp)
+}
+
+func TestFopenMissingReturnsNULL(t *testing.T) {
+	_, th := newProc()
+	if fp := th.Fopen("/no/such", "r"); fp != 0 {
+		t.Fatalf("fopen = %#x", fp)
+	}
+	if th.Errno() != errno.ENOENT {
+		t.Fatalf("errno = %v", th.Errno())
+	}
+}
+
+func TestFwriteNULLCrashes(t *testing.T) {
+	_, th := newProc()
+	crash := catchCrash(func() { th.Fwrite([]byte("x"), 0) })
+	if crash == nil || crash.Kind != Segfault {
+		t.Fatalf("fwrite(NULL): %v", crash)
+	}
+}
+
+func TestFopenAppendMode(t *testing.T) {
+	c, th := newProc()
+	c.MustWriteFile("/f", []byte("AB"))
+	fp := th.Fopen("/f", "a")
+	th.Fwrite([]byte("CD"), fp)
+	th.Fclose(fp)
+	data, _ := c.ReadFileRaw("/f")
+	if string(data) != "ABCD" {
+		t.Fatalf("append result %q", data)
+	}
+}
+
+// --- dirent -----------------------------------------------------------------
+
+func TestOpendirReaddir(t *testing.T) {
+	c, th := newProc()
+	c.MustWriteFile("/d/b", nil)
+	c.MustWriteFile("/d/a", nil)
+	dir := th.Opendir("/d")
+	if dir == 0 {
+		t.Fatal("opendir failed")
+	}
+	var names []string
+	for {
+		n, ok := th.Readdir(dir)
+		if !ok {
+			break
+		}
+		names = append(names, n)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("entries %v", names)
+	}
+	if th.Closedir(dir) != 0 {
+		t.Fatal("closedir failed")
+	}
+}
+
+func TestOpendirMissingReturnsNULL(t *testing.T) {
+	_, th := newProc()
+	if d := th.Opendir("/missing"); d != 0 || th.Errno() != errno.ENOENT {
+		t.Fatalf("opendir = %#x errno=%v", d, th.Errno())
+	}
+}
+
+func TestReaddirNULLCrashes(t *testing.T) {
+	_, th := newProc()
+	crash := catchCrash(func() { th.Readdir(0) })
+	if crash == nil || crash.Kind != Segfault {
+		t.Fatalf("readdir(NULL): %v", crash)
+	}
+}
+
+// --- mutexes -----------------------------------------------------------------
+
+func TestMutexLockUnlock(t *testing.T) {
+	c, th := newProc()
+	m := c.MutexInit()
+	if th.MutexLock(m) != 0 {
+		t.Fatal("lock failed")
+	}
+	if th.Locks() != 1 {
+		t.Fatalf("lock count = %d", th.Locks())
+	}
+	if th.MutexUnlock(m) != 0 {
+		t.Fatal("unlock failed")
+	}
+	if th.Locks() != 0 {
+		t.Fatalf("lock count = %d", th.Locks())
+	}
+}
+
+func TestDoubleUnlockAborts(t *testing.T) {
+	c, th := newProc()
+	m := c.MutexInit()
+	th.MutexLock(m)
+	th.MutexUnlock(m)
+	crash := catchCrash(func() { th.MutexUnlock(m) })
+	if crash == nil || crash.Kind != Abort {
+		t.Fatalf("double unlock: %v", crash)
+	}
+}
+
+// --- env -----------------------------------------------------------------------
+
+func TestSetenvGetenv(t *testing.T) {
+	_, th := newProc()
+	if th.Setenv("PATH", "/bin") != 0 {
+		t.Fatal("setenv failed")
+	}
+	if v, ok := th.Getenv("PATH"); !ok || v != "/bin" {
+		t.Fatalf("getenv = %q %v", v, ok)
+	}
+	th.Unsetenv("PATH")
+	if _, ok := th.Getenv("PATH"); ok {
+		t.Fatal("unsetenv did not remove")
+	}
+}
+
+func TestSetenvEmptyNameEINVAL(t *testing.T) {
+	_, th := newProc()
+	if th.Setenv("", "x") != -1 || th.Errno() != errno.EINVAL {
+		t.Fatal("setenv(\"\") should EINVAL")
+	}
+}
+
+// --- virtual stacks ---------------------------------------------------------
+
+func TestEnterPopStack(t *testing.T) {
+	_, th := newProc()
+	pop := th.Enter("mod", "f", 0x100)
+	inner := th.Enter("mod", "g", 0x200)
+	st := th.StackCopy()
+	if len(st) != 3 || st[2].Func != "g" || st[1].Func != "f" {
+		t.Fatalf("stack %v", st)
+	}
+	inner()
+	pop()
+	if th.Depth() != 1 {
+		t.Fatalf("depth after pops = %d", th.Depth())
+	}
+}
+
+// --- fcntl + vars -------------------------------------------------------------
+
+func TestFcntlFlags(t *testing.T) {
+	c, th := newProc()
+	c.MustWriteFile("/f", nil)
+	fd := th.Open("/f", O_RDONLY)
+	if th.Fcntl(fd, F_GETFL, 0)&O_NONBLOCK != 0 {
+		t.Fatal("O_NONBLOCK set initially")
+	}
+	th.Fcntl(fd, F_SETFL, O_NONBLOCK)
+	if !c.RawNonblocking(fd) {
+		t.Fatal("RawNonblocking false after F_SETFL")
+	}
+	if th.Fcntl(999, F_GETFL, 0) != -1 || th.Errno() != errno.EBADF {
+		t.Fatal("fcntl on bad fd")
+	}
+}
+
+func TestRegisterVar(t *testing.T) {
+	c, _ := newProc()
+	v := int64(41)
+	c.RegisterVar("thread_count", func() int64 { return v })
+	got, ok := c.ReadVar("thread_count")
+	if !ok || got != 41 {
+		t.Fatalf("ReadVar = %d %v", got, ok)
+	}
+	v = 64
+	if got, _ := c.ReadVar("thread_count"); got != 64 {
+		t.Fatal("getter not live")
+	}
+	if _, ok := c.ReadVar("nope"); ok {
+		t.Fatal("unknown var found")
+	}
+}
+
+// --- xml / apr libs -------------------------------------------------------------
+
+func TestXMLWriterLifecycle(t *testing.T) {
+	_, th := newProc()
+	w := th.XMLNewTextWriterDoc()
+	if w == 0 {
+		t.Fatal("writer alloc failed")
+	}
+	th.XMLTextWriterWriteElement(w, "counter", "7")
+	doc := th.XMLFreeTextWriter(w)
+	if doc != "<counter>7</counter>" {
+		t.Fatalf("doc = %q", doc)
+	}
+}
+
+func TestXMLWriterOOM(t *testing.T) {
+	c, th := newProc()
+	c.Heap().FailAll(true)
+	if w := th.XMLNewTextWriterDoc(); w != 0 || th.Errno() != errno.ENOMEM {
+		t.Fatalf("writer under OOM = %#x errno=%v", w, th.Errno())
+	}
+}
+
+func TestXMLWriteNULLCrashes(t *testing.T) {
+	_, th := newProc()
+	crash := catchCrash(func() { th.XMLTextWriterWriteElement(0, "a", "b") })
+	if crash == nil || crash.Kind != Segfault {
+		t.Fatalf("NULL writer: %v", crash)
+	}
+}
+
+func TestAPRFileRead(t *testing.T) {
+	c, th := newProc()
+	c.MustWriteFile("/web/index.html", []byte("<html>"))
+	fd := th.Open("/web/index.html", O_RDONLY)
+	buf := make([]byte, 32)
+	var n int64
+	if st := th.APRFileRead(fd, buf, &n); st != 0 || n != 6 {
+		t.Fatalf("apr_file_read status=%d n=%d", st, n)
+	}
+	var s Stat
+	if th.APRStat(fd, &s) != 0 || s.IsSock() {
+		t.Fatalf("apr_stat %+v", s)
+	}
+}
+
+// --- crash metadata -------------------------------------------------------------
+
+func TestCrashCarriesStack(t *testing.T) {
+	_, th := newProc()
+	pop := th.Enter("app", "handler", 0x42)
+	defer pop()
+	crash := catchCrash(func() { th.RaiseCrash(Segfault, "boom %d", 1) })
+	if crash == nil {
+		t.Fatal("no crash")
+	}
+	if crash.Reason != "boom 1" || crash.Thread != th.ID {
+		t.Fatalf("crash fields: %+v", crash)
+	}
+	if len(crash.Stack) != 2 || crash.Stack[1].Func != "handler" {
+		t.Fatalf("crash stack: %v", crash.Stack)
+	}
+	if crash.Error() == "" {
+		t.Fatal("empty Error()")
+	}
+}
+
+func TestAssert(t *testing.T) {
+	_, th := newProc()
+	if crash := catchCrash(func() { th.Assert(true, "fine") }); crash != nil {
+		t.Fatal("true assert crashed")
+	}
+	crash := catchCrash(func() { th.Assert(false, "dst != NULL") })
+	if crash == nil || crash.Kind != Abort {
+		t.Fatalf("false assert: %v", crash)
+	}
+}

@@ -1,0 +1,157 @@
+package libsim
+
+import (
+	"sync"
+
+	"lfi/internal/errno"
+)
+
+// Arena is the simulated heap behind malloc/free. Allocations are dense
+// handles in a private address range; the arena tracks block liveness so
+// that use-after-free and double-free surface as simulated crashes, and
+// it can run out of memory either naturally (capacity) or on demand
+// (FailNext / FailAll), which is how tests seed genuine ENOMEM paths.
+type Arena struct {
+	mu       sync.Mutex
+	next     int64
+	capacity int64
+	used     int64
+	blocks   map[int64]*block
+	failNext int  // fail the next N allocations
+	failAll  bool // fail every allocation
+}
+
+type block struct {
+	size  int64
+	freed bool
+	data  []byte
+}
+
+// heapBase keeps heap pointers visually distinct from other handle
+// spaces in logs.
+const heapBase = 0x1000_0000
+
+// NewArena creates a heap with the given capacity in bytes; capacity <= 0
+// means unlimited.
+func NewArena(capacity int64) *Arena {
+	return &Arena{next: heapBase, capacity: capacity, blocks: make(map[int64]*block)}
+}
+
+// FailNext forces the next n allocations to return NULL/ENOMEM.
+func (a *Arena) FailNext(n int) {
+	a.mu.Lock()
+	a.failNext = n
+	a.mu.Unlock()
+}
+
+// FailAll switches every subsequent allocation to failure (and back).
+func (a *Arena) FailAll(v bool) {
+	a.mu.Lock()
+	a.failAll = v
+	a.mu.Unlock()
+}
+
+// Used returns the live byte count.
+func (a *Arena) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Live returns the number of live (allocated, unfreed) blocks.
+func (a *Arena) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, b := range a.blocks {
+		if !b.freed {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *Arena) alloc(size int64) (int64, errno.Errno) {
+	if size <= 0 {
+		return 0, errno.EINVAL
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failAll || a.failNext > 0 {
+		if a.failNext > 0 {
+			a.failNext--
+		}
+		return 0, errno.ENOMEM
+	}
+	if a.capacity > 0 && a.used+size > a.capacity {
+		return 0, errno.ENOMEM
+	}
+	ptr := a.next
+	a.next += (size + 15) &^ 15 // 16-byte alignment, like real allocators
+	a.blocks[ptr] = &block{size: size, data: make([]byte, size)}
+	a.used += size
+	return ptr, errno.OK
+}
+
+func (a *Arena) release(ptr int64) errno.Errno {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.blocks[ptr]
+	if !ok || b.freed {
+		return errno.EFAULT // caller turns this into a crash
+	}
+	b.freed = true
+	a.used -= b.size
+	return errno.OK
+}
+
+// Malloc models malloc(3): a non-zero pointer handle, or 0 with ENOMEM.
+func (t *Thread) Malloc(size int64) int64 {
+	a := t.C.heap
+	return t.call("malloc", []int64{size}, func() (int64, errno.Errno) {
+		return a.alloc(size)
+	})
+}
+
+// Calloc models calloc(3) (single-chunk form).
+func (t *Thread) Calloc(n, size int64) int64 {
+	a := t.C.heap
+	return t.call("calloc", []int64{n, size}, func() (int64, errno.Errno) {
+		if n <= 0 || size <= 0 || n > (1<<40)/size {
+			return 0, errno.EINVAL
+		}
+		return a.alloc(n * size)
+	})
+}
+
+// Free models free(3). Freeing NULL is a no-op; freeing a wild or
+// already-freed pointer crashes the program, as glibc would abort.
+func (t *Thread) Free(ptr int64) {
+	a := t.C.heap
+	t.call("free", []int64{ptr}, func() (int64, errno.Errno) {
+		if ptr == 0 {
+			return 0, errno.OK
+		}
+		if e := a.release(ptr); e != errno.OK {
+			t.RaiseCrash(Abort, "free(): invalid pointer %#x", ptr)
+		}
+		return 0, errno.OK
+	})
+}
+
+// Deref validates a heap pointer before simulated use. Programs call it
+// where C code would dereference; a NULL or dead pointer crashes with
+// SIGSEGV, which is how the paper's unchecked-malloc bugs manifest.
+func (t *Thread) Deref(ptr int64) []byte {
+	a := t.C.heap
+	a.mu.Lock()
+	b, ok := a.blocks[ptr]
+	a.mu.Unlock()
+	if ptr == 0 {
+		t.RaiseCrash(Segfault, "NULL pointer dereference")
+	}
+	if !ok || b.freed {
+		t.RaiseCrash(Segfault, "invalid pointer dereference %#x", ptr)
+	}
+	return b.data
+}

@@ -1,0 +1,81 @@
+package libsim
+
+import (
+	"sync"
+
+	"lfi/internal/errno"
+)
+
+// simMutex is the object behind a pthread_mutex_t handle. It is a
+// non-recursive mutex with owner tracking so that the double-unlock
+// class of bug (the MySQL mi_create crash from Table 1) aborts the
+// simulated program the way glibc's error-checking mutexes do.
+type simMutex struct {
+	mu    sync.Mutex
+	inner sync.Mutex
+	owner int // thread id, 0 when unlocked
+}
+
+// MutexInit models pthread_mutex_init(3), returning a mutex handle.
+// Initialization itself is not a fault-injection target in the paper, so
+// it is not interposed.
+func (c *C) MutexInit() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.nextMutex
+	c.nextMutex++
+	c.mutexes[h] = &simMutex{}
+	return h
+}
+
+func (c *C) mutex(h int64) (*simMutex, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.mutexes[h]
+	return m, ok
+}
+
+// MutexLock models pthread_mutex_lock(3). The call is interposed so that
+// stateful triggers (WithMutex, close-after-unlock) can observe it.
+func (t *Thread) MutexLock(h int64) int64 {
+	c := t.C
+	return t.call("pthread_mutex_lock", []int64{h}, func() (int64, errno.Errno) {
+		m, ok := c.mutex(h)
+		if !ok {
+			return -1, errno.EINVAL
+		}
+		m.inner.Lock()
+		m.mu.Lock()
+		m.owner = t.ID
+		m.mu.Unlock()
+		t.addLock(1)
+		return 0, errno.OK
+	})
+}
+
+// MutexUnlock models pthread_mutex_unlock(3). Unlocking a mutex the
+// thread does not hold aborts the program (double unlock).
+func (t *Thread) MutexUnlock(h int64) int64 {
+	c := t.C
+	return t.call("pthread_mutex_unlock", []int64{h}, func() (int64, errno.Errno) {
+		m, ok := c.mutex(h)
+		if !ok {
+			return -1, errno.EINVAL
+		}
+		m.mu.Lock()
+		owner := m.owner
+		if owner == t.ID {
+			m.owner = 0
+		}
+		m.mu.Unlock()
+		if owner != t.ID {
+			t.RaiseCrash(Abort, "pthread_mutex_unlock: mutex %#x not held (double unlock)", h)
+		}
+		m.inner.Unlock()
+		t.addLock(-1)
+		return 0, errno.OK
+	})
+}
+
+// Self models pthread_self(3).
+func (t *Thread) Self() int64 { return int64(t.ID) }

@@ -1,0 +1,131 @@
+package libsim
+
+import (
+	"lfi/internal/errno"
+)
+
+// file is the object behind a FILE* handle.
+type file struct {
+	node *inode
+	off  int64
+	wr   bool
+}
+
+// Fopen models fopen(3): a non-zero FILE* handle, or 0 (NULL) on error.
+// Supported modes are "r", "w", and "a".
+func (t *Thread) Fopen(path, mode string) int64 {
+	c := t.C
+	return t.call("fopen", []int64{int64(len(path)), int64(len(mode))}, func() (int64, errno.Errno) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		var n *inode
+		var e errno.Errno
+		switch mode {
+		case "r":
+			n, e = c.lookup(path)
+			if e != errno.OK {
+				return 0, e
+			}
+			if n.kind != S_IFREG {
+				return 0, errno.EISDIR
+			}
+		case "w", "a":
+			n, e = c.lookup(path)
+			if e == errno.ENOENT {
+				parent, name, pe := c.lookupParent(path)
+				if pe != errno.OK {
+					return 0, pe
+				}
+				n = newFile()
+				parent.children[name] = n
+			} else if e != errno.OK {
+				return 0, e
+			} else if n.kind != S_IFREG {
+				return 0, errno.EISDIR
+			}
+			if mode == "w" {
+				n.data = nil
+			}
+		default:
+			return 0, errno.EINVAL
+		}
+		h := c.nextFile
+		c.nextFile++
+		f := &file{node: n, wr: mode != "r"}
+		if mode == "a" {
+			f.off = int64(len(n.data))
+		}
+		c.files[h] = f
+		return h, errno.OK
+	})
+}
+
+// lookupFile resolves a FILE* handle; a NULL or stale handle crashes,
+// which is exactly how the PBFT checkpoint bug (fwrite after failed
+// fopen) manifests.
+func (t *Thread) lookupFile(h int64, op string) *file {
+	c := t.C
+	c.mu.Lock()
+	f, ok := c.files[h]
+	c.mu.Unlock()
+	if h == 0 {
+		t.RaiseCrash(Segfault, "%s(NULL FILE*)", op)
+	}
+	if !ok {
+		t.RaiseCrash(Segfault, "%s on invalid FILE* %#x", op, h)
+	}
+	return f
+}
+
+// Fwrite models fwrite(3) with size=1: returns the number of bytes
+// written. Calling it with a NULL stream crashes the program.
+func (t *Thread) Fwrite(data []byte, stream int64) int64 {
+	return t.call("fwrite", []int64{0, 1, int64(len(data)), stream}, func() (int64, errno.Errno) {
+		f := t.lookupFile(stream, "fwrite")
+		if !f.wr {
+			return 0, errno.EBADF
+		}
+		f.node.mu.Lock()
+		defer f.node.mu.Unlock()
+		f.node.data = append(f.node.data[:f.off], data...)
+		f.off += int64(len(data))
+		return int64(len(data)), errno.OK
+	})
+}
+
+// Fread models fread(3) with size=1: returns the number of bytes read
+// (possibly short at EOF). A NULL stream crashes.
+func (t *Thread) Fread(buf []byte, stream int64) int64 {
+	return t.call("fread", []int64{0, 1, int64(len(buf)), stream}, func() (int64, errno.Errno) {
+		f := t.lookupFile(stream, "fread")
+		f.node.mu.Lock()
+		defer f.node.mu.Unlock()
+		if f.off >= int64(len(f.node.data)) {
+			return 0, errno.OK
+		}
+		n := copy(buf, f.node.data[f.off:])
+		f.off += int64(n)
+		return int64(n), errno.OK
+	})
+}
+
+// Fclose models fclose(3). Closing NULL crashes (as glibc does).
+func (t *Thread) Fclose(stream int64) int64 {
+	c := t.C
+	return t.call("fclose", []int64{stream}, func() (int64, errno.Errno) {
+		t.lookupFile(stream, "fclose")
+		c.mu.Lock()
+		delete(c.files, stream)
+		c.mu.Unlock()
+		return 0, errno.OK
+	})
+}
+
+// Fflush models fflush(3); the in-memory stream has nothing buffered, so
+// it only validates the handle.
+func (t *Thread) Fflush(stream int64) int64 {
+	return t.call("fflush", []int64{stream}, func() (int64, errno.Errno) {
+		t.lookupFile(stream, "fflush")
+		return 0, errno.OK
+	})
+}

@@ -1,0 +1,129 @@
+package libsim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lfi/internal/errno"
+	"lfi/internal/interpose"
+)
+
+// Thread is a simulated POSIX thread. Go has no thread-local storage, so
+// everything the paper keeps in TLS — most importantly errno — lives in
+// an explicit handle that simulated code threads through its calls. A
+// Thread also maintains the virtual call stack that call-stack triggers
+// inspect (the analogue of backtrace()) and the count of POSIX mutexes
+// currently held (used by WithMutex-style triggers).
+type Thread struct {
+	ID int
+	C  *C
+
+	errno errno.Errno
+
+	mu     sync.Mutex
+	frames []interpose.Frame
+	locks  int
+}
+
+var threadIDs atomic.Int64
+
+// NewThread creates a thread bound to library c. The first stack frame
+// names the thread's entry point, like a process's main.
+func (c *C) NewThread(entryModule, entryFunc string) *Thread {
+	t := &Thread{ID: int(threadIDs.Add(1)), C: c}
+	t.frames = append(t.frames, interpose.Frame{Module: entryModule, Func: entryFunc})
+	return t
+}
+
+// Errno returns the thread's errno value, the side-effect channel that
+// library functions use to describe failures.
+func (t *Thread) Errno() errno.Errno { return t.errno }
+
+// SetErrno overwrites the thread's errno. Library wrappers and the LFI
+// runtime both use this; simulated programs normally only read errno.
+func (t *Thread) SetErrno(e errno.Errno) { t.errno = e }
+
+// Enter pushes a virtual stack frame and returns the matching pop. App
+// code calls it at function entry:
+//
+//	defer t.Enter("minivcs", "xdl_do_merge", 0x567)()
+//
+// Offset is the module-relative address of the frame's call site, chosen
+// to match the synthetic binary built for the same application so that
+// analyzer-generated call-stack triggers match at runtime.
+func (t *Thread) Enter(module, fn string, offset uint64) func() {
+	t.mu.Lock()
+	t.frames = append(t.frames, interpose.Frame{Module: module, Func: fn, Offset: offset})
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		t.frames = t.frames[:len(t.frames)-1]
+		t.mu.Unlock()
+	}
+}
+
+// EnterAt is Enter with DWARF-style file/line debug info attached,
+// mirroring LFI's ability to match frames by filename/line pairs.
+func (t *Thread) EnterAt(module, fn string, offset uint64, file string, line int) func() {
+	t.mu.Lock()
+	t.frames = append(t.frames, interpose.Frame{
+		Module: module, Func: fn, Offset: offset, File: file, Line: line,
+	})
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		t.frames = t.frames[:len(t.frames)-1]
+		t.mu.Unlock()
+	}
+}
+
+// StackCopy returns a snapshot of the virtual call stack, innermost
+// frame last. This is what stubs attach to intercepted calls.
+func (t *Thread) StackCopy() []interpose.Frame {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]interpose.Frame, len(t.frames))
+	copy(out, t.frames)
+	return out
+}
+
+// Depth returns the current virtual stack depth.
+func (t *Thread) Depth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.frames)
+}
+
+// Locks returns how many POSIX mutexes the thread currently holds.
+func (t *Thread) Locks() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.locks
+}
+
+func (t *Thread) addLock(delta int) {
+	t.mu.Lock()
+	t.locks += delta
+	t.mu.Unlock()
+}
+
+// call routes one library call through the process dispatcher, updating
+// errno the way a real libc function would: on failure the wrapper
+// stores the error code, on success errno is left untouched (per POSIX,
+// successful calls do not reset errno).
+func (t *Thread) call(name string, args []int64, impl func() (int64, errno.Errno)) int64 {
+	c := &interpose.Call{
+		Func:   name,
+		Args:   args,
+		Thread: t.ID,
+		Stack:  t.StackCopy(),
+		Node:   t.C.Node,
+		Locks:  t.Locks(),
+		Errno:  t.errno,
+	}
+	ret, e := t.C.Disp.Dispatch(c, impl)
+	if e != errno.OK {
+		t.errno = e
+	}
+	return ret
+}

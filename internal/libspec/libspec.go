@@ -1,0 +1,154 @@
+// Package libspec is the single source of truth for the simulated
+// shared libraries' error behaviour.
+//
+// From these specs the assembler builds library binaries (whose error
+// paths genuinely set errno and return error constants), the profiler
+// re-derives fault profiles, and the runtime libsim implementations
+// agree on return values and errno codes. Keeping the three consumers on
+// one spec is the analogue of LFI profiling the very libc.so the target
+// program will run against.
+package libspec
+
+import (
+	"lfi/internal/asm"
+	"lfi/internal/errno"
+	"lfi/internal/isa"
+)
+
+func e(list ...errno.Errno) []int64 {
+	out := make([]int64, len(list))
+	for i, x := range list {
+		out[i] = int64(x)
+	}
+	return out
+}
+
+// Libc describes the modelled slice of GNU libc.
+func Libc() []asm.LibFuncSpec {
+	return []asm.LibFuncSpec{
+		{Name: "read", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EINTR, errno.EIO, errno.EAGAIN, errno.EBADF)},
+			{Ret: 0}, // end-of-file: no errno, but callers must handle it
+		}},
+		{Name: "write", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EINTR, errno.EIO, errno.ENOSPC, errno.EPIPE, errno.EBADF)},
+		}},
+		{Name: "open", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.ENOENT, errno.EACCES, errno.EMFILE, errno.EINTR)},
+		}},
+		{Name: "close", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EBADF, errno.EIO, errno.EINTR)},
+		}},
+		{Name: "unlink", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.ENOENT, errno.EACCES, errno.EBUSY)},
+		}},
+		{Name: "mkdir", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EEXIST, errno.EACCES, errno.ENOSPC)},
+		}},
+		{Name: "stat", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.ENOENT, errno.EACCES)},
+		}},
+		{Name: "fstat", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EBADF)},
+		}},
+		{Name: "lseek", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EBADF, errno.EINVAL)},
+		}},
+		{Name: "malloc", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: 0, SetsErrno: true, Errnos: e(errno.ENOMEM)},
+		}},
+		{Name: "calloc", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: 0, SetsErrno: true, Errnos: e(errno.ENOMEM)},
+		}},
+		{Name: "fopen", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: 0, SetsErrno: true, Errnos: e(errno.ENOENT, errno.EACCES, errno.EMFILE, errno.EINVAL)},
+		}},
+		{Name: "fclose", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EBADF, errno.EIO)},
+		}},
+		{Name: "fread", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: 0, SetsErrno: true, Errnos: e(errno.EIO)},
+		}},
+		{Name: "fwrite", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: 0, SetsErrno: true, Errnos: e(errno.EIO, errno.ENOSPC)},
+		}},
+		{Name: "opendir", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: 0, SetsErrno: true, Errnos: e(errno.ENOENT, errno.ENOMEM, errno.ENOTDIR)},
+		}},
+		{Name: "readdir", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: 0, SetsErrno: true, Errnos: e(errno.EBADF)},
+		}},
+		{Name: "readlink", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EINVAL, errno.ENOENT, errno.EACCES)},
+		}},
+		{Name: "setenv", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.ENOMEM, errno.EINVAL)},
+		}},
+		{Name: "fcntl", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EBADF, errno.EINVAL, errno.EAGAIN)},
+		}},
+		{Name: "socket", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EMFILE, errno.ENOMEM)},
+		}},
+		{Name: "bind", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EACCES, errno.EINVAL)},
+		}},
+		{Name: "sendto", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EINTR, errno.EAGAIN, errno.ECONNREFUSED, errno.EHOSTUNREACH)},
+		}},
+		{Name: "recvfrom", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EINTR, errno.EAGAIN, errno.ECONNRESET, errno.ETIMEDOUT)},
+		}},
+		{Name: "pipe", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EMFILE, errno.ENFILE)},
+		}},
+		{Name: "pthread_mutex_lock", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EINVAL)},
+		}},
+		{Name: "pthread_mutex_unlock", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EINVAL)},
+		}},
+	}
+}
+
+// Libxml describes the modelled slice of libxml2.
+func Libxml() []asm.LibFuncSpec {
+	return []asm.LibFuncSpec{
+		{Name: "xmlNewTextWriterDoc", ComputedSuccess: true, Errors: []asm.ErrorReturn{
+			{Ret: 0, SetsErrno: true, Errnos: e(errno.ENOMEM)},
+		}},
+		{Name: "xmlTextWriterWriteElement", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: -1, SetsErrno: true, Errnos: e(errno.EINVAL)},
+		}},
+	}
+}
+
+// Libapr describes the modelled slice of the Apache Portable Runtime.
+func Libapr() []asm.LibFuncSpec {
+	return []asm.LibFuncSpec{
+		{Name: "apr_file_read", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: int64(errno.EINTR), SetsErrno: true, Errnos: e(errno.EINTR)},
+			{Ret: int64(errno.EIO), SetsErrno: true, Errnos: e(errno.EIO)},
+		}},
+		{Name: "apr_stat", Success: 0, Errors: []asm.ErrorReturn{
+			{Ret: int64(errno.EBADF), SetsErrno: true, Errnos: e(errno.EBADF)},
+		}},
+	}
+}
+
+// BuildLibc assembles the libc binary.
+func BuildLibc() *isa.Binary { return mustBuild("libc", Libc()) }
+
+// BuildLibxml assembles the libxml binary.
+func BuildLibxml() *isa.Binary { return mustBuild("libxml", Libxml()) }
+
+// BuildLibapr assembles the apr binary.
+func BuildLibapr() *isa.Binary { return mustBuild("libapr", Libapr()) }
+
+func mustBuild(name string, funcs []asm.LibFuncSpec) *isa.Binary {
+	b, err := asm.BuildLibrary(name, funcs)
+	if err != nil {
+		panic("libspec: " + err.Error())
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+// Package netsim provides the in-memory datagram network underneath the
+// simulated socket calls.
+//
+// It deliberately models a *reliable* transport: all loss, delay, and
+// partition behaviour in the experiments comes from LFI injecting
+// failures into sendto/recvfrom at the library boundary, exactly as the
+// paper degrades PBFT's network (§7.3). Keeping the transport itself
+// deterministic makes injected faults the only source of nondeterminism.
+package netsim
+
+import (
+	"sync"
+	"time"
+
+	"lfi/internal/errno"
+	"lfi/internal/libsim"
+)
+
+const queueDepth = 4096
+
+type datagram struct {
+	payload []byte
+	from    string
+}
+
+// Network connects endpoints by string address.
+type Network struct {
+	mu    sync.Mutex
+	bound map[string]*Endpoint
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{bound: make(map[string]*Endpoint)}
+}
+
+// NewEndpoint implements libsim.NetBackend.
+func (n *Network) NewEndpoint() libsim.NetEndpoint {
+	return &Endpoint{net: n, q: make(chan datagram, queueDepth)}
+}
+
+// Endpoint is one datagram socket.
+type Endpoint struct {
+	net    *Network
+	q      chan datagram
+	mu     sync.Mutex
+	addr   string
+	closed bool
+}
+
+// Bind attaches the endpoint to an address.
+func (e *Endpoint) Bind(addr string) errno.Errno {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if _, taken := e.net.bound[addr]; taken {
+		return errno.EACCES
+	}
+	e.mu.Lock()
+	e.addr = addr
+	e.mu.Unlock()
+	e.net.bound[addr] = e
+	return errno.OK
+}
+
+// SendTo delivers a datagram to the endpoint bound at dst. Unknown
+// destinations are unreachable; a full receive queue drops the datagram
+// silently (UDP semantics).
+func (e *Endpoint) SendTo(dst string, payload []byte) errno.Errno {
+	e.net.mu.Lock()
+	target, ok := e.net.bound[dst]
+	e.net.mu.Unlock()
+	if !ok {
+		return errno.EHOSTUNREACH
+	}
+	e.mu.Lock()
+	from := e.addr
+	e.mu.Unlock()
+	d := datagram{payload: append([]byte(nil), payload...), from: from}
+	select {
+	case target.q <- d:
+		return errno.OK
+	default:
+		return errno.OK // dropped, like UDP under pressure
+	}
+}
+
+// RecvFrom blocks up to timeoutMs for a datagram (0 = poll, <0 = wait
+// forever).
+func (e *Endpoint) RecvFrom(timeoutMs int) ([]byte, string, errno.Errno) {
+	if timeoutMs == 0 {
+		select {
+		case d := <-e.q:
+			return d.payload, d.from, errno.OK
+		default:
+			return nil, "", errno.EAGAIN
+		}
+	}
+	if timeoutMs < 0 {
+		d, ok := <-e.q
+		if !ok {
+			return nil, "", errno.EBADF
+		}
+		return d.payload, d.from, errno.OK
+	}
+	timer := time.NewTimer(time.Duration(timeoutMs) * time.Millisecond)
+	defer timer.Stop()
+	select {
+	case d := <-e.q:
+		return d.payload, d.from, errno.OK
+	case <-timer.C:
+		return nil, "", errno.ETIMEDOUT
+	}
+}
+
+// Close unbinds the endpoint.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	addr := e.addr
+	closed := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	if addr != "" {
+		e.net.mu.Lock()
+		if e.net.bound[addr] == e {
+			delete(e.net.bound, addr)
+		}
+		e.net.mu.Unlock()
+	}
+}
+
+// Pending returns the queued datagram count (tests and monitors).
+func (e *Endpoint) Pending() int { return len(e.q) }

@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"lfi/internal/errno"
+)
+
+func TestSendReceive(t *testing.T) {
+	n := New()
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	if e := a.Bind("A"); e != errno.OK {
+		t.Fatal(e)
+	}
+	if e := b.Bind("B"); e != errno.OK {
+		t.Fatal(e)
+	}
+	if e := a.SendTo("B", []byte("hi")); e != errno.OK {
+		t.Fatal(e)
+	}
+	payload, from, e := b.RecvFrom(100)
+	if e != errno.OK || string(payload) != "hi" || from != "A" {
+		t.Fatalf("recv %q from %q e=%v", payload, from, e)
+	}
+}
+
+func TestUnknownDestinationUnreachable(t *testing.T) {
+	n := New()
+	a := n.NewEndpoint()
+	a.Bind("A")
+	if e := a.SendTo("ghost", []byte("x")); e != errno.EHOSTUNREACH {
+		t.Fatalf("e = %v", e)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	n := New()
+	a := n.NewEndpoint()
+	a.Bind("A")
+	start := time.Now()
+	_, _, e := a.RecvFrom(20)
+	if e != errno.ETIMEDOUT {
+		t.Fatalf("e = %v", e)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("timeout returned too early")
+	}
+}
+
+func TestRecvPoll(t *testing.T) {
+	n := New()
+	a := n.NewEndpoint()
+	a.Bind("A")
+	if _, _, e := a.RecvFrom(0); e != errno.EAGAIN {
+		t.Fatalf("poll on empty queue: %v", e)
+	}
+}
+
+func TestDoubleBindRejected(t *testing.T) {
+	n := New()
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	a.Bind("X")
+	if e := b.Bind("X"); e != errno.EACCES {
+		t.Fatalf("double bind: %v", e)
+	}
+}
+
+func TestCloseUnbinds(t *testing.T) {
+	n := New()
+	a := n.NewEndpoint()
+	a.Bind("X")
+	a.Close()
+	b := n.NewEndpoint()
+	if e := b.Bind("X"); e != errno.OK {
+		t.Fatalf("rebind after close: %v", e)
+	}
+	a.Close() // double close is a no-op
+}
+
+func TestQueueOverflowDropsSilently(t *testing.T) {
+	n := New()
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	a.Bind("A")
+	b.Bind("B")
+	for i := 0; i < queueDepth+10; i++ {
+		if e := a.SendTo("B", []byte{byte(i)}); e != errno.OK {
+			t.Fatalf("send %d: %v", i, e)
+		}
+	}
+	if got := b.(*Endpoint).Pending(); got != queueDepth {
+		t.Fatalf("pending %d", got)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	n := New()
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	a.Bind("A")
+	b.Bind("B")
+	buf := []byte("orig")
+	a.SendTo("B", buf)
+	buf[0] = 'X' // mutate after send
+	payload, _, _ := b.RecvFrom(100)
+	if string(payload) != "orig" {
+		t.Fatal("payload aliased sender buffer")
+	}
+}

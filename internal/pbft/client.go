@@ -1,0 +1,103 @@
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"lfi/internal/libsim"
+)
+
+// Client parameters: retransmission keeps requests alive under loss; the
+// paper's client similarly retransmits until f+1 matching replies arrive.
+const (
+	clientRecvTimeoutMs = 2
+	retransmitEvery     = 20 * time.Millisecond
+)
+
+// Client is the PBFT client (the simple_client workload generator).
+type Client struct {
+	Name string
+	N, F int
+
+	C  *libsim.C
+	Th *libsim.Thread
+	fd int64
+
+	reqID int64
+}
+
+// NewClient creates a client bound to the shared network.
+func NewClient(name string, f int, net libsim.NetBackend) *Client {
+	c := libsim.New(1 << 20)
+	c.Node = "C"
+	c.SetNet(net)
+	return &Client{
+		Name: name, N: 3*f + 1, F: f,
+		C:  c,
+		Th: c.NewThread("bft/simple-client", "main"),
+	}
+}
+
+// Start opens and binds the client socket.
+func (cl *Client) Start() error {
+	t := cl.Th
+	cl.fd = t.Socket()
+	if cl.fd < 0 {
+		return fmt.Errorf("pbft: client: socket: %v", t.Errno())
+	}
+	if t.Bind(cl.fd, cl.Name) < 0 {
+		return fmt.Errorf("pbft: client: bind: %v", t.Errno())
+	}
+	return nil
+}
+
+// Invoke submits one operation and waits for f+1 matching replies,
+// retransmitting the request to all replicas until the deadline.
+// It returns the result and whether the operation completed.
+func (cl *Client) Invoke(op string, deadline time.Duration) (string, bool) {
+	t := cl.Th
+	cl.reqID++
+	req := Msg{Type: TypeRequest, Replica: -1, Client: cl.Name, ReqID: cl.reqID, Op: op}
+
+	limit := time.Now().Add(deadline)
+	votes := make(map[string]map[int]bool) // result -> replica set
+	buf := make([]byte, 4096)
+
+	sendAll := func() {
+		for i := 0; i < cl.N; i++ {
+			t.Sendto(cl.fd, req.Encode(), ReplicaAddr(i))
+		}
+	}
+	sendAll()
+	lastSend := time.Now()
+
+	for time.Now().Before(limit) {
+		var from string
+		n := t.Recvfrom(cl.fd, buf, &from, clientRecvTimeoutMs)
+		if n > 0 {
+			if m, ok := DecodeMsg(buf[:n]); ok && m.Type == TypeReply && m.ReqID == cl.reqID {
+				set := votes[m.Result]
+				if set == nil {
+					set = make(map[int]bool)
+					votes[m.Result] = set
+				}
+				set[m.Replica] = true
+				if len(set) >= cl.F+1 {
+					return m.Result, true
+				}
+			}
+		}
+		if time.Since(lastSend) >= retransmitEvery {
+			sendAll()
+			lastSend = time.Now()
+		}
+	}
+	return "", false
+}
+
+// Close releases the client socket.
+func (cl *Client) Close() {
+	if cl.fd >= 0 {
+		cl.Th.Close(cl.fd)
+	}
+}

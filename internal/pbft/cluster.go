@@ -1,0 +1,150 @@
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"lfi/internal/core"
+	"lfi/internal/libsim"
+	"lfi/internal/netsim"
+	"lfi/internal/scenario"
+)
+
+// Cluster wires 3f+1 replicas and one client over a fresh simulated
+// network — the paper's f=1, four-replica setup plus simple_client.
+type Cluster struct {
+	F        int
+	Net      *netsim.Network
+	Replicas []*Replica
+	Client   *Client
+	runtimes []*core.Runtime
+}
+
+// NewCluster builds (but does not start) a cluster of the given build.
+func NewCluster(f int, build Build) *Cluster {
+	net := netsim.New()
+	cl := &Cluster{F: f, Net: net}
+	for i := 0; i < 3*f+1; i++ {
+		cl.Replicas = append(cl.Replicas, NewReplica(i, f, net, build))
+	}
+	cl.Client = NewClient("client-0", f, net)
+	return cl
+}
+
+// InstallScenario compiles and installs the same injection scenario on
+// every replica (each replica is its own process with its own runtime).
+// Call before Start.
+func (cl *Cluster) InstallScenario(s *scenario.Scenario, opts ...core.Option) error {
+	for i, r := range cl.Replicas {
+		perReplica := append([]core.Option{core.WithSeed(int64(100 + i))}, opts...)
+		rt, err := core.New(r.C, s, perReplica...)
+		if err != nil {
+			return fmt.Errorf("pbft: replica %d: %w", i, err)
+		}
+		rt.Install()
+		cl.runtimes = append(cl.runtimes, rt)
+	}
+	return nil
+}
+
+// Runtimes returns the per-replica runtimes installed by InstallScenario.
+func (cl *Cluster) Runtimes() []*core.Runtime { return cl.runtimes }
+
+// Start launches every replica and the client.
+func (cl *Cluster) Start() error {
+	for _, r := range cl.Replicas {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	return cl.Client.Start()
+}
+
+// Stop shuts everything down. Replica crashes raised during shutdown
+// (the checkpoint bug) are collected, not propagated.
+func (cl *Cluster) Stop() {
+	for _, r := range cl.Replicas {
+		r.Stop()
+	}
+	cl.Client.Close()
+	for _, rt := range cl.runtimes {
+		rt.Uninstall()
+	}
+}
+
+// RunWorkload submits n sequential operations and returns how many
+// completed and the elapsed time.
+func (cl *Cluster) RunWorkload(n int, perOp time.Duration) (completed int, elapsed time.Duration) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, ok := cl.Client.Invoke(fmt.Sprintf("op-%d", i), perOp); ok {
+			completed++
+		}
+	}
+	return completed, time.Since(start)
+}
+
+// RunPaced is the throughput measurement behind Figure 3 and the DoS
+// study: n operations with client think time between them (the paper's
+// simple_client pacing). It returns the completed count and the mean
+// per-operation latency including think time; throughput comparisons
+// divide these latencies.
+func (cl *Cluster) RunPaced(n int, think, perOp time.Duration) (completed int, perOpLatency time.Duration) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, ok := cl.Client.Invoke(fmt.Sprintf("op-%d", i), perOp); ok {
+			completed++
+		}
+		time.Sleep(think)
+	}
+	elapsed := time.Since(start)
+	if completed == 0 {
+		return 0, elapsed
+	}
+	return completed, elapsed / time.Duration(completed)
+}
+
+// Crashes returns the crash observed on each replica (nil entries for
+// healthy replicas).
+func (cl *Cluster) Crashes() []*libsim.Crash {
+	out := make([]*libsim.Crash, len(cl.Replicas))
+	for i, r := range cl.Replicas {
+		out[i] = r.Crash()
+	}
+	return out
+}
+
+// FirstCrash returns the first replica crash, if any.
+func (cl *Cluster) FirstCrash() *libsim.Crash {
+	for _, c := range cl.Crashes() {
+		if c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// AgreeOnPrefix verifies the PBFT safety property over the executed
+// operation logs: every pair of correct replicas agrees on the common
+// prefix. It returns an error describing the first divergence.
+func (cl *Cluster) AgreeOnPrefix() error {
+	logs := make([][]string, 0, len(cl.Replicas))
+	for _, r := range cl.Replicas {
+		if r.Crash() == nil {
+			logs = append(logs, r.State())
+		}
+	}
+	for i := 1; i < len(logs); i++ {
+		a, b := logs[0], logs[i]
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for j := 0; j < n; j++ {
+			if a[j] != b[j] {
+				return fmt.Errorf("pbft: divergence at seq %d: %q vs %q", j+1, a[j], b[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package pbft implements Practical Byzantine Fault Tolerance (Castro &
+// Liskov) over the simulated network, as the distributed target system
+// of the paper's evaluation (§7.1, §7.3, Figure 3).
+//
+// The implementation covers the normal-case three-phase protocol
+// (pre-prepare, prepare, commit with 2f and 2f+1 quorums), client
+// interaction with f+1 matching replies and retransmission, periodic
+// checkpointing, and view changes. All network I/O goes through the
+// simulated sendto/recvfrom calls, so LFI scenarios can degrade the
+// network, silence replicas, or stage rotation attacks.
+//
+// Two Table 1 bugs are seeded, mirroring the paper:
+//
+//   - the shutdown path writes a checkpoint through a FILE* obtained
+//     from an unchecked fopen — fwrite(NULL) crashes;
+//   - the release build ignores sendto failures (the debug build halts
+//     on them), so under message loss a replica can learn that a
+//     sequence number committed without ever holding the request
+//     content; the view-change code then dereferences the missing
+//     committed message and crashes.
+package pbft
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Message types.
+const (
+	TypeRequest    = "REQUEST"
+	TypePrePrepare = "PRE-PREPARE"
+	TypePrepare    = "PREPARE"
+	TypeCommit     = "COMMIT"
+	TypeReply      = "REPLY"
+	TypeViewChange = "VIEW-CHANGE"
+	TypeNewView    = "NEW-VIEW"
+)
+
+// Msg is the wire format of every PBFT message.
+type Msg struct {
+	Type    string `json:"t"`
+	View    int    `json:"v,omitempty"`
+	Seq     int    `json:"n,omitempty"`
+	Replica int    `json:"r"`
+	Client  string `json:"c,omitempty"`
+	ReqID   int64  `json:"id,omitempty"`
+	Op      string `json:"op,omitempty"`
+	Digest  string `json:"d,omitempty"`
+	Result  string `json:"res,omitempty"`
+}
+
+// Encode serializes the message.
+func (m Msg) Encode() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("pbft: marshal: %v", err))
+	}
+	return b
+}
+
+// DecodeMsg parses one datagram; ok is false for garbage.
+func DecodeMsg(b []byte) (Msg, bool) {
+	var m Msg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Msg{}, false
+	}
+	return m, m.Type != ""
+}
+
+// digest computes the request digest used in protocol messages.
+func digest(client string, reqID int64, op string) string {
+	var h uint64 = 14695981039346656037
+	for _, b := range []byte(fmt.Sprintf("%s|%d|%s", client, reqID, op)) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// ReplicaAddr returns the network address of replica i.
+func ReplicaAddr(i int) string { return fmt.Sprintf("replica-%d", i) }

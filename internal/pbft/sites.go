@@ -1,0 +1,56 @@
+package pbft
+
+import (
+	"sync"
+
+	"lfi/internal/asm"
+	"lfi/internal/isa"
+)
+
+// ModuleServer is the server binary's module name; the paper's generated
+// scenario (§7.1) pins its call-stack trigger to this module.
+const ModuleServer = "bft/simple-server"
+
+// Sites is the ground-truth call-site model of the replica binary.
+func Sites() []asm.FuncSpec {
+	return []asm.FuncSpec{
+		{Name: "svc_recv", Sites: []asm.SiteSpec{
+			// Release build: the recvfrom return feeds directly into
+			// message handling without an error check (Table 1).
+			{Label: "sv_recvfrom", Callee: "recvfrom", Style: asm.CheckNone},
+		}},
+		{Name: "svc_send", Sites: []asm.SiteSpec{
+			// Only the debug build halts on send failures; the binary
+			// shipped (release) does not check.
+			{Label: "sv_sendto", Callee: "sendto", Style: asm.CheckNone},
+		}},
+		{Name: "checkpoint", Sites: []asm.SiteSpec{
+			{Label: "cp_fopen_ok", Callee: "fopen", Style: asm.CheckEqZero},
+			{Label: "cp_fwrite_ok", Callee: "fwrite", Style: asm.CheckEq, Codes: []int64{0}},
+		}},
+		{Name: "shutdown", Sites: []asm.SiteSpec{
+			// BUG (Table 1): the final checkpoint's fopen is unchecked;
+			// the following fwrite crashes on the NULL stream.
+			{Label: "sd_fopen", Callee: "fopen", Style: asm.CheckNone},
+			{Label: "sd_fwrite", Callee: "fwrite", Style: asm.CheckIneq},
+		}},
+	}
+}
+
+var (
+	binOnce sync.Once
+	bin     *isa.Binary
+	offs    map[string]uint64
+)
+
+// Binary returns the compiled replica program image and site offsets.
+func Binary() (*isa.Binary, map[string]uint64) {
+	binOnce.Do(func() {
+		var err error
+		bin, offs, err = asm.Program(ModuleServer, Sites())
+		if err != nil {
+			panic("pbft: " + err.Error())
+		}
+	})
+	return bin, offs
+}

@@ -1,0 +1,236 @@
+// Package profile defines library fault profiles and the automated
+// library profiler (§2 of the paper).
+//
+// A fault profile records, per exported library function, the return
+// values the function can produce and the errno side effects that
+// accompany each error return — e.g. read() returns -1 with errno set to
+// EINTR, EIO, or EAGAIN, returns 0 at end-of-file, or returns a positive
+// (computed) byte count. The profiler infers profiles by static analysis
+// of library binaries; profiles serialize to XML, matching the paper's
+// libc.profile / libssl.profile artifacts.
+package profile
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"lfi/internal/errno"
+)
+
+// Return is one possible return behaviour of a library function.
+type Return struct {
+	Const  bool  // the return value is a known constant
+	Value  int64 // valid when Const
+	Errnos []errno.Errno
+}
+
+// FuncProfile is the fault profile of one exported function.
+type FuncProfile struct {
+	Name    string
+	Returns []Return
+}
+
+// constReturn finds the Return entry for a constant value.
+func (f *FuncProfile) constReturn(v int64) *Return {
+	for i := range f.Returns {
+		if f.Returns[i].Const && f.Returns[i].Value == v {
+			return &f.Returns[i]
+		}
+	}
+	return nil
+}
+
+// HasComputed reports whether the function can return a computed
+// (non-constant) value — its success path for functions like read.
+func (f *FuncProfile) HasComputed() bool {
+	for _, r := range f.Returns {
+		if !r.Const {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrorCodes returns the constant return values a caller must treat as
+// errors — the analyzer's E set. A constant is an error code when the
+// library sets errno alongside it, or when it is a 0 return coexisting
+// with a computed success (the read()-returns-0-at-EOF case, which
+// callers must also handle).
+func (f *FuncProfile) ErrorCodes() []int64 {
+	var out []int64
+	for _, r := range f.Returns {
+		if !r.Const {
+			continue
+		}
+		if len(r.Errnos) > 0 {
+			out = append(out, r.Value)
+		} else if r.Value == 0 && f.HasComputed() {
+			out = append(out, r.Value)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrnosFor returns the errno side effects of one error return value.
+func (f *FuncProfile) ErrnosFor(code int64) []errno.Errno {
+	if r := f.constReturn(code); r != nil {
+		return r.Errnos
+	}
+	return nil
+}
+
+// Profile is the fault profile of one library.
+type Profile struct {
+	Lib   string
+	Funcs map[string]*FuncProfile
+}
+
+// New creates an empty profile for a library.
+func New(lib string) *Profile {
+	return &Profile{Lib: lib, Funcs: make(map[string]*FuncProfile)}
+}
+
+// Func returns the profile of a function, or nil.
+func (p *Profile) Func(name string) *FuncProfile { return p.Funcs[name] }
+
+// FuncNames returns the profiled function names, sorted.
+func (p *Profile) FuncNames() []string {
+	out := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// add records one observed (return, errno) behaviour.
+func (p *Profile) add(fn string, ret Return) {
+	fp := p.Funcs[fn]
+	if fp == nil {
+		fp = &FuncProfile{Name: fn}
+		p.Funcs[fn] = fp
+	}
+	if !ret.Const {
+		if !fp.HasComputed() {
+			fp.Returns = append(fp.Returns, Return{})
+		}
+		return
+	}
+	if r := fp.constReturn(ret.Value); r != nil {
+		for _, e := range ret.Errnos {
+			if !containsErrno(r.Errnos, e) {
+				r.Errnos = append(r.Errnos, e)
+			}
+		}
+		sortErrnos(r.Errnos)
+		return
+	}
+	sortErrnos(ret.Errnos)
+	fp.Returns = append(fp.Returns, ret)
+	sort.Slice(fp.Returns, func(i, j int) bool {
+		a, b := fp.Returns[i], fp.Returns[j]
+		if a.Const != b.Const {
+			return a.Const
+		}
+		return a.Value < b.Value
+	})
+}
+
+func containsErrno(list []errno.Errno, e errno.Errno) bool {
+	for _, x := range list {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func sortErrnos(list []errno.Errno) {
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+}
+
+// --- XML serialization -------------------------------------------------------
+
+type xmlProfile struct {
+	XMLName xml.Name  `xml:"profile"`
+	Lib     string    `xml:"lib,attr"`
+	Funcs   []xmlFunc `xml:"function"`
+}
+
+type xmlFunc struct {
+	Name    string      `xml:"name,attr"`
+	Returns []xmlReturn `xml:"return"`
+}
+
+type xmlReturn struct {
+	Value    string   `xml:"value,attr,omitempty"`
+	Computed bool     `xml:"computed,attr,omitempty"`
+	Errnos   []string `xml:"errno"`
+}
+
+// Serialize writes the profile as XML.
+func (p *Profile) Serialize() []byte {
+	doc := xmlProfile{Lib: p.Lib}
+	for _, name := range p.FuncNames() {
+		fp := p.Funcs[name]
+		xf := xmlFunc{Name: name}
+		for _, r := range fp.Returns {
+			xr := xmlReturn{}
+			if r.Const {
+				xr.Value = fmt.Sprint(r.Value)
+			} else {
+				xr.Computed = true
+			}
+			for _, e := range r.Errnos {
+				xr.Errnos = append(xr.Errnos, e.String())
+			}
+			xf.Returns = append(xf.Returns, xr)
+		}
+		doc.Funcs = append(doc.Funcs, xf)
+	}
+	var b bytes.Buffer
+	enc := xml.NewEncoder(&b)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		panic(err) // the structure above always encodes
+	}
+	b.WriteString("\n")
+	return b.Bytes()
+}
+
+// Parse reads a profile from XML.
+func Parse(r io.Reader) (*Profile, error) {
+	var doc xmlProfile
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profile: %v", err)
+	}
+	p := New(doc.Lib)
+	for _, xf := range doc.Funcs {
+		for _, xr := range xf.Returns {
+			ret := Return{}
+			if !xr.Computed {
+				var v int64
+				if _, err := fmt.Sscanf(xr.Value, "%d", &v); err != nil {
+					return nil, fmt.Errorf("profile: function %s: bad return value %q", xf.Name, xr.Value)
+				}
+				ret.Const, ret.Value = true, v
+			}
+			for _, es := range xr.Errnos {
+				e, ok := errno.Parse(es)
+				if !ok {
+					return nil, fmt.Errorf("profile: function %s: unknown errno %q", xf.Name, es)
+				}
+				ret.Errnos = append(ret.Errnos, e)
+			}
+			p.add(xf.Name, ret)
+		}
+		if p.Funcs[xf.Name] == nil {
+			p.Funcs[xf.Name] = &FuncProfile{Name: xf.Name}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,174 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"lfi/internal/errno"
+	"lfi/internal/libspec"
+)
+
+func libcProfile(t *testing.T) *Profile {
+	t.Helper()
+	return ProfileBinary(libspec.BuildLibc())
+}
+
+func TestProfilerInfersReadReturns(t *testing.T) {
+	p := libcProfile(t)
+	fp := p.Func("read")
+	if fp == nil {
+		t.Fatal("read not profiled")
+	}
+	// The paper's example: read() can return -1, 0, or a positive
+	// (computed) number.
+	if !fp.HasComputed() {
+		t.Error("computed success path not found")
+	}
+	minus1 := fp.constReturn(-1)
+	if minus1 == nil {
+		t.Fatal("-1 return not found")
+	}
+	wantErrnos := []errno.Errno{errno.EINTR, errno.EIO, errno.EAGAIN, errno.EBADF}
+	sortErrnos(wantErrnos)
+	if !reflect.DeepEqual(minus1.Errnos, wantErrnos) {
+		t.Errorf("read(-1) errnos = %v, want %v", minus1.Errnos, wantErrnos)
+	}
+	zero := fp.constReturn(0)
+	if zero == nil || len(zero.Errnos) != 0 {
+		t.Errorf("read(0) should exist with no errno: %+v", zero)
+	}
+}
+
+func TestErrorCodesHeuristic(t *testing.T) {
+	p := libcProfile(t)
+	cases := map[string][]int64{
+		"read":   {-1, 0}, // EOF counts: computed success exists
+		"close":  {-1},    // 0 is close's success, not an error
+		"malloc": {0},     // NULL with ENOMEM
+		"fopen":  {0},
+		"setenv": {-1},
+	}
+	for fn, want := range cases {
+		got := p.Func(fn).ErrorCodes()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ErrorCodes(%s) = %v, want %v", fn, got, want)
+		}
+	}
+}
+
+func TestErrnosFor(t *testing.T) {
+	p := libcProfile(t)
+	es := p.Func("malloc").ErrnosFor(0)
+	if len(es) != 1 || es[0] != errno.ENOMEM {
+		t.Fatalf("malloc NULL errnos = %v", es)
+	}
+	if p.Func("malloc").ErrnosFor(-1) != nil {
+		t.Fatal("nonexistent code has errnos")
+	}
+}
+
+func TestProfilerCoversAllLibcFunctions(t *testing.T) {
+	p := libcProfile(t)
+	for _, spec := range libspec.Libc() {
+		fp := p.Func(spec.Name)
+		if fp == nil {
+			t.Errorf("%s not profiled", spec.Name)
+			continue
+		}
+		// Every modelled error return must be recovered.
+		for _, er := range spec.Errors {
+			r := fp.constReturn(er.Ret)
+			if r == nil {
+				t.Errorf("%s: error return %d not inferred", spec.Name, er.Ret)
+				continue
+			}
+			if er.SetsErrno {
+				for _, e := range er.Errnos {
+					if !containsErrno(r.Errnos, errno.Errno(e)) {
+						t.Errorf("%s ret %d: errno %v not inferred", spec.Name, er.Ret, errno.Errno(e))
+					}
+				}
+			}
+		}
+		// And the success behaviour.
+		if spec.ComputedSuccess && !fp.HasComputed() {
+			t.Errorf("%s: computed success not inferred", spec.Name)
+		}
+		if !spec.ComputedSuccess && fp.constReturn(spec.Success) == nil {
+			t.Errorf("%s: constant success %d not inferred", spec.Name, spec.Success)
+		}
+	}
+}
+
+func TestProfilerSoundness(t *testing.T) {
+	// Property (DESIGN.md): every profile entry corresponds to a
+	// modelled behaviour — no invented returns.
+	p := libcProfile(t)
+	for _, spec := range libspec.Libc() {
+		fp := p.Func(spec.Name)
+		for _, r := range fp.Returns {
+			if !r.Const {
+				if !spec.ComputedSuccess {
+					t.Errorf("%s: invented computed return", spec.Name)
+				}
+				continue
+			}
+			ok := !spec.ComputedSuccess && r.Value == spec.Success
+			for _, er := range spec.Errors {
+				if er.Ret == r.Value {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s: invented return %d", spec.Name, r.Value)
+			}
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	p := libcProfile(t)
+	data := p.Serialize()
+	p2, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, data)
+	}
+	if p2.Lib != p.Lib {
+		t.Fatalf("lib name %q", p2.Lib)
+	}
+	if !reflect.DeepEqual(p.FuncNames(), p2.FuncNames()) {
+		t.Fatalf("func names differ")
+	}
+	for _, fn := range p.FuncNames() {
+		if !reflect.DeepEqual(p.Func(fn).Returns, p2.Func(fn).Returns) {
+			t.Errorf("%s: returns differ:\n%+v\nvs\n%+v", fn, p.Func(fn).Returns, p2.Func(fn).Returns)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(bytes.NewReader([]byte("<profile"))); err == nil {
+		t.Fatal("truncated XML accepted")
+	}
+	bad := []byte(`<profile lib="x"><function name="f"><return value="zz"/></function></profile>`)
+	if _, err := Parse(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad return value accepted")
+	}
+	bad2 := []byte(`<profile lib="x"><function name="f"><return value="0"><errno>EWHAT</errno></return></function></profile>`)
+	if _, err := Parse(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("bad errno accepted")
+	}
+}
+
+func TestXmlAprProfiles(t *testing.T) {
+	px := ProfileBinary(libspec.BuildLibxml())
+	if got := px.Func("xmlNewTextWriterDoc").ErrorCodes(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("xmlNewTextWriterDoc error codes %v", got)
+	}
+	pa := ProfileBinary(libspec.BuildLibapr())
+	codes := pa.Func("apr_file_read").ErrorCodes()
+	if len(codes) != 2 {
+		t.Fatalf("apr_file_read error codes %v", codes)
+	}
+}

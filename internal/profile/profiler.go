@@ -1,0 +1,110 @@
+package profile
+
+import (
+	"lfi/internal/cfg"
+	"lfi/internal/errno"
+	"lfi/internal/isa"
+)
+
+// The profiler performs the two §2 analyses on a library binary:
+//
+//  1. return-code inference: which constant values (and whether any
+//     computed value) each exported function can return, found by
+//     abstract interpretation of the function body with constant
+//     propagation on the return register; and
+//
+//  2. side-effect inference: which errno values can accompany each
+//     return, found by tracking SETERRI stores (the __errno_location
+//     write) along the paths leading to each return.
+
+// absVal is the constant-propagation lattice: bottom (unset) is not
+// needed; a value is either a known constant or top ("computed").
+type absVal struct {
+	known bool
+	v     int64
+}
+
+var top = absVal{}
+
+type pstate struct {
+	regs  [16]absVal
+	errno int64 // 0 = not set on this path
+}
+
+// ProfileBinary analyzes every exported function of a library binary
+// and returns its fault profile.
+func ProfileBinary(b *isa.Binary) *Profile {
+	p := New(b.Name)
+	for _, sym := range b.Symbols {
+		profileFunc(p, b, sym)
+	}
+	return p
+}
+
+// maxVisitsPerNode bounds path enumeration in the presence of loops.
+const maxVisitsPerNode = 8
+
+func profileFunc(p *Profile, b *isa.Binary, sym isa.Symbol) {
+	g := cfg.BuildFunc(b, sym)
+	if g.Len() == 0 {
+		p.Funcs[sym.Name] = &FuncProfile{Name: sym.Name}
+		return
+	}
+	visits := make([]int, g.Len())
+	var walk func(node int, st pstate)
+	walk = func(node int, st pstate) {
+		if visits[node] >= maxVisitsPerNode {
+			return
+		}
+		visits[node]++
+		defer func() { visits[node]-- }()
+		in := g.Insts[node]
+		switch in.Op {
+		case isa.MOVI:
+			st.regs[in.Rd] = absVal{known: true, v: int64(in.Imm)}
+		case isa.MOV:
+			st.regs[in.Rd] = st.regs[in.Rs]
+		case isa.ADDI:
+			if src := st.regs[in.Rs]; src.known {
+				st.regs[in.Rd] = absVal{known: true, v: src.v + int64(in.Imm)}
+			} else {
+				st.regs[in.Rd] = top
+			}
+		case isa.LD, isa.GETERR:
+			st.regs[in.Rd] = top
+		case isa.CALL, isa.CALLN, isa.ICALL:
+			st.regs[0] = top
+		case isa.SETERRI:
+			st.errno = int64(in.Imm)
+		case isa.RET:
+			r0 := st.regs[0]
+			ret := Return{Const: r0.known, Value: r0.v}
+			if st.errno != 0 {
+				ret.Errnos = []errno.Errno{errno.Errno(st.errno)}
+			}
+			// A computed ADDI over an unknown argument is "computed"
+			// even when our entry state pessimistically starts regs
+			// at top; record either way.
+			if !r0.known {
+				ret.Const = false
+			}
+			p.add(sym.Name, ret)
+			return
+		}
+		for _, s := range g.Succs[node] {
+			walk(s, st)
+		}
+	}
+	entry, ok := g.NodeAt(sym.Off)
+	if !ok {
+		entry = 0
+	}
+	var st pstate
+	for i := range st.regs {
+		st.regs[i] = top // arguments and scratch start unknown
+	}
+	walk(entry, st)
+	if p.Funcs[sym.Name] == nil {
+		p.Funcs[sym.Name] = &FuncProfile{Name: sym.Name}
+	}
+}

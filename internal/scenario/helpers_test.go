@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"bytes"
+	"io"
+
+	"lfi/internal/trigger"
+)
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// normalize strips fields that are semantically irrelevant to round-trip
+// equality: Attr maps on args nodes default to empty vs nil after
+// serialization, and argument text whitespace is trimmed by the parser.
+func normalize(s *Scenario) *Scenario {
+	out := &Scenario{Name: s.Name}
+	for _, td := range s.Triggers {
+		out.Triggers = append(out.Triggers, TriggerDecl{
+			ID: td.ID, Class: td.Class, Args: normalizeArgs(td.Args),
+		})
+	}
+	out.Functions = append(out.Functions, s.Functions...)
+	return out
+}
+
+func normalizeArgs(a *trigger.Args) *trigger.Args {
+	if a == nil || (len(a.Children) == 0 && a.Text == "") {
+		return nil
+	}
+	n := &trigger.Args{Name: a.Name, Text: a.Text}
+	for _, c := range a.Children {
+		if nc := normalizeArgs(c); nc != nil {
+			n.Children = append(n.Children, nc)
+		} else {
+			n.Children = append(n.Children, &trigger.Args{Name: c.Name, Text: c.Text})
+		}
+	}
+	return n
+}

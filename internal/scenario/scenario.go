@@ -1,0 +1,199 @@
+// Package scenario implements LFI's XML-based fault injection language
+// (§4 of the paper).
+//
+// A scenario has two constructs: trigger declarations, which make a
+// trigger class known to LFI and create a named, optionally parametrized
+// instance; and function associations, which link trigger instances to
+// an intercepted library function together with the fault to inject
+// (return value and errno side effect).
+//
+// Composition follows §4.2: all <reftrigger> elements inside one
+// <function> form a conjunction; repeating <function> elements for the
+// same function name forms a disjunction; a reftrigger may carry
+// negate="true" to invert one conjunct.
+//
+// Associations whose return or errno attribute is "unused" never inject;
+// they exist so stateful triggers observe calls (e.g. a WithMutex
+// instance watching pthread_mutex_lock/unlock).
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lfi/internal/errno"
+	"lfi/internal/trigger"
+)
+
+// Unused is the attribute value marking observation-only associations.
+const Unused = "unused"
+
+// TriggerDecl declares a named trigger instance of a registered class,
+// with an optional <args> parameter tree passed to the trigger's Init.
+type TriggerDecl struct {
+	ID    string
+	Class string
+	Args  *trigger.Args
+}
+
+// TriggerRef references a declared trigger from a function association.
+type TriggerRef struct {
+	Ref    string
+	Negate bool
+}
+
+// FunctionAssoc associates trigger instances (a conjunction) with one
+// intercepted function and the fault to inject when they all fire.
+type FunctionAssoc struct {
+	Name   string
+	Argc   int
+	Return string // decimal/hex value, or Unused
+	Errno  string // symbolic errno name, or Unused
+	Refs   []TriggerRef
+}
+
+// Observational reports whether this association can ever inject.
+func (f *FunctionAssoc) Observational() bool {
+	return f.Return == Unused || f.Return == ""
+}
+
+// RetvalErrno decodes the injected fault. It must not be called on
+// observational associations.
+func (f *FunctionAssoc) RetvalErrno() (int64, errno.Errno, error) {
+	rv, err := strconv.ParseInt(strings.TrimSpace(f.Return), 0, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("scenario: function %q: bad return %q", f.Name, f.Return)
+	}
+	if f.Errno == "" || f.Errno == Unused {
+		return rv, errno.OK, nil
+	}
+	e, ok := errno.Parse(f.Errno)
+	if !ok {
+		return 0, 0, fmt.Errorf("scenario: function %q: unknown errno %q", f.Name, f.Errno)
+	}
+	return rv, e, nil
+}
+
+// Scenario is a complete fault injection scenario.
+type Scenario struct {
+	Name      string
+	Triggers  []TriggerDecl
+	Functions []FunctionAssoc
+}
+
+// FindTrigger returns the declaration with the given id, or nil.
+func (s *Scenario) FindTrigger(id string) *TriggerDecl {
+	for i := range s.Triggers {
+		if s.Triggers[i].ID == id {
+			return &s.Triggers[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks referential integrity and fault encodings: every
+// reftrigger resolves, trigger ids are unique, trigger classes exist in
+// the registry, and every injecting association has a decodable fault.
+func (s *Scenario) Validate() error {
+	seen := make(map[string]bool, len(s.Triggers))
+	for _, td := range s.Triggers {
+		if td.ID == "" {
+			return fmt.Errorf("scenario: trigger with empty id")
+		}
+		if seen[td.ID] {
+			return fmt.Errorf("scenario: duplicate trigger id %q", td.ID)
+		}
+		seen[td.ID] = true
+		if _, err := trigger.New(td.Class); err != nil {
+			return err
+		}
+	}
+	for i := range s.Functions {
+		fa := &s.Functions[i]
+		if fa.Name == "" {
+			return fmt.Errorf("scenario: function association with empty name")
+		}
+		if len(fa.Refs) == 0 {
+			return fmt.Errorf("scenario: function %q has no reftrigger", fa.Name)
+		}
+		for _, r := range fa.Refs {
+			if !seen[r.Ref] {
+				return fmt.Errorf("scenario: function %q references unknown trigger %q", fa.Name, r.Ref)
+			}
+		}
+		if !fa.Observational() {
+			if _, _, err := fa.RetvalErrno(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- builder ----------------------------------------------------------------
+
+// Builder assembles scenarios programmatically; the call-site analyzer
+// and tests use it instead of string-pasting XML.
+type Builder struct {
+	s Scenario
+}
+
+// NewBuilder starts a scenario with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{s: Scenario{Name: name}}
+}
+
+// Trigger declares a trigger instance and returns its id for chaining.
+func (b *Builder) Trigger(id, class string, args *trigger.Args) string {
+	b.s.Triggers = append(b.s.Triggers, TriggerDecl{ID: id, Class: class, Args: args})
+	return id
+}
+
+// Inject associates refs (a conjunction) with fn and the fault (retval, e).
+func (b *Builder) Inject(fn string, argc int, retval int64, e errno.Errno, refs ...string) *Builder {
+	fa := FunctionAssoc{
+		Name:   fn,
+		Argc:   argc,
+		Return: strconv.FormatInt(retval, 10),
+		Errno:  e.String(),
+	}
+	for _, r := range refs {
+		fa.Refs = append(fa.Refs, TriggerRef{Ref: r})
+	}
+	b.s.Functions = append(b.s.Functions, fa)
+	return b
+}
+
+// Observe associates refs with fn without ever injecting, so stateful
+// triggers can watch the calls.
+func (b *Builder) Observe(fn string, refs ...string) *Builder {
+	fa := FunctionAssoc{Name: fn, Return: Unused, Errno: Unused}
+	for _, r := range refs {
+		fa.Refs = append(fa.Refs, TriggerRef{Ref: r})
+	}
+	b.s.Functions = append(b.s.Functions, fa)
+	return b
+}
+
+// Build validates and returns the scenario.
+func (b *Builder) Build() (*Scenario, error) {
+	s := b.s
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// IntArgs builds a one-level <args> tree from key/value pairs, a
+// convenience for parametrized triggers.
+func IntArgs(kv ...any) *trigger.Args {
+	a := &trigger.Args{Name: "args"}
+	for i := 0; i+1 < len(kv); i += 2 {
+		a.Children = append(a.Children, &trigger.Args{
+			Name: kv[i].(string),
+			Text: fmt.Sprint(kv[i+1]),
+		})
+	}
+	return a
+}

@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"lfi/internal/errno"
+)
+
+// paperExample is the pipe-read composition scenario from §4.2, with the
+// classes mapped to our registered equivalents.
+const paperExample = `
+<scenario name="pipe-read">
+  <trigger id="readTrig2" class="ReadPipe">
+    <args>
+      <low>1024</low>
+      <high>4096</high>
+    </args>
+  </trigger>
+  <trigger id="mutexTrig" class="WithMutex" />
+  <function name="read" argc="3" return="-1" errno="EINVAL">
+    <reftrigger ref="readTrig2" />
+    <reftrigger ref="mutexTrig" />
+  </function>
+  <function name="pthread_mutex_lock" return="unused" errno="unused">
+    <reftrigger ref="mutexTrig" />
+  </function>
+  <function name="pthread_mutex_unlock" return="unused" errno="unused">
+    <reftrigger ref="mutexTrig" />
+  </function>
+</scenario>`
+
+func TestParsePaperExample(t *testing.T) {
+	s, err := ParseString(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "pipe-read" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if len(s.Triggers) != 2 || len(s.Functions) != 3 {
+		t.Fatalf("parsed %d triggers, %d functions", len(s.Triggers), len(s.Functions))
+	}
+	td := s.FindTrigger("readTrig2")
+	if td == nil || td.Class != "ReadPipe" {
+		t.Fatalf("readTrig2 = %+v", td)
+	}
+	if td.Args.Int("low", 0) != 1024 || td.Args.Int("high", 0) != 4096 {
+		t.Fatal("args not parsed")
+	}
+	read := s.Functions[0]
+	if read.Name != "read" || read.Argc != 3 || len(read.Refs) != 2 {
+		t.Fatalf("read assoc: %+v", read)
+	}
+	rv, e, err := read.RetvalErrno()
+	if err != nil || rv != -1 || e != errno.EINVAL {
+		t.Fatalf("fault = %d/%v/%v", rv, e, err)
+	}
+	if !s.Functions[1].Observational() {
+		t.Fatal("unused association not observational")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRetvalAttribute(t *testing.T) {
+	// §7.1's PBFT fragment uses retval= rather than return=.
+	doc := `<scenario>
+	  <trigger id="t" class="SingletonTrigger" />
+	  <function name="fopen" retval="0" errno="EINVAL">
+	    <reftrigger ref="t" />
+	  </function>
+	</scenario>`
+	s, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, e, err := s.Functions[0].RetvalErrno()
+	if err != nil || rv != 0 || e != errno.EINVAL {
+		t.Fatalf("fault = %d/%v/%v", rv, e, err)
+	}
+}
+
+func TestParseNegate(t *testing.T) {
+	doc := `<scenario>
+	  <trigger id="nb" class="NonBlockingFD" />
+	  <function name="read" return="-1" errno="EAGAIN">
+	    <reftrigger ref="nb" negate="true" />
+	  </function>
+	</scenario>`
+	s, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Functions[0].Refs[0].Negate {
+		t.Fatal("negate lost")
+	}
+}
+
+func TestValidateDanglingRef(t *testing.T) {
+	doc := `<scenario>
+	  <trigger id="a" class="SingletonTrigger" />
+	  <function name="read" return="-1" errno="EIO">
+	    <reftrigger ref="ghost" />
+	  </function>
+	</scenario>`
+	s, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("dangling ref accepted")
+	}
+}
+
+func TestValidateUnknownClass(t *testing.T) {
+	doc := `<scenario>
+	  <trigger id="a" class="Imaginary" />
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="a" /></function>
+	</scenario>`
+	s, _ := ParseString(doc)
+	if err := s.Validate(); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestValidateDuplicateID(t *testing.T) {
+	doc := `<scenario>
+	  <trigger id="a" class="SingletonTrigger" />
+	  <trigger id="a" class="SingletonTrigger" />
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="a" /></function>
+	</scenario>`
+	s, _ := ParseString(doc)
+	if err := s.Validate(); err == nil {
+		t.Fatal("duplicate trigger id accepted")
+	}
+}
+
+func TestValidateBadErrno(t *testing.T) {
+	doc := `<scenario>
+	  <trigger id="a" class="SingletonTrigger" />
+	  <function name="read" return="-1" errno="EWHAT"><reftrigger ref="a" /></function>
+	</scenario>`
+	s, _ := ParseString(doc)
+	if err := s.Validate(); err == nil {
+		t.Fatal("bad errno accepted")
+	}
+}
+
+func TestValidateNoRefs(t *testing.T) {
+	doc := `<scenario>
+	  <function name="read" return="-1" errno="EIO"></function>
+	</scenario>`
+	s, _ := ParseString(doc)
+	if err := s.Validate(); err == nil {
+		t.Fatal("function without reftrigger accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := ParseString(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(bytesReader(s.Serialize()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, s.Serialize())
+	}
+	if !reflect.DeepEqual(normalize(s), normalize(s2)) {
+		t.Fatalf("round trip changed scenario:\n%#v\nvs\n%#v", s, s2)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder("auto")
+	id := b.Trigger("cs1", "CallCountTrigger", IntArgs("n", 3))
+	b.Inject("read", 3, -1, errno.EIO, id)
+	b.Observe("pthread_mutex_lock", id)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Functions) != 2 {
+		t.Fatal("builder dropped associations")
+	}
+	rv, e, _ := s.Functions[0].RetvalErrno()
+	if rv != -1 || e != errno.EIO {
+		t.Fatalf("builder fault %d/%v", rv, e)
+	}
+	if !s.Functions[1].Observational() {
+		t.Fatal("Observe not observational")
+	}
+	// Builder output must itself round-trip.
+	s2, err := Parse(bytesReader(s.Serialize()))
+	if err != nil || !reflect.DeepEqual(normalize(s), normalize(s2)) {
+		t.Fatalf("builder round trip: %v", err)
+	}
+}
+
+func TestBuilderRejectsBadScenario(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Inject("read", 0, -1, errno.EIO, "missing-trigger")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("builder accepted dangling ref")
+	}
+}
+
+func TestParseEmptyDoc(t *testing.T) {
+	if _, err := ParseString(""); err == nil {
+		t.Fatal("empty doc accepted")
+	}
+}

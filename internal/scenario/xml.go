@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lfi/internal/trigger"
+)
+
+// This file parses and serializes the XML surface syntax. Scenarios are
+// both human- and machine-readable (§4.1); the analyzer emits them and
+// testers edit them, so round-tripping must be lossless for the fields
+// the language defines.
+
+// Parse reads a scenario document. The root element may be <scenario>
+// (with an optional name attribute); for compatibility with the paper's
+// fragment style, a document consisting of bare <trigger>/<function>
+// elements wrapped in any root is also accepted.
+func Parse(r io.Reader) (*Scenario, error) {
+	root, err := decodeTree(xml.NewDecoder(r))
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("scenario: empty document")
+	}
+	s := &Scenario{Name: root.Attr["name"]}
+	for _, el := range root.Children {
+		switch el.Name {
+		case "trigger":
+			td := TriggerDecl{ID: el.Attr["id"], Class: el.Attr["class"]}
+			if args := el.Child("args"); args != nil {
+				td.Args = args
+			}
+			s.Triggers = append(s.Triggers, td)
+		case "function":
+			fa := FunctionAssoc{
+				Name:  el.Attr["name"],
+				Errno: el.Attr["errno"],
+			}
+			// The paper uses both return= and retval= (compare §4.1
+			// with the PBFT fragment in §7.1); accept either.
+			fa.Return = el.Attr["return"]
+			if fa.Return == "" {
+				fa.Return = el.Attr["retval"]
+			}
+			if v := el.Attr["argc"]; v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: function %q: bad argc %q", fa.Name, v)
+				}
+				fa.Argc = n
+			}
+			for _, ref := range el.ChildrenNamed("reftrigger") {
+				fa.Refs = append(fa.Refs, TriggerRef{
+					Ref:    ref.Attr["ref"],
+					Negate: ref.Attr["negate"] == "true",
+				})
+			}
+			s.Functions = append(s.Functions, fa)
+		}
+	}
+	return s, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(doc string) (*Scenario, error) {
+	return Parse(strings.NewReader(doc))
+}
+
+// decodeTree reads one XML document into the generic Args tree that
+// triggers consume (the xmlNodePtr analogue).
+func decodeTree(dec *xml.Decoder) (*trigger.Args, error) {
+	var stack []*trigger.Args
+	var root *trigger.Args
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &trigger.Args{Name: t.Name.Local, Attr: map[string]string{}}
+			for _, a := range t.Attr {
+				n.Attr[a.Name.Local] = a.Value
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("scenario: multiple root elements")
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("scenario: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += strings.TrimSpace(string(t))
+			}
+		}
+	}
+	return root, nil
+}
+
+// Serialize writes the scenario as an XML document with a <scenario>
+// root. The output parses back to an equal Scenario.
+func (s *Scenario) Serialize() []byte {
+	var b bytes.Buffer
+	b.WriteString("<scenario")
+	if s.Name != "" {
+		fmt.Fprintf(&b, " name=%q", s.Name)
+	}
+	b.WriteString(">\n")
+	for _, td := range s.Triggers {
+		fmt.Fprintf(&b, "  <trigger id=%q class=%q", td.ID, td.Class)
+		if td.Args == nil || len(td.Args.Children) == 0 {
+			b.WriteString(" />\n")
+			continue
+		}
+		b.WriteString(">\n")
+		writeArgs(&b, td.Args, 4)
+		b.WriteString("  </trigger>\n")
+	}
+	for _, fa := range s.Functions {
+		fmt.Fprintf(&b, "  <function name=%q", fa.Name)
+		if fa.Argc > 0 {
+			fmt.Fprintf(&b, " argc=%q", strconv.Itoa(fa.Argc))
+		}
+		fmt.Fprintf(&b, " return=%q errno=%q>\n", fa.Return, fa.Errno)
+		for _, r := range fa.Refs {
+			if r.Negate {
+				fmt.Fprintf(&b, "    <reftrigger ref=%q negate=\"true\" />\n", r.Ref)
+			} else {
+				fmt.Fprintf(&b, "    <reftrigger ref=%q />\n", r.Ref)
+			}
+		}
+		b.WriteString("  </function>\n")
+	}
+	b.WriteString("</scenario>\n")
+	return b.Bytes()
+}
+
+func writeArgs(b *bytes.Buffer, n *trigger.Args, indent int) {
+	pad := strings.Repeat(" ", indent)
+	fmt.Fprintf(b, "%s<%s", pad, n.Name)
+	for k, v := range n.Attr {
+		fmt.Fprintf(b, " %s=%q", k, v)
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		b.WriteString(" />\n")
+		return
+	}
+	b.WriteString(">")
+	if n.Text != "" {
+		xml.EscapeText(b, []byte(n.Text))
+	}
+	if len(n.Children) > 0 {
+		b.WriteString("\n")
+		for _, c := range n.Children {
+			writeArgs(b, c, indent+2)
+		}
+		b.WriteString(pad)
+	}
+	fmt.Fprintf(b, "</%s>\n", n.Name)
+}

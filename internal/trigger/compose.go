@@ -1,0 +1,69 @@
+package trigger
+
+import "lfi/internal/interpose"
+
+// Composition (§4.2): conjunction, disjunction, and negation of
+// triggers. The runtime composes conjunctions from the <reftrigger> list
+// of one <function> element and disjunctions from repeated <function>
+// elements; these types also let custom triggers and tests compose
+// programmatically.
+
+// And fires only when every child fires. Evaluation short-circuits on
+// the first false child (§4.3), so order the cheap triggers first. Note
+// that stateful children placed after an earlier false child will not
+// see the call — the same behaviour as C's && and as LFI.
+type And struct {
+	Children []Trigger
+}
+
+// Init is a no-op; children are initialized individually.
+func (t *And) Init(*Args) error { return nil }
+
+// Eval short-circuits like a C logical expression.
+func (t *And) Eval(call *interpose.Call) bool {
+	for _, c := range t.Children {
+		if !c.Eval(call) {
+			return false
+		}
+	}
+	return len(t.Children) > 0
+}
+
+// Or fires when any child fires, short-circuiting on the first true.
+type Or struct {
+	Children []Trigger
+}
+
+// Init is a no-op; children are initialized individually.
+func (t *Or) Init(*Args) error { return nil }
+
+// Eval short-circuits on the first true child.
+func (t *Or) Eval(call *interpose.Call) bool {
+	for _, c := range t.Children {
+		if c.Eval(call) {
+			return true
+		}
+	}
+	return false
+}
+
+// Not inverts a trigger's decision.
+type Not struct {
+	Child Trigger
+}
+
+// Init is a no-op; the child is initialized individually.
+func (t *Not) Init(*Args) error { return nil }
+
+// Eval inverts the child's verdict.
+func (t *Not) Eval(call *interpose.Call) bool { return !t.Child.Eval(call) }
+
+// FuncTrigger adapts a plain predicate to the Trigger interface, which
+// keeps tests and examples concise.
+type FuncTrigger func(call *interpose.Call) bool
+
+// Init is a no-op.
+func (f FuncTrigger) Init(*Args) error { return nil }
+
+// Eval calls the wrapped predicate.
+func (f FuncTrigger) Eval(call *interpose.Call) bool { return f(call) }

@@ -1,0 +1,197 @@
+package trigger
+
+import (
+	"fmt"
+
+	"lfi/internal/interpose"
+)
+
+// This file implements the specialized triggers used by the paper's
+// evaluation: WithMutex and ReadPipe (§3.1/§4.2 composition example),
+// ArgEquals (the fcntl cmd==F_GETLK trigger of Table 6), NonBlockingFD
+// (the realism guard of §3.2), and CloseAfterUnlock (the 100%-precision
+// trigger of Table 2).
+
+func init() {
+	Register("WithMutex", func() Trigger { return &WithMutex{} })
+	Register("ReadPipe", func() Trigger { return &ReadPipe{} })
+	Register("ArgEquals", func() Trigger { return &ArgEquals{} })
+	Register("NonBlockingFD", func() Trigger { return &NonBlockingFD{} })
+	Register("CloseAfterUnlock", func() Trigger { return &CloseAfterUnlock{} })
+	Register("FuncIs", func() Trigger { return &FuncIs{} })
+	Register("FDIsSocket", func() Trigger { return &FDIsSocket{} })
+}
+
+// FDIsSocket fires when the descriptor in argument 0 refers to a
+// socket. It is the paper's Apache "Trigger 1": target apr_file_read
+// calls whose descriptor points at a socket, checked via apr_stat (here
+// the raw inspector).
+type FDIsSocket struct {
+	Base
+}
+
+// Eval checks the descriptor's mode bits.
+func (t *FDIsSocket) Eval(call *interpose.Call) bool {
+	if t.Env == nil || t.Env.Inspect == nil {
+		return false
+	}
+	mode, ok := t.Env.Inspect.FDMode(call.Arg(0))
+	return ok && mode&0xF000 == 0xC000 // S_ISSOCK
+}
+
+// WithMutex fires for any function called while the calling thread holds
+// at least one POSIX mutex. The paper's version counts
+// pthread_mutex_lock/unlock interceptions itself; here the thread's lock
+// count rides on the Call, so Eval stays O(1) and composition-friendly.
+type WithMutex struct {
+	Base
+}
+
+// Eval checks the caller's held-lock count.
+func (t *WithMutex) Eval(call *interpose.Call) bool { return call.Locks > 0 }
+
+// ReadPipe fires for read calls whose descriptor is a pipe and whose
+// requested byte count lies in [Low, High] — the parametrized half of
+// the paper's ReadPipe1K4KwithMutex composition example.
+type ReadPipe struct {
+	Base
+	Low, High int64
+}
+
+// Init parses <low> and <high> (defaults 1 KB / 4 KB as in the paper).
+func (t *ReadPipe) Init(args *Args) error {
+	t.Low = args.Int("low", 1024)
+	t.High = args.Int("high", 4096)
+	if t.Low > t.High {
+		return fmt.Errorf("ReadPipe: low %d > high %d", t.Low, t.High)
+	}
+	return nil
+}
+
+// Eval matches read(fd, buf, size): argument 0 is the descriptor,
+// argument 2 the size. The descriptor type check goes through the raw
+// inspector (the trigger's fstat).
+func (t *ReadPipe) Eval(call *interpose.Call) bool {
+	if call.Func != "read" {
+		return false
+	}
+	size := call.Arg(2)
+	if size < t.Low || size > t.High {
+		return false
+	}
+	if t.Env == nil || t.Env.Inspect == nil {
+		return false
+	}
+	mode, ok := t.Env.Inspect.FDMode(call.Arg(0))
+	return ok && mode&0xF000 == 0x1000 // S_ISFIFO
+}
+
+// ArgEquals fires when the i-th word-sized argument equals a value —
+// e.g. fcntl's cmd argument equals F_GETLK (Table 6, trigger 1).
+type ArgEquals struct {
+	Base
+	Index int
+	Value int64
+}
+
+// Init parses <index> and <value>.
+func (t *ArgEquals) Init(args *Args) error {
+	t.Index = int(args.Int("index", 0))
+	t.Value = args.Int("value", 0)
+	if t.Index < 0 {
+		return fmt.Errorf("ArgEquals: negative index")
+	}
+	return nil
+}
+
+// Eval compares the argument.
+func (t *ArgEquals) Eval(call *interpose.Call) bool {
+	return call.Arg(t.Index) == t.Value
+}
+
+// NonBlockingFD fires only when the descriptor in argument 0 has
+// O_NONBLOCK set. §3.2 recommends composing it with I/O injections that
+// set EAGAIN, so the injected fault stays realistic (EAGAIN should only
+// occur on non-blocking descriptors).
+type NonBlockingFD struct {
+	Base
+}
+
+// Eval checks the descriptor's status flags via the raw inspector.
+func (t *NonBlockingFD) Eval(call *interpose.Call) bool {
+	if t.Env == nil || t.Env.Inspect == nil {
+		return false
+	}
+	return t.Env.Inspect.Nonblocking(call.Arg(0))
+}
+
+// CloseAfterUnlock fires for close calls that happen at most MaxDist
+// library calls after the calling thread's most recent
+// pthread_mutex_unlock. It is the paper's final Table 2 trigger: the
+// MySQL double-unlock bug lives in cleanup code where close follows an
+// unlock within two lines, and this trigger reproduced the bug 100% of
+// the time with distance 2.
+//
+// The trigger must be associated with both close and
+// pthread_mutex_unlock so that it observes unlocks (those associations
+// use return="unused", so they never inject).
+type CloseAfterUnlock struct {
+	Base
+	MaxDist int64
+	// state per thread: calls seen since the last unlock; -1 = none yet.
+	since perThread[*int64]
+}
+
+// Init parses <distance> (default 2, the paper's value).
+func (t *CloseAfterUnlock) Init(args *Args) error {
+	t.MaxDist = args.Int("distance", 2)
+	if t.MaxDist < 0 {
+		return fmt.Errorf("CloseAfterUnlock: negative distance")
+	}
+	return nil
+}
+
+// Eval updates per-thread distance state and decides for close calls.
+func (t *CloseAfterUnlock) Eval(call *interpose.Call) bool {
+	ctr := t.since.get(call.Thread)
+	switch call.Func {
+	case "pthread_mutex_unlock":
+		if ctr == nil {
+			ctr = new(int64)
+			t.since.set(call.Thread, ctr)
+		}
+		*ctr = 0
+		return false
+	case "close":
+		if ctr == nil {
+			return false
+		}
+		*ctr++
+		return *ctr <= t.MaxDist
+	default:
+		if ctr != nil {
+			*ctr++
+		}
+		return false
+	}
+}
+
+// FuncIs fires when the intercepted function has a given name. It is
+// useful inside conjunctions where a stateful trigger is associated with
+// several functions but the injection should happen in only one of them.
+type FuncIs struct {
+	Base
+	Name string
+}
+
+// Init parses <name>.
+func (t *FuncIs) Init(args *Args) error {
+	t.Name = args.String("name", "")
+	if t.Name == "" {
+		return fmt.Errorf("FuncIs: missing <name>")
+	}
+	return nil
+}
+
+// Eval compares the function name.
+func (t *FuncIs) Eval(call *interpose.Call) bool { return call.Func == t.Name }

@@ -1,0 +1,297 @@
+package trigger
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"lfi/internal/interpose"
+)
+
+// This file implements the six stock triggers of §3.2: call stack,
+// program state, call count, singleton, random, and distributed.
+
+func init() {
+	Register("CallStackTrigger", func() Trigger { return &CallStack{} })
+	Register("ProgramStateTrigger", func() Trigger { return &ProgramState{} })
+	Register("CallCountTrigger", func() Trigger { return &CallCount{} })
+	Register("SingletonTrigger", func() Trigger { return &Singleton{} })
+	Register("RandomTrigger", func() Trigger { return &Random{} })
+	Register("DistributedTrigger", func() Trigger { return &Distributed{} })
+}
+
+// --- call stack -----------------------------------------------------------
+
+// FrameSpec identifies one user-provided stack frame. Frames can be
+// matched by module name + binary offset, by file/line (DWARF debug
+// info), by function name, or any combination; unset fields match
+// anything.
+type FrameSpec struct {
+	Module string
+	Func   string
+	Offset uint64 // 0 = unset
+	File   string
+	Line   int // 0 = unset
+}
+
+// Matches reports whether a stack frame satisfies the spec.
+func (s FrameSpec) Matches(f interpose.Frame) bool {
+	if s.Module != "" && s.Module != f.Module {
+		return false
+	}
+	if s.Func != "" && s.Func != f.Func {
+		return false
+	}
+	if s.Offset != 0 && s.Offset != f.Offset {
+		return false
+	}
+	if s.File != "" && s.File != f.File {
+		return false
+	}
+	if s.Line != 0 && s.Line != f.Line {
+		return false
+	}
+	return true
+}
+
+// CallStack fires when the current call stack contains the configured
+// frames as a subsequence (outermost first). The analyzer-generated
+// scenarios use a single module+offset frame identifying the vulnerable
+// call site.
+type CallStack struct {
+	Base
+	Frames []FrameSpec
+}
+
+// Init parses <frame> children: <module>, <function>, <offset> (hex or
+// decimal), <file>, <line>.
+func (t *CallStack) Init(args *Args) error {
+	for _, fr := range args.ChildrenNamed("frame") {
+		spec := FrameSpec{
+			Module: fr.String("module", ""),
+			Func:   fr.String("function", ""),
+			File:   fr.String("file", ""),
+			Line:   int(fr.Int("line", 0)),
+		}
+		if off := fr.String("offset", ""); off != "" {
+			v, err := strconv.ParseUint(off, 16, 64)
+			if err != nil {
+				v2, err2 := strconv.ParseUint(off, 0, 64)
+				if err2 != nil {
+					return fmt.Errorf("CallStackTrigger: bad offset %q", off)
+				}
+				v = v2
+			}
+			spec.Offset = v
+		}
+		t.Frames = append(t.Frames, spec)
+	}
+	if len(t.Frames) == 0 {
+		return fmt.Errorf("CallStackTrigger: no <frame> elements")
+	}
+	return nil
+}
+
+// Eval implements the subsequence match over the virtual stack.
+func (t *CallStack) Eval(call *interpose.Call) bool {
+	i := 0
+	for _, f := range call.Stack {
+		if i < len(t.Frames) && t.Frames[i].Matches(f) {
+			i++
+		}
+	}
+	return i == len(t.Frames)
+}
+
+// --- program state ----------------------------------------------------------
+
+// ProgramState fires when a relation between program variables holds,
+// e.g. numConnections==maxConnections or thread_count>64. The stock
+// trigger supports eq/ne/lt/le/gt/ge between a variable and either a
+// literal or a second variable.
+type ProgramState struct {
+	Base
+	Var   string
+	Op    string
+	Value int64
+	Var2  string // when set, compared instead of Value
+}
+
+// Init parses <var>, <op> (default eq), and <value> or <var2>.
+func (t *ProgramState) Init(args *Args) error {
+	t.Var = args.String("var", "")
+	if t.Var == "" {
+		return fmt.Errorf("ProgramStateTrigger: missing <var>")
+	}
+	t.Op = args.String("op", "eq")
+	switch t.Op {
+	case "eq", "ne", "lt", "le", "gt", "ge":
+	default:
+		return fmt.Errorf("ProgramStateTrigger: unknown op %q", t.Op)
+	}
+	t.Var2 = args.String("var2", "")
+	t.Value = args.Int("value", 0)
+	return nil
+}
+
+// Eval reads the variables through the raw inspector and applies the
+// relation. Unknown variables evaluate to false (no injection).
+func (t *ProgramState) Eval(*interpose.Call) bool {
+	if t.Env == nil || t.Env.Inspect == nil {
+		return false
+	}
+	a, ok := t.Env.Inspect.ReadVar(t.Var)
+	if !ok {
+		return false
+	}
+	b := t.Value
+	if t.Var2 != "" {
+		if b, ok = t.Env.Inspect.ReadVar(t.Var2); !ok {
+			return false
+		}
+	}
+	switch t.Op {
+	case "eq":
+		return a == b
+	case "ne":
+		return a != b
+	case "lt":
+		return a < b
+	case "le":
+		return a <= b
+	case "gt":
+		return a > b
+	case "ge":
+		return a >= b
+	}
+	return false
+}
+
+// --- call count --------------------------------------------------------------
+
+// CallCount fires exactly on the n-th interception of the associated
+// function (1-based). With <every> set it instead fires on every n-th
+// call, and with <from>/<to> on a count window — the generalization used
+// by the PBFT DoS bursts ("inject 500 consecutive faults").
+type CallCount struct {
+	Base
+	N     uint64
+	Every uint64
+	From  uint64
+	To    uint64
+}
+
+// Init parses <n>, or <every>, or <from>/<to>.
+func (t *CallCount) Init(args *Args) error {
+	t.N = uint64(args.Int("n", 0))
+	t.Every = uint64(args.Int("every", 0))
+	t.From = uint64(args.Int("from", 0))
+	t.To = uint64(args.Int("to", 0))
+	if t.N == 0 && t.Every == 0 && t.From == 0 {
+		return fmt.Errorf("CallCountTrigger: need <n>, <every>, or <from>/<to>")
+	}
+	return nil
+}
+
+// Eval compares against the dispatcher-maintained per-function count.
+func (t *CallCount) Eval(call *interpose.Call) bool {
+	switch {
+	case t.N != 0:
+		return call.Count == t.N
+	case t.Every != 0:
+		return call.Count%t.Every == 0
+	default:
+		return call.Count >= t.From && (t.To == 0 || call.Count <= t.To)
+	}
+}
+
+// --- singleton ----------------------------------------------------------------
+
+// Singleton fires exactly once, then never again. Composed at the end of
+// a conjunction it ensures a fault is injected only the first time the
+// other triggers all hold (§3.2).
+type Singleton struct {
+	Base
+	fired atomic.Bool
+}
+
+// Eval returns true on the first evaluation only.
+func (t *Singleton) Eval(*interpose.Call) bool {
+	return t.fired.CompareAndSwap(false, true)
+}
+
+// Reset re-arms the singleton (between controller test runs).
+func (t *Singleton) Reset() { t.fired.Store(false) }
+
+// --- random -------------------------------------------------------------------
+
+// Random fires with a configurable probability.
+type Random struct {
+	Base
+	P float64
+}
+
+// Init parses <probability> (default 0, i.e. never).
+func (t *Random) Init(args *Args) error {
+	t.P = args.Float("probability", 0)
+	if t.P < 0 || t.P > 1 {
+		return fmt.Errorf("RandomTrigger: probability %v out of [0,1]", t.P)
+	}
+	return nil
+}
+
+// Eval draws from the runtime's deterministic random source.
+func (t *Random) Eval(*interpose.Call) bool {
+	if t.Env == nil || t.Env.Rand == nil {
+		return false
+	}
+	return t.Env.Rand() < t.P
+}
+
+// --- distributed ----------------------------------------------------------------
+
+// Distributed forwards the intercepted call (node, function, arguments,
+// stack) to the central controller, which decides based on its global
+// view of the system. To minimize overhead it should be composed after
+// node-local triggers so the controller is consulted only when the
+// decision cannot be made locally (§3.2).
+type Distributed struct {
+	Base
+}
+
+// Eval defers to the central decider; with none configured it never fires.
+func (t *Distributed) Eval(call *interpose.Call) bool {
+	if t.Env == nil || t.Env.Dist == nil {
+		return false
+	}
+	return t.Env.Dist.Decide(call)
+}
+
+// --- shared helper state for cross-call triggers -----------------------------
+
+// perThread is a tiny concurrent map keyed by thread id, shared by the
+// stateful extra triggers.
+type perThread[T any] struct {
+	mu sync.Mutex
+	m  map[int]T
+}
+
+func (p *perThread[T]) get(tid int) T {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var zero T
+	if p.m == nil {
+		return zero
+	}
+	return p.m[tid]
+}
+
+func (p *perThread[T]) set(tid int, v T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = make(map[int]T)
+	}
+	p.m[tid] = v
+}

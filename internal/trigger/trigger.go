@@ -1,0 +1,191 @@
+// Package trigger implements LFI's fault-injection triggers (§3 of the
+// paper): pluggable predicates that decide, per intercepted library
+// call, whether a fault should be injected.
+//
+// A trigger mirrors the paper's C++ Trigger interface — an optional Init
+// that receives the <args> XML subtree from the injection scenario, and
+// an Eval invoked on every interception of an associated function.
+// Triggers may keep state across Evals (the paper's
+// ReadPipe1K4KwithMutex counts mutex locks, for example).
+//
+// Trigger classes are registered by name in a global registry — the
+// paper's Registry-pattern equivalent of Java's Class.forName — so that
+// scenarios can reference them with class="Name".
+package trigger
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"lfi/internal/interpose"
+)
+
+// Args is the parsed <args> element of a trigger declaration: a generic
+// XML tree, playing the role of the xmlNodePtr the paper hands to Init.
+type Args struct {
+	Name     string
+	Text     string
+	Attr     map[string]string
+	Children []*Args
+}
+
+// Child returns the first child element with the given name, or nil.
+func (a *Args) Child(name string) *Args {
+	if a == nil {
+		return nil
+	}
+	for _, c := range a.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all child elements with the given name.
+func (a *Args) ChildrenNamed(name string) []*Args {
+	if a == nil {
+		return nil
+	}
+	var out []*Args
+	for _, c := range a.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String returns the text of the named child, or def when absent.
+func (a *Args) String(name, def string) string {
+	if c := a.Child(name); c != nil {
+		return c.Text
+	}
+	return def
+}
+
+// Int returns the integer value of the named child, or def when absent
+// or malformed. Hexadecimal values may use a 0x prefix.
+func (a *Args) Int(name string, def int64) int64 {
+	c := a.Child(name)
+	if c == nil {
+		return def
+	}
+	v, err := strconv.ParseInt(c.Text, 0, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// Float returns the float value of the named child, or def.
+func (a *Args) Float(name string, def float64) float64 {
+	c := a.Child(name)
+	if c == nil {
+		return def
+	}
+	v, err := strconv.ParseFloat(c.Text, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// Inspector gives triggers raw (un-interposed) access to process state,
+// the analogue of the paper's triggers calling fstat/fcntl or reading
+// program variables directly. The core runtime adapts libsim.C to it.
+type Inspector interface {
+	// FDMode returns the st_mode format bits of an open descriptor.
+	FDMode(fd int64) (mode int64, ok bool)
+	// Nonblocking reports whether a descriptor has O_NONBLOCK set.
+	Nonblocking(fd int64) bool
+	// ReadVar reads a named program variable (global state).
+	ReadVar(name string) (int64, bool)
+}
+
+// Decider is the central controller consulted by distributed triggers;
+// distsim implements it.
+type Decider interface {
+	Decide(call *interpose.Call) bool
+}
+
+// Env is ambient state handed to triggers that need more than the call
+// itself: a deterministic random source, raw process inspection, and the
+// distributed-injection controller.
+type Env struct {
+	Rand    func() float64 // uniform [0,1)
+	Inspect Inspector
+	Dist    Decider
+}
+
+// Trigger is the paper's Trigger interface. Init is optional in spirit:
+// implementations that need no parameters simply ignore args. Eval must
+// be cheap — it runs on every interception of an associated function.
+type Trigger interface {
+	Init(args *Args) error
+	Eval(call *interpose.Call) bool
+}
+
+// EnvBinder is implemented by triggers that need the Env; the runtime
+// calls SetEnv after instantiation and before Init.
+type EnvBinder interface {
+	SetEnv(env *Env)
+}
+
+// Base provides a no-op Init and Env storage, so concrete triggers only
+// implement what they need (the paper's abstract base class).
+type Base struct {
+	Env *Env
+}
+
+// Init implements Trigger with the paper's empty default.
+func (b *Base) Init(*Args) error { return nil }
+
+// SetEnv implements EnvBinder.
+func (b *Base) SetEnv(env *Env) { b.Env = env }
+
+// Factory constructs a fresh trigger instance.
+type Factory func() Trigger
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register adds a trigger class to the registry. It panics on duplicate
+// names, which would indicate two classes fighting over one scenario
+// identifier. Call it from an init function — the Go equivalent of the
+// paper's DECLARE_TRIGGER static-initialization trick.
+func Register(name string, f Factory) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic("trigger: duplicate registration of " + name)
+	}
+	registry.m[name] = f
+}
+
+// New instantiates a trigger class by name.
+func New(name string) (Trigger, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("trigger: unknown class %q", name)
+	}
+	return f(), nil
+}
+
+// Classes returns the sorted names of all registered trigger classes.
+func Classes() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

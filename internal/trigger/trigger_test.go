@@ -1,0 +1,548 @@
+package trigger
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lfi/internal/interpose"
+)
+
+func args(kv ...string) *Args {
+	a := &Args{Name: "args"}
+	for i := 0; i+1 < len(kv); i += 2 {
+		a.Children = append(a.Children, &Args{Name: kv[i], Text: kv[i+1]})
+	}
+	return a
+}
+
+func mustNew(t *testing.T, class string, a *Args, env *Env) Trigger {
+	t.Helper()
+	tr, err := New(class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env != nil {
+		if b, ok := tr.(EnvBinder); ok {
+			b.SetEnv(env)
+		}
+	}
+	if a == nil {
+		a = &Args{Name: "args"}
+	}
+	if err := tr.Init(a); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// --- registry -----------------------------------------------------------
+
+func TestRegistryStockClasses(t *testing.T) {
+	for _, name := range []string{
+		"CallStackTrigger", "ProgramStateTrigger", "CallCountTrigger",
+		"SingletonTrigger", "RandomTrigger", "DistributedTrigger",
+		"WithMutex", "ReadPipe", "ArgEquals", "NonBlockingFD",
+		"CloseAfterUnlock", "FuncIs",
+	} {
+		if _, err := New(name); err != nil {
+			t.Errorf("stock class %s missing: %v", name, err)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New("NoSuchTrigger"); err == nil {
+		t.Fatal("unknown class did not error")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("CallStackTrigger", func() Trigger { return &CallStack{} })
+}
+
+func TestClassesSorted(t *testing.T) {
+	cs := Classes()
+	if len(cs) < 6 {
+		t.Fatalf("only %d classes", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatalf("Classes not sorted at %d", i)
+		}
+	}
+}
+
+// --- args helpers --------------------------------------------------------
+
+func TestArgsAccessors(t *testing.T) {
+	a := args("low", "1024", "p", "0.5", "hex", "0x10")
+	if a.Int("low", 0) != 1024 {
+		t.Fatal("Int")
+	}
+	if a.Int("hex", 0) != 16 {
+		t.Fatal("hex Int")
+	}
+	if a.Int("missing", 7) != 7 {
+		t.Fatal("Int default")
+	}
+	if a.Float("p", 0) != 0.5 {
+		t.Fatal("Float")
+	}
+	if a.String("missing", "d") != "d" {
+		t.Fatal("String default")
+	}
+	if a.Child("nope") != nil {
+		t.Fatal("Child on missing")
+	}
+	var nilArgs *Args
+	if nilArgs.Child("x") != nil || nilArgs.ChildrenNamed("x") != nil {
+		t.Fatal("nil Args accessors")
+	}
+}
+
+// --- call stack -----------------------------------------------------------
+
+func stackCall(frames ...interpose.Frame) *interpose.Call {
+	return &interpose.Call{Func: "read", Stack: frames}
+}
+
+func TestCallStackSubsequence(t *testing.T) {
+	a := &Args{Name: "args", Children: []*Args{
+		{Name: "frame", Children: []*Args{{Name: "module", Text: "app"}, {Name: "function", Text: "outer"}}},
+		{Name: "frame", Children: []*Args{{Name: "function", Text: "inner"}}},
+	}}
+	tr := mustNew(t, "CallStackTrigger", a, nil)
+	match := stackCall(
+		interpose.Frame{Module: "app", Func: "main"},
+		interpose.Frame{Module: "app", Func: "outer"},
+		interpose.Frame{Module: "app", Func: "mid"},
+		interpose.Frame{Module: "app", Func: "inner"},
+	)
+	if !tr.Eval(match) {
+		t.Fatal("subsequence should match")
+	}
+	wrongOrder := stackCall(
+		interpose.Frame{Module: "app", Func: "inner"},
+		interpose.Frame{Module: "app", Func: "outer"},
+	)
+	if tr.Eval(wrongOrder) {
+		t.Fatal("out-of-order frames matched")
+	}
+}
+
+func TestCallStackOffsetHex(t *testing.T) {
+	// The paper's analyzer emits bare hex offsets like 8054a69.
+	a := &Args{Name: "args", Children: []*Args{
+		{Name: "frame", Children: []*Args{
+			{Name: "module", Text: "bft/simple-server"},
+			{Name: "offset", Text: "8054a69"},
+		}},
+	}}
+	tr := mustNew(t, "CallStackTrigger", a, nil)
+	if !tr.Eval(stackCall(interpose.Frame{Module: "bft/simple-server", Offset: 0x8054a69})) {
+		t.Fatal("hex offset frame should match")
+	}
+	if tr.Eval(stackCall(interpose.Frame{Module: "bft/simple-server", Offset: 0x1})) {
+		t.Fatal("wrong offset matched")
+	}
+}
+
+func TestCallStackFileLine(t *testing.T) {
+	a := &Args{Name: "args", Children: []*Args{
+		{Name: "frame", Children: []*Args{
+			{Name: "file", Text: "xdiff/xmerge.c"},
+			{Name: "line", Text: "567"},
+		}},
+	}}
+	tr := mustNew(t, "CallStackTrigger", a, nil)
+	if !tr.Eval(stackCall(interpose.Frame{File: "xdiff/xmerge.c", Line: 567})) {
+		t.Fatal("file:line should match")
+	}
+	if tr.Eval(stackCall(interpose.Frame{File: "xdiff/xmerge.c", Line: 571})) {
+		t.Fatal("wrong line matched")
+	}
+}
+
+func TestCallStackNoFramesErrors(t *testing.T) {
+	tr, _ := New("CallStackTrigger")
+	if err := tr.Init(args()); err == nil {
+		t.Fatal("empty frame list accepted")
+	}
+}
+
+// --- program state ----------------------------------------------------------
+
+type fakeInspector struct {
+	vars  map[string]int64
+	modes map[int64]int64
+	nb    map[int64]bool
+}
+
+func (f *fakeInspector) FDMode(fd int64) (int64, bool) {
+	m, ok := f.modes[fd]
+	return m, ok
+}
+func (f *fakeInspector) Nonblocking(fd int64) bool { return f.nb[fd] }
+func (f *fakeInspector) ReadVar(n string) (int64, bool) {
+	v, ok := f.vars[n]
+	return v, ok
+}
+
+func TestProgramStateOps(t *testing.T) {
+	ins := &fakeInspector{vars: map[string]int64{"n": 64, "max": 64}}
+	env := &Env{Inspect: ins}
+	cases := []struct {
+		op   string
+		val  string
+		want bool
+	}{
+		{"eq", "64", true}, {"eq", "63", false},
+		{"ne", "63", true}, {"lt", "65", true}, {"le", "64", true},
+		{"gt", "63", true}, {"ge", "65", false},
+	}
+	for _, c := range cases {
+		tr := mustNew(t, "ProgramStateTrigger", args("var", "n", "op", c.op, "value", c.val), env)
+		if got := tr.Eval(&interpose.Call{}); got != c.want {
+			t.Errorf("n %s %s = %v, want %v", c.op, c.val, got, c.want)
+		}
+	}
+}
+
+func TestProgramStateVarVsVar(t *testing.T) {
+	ins := &fakeInspector{vars: map[string]int64{"numConnections": 10, "maxConnections": 10}}
+	tr := mustNew(t, "ProgramStateTrigger",
+		args("var", "numConnections", "var2", "maxConnections"), &Env{Inspect: ins})
+	if !tr.Eval(&interpose.Call{}) {
+		t.Fatal("equal vars should fire")
+	}
+	ins.vars["numConnections"] = 9
+	if tr.Eval(&interpose.Call{}) {
+		t.Fatal("unequal vars fired")
+	}
+}
+
+func TestProgramStateUnknownVar(t *testing.T) {
+	tr := mustNew(t, "ProgramStateTrigger", args("var", "ghost"), &Env{Inspect: &fakeInspector{}})
+	if tr.Eval(&interpose.Call{}) {
+		t.Fatal("unknown var fired")
+	}
+}
+
+func TestProgramStateBadOp(t *testing.T) {
+	tr, _ := New("ProgramStateTrigger")
+	if err := tr.Init(args("var", "x", "op", "xor")); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+// --- call count ----------------------------------------------------------------
+
+func TestCallCountNth(t *testing.T) {
+	tr := mustNew(t, "CallCountTrigger", args("n", "3"), nil)
+	for i := uint64(1); i <= 5; i++ {
+		got := tr.Eval(&interpose.Call{Count: i})
+		if got != (i == 3) {
+			t.Errorf("count %d: %v", i, got)
+		}
+	}
+}
+
+func TestCallCountEvery(t *testing.T) {
+	tr := mustNew(t, "CallCountTrigger", args("every", "2"), nil)
+	fired := 0
+	for i := uint64(1); i <= 10; i++ {
+		if tr.Eval(&interpose.Call{Count: i}) {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("every=2 fired %d/10", fired)
+	}
+}
+
+func TestCallCountWindow(t *testing.T) {
+	tr := mustNew(t, "CallCountTrigger", args("from", "10", "to", "12"), nil)
+	for i := uint64(1); i <= 20; i++ {
+		want := i >= 10 && i <= 12
+		if got := tr.Eval(&interpose.Call{Count: i}); got != want {
+			t.Errorf("count %d: %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestCallCountOpenWindow(t *testing.T) {
+	tr := mustNew(t, "CallCountTrigger", args("from", "500"), nil)
+	if tr.Eval(&interpose.Call{Count: 499}) || !tr.Eval(&interpose.Call{Count: 10000}) {
+		t.Fatal("open window wrong")
+	}
+}
+
+func TestCallCountNoParamErrors(t *testing.T) {
+	tr, _ := New("CallCountTrigger")
+	if err := tr.Init(args()); err == nil {
+		t.Fatal("empty call count accepted")
+	}
+}
+
+// --- singleton ---------------------------------------------------------------------
+
+func TestSingletonFiresOnce(t *testing.T) {
+	tr := mustNew(t, "SingletonTrigger", nil, nil)
+	if !tr.Eval(&interpose.Call{}) {
+		t.Fatal("first eval false")
+	}
+	for i := 0; i < 10; i++ {
+		if tr.Eval(&interpose.Call{}) {
+			t.Fatal("fired twice")
+		}
+	}
+	tr.(*Singleton).Reset()
+	if !tr.Eval(&interpose.Call{}) {
+		t.Fatal("reset did not re-arm")
+	}
+}
+
+// --- random ---------------------------------------------------------------------------
+
+func TestRandomProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	env := &Env{Rand: rng.Float64}
+	tr := mustNew(t, "RandomTrigger", args("probability", "0.1"), env)
+	fired := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if tr.Eval(&interpose.Call{}) {
+			fired++
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("p=0.1 fired %d/%d", fired, n)
+	}
+}
+
+func TestRandomZeroAndOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	env := &Env{Rand: rng.Float64}
+	never := mustNew(t, "RandomTrigger", args("probability", "0"), env)
+	always := mustNew(t, "RandomTrigger", args("probability", "1"), env)
+	for i := 0; i < 100; i++ {
+		if never.Eval(&interpose.Call{}) {
+			t.Fatal("p=0 fired")
+		}
+		if !always.Eval(&interpose.Call{}) {
+			t.Fatal("p=1 did not fire")
+		}
+	}
+}
+
+func TestRandomBadProbability(t *testing.T) {
+	tr, _ := New("RandomTrigger")
+	if err := tr.Init(args("probability", "1.5")); err == nil {
+		t.Fatal("p=1.5 accepted")
+	}
+}
+
+// --- distributed -----------------------------------------------------------------------
+
+type fakeDecider struct{ node string }
+
+func (d *fakeDecider) Decide(c *interpose.Call) bool { return c.Node == d.node }
+
+func TestDistributedDefersToDecider(t *testing.T) {
+	tr := mustNew(t, "DistributedTrigger", nil, &Env{Dist: &fakeDecider{node: "R1"}})
+	if !tr.Eval(&interpose.Call{Node: "R1"}) {
+		t.Fatal("decider yes ignored")
+	}
+	if tr.Eval(&interpose.Call{Node: "R2"}) {
+		t.Fatal("decider no ignored")
+	}
+}
+
+func TestDistributedNoDecider(t *testing.T) {
+	tr := mustNew(t, "DistributedTrigger", nil, &Env{})
+	if tr.Eval(&interpose.Call{Node: "R1"}) {
+		t.Fatal("fired without decider")
+	}
+}
+
+// --- extras ------------------------------------------------------------------------------
+
+func TestWithMutex(t *testing.T) {
+	tr := mustNew(t, "WithMutex", nil, nil)
+	if tr.Eval(&interpose.Call{Locks: 0}) {
+		t.Fatal("fired without lock")
+	}
+	if !tr.Eval(&interpose.Call{Locks: 2}) {
+		t.Fatal("did not fire with locks held")
+	}
+}
+
+func TestReadPipe(t *testing.T) {
+	ins := &fakeInspector{modes: map[int64]int64{5: 0x1000, 6: 0x8000}}
+	env := &Env{Inspect: ins}
+	tr := mustNew(t, "ReadPipe", args("low", "1024", "high", "4096"), env)
+	mk := func(fn string, fd, size int64) *interpose.Call {
+		return &interpose.Call{Func: fn, Args: []int64{fd, 0, size}}
+	}
+	if !tr.Eval(mk("read", 5, 2048)) {
+		t.Fatal("pipe read in range should fire")
+	}
+	if tr.Eval(mk("read", 6, 2048)) {
+		t.Fatal("regular file fired")
+	}
+	if tr.Eval(mk("read", 5, 512)) || tr.Eval(mk("read", 5, 8192)) {
+		t.Fatal("out-of-range size fired")
+	}
+	if tr.Eval(mk("write", 5, 2048)) {
+		t.Fatal("non-read function fired")
+	}
+}
+
+func TestReadPipeBadBounds(t *testing.T) {
+	tr, _ := New("ReadPipe")
+	if err := tr.Init(args("low", "100", "high", "10")); err == nil {
+		t.Fatal("low>high accepted")
+	}
+}
+
+func TestArgEquals(t *testing.T) {
+	tr := mustNew(t, "ArgEquals", args("index", "1", "value", "5"), nil)
+	if !tr.Eval(&interpose.Call{Func: "fcntl", Args: []int64{3, 5, 0}}) {
+		t.Fatal("matching arg should fire")
+	}
+	if tr.Eval(&interpose.Call{Func: "fcntl", Args: []int64{3, 4, 0}}) {
+		t.Fatal("non-matching arg fired")
+	}
+}
+
+func TestNonBlockingFD(t *testing.T) {
+	ins := &fakeInspector{nb: map[int64]bool{7: true}}
+	tr := mustNew(t, "NonBlockingFD", nil, &Env{Inspect: ins})
+	if !tr.Eval(&interpose.Call{Args: []int64{7}}) {
+		t.Fatal("nonblocking fd should fire")
+	}
+	if tr.Eval(&interpose.Call{Args: []int64{8}}) {
+		t.Fatal("blocking fd fired")
+	}
+}
+
+func TestCloseAfterUnlock(t *testing.T) {
+	tr := mustNew(t, "CloseAfterUnlock", args("distance", "2"), nil)
+	call := func(fn string) bool {
+		return tr.Eval(&interpose.Call{Func: fn, Thread: 1})
+	}
+	// close before any unlock: never fires.
+	if call("close") {
+		t.Fatal("close before unlock fired")
+	}
+	call("pthread_mutex_unlock")
+	if !call("close") {
+		t.Fatal("close at distance 1 should fire")
+	}
+	// Re-arm: unlock, then burn the window with other calls.
+	call("pthread_mutex_unlock")
+	call("read")
+	call("read")
+	if call("close") {
+		t.Fatal("close beyond distance fired")
+	}
+}
+
+func TestCloseAfterUnlockPerThread(t *testing.T) {
+	tr := mustNew(t, "CloseAfterUnlock", args("distance", "2"), nil)
+	tr.Eval(&interpose.Call{Func: "pthread_mutex_unlock", Thread: 1})
+	if tr.Eval(&interpose.Call{Func: "close", Thread: 2}) {
+		t.Fatal("thread 2 close fired off thread 1 unlock")
+	}
+	if !tr.Eval(&interpose.Call{Func: "close", Thread: 1}) {
+		t.Fatal("thread 1 close should fire")
+	}
+}
+
+func TestFuncIs(t *testing.T) {
+	tr := mustNew(t, "FuncIs", args("name", "close"), nil)
+	if !tr.Eval(&interpose.Call{Func: "close"}) || tr.Eval(&interpose.Call{Func: "read"}) {
+		t.Fatal("FuncIs mismatch")
+	}
+}
+
+// --- composition ------------------------------------------------------------------------
+
+func TestAndOrNotTruthTables(t *testing.T) {
+	tt := FuncTrigger(func(*interpose.Call) bool { return true })
+	ff := FuncTrigger(func(*interpose.Call) bool { return false })
+	c := &interpose.Call{}
+	if !(&And{Children: []Trigger{tt, tt}}).Eval(c) {
+		t.Fatal("T∧T")
+	}
+	if (&And{Children: []Trigger{tt, ff}}).Eval(c) {
+		t.Fatal("T∧F")
+	}
+	if (&And{}).Eval(c) {
+		t.Fatal("empty And must not fire")
+	}
+	if !(&Or{Children: []Trigger{ff, tt}}).Eval(c) {
+		t.Fatal("F∨T")
+	}
+	if (&Or{Children: []Trigger{ff, ff}}).Eval(c) {
+		t.Fatal("F∨F")
+	}
+	if (&Not{Child: tt}).Eval(c) || !(&Not{Child: ff}).Eval(c) {
+		t.Fatal("Not")
+	}
+}
+
+func TestAndShortCircuit(t *testing.T) {
+	evals := 0
+	counting := FuncTrigger(func(*interpose.Call) bool { evals++; return false })
+	never := FuncTrigger(func(*interpose.Call) bool { t.Fatal("short-circuit violated"); return false })
+	and := &And{Children: []Trigger{counting, never}}
+	and.Eval(&interpose.Call{})
+	if evals != 1 {
+		t.Fatalf("first child evaluated %d times", evals)
+	}
+}
+
+func TestOrShortCircuit(t *testing.T) {
+	never := FuncTrigger(func(*interpose.Call) bool { t.Fatal("short-circuit violated"); return false })
+	or := &Or{Children: []Trigger{FuncTrigger(func(*interpose.Call) bool { return true }), never}}
+	if !or.Eval(&interpose.Call{}) {
+		t.Fatal("Or true lost")
+	}
+}
+
+// Property: composition equals boolean combination of the leaves, for
+// random leaf assignments.
+func TestPropertyCompositionSemantics(t *testing.T) {
+	f := func(vals []bool) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		leaves := make([]Trigger, len(vals))
+		want := true
+		for i, v := range vals {
+			v := v
+			leaves[i] = FuncTrigger(func(*interpose.Call) bool { return v })
+			want = want && v
+		}
+		and := &And{Children: leaves}
+		if and.Eval(&interpose.Call{}) != want {
+			return false
+		}
+		wantOr := false
+		for _, v := range vals {
+			wantOr = wantOr || v
+		}
+		or := &Or{Children: leaves}
+		return or.Eval(&interpose.Call{}) == wantOr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package lfi is a Go reproduction of "An Extensible Technique for
+// High-Precision Testing of Recovery Code" (Marinescu, Banabic & Candea,
+// USENIX ATC 2010) — the LFI library-level fault injector.
+//
+// The package re-exports the public surface of the toolchain:
+//
+//   - Scenario / ParseScenario / NewScenarioBuilder — the XML fault
+//     injection language (§4);
+//   - Trigger / RegisterTrigger / TriggerArgs — the extensible trigger
+//     framework and its registry (§3);
+//   - Runtime / NewRuntime — the injection engine that splices into a
+//     simulated process (§2, §6);
+//   - Analyzer / GenerateScenarios — the call-site analyzer (§5);
+//   - ProfileBinary — the automated library profiler (§2);
+//   - RunOne / Campaign / Target — the test controller.
+//
+// The substrates (simulated C library, synthetic ISA, PBFT, target
+// applications) live under internal/; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured results.
+package lfi
+
+import (
+	"io"
+
+	"lfi/internal/callsite"
+	"lfi/internal/controller"
+	"lfi/internal/core"
+	"lfi/internal/errno"
+	"lfi/internal/interpose"
+	"lfi/internal/libsim"
+	"lfi/internal/profile"
+	"lfi/internal/scenario"
+	"lfi/internal/trigger"
+)
+
+// Core runtime.
+type (
+	// Runtime is the compiled, installable injection engine.
+	Runtime = core.Runtime
+	// Option configures a Runtime.
+	Option = core.Option
+	// Log is the injection log.
+	Log = core.Log
+	// Record is one logged injection.
+	Record = core.Record
+)
+
+// Runtime constructors and options.
+var (
+	// NewRuntime compiles a scenario for a simulated process.
+	NewRuntime = core.New
+	// WithSeed makes Random triggers reproducible.
+	WithSeed = core.WithSeed
+	// WithDecider installs a distributed-trigger central controller.
+	WithDecider = core.WithDecider
+	// WithMaxInjections bounds the number of injected faults.
+	WithMaxInjections = core.WithMaxInjections
+)
+
+// Scenario language.
+type (
+	// Scenario is a parsed fault injection scenario.
+	Scenario = scenario.Scenario
+	// ScenarioBuilder assembles scenarios programmatically.
+	ScenarioBuilder = scenario.Builder
+)
+
+// ParseScenario reads a scenario XML document.
+func ParseScenario(r io.Reader) (*Scenario, error) { return scenario.Parse(r) }
+
+// ParseScenarioString reads a scenario from a string.
+func ParseScenarioString(doc string) (*Scenario, error) { return scenario.ParseString(doc) }
+
+// NewScenarioBuilder starts a programmatic scenario.
+func NewScenarioBuilder(name string) *ScenarioBuilder { return scenario.NewBuilder(name) }
+
+// Trigger framework.
+type (
+	// Trigger is the paper's Trigger interface (Init/Eval).
+	Trigger = trigger.Trigger
+	// TriggerArgs is the parsed <args> tree passed to Init.
+	TriggerArgs = trigger.Args
+	// TriggerBase provides the no-op Init and Env plumbing.
+	TriggerBase = trigger.Base
+	// Call describes one intercepted library call.
+	Call = interpose.Call
+	// Frame is one virtual stack frame.
+	Frame = interpose.Frame
+)
+
+// RegisterTrigger adds a custom trigger class to the global registry.
+var RegisterTrigger = trigger.Register
+
+// TriggerClasses lists all registered trigger classes.
+var TriggerClasses = trigger.Classes
+
+// Process simulation.
+type (
+	// Process is a simulated process image (the C library instance).
+	Process = libsim.C
+	// Thread is a simulated POSIX thread with errno and a virtual stack.
+	Thread = libsim.Thread
+	// Crash is an abnormal termination of a simulated program.
+	Crash = libsim.Crash
+	// Errno is a simulated C errno value.
+	Errno = errno.Errno
+)
+
+// NewProcess creates a process image with the given heap capacity.
+var NewProcess = libsim.New
+
+// Binary analyses.
+type (
+	// Analyzer runs the call site analysis (Algorithm 1).
+	Analyzer = callsite.Analyzer
+	// SiteReport is one analyzed call site.
+	SiteReport = callsite.Site
+	// LibraryProfile is a library fault profile.
+	LibraryProfile = profile.Profile
+)
+
+var (
+	// ProfileBinary infers a library's fault profile from its binary.
+	ProfileBinary = profile.ProfileBinary
+	// GenerateScenarios emits injection scenarios for vulnerable sites.
+	GenerateScenarios = callsite.GenerateScenarios
+	// GenerateExercise emits recovery-exercising scenarios for checked sites.
+	GenerateExercise = callsite.GenerateExercise
+)
+
+// Test controller.
+type (
+	// Target describes a program under test.
+	Target = controller.Target
+	// Outcome is one test run's observed result.
+	Outcome = controller.Outcome
+	// Bug is a deduplicated failure signature.
+	Bug = controller.Bug
+)
+
+var (
+	// RunOne executes a single injection test.
+	RunOne = controller.RunOne
+	// Campaign runs one test per scenario.
+	Campaign = controller.Campaign
+	// DistinctBugs deduplicates campaign failures.
+	DistinctBugs = controller.DistinctBugs
+)

@@ -1,0 +1,147 @@
+package lfi
+
+import (
+	"strings"
+	"testing"
+
+	"lfi/internal/errno"
+	"lfi/internal/libsim"
+	"lfi/internal/libspec"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does: build a process, parse a scenario, install a
+// runtime, observe the injection.
+func TestFacadeEndToEnd(t *testing.T) {
+	proc := NewProcess(1 << 20)
+	proc.MustWriteFile("/f", []byte("payload"))
+	th := proc.NewThread("app", "main")
+
+	s, err := ParseScenarioString(`<scenario>
+	  <trigger id="n1" class="CallCountTrigger"><args><n>1</n></args></trigger>
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="n1" /></function>
+	</scenario>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(proc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Install()
+	defer rt.Uninstall()
+
+	fd := th.Open("/f", libsim.O_RDONLY)
+	if n := th.Read(fd, make([]byte, 4)); n != -1 || th.Errno() != errno.EIO {
+		t.Fatalf("injection missed: n=%d errno=%v", n, th.Errno())
+	}
+	if rt.Log().Len() != 1 {
+		t.Fatal("log empty")
+	}
+}
+
+// TestFacadeCustomTrigger registers a custom trigger through the public
+// registry and drives it from a scenario.
+func TestFacadeCustomTrigger(t *testing.T) {
+	type bigReads struct {
+		TriggerBase
+	}
+	evalBig := func(call *Call) bool { return call.Arg(2) >= 1024 }
+	RegisterTrigger("FacadeBigReads", func() Trigger {
+		return triggerFunc(evalBig)
+	})
+	_ = bigReads{}
+
+	proc := NewProcess(1 << 20)
+	proc.MustWriteFile("/f", make([]byte, 4096))
+	th := proc.NewThread("app", "main")
+	s, err := ParseScenarioString(`<scenario>
+	  <trigger id="big" class="FacadeBigReads" />
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="big" /></function>
+	</scenario>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(proc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Install()
+	defer rt.Uninstall()
+
+	fd := th.Open("/f", libsim.O_RDONLY)
+	if th.Read(fd, make([]byte, 16)) == -1 {
+		t.Fatal("small read injected")
+	}
+	if th.Read(fd, make([]byte, 2048)) != -1 {
+		t.Fatal("big read not injected")
+	}
+}
+
+// triggerFunc adapts a closure to the public Trigger interface.
+type triggerFunc func(*Call) bool
+
+func (f triggerFunc) Init(*TriggerArgs) error { return nil }
+func (f triggerFunc) Eval(c *Call) bool       { return f(c) }
+
+// TestFacadeAnalyzerPipeline runs profile -> analyze -> generate
+// through the re-exported names.
+func TestFacadeAnalyzerPipeline(t *testing.T) {
+	libc := ProfileBinary(libspec.BuildLibc())
+	if libc.Func("read") == nil {
+		t.Fatal("profiler broken")
+	}
+	a := &Analyzer{}
+	bin := analyzedBinary()
+	rep := a.Analyze(bin, libc)
+	_, _, not := rep.ByClass()
+	if len(not) == 0 {
+		t.Fatal("no unchecked sites found")
+	}
+	scens := GenerateScenarios(bin, not, libc)
+	if len(scens) == 0 {
+		t.Fatal("no scenarios generated")
+	}
+	for _, s := range scens {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFacadeControllerRun drives the controller through the facade.
+func TestFacadeControllerRun(t *testing.T) {
+	tgt := Target{
+		Name:  "toy",
+		Start: func() *Process { c := NewProcess(0); c.MustWriteFile("/f", []byte("x")); return c },
+		Workload: func(c *Process) error {
+			th := c.NewThread("toy", "main")
+			fd := th.Open("/f", libsim.O_RDONLY)
+			th.Read(fd, make([]byte, 1))
+			return nil
+		},
+	}
+	out, err := RunOne(tgt, nil)
+	if err != nil || out.Failed() {
+		t.Fatalf("clean run: %v %v", err, out)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatal("outcome rendering")
+	}
+}
+
+// TestTriggerClassesExported sanity-checks the registry surface.
+func TestTriggerClassesExported(t *testing.T) {
+	classes := TriggerClasses()
+	found := 0
+	for _, c := range classes {
+		switch c {
+		case "CallStackTrigger", "RandomTrigger", "SingletonTrigger",
+			"DistributedTrigger", "ProgramStateTrigger", "CallCountTrigger":
+			found++
+		}
+	}
+	if found != 6 {
+		t.Fatalf("stock triggers missing from registry: %v", classes)
+	}
+}
