@@ -10,13 +10,16 @@
 package lfi
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"lfi/internal/apps/minidb"
 	"lfi/internal/apps/minivcs"
 	"lfi/internal/apps/miniweb"
 	"lfi/internal/callsite"
 	"lfi/internal/core"
+	"lfi/internal/errno"
 	"lfi/internal/experiments"
 	"lfi/internal/isa"
 	"lfi/internal/libsim"
@@ -254,6 +257,149 @@ func benchTriggers(b *testing.B, n int) {
 	for i := 0; i < b.N; i++ {
 		th.Lseek(fd, 0)
 		th.Read(fd, buf)
+	}
+}
+
+// BenchmarkDispatchUninstrumented measures the pass-through fast path:
+// a runtime is installed, but the dispatched function has no scenario
+// entry, so the call must bail on the FuncID bitset without allocating
+// (DESIGN.md "fast path": the §7.4 overhead floor).
+func BenchmarkDispatchUninstrumented(b *testing.B) {
+	c, th := benchProc()
+	// Scenario touches write only; the benchmark dispatches read/lseek.
+	bld := scenario.NewBuilder("uninstrumented")
+	ref := bld.Trigger("t", "CallCountTrigger", scenario.IntArgs("n", 1<<40))
+	bld.Inject("write", 0, -1, errno.ENOSPC, ref)
+	s, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := core.New(c, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Install()
+	defer rt.Uninstall()
+	fd := th.Open("/f", libsim.O_RDONLY)
+	buf := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Lseek(fd, 0)
+		th.Read(fd, buf)
+	}
+}
+
+// BenchmarkDispatchInstrumentedMiss measures a dispatched function that
+// HAS scenario entries whose trigger evaluates false: the full trigger
+// path runs, but no stack capture and no injection happen.
+func BenchmarkDispatchInstrumentedMiss(b *testing.B) {
+	c, th := benchProc()
+	rt, err := core.New(c, triggerStack(b, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Install()
+	defer rt.Uninstall()
+	fd := th.Open("/f", libsim.O_RDONLY)
+	buf := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Lseek(fd, 0)
+		th.Read(fd, buf)
+	}
+}
+
+// BenchmarkDispatchInstrumentedHit measures the injection path: every
+// read fires the trigger, is failed with EIO, and is appended to the
+// log (stack capture included — the paper's log records the call site).
+func BenchmarkDispatchInstrumentedHit(b *testing.B) {
+	c, th := benchProc()
+	bld := scenario.NewBuilder("hit")
+	ref := bld.Trigger("t", "CallCountTrigger", scenario.IntArgs("from", 1))
+	bld.Inject("read", 3, -1, errno.EIO, ref)
+	s, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := core.New(c, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Install()
+	defer rt.Uninstall()
+	fd := th.Open("/f", libsim.O_RDONLY)
+	buf := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if th.Read(fd, buf) != -1 {
+			b.Fatal("injection missed")
+		}
+	}
+	b.StopTimer()
+	if got := rt.Injections(); got != uint64(b.N) {
+		b.Fatalf("injections = %d, want %d", got, b.N)
+	}
+}
+
+// BenchmarkCampaignParallel compares the sequential campaign engine
+// against the worker-pool engine on the Table 1 minidb workload
+// (independent full-suite runs under random close faults, one per
+// scenario slot).
+//
+// Two regimes are measured. "cpu" is the raw in-memory suite: it scales
+// with physical cores, so on a single-core box workers-8 only shows the
+// pool's overhead. "io-2ms" charges each run a 2ms blocking wait — the
+// stand-in for the process spawn + disk I/O that every run of the
+// paper's real controller pays — which the worker pool overlaps even on
+// one core.
+func BenchmarkCampaignParallel(b *testing.B) {
+	s, err := ParseScenarioString(`<scenario name="random-close-10">
+	  <trigger id="rnd" class="RandomTrigger"><args><probability>0.1</probability></args></trigger>
+	  <function name="close" return="-1" errno="EIO"><reftrigger ref="rnd" /></function>
+	</scenario>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const tests = 32
+	scens := make([]*Scenario, tests)
+	for i := range scens {
+		scens[i] = s
+	}
+	withLatency := func(tgt Target, d time.Duration) Target {
+		inner := tgt.Start
+		tgt.Start = func() (*Process, func() error) {
+			c, workload := inner()
+			return c, func() error {
+				time.Sleep(d)
+				return workload()
+			}
+		}
+		return tgt
+	}
+	for _, reg := range []struct {
+		name string
+		tgt  Target
+	}{
+		{"cpu", minidb.Target()},
+		{"io-2ms", withLatency(minidb.Target(), 2*time.Millisecond)},
+	} {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/workers-%d", reg.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					outs, err := CampaignParallel(reg.tgt, scens, workers, WithSeed(1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(outs) != tests {
+						b.Fatalf("%d outcomes", len(outs))
+					}
+				}
+				b.ReportMetric(float64(tests)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+			})
+		}
 	}
 }
 

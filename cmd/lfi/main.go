@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"lfi/internal/apps/minidb"
 	"lfi/internal/apps/minidns"
@@ -46,6 +47,7 @@ func main() {
 	scenFile := flag.String("scenario", "", "injection scenario XML file")
 	auto := flag.Bool("auto", false, "generate scenarios with the call-site analyzer and run them all")
 	verbose := flag.Bool("v", false, "print each run's injection log")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "campaign worker pool size (1 = sequential)")
 	flag.Parse()
 
 	tgt, bin, ok := target(*app)
@@ -86,7 +88,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	outs, err := controller.Campaign(tgt, scens)
+	outs, err := controller.CampaignParallel(tgt, scens, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfi:", err)
 		os.Exit(1)

@@ -6,31 +6,25 @@ import (
 )
 
 // Target adapts minidb to the LFI controller (default suite workload).
+// Each Start builds its own App, so the target is safe for concurrent
+// campaign workers.
 func Target() controller.Target {
-	var app *App
 	return controller.Target{
 		Name: Module,
-		Start: func() *libsim.C {
-			app = New()
-			return app.C
-		},
-		Workload: func(*libsim.C) error {
-			return app.RunSuite()
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, app.RunSuite
 		},
 	}
 }
 
 // MergeBigTarget runs only the merge-big component (Table 2).
 func MergeBigTarget() controller.Target {
-	var app *App
 	return controller.Target{
 		Name: Module + "-merge-big",
-		Start: func() *libsim.C {
-			app = New()
-			return app.C
-		},
-		Workload: func(*libsim.C) error {
-			return app.MergeBig()
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, app.MergeBig
 		},
 	}
 }

@@ -6,33 +6,28 @@ import (
 	"lfi/internal/libsim"
 )
 
-// Target adapts minidns to the LFI controller.
+// Target adapts minidns to the LFI controller. Each Start builds its
+// own App, so one Target may serve concurrent campaign workers.
 func Target() controller.Target {
-	var app *App
 	return controller.Target{
 		Name: Module,
-		Start: func() *libsim.C {
-			app = New()
-			return app.C
-		},
-		Workload: func(*libsim.C) error {
-			return app.RunSuite()
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, app.RunSuite
 		},
 	}
 }
 
 // TargetWithCoverage merges each run's coverage into acc (Table 3).
 func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
-	var app *App
 	return controller.Target{
 		Name: Module,
-		Start: func() *libsim.C {
-			app = New()
-			return app.C
-		},
-		Workload: func(*libsim.C) error {
-			defer func() { acc.Merge(app.Cov) }()
-			return app.RunSuite()
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, func() error {
+				defer func() { acc.Merge(app.Cov) }()
+				return app.RunSuite()
+			}
 		},
 	}
 }

@@ -7,19 +7,15 @@ import (
 )
 
 // Target adapts minivcs to the LFI controller: Start stages a fresh
-// repository, Workload runs the default test suite. The returned Target
-// carries its own App reference, so independent campaigns do not share
-// state (but a single Target must not be used from concurrent runs).
+// repository and returns the default test suite as the workload. Each
+// Start builds its own App, so one Target may serve concurrent campaign
+// workers.
 func Target() controller.Target {
-	var app *App
 	return controller.Target{
 		Name: Module,
-		Start: func() *libsim.C {
-			app = New()
-			return app.C
-		},
-		Workload: func(*libsim.C) error {
-			return app.RunSuite()
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, app.RunSuite
 		},
 	}
 }
@@ -28,16 +24,14 @@ func Target() controller.Target {
 // acc — the Table 3 workflow, where lcov data from every test run is
 // merged before computing campaign coverage.
 func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
-	var app *App
 	return controller.Target{
 		Name: Module,
-		Start: func() *libsim.C {
-			app = New()
-			return app.C
-		},
-		Workload: func(*libsim.C) error {
-			defer func() { acc.Merge(app.Cov) }()
-			return app.RunSuite()
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, func() error {
+				defer func() { acc.Merge(app.Cov) }()
+				return app.RunSuite()
+			}
 		},
 	}
 }

@@ -7,11 +7,19 @@
 // installs the scenario's runtime, invokes the workload script, monitors
 // whether the program terminates normally or abnormally (crash kind and
 // reason), and collects the injection log for diagnosis and replay.
+//
+// Tests in a campaign are independent by construction (each run gets its
+// own process image and runtime), so campaigns can execute on a worker
+// pool: CampaignParallel distributes runs across workers and still
+// returns outcomes in scenario order, byte-identical to the sequential
+// Campaign under a fixed seed.
 package controller
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lfi/internal/core"
@@ -23,13 +31,13 @@ import (
 type Target struct {
 	// Name identifies the system (e.g. "minivcs").
 	Name string
-	// Start builds a fresh process image with fixtures staged; it is
-	// called once per test so runs are independent.
-	Start func() *libsim.C
-	// Workload exercises the program (the developer-provided script).
-	// A returned error marks workload-detected misbehaviour that is
-	// not a crash (e.g. wrong output).
-	Workload func(c *libsim.C) error
+	// Start builds a fresh process image with fixtures staged and
+	// returns the workload (the developer-provided script) bound to
+	// that image. It is called once per test, so runs are independent;
+	// it must be safe to call from concurrent campaign workers. A
+	// workload error marks workload-detected misbehaviour that is not
+	// a crash (e.g. wrong output).
+	Start func() (*libsim.C, func() error)
 }
 
 // Outcome is the observed result of one test run.
@@ -65,7 +73,7 @@ func (o Outcome) String() string {
 // workload run under crash monitoring.
 func RunOne(tgt Target, s *scenario.Scenario, opts ...core.Option) (Outcome, error) {
 	begin := time.Now()
-	proc := tgt.Start()
+	proc, workload := tgt.Start()
 	out := Outcome{Scenario: s}
 	var rt *core.Runtime
 	if s != nil {
@@ -77,7 +85,7 @@ func RunOne(tgt Target, s *scenario.Scenario, opts ...core.Option) (Outcome, err
 		rt.Install()
 		defer rt.Uninstall()
 	}
-	out.Crash, out.WorkErr = monitor(proc, tgt.Workload)
+	out.Crash, out.WorkErr = monitor(workload)
 	if rt != nil {
 		out.Injections = int(rt.Injections())
 		out.Log = rt.Log()
@@ -88,7 +96,7 @@ func RunOne(tgt Target, s *scenario.Scenario, opts ...core.Option) (Outcome, err
 
 // monitor runs the workload and converts simulated crashes (panics
 // carrying *libsim.Crash) into observations, re-raising anything else.
-func monitor(c *libsim.C, workload func(*libsim.C) error) (crash *libsim.Crash, werr error) {
+func monitor(workload func() error) (crash *libsim.Crash, werr error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if cr, ok := r.(*libsim.Crash); ok {
@@ -98,7 +106,7 @@ func monitor(c *libsim.C, workload func(*libsim.C) error) (crash *libsim.Crash, 
 			panic(r)
 		}
 	}()
-	werr = workload(c)
+	werr = workload()
 	return
 }
 
@@ -113,6 +121,81 @@ func Campaign(tgt Target, scenarios []*scenario.Scenario, opts ...core.Option) (
 		outcomes = append(outcomes, o)
 	}
 	return outcomes, nil
+}
+
+// RunN executes n independent test runs on a pool of workers and returns
+// their outcomes in index order. run(i) performs the i-th test (a RunOne
+// with the i-th scenario or seed). If any run errors or panics, RunN
+// mirrors the sequential contract: the error or panic at the smallest
+// failing index wins — errors come back with the outcomes of every run
+// below that index, and panics (a workload logic bug escaping the crash
+// monitor) re-raise on the caller's goroutine instead of killing the
+// process from a worker.
+func RunN(workers, n int, run func(i int) (Outcome, error)) ([]Outcome, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		outcomes := make([]Outcome, 0, n)
+		for i := 0; i < n; i++ {
+			o, err := run(i)
+			if err != nil {
+				return outcomes, err
+			}
+			outcomes = append(outcomes, o)
+		}
+		return outcomes, nil
+	}
+	outcomes := make([]Outcome, n)
+	errs := make([]error, n)
+	panics := make([]any, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					outcomes[i], errs[i] = run(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if panics[i] != nil {
+			panic(panics[i])
+		}
+		if errs[i] != nil {
+			return outcomes[:i], errs[i]
+		}
+	}
+	return outcomes, nil
+}
+
+// CampaignParallel is Campaign on a worker pool: one test per scenario,
+// executed by up to workers goroutines, with outcomes returned in
+// scenario order. Runs are independent (fresh process image and runtime
+// each), so with a fixed seed the result is identical to the sequential
+// Campaign. workers <= 1 degrades to the sequential path.
+func CampaignParallel(tgt Target, scenarios []*scenario.Scenario, workers int, opts ...core.Option) ([]Outcome, error) {
+	return RunN(workers, len(scenarios), func(i int) (Outcome, error) {
+		o, err := RunOne(tgt, scenarios[i], opts...)
+		if err != nil {
+			return o, fmt.Errorf("controller: scenario %q: %w", scenarios[i].Name, err)
+		}
+		return o, nil
+	})
 }
 
 // Bug is a distinct failure discovered by a campaign, deduplicated by
@@ -143,8 +226,7 @@ func DistinctBugs(system string, outcomes []Outcome) []Bug {
 			sig = "workload: " + o.WorkErr.Error()
 		}
 		if o.Crash != nil && o.Log != nil {
-			if recs := o.Log.Records(); len(recs) > 0 {
-				last := recs[len(recs)-1]
+			if last, ok := o.Log.Last(); ok {
 				site := ""
 				if len(last.Stack) > 0 {
 					f := last.Stack[len(last.Stack)-1]

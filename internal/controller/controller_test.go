@@ -2,9 +2,11 @@ package controller
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
+	"lfi/internal/core"
 	"lfi/internal/errno"
 	"lfi/internal/libsim"
 	"lfi/internal/scenario"
@@ -15,22 +17,21 @@ import (
 func toyTarget(buggy bool) Target {
 	return Target{
 		Name: "toy",
-		Start: func() *libsim.C {
+		Start: func() (*libsim.C, func() error) {
 			c := libsim.New(1 << 16)
 			c.MustWriteFile("/f", []byte("data"))
-			return c
-		},
-		Workload: func(c *libsim.C) error {
-			th := c.NewThread("toy", "main")
-			fd := th.Open("/f", libsim.O_RDONLY)
-			buf := make([]byte, 4)
-			if th.Read(fd, buf) < 0 {
-				if buggy {
-					th.Deref(0) // crash
+			return c, func() error {
+				th := c.NewThread("toy", "main")
+				fd := th.Open("/f", libsim.O_RDONLY)
+				buf := make([]byte, 4)
+				if th.Read(fd, buf) < 0 {
+					if buggy {
+						th.Deref(0) // crash
+					}
+					return errors.New("read failed")
 				}
-				return errors.New("read failed")
+				return nil
 			}
-			return nil
 		},
 	}
 }
@@ -110,6 +111,104 @@ func TestCampaignCollectsAllOutcomes(t *testing.T) {
 	}
 }
 
+// randomRead builds a scenario whose RandomTrigger makes outcomes
+// seed-dependent, so sequential/parallel divergence would be visible.
+func randomRead(t *testing.T, name string, p float64) *scenario.Scenario {
+	t.Helper()
+	s, err := scenario.ParseString(fmt.Sprintf(`<scenario name="%s">
+	  <trigger id="rnd" class="RandomTrigger"><args><probability>%g</probability></args></trigger>
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="rnd" /></function>
+	</scenario>`, name, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// outcomeKey flattens everything deterministic about an outcome (it
+// drops only Elapsed, which is wall-clock).
+func outcomeKey(o Outcome) string {
+	logStr := ""
+	if o.Log != nil {
+		logStr = o.Log.String()
+	}
+	crash := ""
+	if o.Crash != nil {
+		crash = fmt.Sprintf("%s:%s:t%d", o.Crash.Kind, o.Crash.Reason, o.Crash.Thread)
+	}
+	return fmt.Sprintf("%s|%v|%s|%d|%s", o.Scenario.Name, o.WorkErr, crash, o.Injections, logStr)
+}
+
+func TestCampaignParallelMatchesSequential(t *testing.T) {
+	var scens []*scenario.Scenario
+	for i, p := range []float64{0, 0.3, 0.5, 0.9, 1, 0.7, 0.2, 0.4} {
+		scens = append(scens, randomRead(t, fmt.Sprintf("rnd-%d", i), p))
+	}
+	seq, err := Campaign(toyTarget(true), scens, core.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CampaignParallel(toyTarget(true), scens, 8, core.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("outcome counts: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if a, b := outcomeKey(seq[i]), outcomeKey(par[i]); a != b {
+			t.Fatalf("outcome %d diverges:\nsequential: %s\nparallel:   %s", i, a, b)
+		}
+	}
+	sb, pb := DistinctBugs("toy", seq), DistinctBugs("toy", par)
+	if fmt.Sprintf("%+v", sb) != fmt.Sprintf("%+v", pb) {
+		t.Fatalf("DistinctBugs diverge:\n%+v\n%+v", sb, pb)
+	}
+}
+
+func TestRunNOrderAndError(t *testing.T) {
+	// Outcomes come back in index order regardless of completion order.
+	outs, err := RunN(4, 16, func(i int) (Outcome, error) {
+		return Outcome{Injections: i}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o.Injections != i {
+			t.Fatalf("slot %d holds run %d", i, o.Injections)
+		}
+	}
+	// The smallest failing index wins, and outcomes below it survive,
+	// mirroring the sequential contract.
+	boom := errors.New("boom")
+	outs, err = RunN(4, 16, func(i int) (Outcome, error) {
+		if i >= 5 {
+			return Outcome{}, boom
+		}
+		return Outcome{Injections: i}, nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if len(outs) != 5 {
+		t.Fatalf("%d outcomes survive, want 5", len(outs))
+	}
+}
+
+func TestCampaignParallelWorkersClamped(t *testing.T) {
+	// More workers than scenarios, and the degenerate 0/1-worker path.
+	for _, workers := range []int{0, 1, 64} {
+		outs, err := CampaignParallel(toyTarget(false), []*scenario.Scenario{injectRead(t), injectRead(t)}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != 2 {
+			t.Fatalf("workers=%d: %d outcomes", workers, len(outs))
+		}
+	}
+}
+
 func TestDistinctBugsSeparatesSignatures(t *testing.T) {
 	outs := []Outcome{
 		{Crash: &libsim.Crash{Kind: libsim.Segfault, Reason: "a"}},
@@ -125,9 +224,10 @@ func TestDistinctBugsSeparatesSignatures(t *testing.T) {
 
 func TestNonCrashPanicPropagates(t *testing.T) {
 	tgt := Target{
-		Name:     "panicky",
-		Start:    func() *libsim.C { return libsim.New(0) },
-		Workload: func(*libsim.C) error { panic("logic bug") },
+		Name: "panicky",
+		Start: func() (*libsim.C, func() error) {
+			return libsim.New(0), func() error { panic("logic bug") }
+		},
 	}
 	defer func() {
 		if recover() == nil {
@@ -135,6 +235,23 @@ func TestNonCrashPanicPropagates(t *testing.T) {
 		}
 	}()
 	RunOne(tgt, nil)
+}
+
+func TestNonCrashPanicPropagatesParallel(t *testing.T) {
+	// A workload logic-bug panic on a pool worker must re-raise on the
+	// caller's goroutine (a worker panic would kill the process).
+	defer func() {
+		if r := recover(); r != "logic bug" {
+			t.Fatalf("recovered %v, want the workload's panic value", r)
+		}
+	}()
+	RunN(4, 8, func(i int) (Outcome, error) {
+		if i == 5 {
+			panic("logic bug")
+		}
+		return Outcome{}, nil
+	})
+	t.Fatal("panic swallowed by the worker pool")
 }
 
 func TestErrnoUnusedInjection(t *testing.T) {
@@ -147,19 +264,22 @@ func TestErrnoUnusedInjection(t *testing.T) {
 		t.Fatal(err)
 	}
 	tgt := Target{
-		Name:  "t",
-		Start: func() *libsim.C { c := libsim.New(0); c.MustWriteFile("/f", []byte("x")); return c },
-		Workload: func(c *libsim.C) error {
-			th := c.NewThread("t", "m")
-			th.SetErrno(errno.EBUSY)
-			fd := th.Open("/f", libsim.O_RDONLY)
-			if th.Read(fd, make([]byte, 1)) != -1 {
-				return errors.New("not injected")
+		Name: "t",
+		Start: func() (*libsim.C, func() error) {
+			c := libsim.New(0)
+			c.MustWriteFile("/f", []byte("x"))
+			return c, func() error {
+				th := c.NewThread("t", "m")
+				th.SetErrno(errno.EBUSY)
+				fd := th.Open("/f", libsim.O_RDONLY)
+				if th.Read(fd, make([]byte, 1)) != -1 {
+					return errors.New("not injected")
+				}
+				if th.Errno() != errno.EBUSY {
+					return errors.New("errno clobbered: " + th.Errno().String())
+				}
+				return nil
 			}
-			if th.Errno() != errno.EBUSY {
-				return errors.New("errno clobbered: " + th.Errno().String())
-			}
-			return nil
 		},
 	}
 	out, err := RunOne(tgt, s)

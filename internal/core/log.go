@@ -41,10 +41,12 @@ func NewLog() *Log {
 }
 
 func (l *Log) record(call *interpose.Call, rv int64, e errno.Errno, triggers []string) {
+	// call.Stack() materializes a private snapshot owned by the call;
+	// the record takes it over (the call never mutates a captured
+	// stack, and its next Prepare drops the reference).
+	stack := call.Stack()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	stack := make([]interpose.Frame, len(call.Stack))
-	copy(stack, call.Stack)
 	l.records = append(l.records, Record{
 		Seq:      len(l.records) + 1,
 		Func:     call.Func,
@@ -73,6 +75,18 @@ func (l *Log) Records() []Record {
 	out := make([]Record, len(l.records))
 	copy(out, l.records)
 	return out
+}
+
+// Last returns the most recent injection record without snapshotting
+// the whole log (diagnosis paths only need the causal, i.e. final,
+// injection).
+func (l *Log) Last() (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.records) == 0 {
+		return Record{}, false
+	}
+	return l.records[len(l.records)-1], true
 }
 
 // Len returns the number of injections logged.

@@ -78,6 +78,7 @@ type compiledRef struct {
 // entry is one compiled <function> association.
 type entry struct {
 	refs          []compiledRef
+	ids           []string // referenced trigger ids, precomputed at compile time
 	observational bool
 	retval        int64
 	e             errno.Errno
@@ -104,10 +105,22 @@ func WithMaxInjections(n uint64) Option {
 	return func(r *Runtime) { r.maxInject = n }
 }
 
+// evalShards is the number of cache-line-padded shards backing the
+// trigger-evaluation counter. Concurrent simulated threads land on
+// different shards (by thread id), so the §7.4 counter does not become
+// a point of cache-line contention on the hot path.
+const evalShards = 16
+
 // Runtime is the compiled, installable injection engine for one process.
+//
+// Scenario entries are compiled into a FuncID-indexed table plus a
+// bitset of touched functions: an intercepted call whose function has no
+// scenario entry bails out with two array reads, no map lookup and no
+// allocation.
 type Runtime struct {
 	proc      *libsim.C
-	entries   map[string][]*entry
+	entries   [][]*entry // indexed by interpose.FuncID
+	touched   []uint64   // bitset over FuncIDs with at least one entry
 	instances map[string]*instance
 	log       *Log
 	env       *trigger.Env
@@ -115,7 +128,7 @@ type Runtime struct {
 	decider   trigger.Decider
 	maxInject uint64
 	injected  atomic.Uint64
-	evals     atomic.Uint64
+	evals     [evalShards]interpose.PaddedUint64
 }
 
 // inspector adapts libsim.C to the trigger.Inspector interface.
@@ -137,7 +150,6 @@ func New(proc *libsim.C, s *scenario.Scenario, opts ...Option) (*Runtime, error)
 	}
 	r := &Runtime{
 		proc:      proc,
-		entries:   make(map[string][]*entry),
 		instances: make(map[string]*instance),
 		log:       NewLog(),
 		seed:      1,
@@ -172,8 +184,19 @@ func New(proc *libsim.C, s *scenario.Scenario, opts ...Option) (*Runtime, error)
 		}
 		for _, ref := range fa.Refs {
 			en.refs = append(en.refs, compiledRef{inst: r.instances[ref.Ref], negate: ref.Negate})
+			en.ids = append(en.ids, ref.Ref)
 		}
-		r.entries[fa.Name] = append(r.entries[fa.Name], en)
+		id := interpose.Intern(fa.Name)
+		if n := int(id) + 1; n > len(r.entries) {
+			grown := make([][]*entry, n)
+			copy(grown, r.entries)
+			r.entries = grown
+			bits := make([]uint64, (n+63)/64)
+			copy(bits, r.touched)
+			r.touched = bits
+		}
+		r.entries[id] = append(r.entries[id], en)
+		r.touched[int(id)/64] |= 1 << (uint(id) % 64)
 	}
 	return r, nil
 }
@@ -191,8 +214,15 @@ func (r *Runtime) Log() *Log { return r.log }
 func (r *Runtime) Injections() uint64 { return r.injected.Load() }
 
 // Evals returns how many trigger evaluations have run (the §7.4
-// overhead studies report triggerings/second from this counter).
-func (r *Runtime) Evals() uint64 { return r.evals.Load() }
+// overhead studies report triggerings/second from this counter). The
+// count is sharded per thread on the hot path and summed here.
+func (r *Runtime) Evals() uint64 {
+	var sum uint64
+	for i := range r.evals {
+		sum += r.evals[i].V.Load()
+	}
+	return sum
+}
 
 // TriggerInstance exposes a live trigger instance by id (tests use it to
 // reach stateful triggers). It forces initialization.
@@ -206,13 +236,15 @@ func (r *Runtime) TriggerInstance(id string) (trigger.Trigger, error) {
 
 // Before implements interpose.Hook: it evaluates the disjunction of
 // entries for the intercepted function and injects on the first entry
-// whose conjunction holds.
+// whose conjunction holds. Calls to functions the scenario never
+// mentions bail on the bitset without touching the entry table.
 func (r *Runtime) Before(call *interpose.Call) interpose.Decision {
-	entries, ok := r.entries[call.Func]
-	if !ok {
+	id := call.Resolve()
+	w := int(id) / 64
+	if w >= len(r.touched) || r.touched[w]&(1<<(uint(id)%64)) == 0 {
 		return interpose.Decision{}
 	}
-	for _, en := range entries {
+	for _, en := range r.entries[id] {
 		if !r.evalEntry(en, call) {
 			continue
 		}
@@ -224,7 +256,7 @@ func (r *Runtime) Before(call *interpose.Call) interpose.Decision {
 		}
 		r.injected.Add(1)
 		en.fired.Add(1)
-		r.log.record(call, en.retval, en.e, r.refIDs(en))
+		r.log.record(call, en.retval, en.e, en.ids)
 		return interpose.Decision{Inject: true, Retval: en.retval, Errno: en.e}
 	}
 	return interpose.Decision{}
@@ -239,6 +271,7 @@ func (r *Runtime) evalEntry(en *entry, call *interpose.Call) bool {
 	if len(en.refs) == 0 {
 		return false
 	}
+	shard := &r.evals[uint(call.Thread)%evalShards]
 	for _, ref := range en.refs {
 		t, err := ref.inst.get()
 		if err != nil {
@@ -247,7 +280,7 @@ func (r *Runtime) evalEntry(en *entry, call *interpose.Call) bool {
 			r.log.noteError(ref.inst.id, err)
 			return false
 		}
-		r.evals.Add(1)
+		shard.V.Add(1)
 		v := t.Eval(call)
 		if ref.negate {
 			v = !v
@@ -257,12 +290,4 @@ func (r *Runtime) evalEntry(en *entry, call *interpose.Call) bool {
 		}
 	}
 	return true
-}
-
-func (r *Runtime) refIDs(en *entry) []string {
-	ids := make([]string, len(en.refs))
-	for i, ref := range en.refs {
-		ids[i] = ref.inst.id
-	}
-	return ids
 }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"lfi/internal/libsim"
+	"lfi/internal/scenario"
+)
+
+// TestConcurrentDispatchStress drives the full stub path — simulated
+// threads making library calls through the dispatcher — while runtimes
+// are installed and uninstalled underneath them, the exact interleaving
+// a parallel campaign plus a hot-swapped scenario produces. It must be
+// -race clean: the hook handoff is an atomic pointer, per-thread Call
+// scratch is goroutine-confined, and the eval counter is sharded.
+func TestConcurrentDispatchStress(t *testing.T) {
+	c := libsim.New(1 << 20)
+	c.MustWriteFile("/f", []byte("0123456789abcdef"))
+
+	bld := scenario.NewBuilder("stress")
+	ref := bld.Trigger("never", "CallCountTrigger", scenario.IntArgs("n", int64(1)<<40))
+	bld.Observe("read", ref)
+	s, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 1500
+	stop := make(chan struct{})
+	var flips sync.WaitGroup
+	flips.Add(1)
+	go func() {
+		defer flips.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				rt.Install()
+			} else {
+				rt.Uninstall()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := c.NewThread("stress", "worker")
+			fd := th.Open("/f", libsim.O_RDONLY)
+			buf := make([]byte, 8)
+			for i := 0; i < iters; i++ {
+				th.Lseek(fd, 0)
+				if th.Read(fd, buf) < 0 {
+					t.Error("observational scenario injected a fault")
+					return
+				}
+			}
+			th.Close(fd)
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	flips.Wait()
+
+	if got := c.Disp.CallCount("read"); got != workers*iters {
+		t.Fatalf("read count = %d, want %d", got, workers*iters)
+	}
+}

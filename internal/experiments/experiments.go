@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"lfi/internal/isa"
@@ -19,6 +20,11 @@ import (
 	"lfi/internal/profile"
 	"lfi/internal/trigger"
 )
+
+// campaignWorkers is the worker-pool width used by the campaign-style
+// experiments. Campaign runs are independent (fresh process image per
+// test), so the experiments scale to the machine.
+func campaignWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // profiles builds the fault profiles of all three simulated libraries by
 // actually running the library profiler over the library binaries.

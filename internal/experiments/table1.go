@@ -66,7 +66,7 @@ func Table1(quick bool) (Table1Result, error) {
 		yes, part, not := rep.ByClass()
 		scens := callsite.GenerateScenarios(tgt.bin, append(not, part...), profs...)
 		scens = append(scens, callsite.GenerateExercise(tgt.bin, yes, profs...)...)
-		outs, err := controller.Campaign(tgt.target(), scens)
+		outs, err := controller.CampaignParallel(tgt.target(), scens, campaignWorkers())
 		if err != nil {
 			return res, err
 		}
@@ -132,8 +132,7 @@ func minidbRandomCampaign(quick bool) ([]controller.Bug, int, error) {
 	if quick {
 		runs = 12
 	}
-	var outs []controller.Outcome
-	tests := 0
+	scens := make([]*scenario.Scenario, 0, len(funcs))
 	for _, fn := range funcs {
 		doc := fmt.Sprintf(`<scenario name="random-%s">
 		  <trigger id="rnd" class="RandomTrigger"><args><probability>0.1</probability></args></trigger>
@@ -143,16 +142,19 @@ func minidbRandomCampaign(quick bool) ([]controller.Bug, int, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		for seed := 0; seed < runs; seed++ {
-			out, err := controller.RunOne(minidb.Target(), s, core.WithSeed(int64(seed)))
-			if err != nil {
-				return nil, 0, err
-			}
-			tests++
-			outs = append(outs, out)
-		}
+		scens = append(scens, s)
 	}
-	return controller.DistinctBugs(minidb.Module, crashesOnly(outs)), tests, nil
+	// One job per (scenario, seed) pair, spread over the worker pool;
+	// job order (and thus outcome order) matches the old nested loop.
+	tgt := minidb.Target()
+	outs, err := controller.RunN(campaignWorkers(), len(scens)*runs, func(i int) (controller.Outcome, error) {
+		s, seed := scens[i/runs], i%runs
+		return controller.RunOne(tgt, s, core.WithSeed(int64(seed)))
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return controller.DistinctBugs(minidb.Module, crashesOnly(outs)), len(outs), nil
 }
 
 // pbftCampaign finds the two PBFT bugs: the shutdown-checkpoint crash

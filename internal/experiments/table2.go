@@ -74,13 +74,16 @@ func Table2(runs int) (Table2Result, error) {
 		return Table2Result{}, err
 	}
 	res := Table2Result{Runs: runs}
+	tgt := minidb.MergeBigTarget()
 	measure := func(s *scenario.Scenario) (float64, error) {
+		outs, err := controller.RunN(campaignWorkers(), runs, func(seed int) (controller.Outcome, error) {
+			return controller.RunOne(tgt, s, core.WithSeed(int64(seed)))
+		})
+		if err != nil {
+			return 0, err
+		}
 		hits := 0
-		for seed := 0; seed < runs; seed++ {
-			out, err := controller.RunOne(minidb.MergeBigTarget(), s, core.WithSeed(int64(seed)))
-			if err != nil {
-				return 0, err
-			}
+		for _, out := range outs {
 			if out.Crash != nil && out.Crash.Kind == libsim.Abort &&
 				strings.Contains(out.Crash.Reason, "double unlock") {
 				hits++

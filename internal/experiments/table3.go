@@ -116,10 +116,11 @@ func Table3() (Table3Result, error) {
 		scens := callsite.GenerateScenarios(sys.bin, append(not, part...), profs...)
 		scens = append(scens, callsite.GenerateExercise(sys.bin, yes, profs...)...)
 		row.Scenarios = len(scens)
-		for _, s := range scens {
-			if _, err := controller.RunOne(sys.target(acc), s); err != nil {
-				return res, err
-			}
+		// Coverage merging is commutative (per-block hit addition into
+		// the thread-safe tracker), so the per-scenario suite runs can
+		// share the worker pool.
+		if _, err := controller.CampaignParallel(sys.target(acc), scens, campaignWorkers()); err != nil {
+			return res, err
 		}
 		row.RecoveryWithLFI = acc.Recovery()
 		row.TotalWithLFI = acc.Total()

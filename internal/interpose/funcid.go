@@ -1,0 +1,89 @@
+package interpose
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FuncID is a dense integer identifier for an interposed function name.
+// IDs are assigned by Intern in registration order starting at 1; the
+// zero value means "not yet resolved" and is never handed out. Stubs
+// intern their function name once (package init in libsim), so the hot
+// dispatch path indexes arrays instead of hashing strings — the paper's
+// equivalent is the stub knowing its own slot in the synthesized jump
+// table.
+type FuncID int32
+
+// funcTable is the global, append-only interning table. Names are
+// process-wide (the universe is the simulated libc surface plus whatever
+// tests register), so a single table lets every Dispatcher share IDs.
+// A nil names pointer means "empty" so that Intern works from package-
+// variable initializers, which run before init functions.
+var funcTable struct {
+	mu    sync.Mutex
+	ids   map[string]FuncID
+	names atomic.Pointer[[]string] // index 0 is the invalid-ID sentinel
+}
+
+// Intern returns the stable FuncID for a function name, assigning the
+// next dense ID on first sight. It is safe for concurrent use; stubs
+// call it once at package init, never per call.
+func Intern(name string) FuncID {
+	if id, ok := LookupFunc(name); ok {
+		return id
+	}
+	funcTable.mu.Lock()
+	defer funcTable.mu.Unlock()
+	if id, ok := funcTable.ids[name]; ok {
+		return id
+	}
+	if funcTable.ids == nil {
+		funcTable.ids = make(map[string]FuncID)
+	}
+	old := []string{""}
+	if p := funcTable.names.Load(); p != nil {
+		old = *p
+	}
+	id := FuncID(len(old))
+	names := make([]string, len(old)+1)
+	copy(names, old)
+	names[id] = name
+	funcTable.ids[name] = id
+	funcTable.names.Store(&names)
+	return id
+}
+
+// LookupFunc returns the FuncID of an already-interned name without
+// creating one. It takes the table lock and is meant for cold paths
+// (counter queries, hand-built Calls); hot paths hold a FuncID already.
+func LookupFunc(name string) (FuncID, bool) {
+	funcTable.mu.Lock()
+	id, ok := funcTable.ids[name]
+	funcTable.mu.Unlock()
+	return id, ok
+}
+
+// FuncName returns the interned name for an ID ("" for invalid IDs).
+// It is lock-free: the names slice is copy-on-write.
+func FuncName(id FuncID) string {
+	p := funcTable.names.Load()
+	if p == nil {
+		return ""
+	}
+	names := *p
+	if id <= 0 || int(id) >= len(names) {
+		return ""
+	}
+	return names[id]
+}
+
+// NumFuncs returns the size of the current FuncID universe including the
+// invalid slot 0, i.e. every valid ID satisfies 0 < id < NumFuncs().
+// Consumers size ID-indexed tables with it.
+func NumFuncs() int {
+	p := funcTable.names.Load()
+	if p == nil {
+		return 1
+	}
+	return len(*p)
+}

@@ -11,6 +11,12 @@
 // libsim routes through Dispatcher.Dispatch, which consults the installed
 // Hook. The decision procedure is identical to the paper's stub; only the
 // splicing mechanism differs (documented in DESIGN.md).
+//
+// The dispatch path is built to be allocation-free when no fault can be
+// injected: function names are interned to dense FuncIDs, per-function
+// counters live in an ID-indexed table of cache-line-padded atomics, the
+// hook is an atomic pointer, and the virtual stack / held-lock count are
+// captured lazily, only when a trigger or the log actually reads them.
 package interpose
 
 import (
@@ -32,19 +38,71 @@ type Frame struct {
 	Line   int
 }
 
+// CallSource captures expensive call context on demand. libsim.Thread
+// implements it; triggers that never look at the stack never pay for a
+// stack copy.
+type CallSource interface {
+	// CaptureStack returns a snapshot of the virtual call stack,
+	// innermost frame last. The caller owns the returned slice.
+	CaptureStack() []Frame
+	// CaptureLocks returns how many POSIX mutexes the calling thread
+	// currently holds.
+	CaptureLocks() int
+}
+
 // Call describes one intercepted library call. It is what a stub passes
-// to the trigger machinery: the function name, word-sized arguments, the
-// calling thread's identity and stack, and the running per-function call
-// count (1-based: the first call to a function has Count==1).
+// to the trigger machinery: the function identity, word-sized arguments,
+// the calling thread, and the running per-function call count (1-based:
+// the first call to a function has Count==1). Stack and held-lock
+// context are materialized lazily through the Stack and Locks methods.
+//
+// Stubs reuse Call values between dispatches, so hooks must not retain a
+// *Call (or its Args slice) past the dispatch that delivered it; the log
+// copies what it needs.
 type Call struct {
-	Func   string
+	// Func is the intercepted function's name; ID its interned id.
+	// Hand-built Calls may set either: Dispatch resolves the other.
+	Func string
+	ID   FuncID
+
 	Args   []int64
 	Thread int         // simulated thread id
-	Stack  []Frame     // innermost frame last
 	Count  uint64      // per-function call count, including this call
 	Node   string      // node name in distributed setups ("" locally)
-	Locks  int         // POSIX mutexes currently held by the thread
 	Errno  errno.Errno // thread errno value before the call
+
+	// Source provides lazy stack/locks capture. Nil for hand-built
+	// Calls, which preset the fields with SetStack/SetLocks instead.
+	Source CallSource
+
+	argv    [8]int64 // in-place storage for Args on the stub fast path
+	stack   []Frame
+	stackOK bool
+	locks   int
+	locksOK bool
+}
+
+// Prepare reinitializes a (possibly reused) Call for a new dispatch,
+// copying args into the Call's own storage so stubs can pass
+// stack-allocated slices.
+func (c *Call) Prepare(id FuncID, thread int, node string, e errno.Errno, src CallSource, args []int64) {
+	c.Func = FuncName(id)
+	c.ID = id
+	c.Thread = thread
+	c.Count = 0
+	c.Node = node
+	c.Errno = e
+	c.Source = src
+	c.stack = nil
+	c.stackOK = false
+	c.locks = 0
+	c.locksOK = false
+	if len(args) <= len(c.argv) {
+		n := copy(c.argv[:], args)
+		c.Args = c.argv[:n:n]
+	} else {
+		c.Args = append([]int64(nil), args...)
+	}
 }
 
 // Arg returns the i-th argument or 0 when absent, mirroring the paper's
@@ -54,6 +112,60 @@ func (c *Call) Arg(i int) int64 {
 		return 0
 	}
 	return c.Args[i]
+}
+
+// Stack returns the virtual call stack at the time of the call,
+// innermost frame last, capturing it from the call's Source on first
+// use. Callers must treat the result as read-only; it stays valid after
+// the dispatch (the capture is a private snapshot).
+func (c *Call) Stack() []Frame {
+	if !c.stackOK {
+		if c.Source != nil {
+			c.stack = c.Source.CaptureStack()
+		}
+		c.stackOK = true
+	}
+	return c.stack
+}
+
+// Locks returns how many POSIX mutexes the calling thread held at the
+// time of the call, capturing lazily like Stack.
+func (c *Call) Locks() int {
+	if !c.locksOK {
+		if c.Source != nil {
+			c.locks = c.Source.CaptureLocks()
+		}
+		c.locksOK = true
+	}
+	return c.locks
+}
+
+// SetStack presets the captured stack (tests and replay tooling build
+// Calls by hand; dispatch stubs use a CallSource instead).
+func (c *Call) SetStack(stack []Frame) {
+	c.stack = stack
+	c.stackOK = true
+}
+
+// SetLocks presets the held-lock count.
+func (c *Call) SetLocks(n int) {
+	c.locks = n
+	c.locksOK = true
+}
+
+// Resolve fills in whichever of Func/ID a hand-built Call left unset
+// and returns the id. Stub-built Calls arrive fully prepared, so this
+// is a pair of comparisons on the hot path.
+func (c *Call) Resolve() FuncID {
+	id := c.ID
+	if id == 0 {
+		id = Intern(c.Func)
+		c.ID = id
+	}
+	if c.Func == "" {
+		c.Func = FuncName(id)
+	}
+	return id
 }
 
 // Decision is a hook's verdict for one intercepted call.
@@ -74,56 +186,106 @@ type Hook interface {
 	After(call *Call, retval int64, e errno.Errno)
 }
 
+// PaddedUint64 is an atomic counter padded out to its own cache line so
+// concurrent writers of adjacent counters do not false-share (64B line:
+// 8B counter + 56B pad). The dispatcher's per-function counters and the
+// core runtime's sharded eval counter both use it.
+type PaddedUint64 struct {
+	V atomic.Uint64
+	_ [56]byte
+}
+
 // Dispatcher owns the interposition state for one simulated process. The
 // zero value is ready to use and passes every call straight through.
 type Dispatcher struct {
-	mu     sync.RWMutex
-	hook   Hook
-	counts sync.Map // func name -> *uint64
-	total  atomic.Uint64
+	// hook is consulted on every dispatch; a nil pointer means pass
+	// everything through. The extra box indirection exists because Hook
+	// is an interface and atomic.Pointer needs a concrete type.
+	hook atomic.Pointer[hookBox]
+
+	// counts is a FuncID-indexed table of padded counters. The table is
+	// grown copy-on-write (the slice holds pointers, so counters loaded
+	// from a stale table still receive their increments).
+	counts atomic.Pointer[[]*PaddedUint64]
+	growMu sync.Mutex
+
+	total atomic.Uint64
 }
+
+type hookBox struct{ h Hook }
 
 // Install splices a hook in front of the library. Passing nil uninstalls.
 func (d *Dispatcher) Install(h Hook) {
-	d.mu.Lock()
-	d.hook = h
-	d.mu.Unlock()
+	if h == nil {
+		d.hook.Store(nil)
+		return
+	}
+	d.hook.Store(&hookBox{h: h})
 }
 
 // Installed reports whether a hook is currently spliced in.
-func (d *Dispatcher) Installed() bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.hook != nil
-}
+func (d *Dispatcher) Installed() bool { return d.hook.Load() != nil }
 
 // TotalCalls returns the number of calls dispatched so far.
 func (d *Dispatcher) TotalCalls() uint64 { return d.total.Load() }
 
 // CallCount returns how many times the named function has been dispatched.
 func (d *Dispatcher) CallCount(fn string) uint64 {
-	if p, ok := d.counts.Load(fn); ok {
-		return atomic.LoadUint64(p.(*uint64))
+	id, ok := LookupFunc(fn)
+	if !ok {
+		return 0
+	}
+	if t := d.counts.Load(); t != nil && int(id) < len(*t) {
+		return (*t)[id].V.Load()
 	}
 	return 0
 }
 
-func (d *Dispatcher) bump(fn string) uint64 {
-	p, ok := d.counts.Load(fn)
-	if !ok {
-		p, _ = d.counts.LoadOrStore(fn, new(uint64))
+// bump increments and returns the per-function counter for id.
+func (d *Dispatcher) bump(id FuncID) uint64 {
+	t := d.counts.Load()
+	if t == nil || int(id) >= len(*t) {
+		t = d.grow(id)
 	}
 	d.total.Add(1)
-	return atomic.AddUint64(p.(*uint64), 1)
+	return (*t)[id].V.Add(1)
+}
+
+// grow extends the counter table to cover id (and the whole current
+// FuncID universe, so one grow per process is typical).
+func (d *Dispatcher) grow(id FuncID) *[]*PaddedUint64 {
+	d.growMu.Lock()
+	defer d.growMu.Unlock()
+	t := d.counts.Load()
+	if t != nil && int(id) < len(*t) {
+		return t
+	}
+	want := NumFuncs()
+	if int(id) >= want {
+		want = int(id) + 1
+	}
+	nt := make([]*PaddedUint64, want)
+	var old []*PaddedUint64
+	if t != nil {
+		old = *t
+	}
+	copy(nt, old)
+	backing := make([]PaddedUint64, want-len(old))
+	for i := len(old); i < want; i++ {
+		nt[i] = &backing[i-len(old)]
+	}
+	d.counts.Store(&nt)
+	return &nt
 }
 
 // ResetCounts zeroes all per-function call counters (used between test
 // campaigns so call-count triggers are reproducible).
 func (d *Dispatcher) ResetCounts() {
-	d.counts.Range(func(k, v any) bool {
-		atomic.StoreUint64(v.(*uint64), 0)
-		return true
-	})
+	if t := d.counts.Load(); t != nil {
+		for _, c := range *t {
+			c.V.Store(0)
+		}
+	}
 	d.total.Store(0)
 }
 
@@ -131,20 +293,16 @@ func (d *Dispatcher) ResetCounts() {
 // original library implementation and returns (retval, errno). The
 // returned values are what the calling program observes.
 func (d *Dispatcher) Dispatch(call *Call, impl func() (int64, errno.Errno)) (int64, errno.Errno) {
-	call.Count = d.bump(call.Func)
+	call.Count = d.bump(call.Resolve())
 
-	d.mu.RLock()
-	h := d.hook
-	d.mu.RUnlock()
-
-	if h != nil {
-		if dec := h.Before(call); dec.Inject {
-			return dec.Retval, dec.Errno
-		}
+	box := d.hook.Load()
+	if box == nil {
+		return impl()
+	}
+	if dec := box.h.Before(call); dec.Inject {
+		return dec.Retval, dec.Errno
 	}
 	ret, e := impl()
-	if h != nil {
-		h.After(call, ret, e)
-	}
+	box.h.After(call, ret, e)
 	return ret, e
 }

@@ -1,6 +1,7 @@
 package interpose
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -136,6 +137,133 @@ func TestArgHelper(t *testing.T) {
 	}
 	if c.Arg(2) != 0 || c.Arg(-1) != 0 {
 		t.Fatal("out-of-range Arg should be 0")
+	}
+}
+
+// TestConcurrentInstallDispatch hammers the dispatcher from worker
+// goroutines while the hook is repeatedly installed and uninstalled —
+// the campaign-parallel pattern. Run under -race this validates the
+// atomic hook pointer and the copy-on-write counter table (counts must
+// not be lost across table growth).
+func TestConcurrentInstallDispatch(t *testing.T) {
+	var d Dispatcher
+	const workers = 8
+	const callsPerWorker = 2000
+	stop := make(chan struct{})
+	var flips sync.WaitGroup
+	flips.Add(1)
+	go func() {
+		defer flips.Done()
+		h := &fakeHook{}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				d.Install(h)
+			} else {
+				d.Install(nil)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Interleave an existing name with fresh ones so counter
+			// table growth happens mid-flight.
+			fresh := Intern(fmt.Sprintf("stress-fn-%d", w))
+			for j := 0; j < callsPerWorker; j++ {
+				d.Dispatch(&Call{ID: fnStress}, passImpl)
+				d.Dispatch(&Call{ID: fresh}, passImpl)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	flips.Wait()
+	if got := d.CallCount("stress-shared"); got != workers*callsPerWorker {
+		t.Fatalf("shared count = %d, want %d", got, workers*callsPerWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := d.CallCount(fmt.Sprintf("stress-fn-%d", w)); got != callsPerWorker {
+			t.Fatalf("worker %d count = %d, want %d", w, got, callsPerWorker)
+		}
+	}
+}
+
+var fnStress = Intern("stress-shared")
+
+func passImpl() (int64, errno.Errno) { return 0, errno.OK }
+
+// TestLazyCaptureOnlyOnDemand verifies that Stack/Locks are captured
+// once, lazily, from the CallSource.
+func TestLazyCaptureOnlyOnDemand(t *testing.T) {
+	src := &countingSource{frames: []Frame{{Module: "m", Func: "f"}}, locks: 3}
+	c := &Call{}
+	c.Prepare(Intern("lazy-fn"), 1, "", errno.OK, src, []int64{7})
+	if src.stackCaptures != 0 || src.lockCaptures != 0 {
+		t.Fatal("capture happened eagerly")
+	}
+	if len(c.Stack()) != 1 || c.Stack()[0].Func != "f" {
+		t.Fatalf("stack: %v", c.Stack())
+	}
+	if c.Locks() != 3 || c.Locks() != 3 {
+		t.Fatalf("locks: %d", c.Locks())
+	}
+	if src.stackCaptures != 1 || src.lockCaptures != 1 {
+		t.Fatalf("captures: stack=%d locks=%d, want 1/1", src.stackCaptures, src.lockCaptures)
+	}
+	if c.Arg(0) != 7 {
+		t.Fatalf("arg: %d", c.Arg(0))
+	}
+	// Reuse must reset memoization.
+	c.Prepare(Intern("lazy-fn"), 1, "", errno.OK, &countingSource{}, nil)
+	if len(c.Stack()) != 0 || c.Locks() != 0 {
+		t.Fatal("stale capture survived Prepare")
+	}
+}
+
+type countingSource struct {
+	frames        []Frame
+	locks         int
+	stackCaptures int
+	lockCaptures  int
+}
+
+func (s *countingSource) CaptureStack() []Frame {
+	s.stackCaptures++
+	return append([]Frame(nil), s.frames...)
+}
+func (s *countingSource) CaptureLocks() int {
+	s.lockCaptures++
+	return s.locks
+}
+
+// TestInternStableDense checks the FuncID contract: dense, stable,
+// shared across dispatchers.
+func TestInternStableDense(t *testing.T) {
+	a, b := Intern("intern-a"), Intern("intern-a")
+	if a != b || a == 0 {
+		t.Fatalf("Intern not stable: %d vs %d", a, b)
+	}
+	if got := FuncName(a); got != "intern-a" {
+		t.Fatalf("FuncName: %q", got)
+	}
+	if id, ok := LookupFunc("intern-a"); !ok || id != a {
+		t.Fatalf("LookupFunc: %d %v", id, ok)
+	}
+	if _, ok := LookupFunc("never-interned"); ok {
+		t.Fatal("LookupFunc invented an id")
+	}
+	if FuncName(0) != "" || FuncName(FuncID(1<<30)) != "" {
+		t.Fatal("FuncName out-of-range not empty")
+	}
+	if n := NumFuncs(); int(a) >= n {
+		t.Fatalf("NumFuncs %d does not cover id %d", n, a)
 	}
 }
 

@@ -15,6 +15,7 @@ package libsim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"lfi/internal/errno"
 	"lfi/internal/interpose"
@@ -44,6 +45,10 @@ type C struct {
 	// Node names this process in distributed setups (PBFT replica ids);
 	// distributed triggers see it on every intercepted call.
 	Node string
+
+	// threadIDs allocates per-process thread ids (dense from 1), so
+	// logs stay deterministic when independent runs execute in parallel.
+	threadIDs atomic.Int64
 
 	mu    sync.Mutex
 	root  *inode
@@ -127,7 +132,7 @@ func (c *C) Heap() *Arena { return c.heap }
 // failure. Real setenv can fail when the environment block cannot grow.
 func (t *Thread) Setenv(name, value string) int64 {
 	c := t.C
-	return t.call("setenv", []int64{int64(len(name)), int64(len(value))}, func() (int64, errno.Errno) {
+	return t.call(fnSetenv, []int64{int64(len(name)), int64(len(value))}, func() (int64, errno.Errno) {
 		if name == "" {
 			return -1, errno.EINVAL
 		}
@@ -151,7 +156,7 @@ func (t *Thread) Getenv(name string) (string, bool) {
 // Unsetenv models unsetenv(3).
 func (t *Thread) Unsetenv(name string) int64 {
 	c := t.C
-	return t.call("unsetenv", nil, func() (int64, errno.Errno) {
+	return t.call(fnUnsetenv, nil, func() (int64, errno.Errno) {
 		if name == "" {
 			return -1, errno.EINVAL
 		}
@@ -191,7 +196,7 @@ const O_NONBLOCK = 0x800
 // Fcntl models fcntl(2) for the GETFL/SETFL/GETLK/SETLK commands.
 func (t *Thread) Fcntl(fd int64, cmd int64, arg int64) int64 {
 	c := t.C
-	return t.call("fcntl", []int64{fd, cmd, arg}, func() (int64, errno.Errno) {
+	return t.call(fnFcntl, []int64{fd, cmd, arg}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		d, ok := c.fds[int(fd)]

@@ -16,7 +16,7 @@ type dirStream struct {
 // error. The entry list is snapshotted and sorted for reproducibility.
 func (t *Thread) Opendir(path string) int64 {
 	c := t.C
-	return t.call("opendir", []int64{int64(len(path))}, func() (int64, errno.Errno) {
+	return t.call(fnOpendir, []int64{int64(len(path))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		n, e := c.lookup(path)
@@ -45,7 +45,7 @@ func (t *Thread) Readdir(dir int64) (string, bool) {
 	c := t.C
 	var name string
 	var ok bool
-	t.call("readdir", []int64{dir}, func() (int64, errno.Errno) {
+	t.call(fnReaddir, []int64{dir}, func() (int64, errno.Errno) {
 		if dir == 0 {
 			t.RaiseCrash(Segfault, "readdir(NULL DIR*)")
 		}
@@ -68,7 +68,7 @@ func (t *Thread) Readdir(dir int64) (string, bool) {
 // Closedir models closedir(3).
 func (t *Thread) Closedir(dir int64) int64 {
 	c := t.C
-	return t.call("closedir", []int64{dir}, func() (int64, errno.Errno) {
+	return t.call(fnClosedir, []int64{dir}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if _, ok := c.dirs[dir]; !ok {

@@ -39,7 +39,7 @@ type xmlLib struct {
 // process heap so that heap exhaustion propagates naturally.
 func (t *Thread) XMLNewTextWriterDoc() int64 {
 	c := t.C
-	return t.call("xmlNewTextWriterDoc", nil, func() (int64, errno.Errno) {
+	return t.call(fnXMLNewTextWriterDoc, nil, func() (int64, errno.Errno) {
 		if _, e := c.heap.alloc(256); e != errno.OK {
 			return 0, errno.ENOMEM
 		}
@@ -57,7 +57,7 @@ func (t *Thread) XMLNewTextWriterDoc() int64 {
 // Writing through a NULL writer crashes — the BIND statschannel bug.
 func (t *Thread) XMLTextWriterWriteElement(w int64, name, value string) int64 {
 	c := t.C
-	return t.call("xmlTextWriterWriteElement", []int64{w, int64(len(name)), int64(len(value))}, func() (int64, errno.Errno) {
+	return t.call(fnXMLTextWriterWriteElement, []int64{w, int64(len(name)), int64(len(value))}, func() (int64, errno.Errno) {
 		if w == 0 {
 			t.RaiseCrash(Segfault, "xmlTextWriterWriteElement(NULL writer)")
 		}
@@ -84,7 +84,7 @@ func (t *Thread) XMLTextWriterWriteElement(w int64, name, value string) int64 {
 func (t *Thread) XMLFreeTextWriter(w int64) string {
 	c := t.C
 	var doc string
-	t.call("xmlFreeTextWriter", []int64{w}, func() (int64, errno.Errno) {
+	t.call(fnXMLFreeTextWriter, []int64{w}, func() (int64, errno.Errno) {
 		if w == 0 {
 			t.RaiseCrash(Segfault, "xmlFreeTextWriter(NULL writer)")
 		}
@@ -111,7 +111,7 @@ func (t *Thread) XMLFreeTextWriter(w int64) string {
 // (0) and updates *n, or an errno-like status.
 func (t *Thread) APRFileRead(fd int64, buf []byte, n *int64) int64 {
 	c := t.C
-	return t.call("apr_file_read", []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
+	return t.call(fnAprFileRead, []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		d, ok := c.fds[int(fd)]
 		c.mu.Unlock()
@@ -138,7 +138,7 @@ func (t *Thread) APRFileRead(fd int64, buf []byte, n *int64) int64 {
 // it to check whether a descriptor points at a socket).
 func (t *Thread) APRStat(fd int64, out *Stat) int64 {
 	c := t.C
-	return t.call("apr_stat", []int64{fd}, func() (int64, errno.Errno) {
+	return t.call(fnAprStat, []int64{fd}, func() (int64, errno.Errno) {
 		st, ok := c.RawStatFD(fd)
 		if !ok {
 			return int64(errno.EBADF), errno.EBADF

@@ -182,7 +182,7 @@ func (c *C) ReadFileRaw(path string) ([]byte, bool) {
 // Open models open(2), returning a file descriptor or -1.
 func (t *Thread) Open(path string, flags int64) int64 {
 	c := t.C
-	return t.call("open", []int64{int64(len(path)), flags}, func() (int64, errno.Errno) {
+	return t.call(fnOpen, []int64{int64(len(path)), flags}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		n, e := c.lookup(path)
@@ -213,7 +213,7 @@ func (t *Thread) Open(path string, flags int64) int64 {
 // Close models close(2).
 func (t *Thread) Close(fd int64) int64 {
 	c := t.C
-	return t.call("close", []int64{fd}, func() (int64, errno.Errno) {
+	return t.call(fnClose, []int64{fd}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		d, ok := c.fds[int(fd)]
 		if ok {
@@ -243,7 +243,7 @@ func (t *Thread) Close(fd int64) int64 {
 // Read models read(2) into buf, returning the byte count, 0 at EOF, or -1.
 func (t *Thread) Read(fd int64, buf []byte) int64 {
 	c := t.C
-	return t.call("read", []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
+	return t.call(fnRead, []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		d, ok := c.fds[int(fd)]
 		c.mu.Unlock()
@@ -270,7 +270,7 @@ func (t *Thread) Read(fd int64, buf []byte) int64 {
 // Write models write(2), returning the byte count or -1.
 func (t *Thread) Write(fd int64, buf []byte) int64 {
 	c := t.C
-	return t.call("write", []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
+	return t.call(fnWrite, []int64{fd, 0, int64(len(buf))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		d, ok := c.fds[int(fd)]
 		c.mu.Unlock()
@@ -298,7 +298,7 @@ func (t *Thread) Write(fd int64, buf []byte) int64 {
 // Lseek models lseek(2) with SEEK_SET semantics only (whence 0).
 func (t *Thread) Lseek(fd, off int64) int64 {
 	c := t.C
-	return t.call("lseek", []int64{fd, off, 0}, func() (int64, errno.Errno) {
+	return t.call(fnLseek, []int64{fd, off, 0}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		d, ok := c.fds[int(fd)]
@@ -316,7 +316,7 @@ func (t *Thread) Lseek(fd, off int64) int64 {
 // Unlink models unlink(2).
 func (t *Thread) Unlink(path string) int64 {
 	c := t.C
-	return t.call("unlink", []int64{int64(len(path))}, func() (int64, errno.Errno) {
+	return t.call(fnUnlink, []int64{int64(len(path))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		parent, name, e := c.lookupParent(path)
@@ -338,7 +338,7 @@ func (t *Thread) Unlink(path string) int64 {
 // Mkdir models mkdir(2).
 func (t *Thread) Mkdir(path string) int64 {
 	c := t.C
-	return t.call("mkdir", []int64{int64(len(path))}, func() (int64, errno.Errno) {
+	return t.call(fnMkdir, []int64{int64(len(path))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		parent, name, e := c.lookupParent(path)
@@ -357,7 +357,7 @@ func (t *Thread) Mkdir(path string) int64 {
 // caller-provided struct stat buffer.
 func (t *Thread) StatPath(path string, out *Stat) int64 {
 	c := t.C
-	return t.call("stat", []int64{int64(len(path))}, func() (int64, errno.Errno) {
+	return t.call(fnStat, []int64{int64(len(path))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		n, e := c.lookup(path)
@@ -373,7 +373,7 @@ func (t *Thread) StatPath(path string, out *Stat) int64 {
 // Fstat models fstat(2).
 func (t *Thread) Fstat(fd int64, out *Stat) int64 {
 	c := t.C
-	return t.call("fstat", []int64{fd}, func() (int64, errno.Errno) {
+	return t.call(fnFstat, []int64{fd}, func() (int64, errno.Errno) {
 		st, ok := c.RawStatFD(fd)
 		if !ok {
 			return -1, errno.EBADF
@@ -407,7 +407,7 @@ func (c *C) RawStatFD(fd int64) (Stat, bool) {
 // write end.
 func (t *Thread) Pipe(fds *[2]int64) int64 {
 	c := t.C
-	return t.call("pipe", nil, func() (int64, errno.Errno) {
+	return t.call(fnPipe, nil, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		p := newPipeBuf()
@@ -450,7 +450,7 @@ func (p *pipeBuf) write(buf []byte) (int64, errno.Errno) {
 // file contents under a ".lnk" naming convention used by minivcs.
 func (t *Thread) Readlink(path string, buf []byte) int64 {
 	c := t.C
-	return t.call("readlink", []int64{int64(len(path)), 0, int64(len(buf))}, func() (int64, errno.Errno) {
+	return t.call(fnReadlink, []int64{int64(len(path)), 0, int64(len(buf))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		n, e := c.lookup(path + ".lnk")

@@ -1,0 +1,53 @@
+package libsim
+
+import "lfi/internal/interpose"
+
+// Interned FuncIDs for every function libsim interposes. Each stub
+// resolves its identity once, at package init, so the per-call dispatch
+// path never hashes a function name — the analogue of the paper's
+// synthesized stubs knowing their own jump-table slot.
+var (
+	fnOpen     = interpose.Intern("open")
+	fnClose    = interpose.Intern("close")
+	fnRead     = interpose.Intern("read")
+	fnWrite    = interpose.Intern("write")
+	fnLseek    = interpose.Intern("lseek")
+	fnUnlink   = interpose.Intern("unlink")
+	fnMkdir    = interpose.Intern("mkdir")
+	fnStat     = interpose.Intern("stat")
+	fnFstat    = interpose.Intern("fstat")
+	fnPipe     = interpose.Intern("pipe")
+	fnReadlink = interpose.Intern("readlink")
+
+	fnMalloc = interpose.Intern("malloc")
+	fnCalloc = interpose.Intern("calloc")
+	fnFree   = interpose.Intern("free")
+
+	fnFopen  = interpose.Intern("fopen")
+	fnFwrite = interpose.Intern("fwrite")
+	fnFread  = interpose.Intern("fread")
+	fnFclose = interpose.Intern("fclose")
+	fnFflush = interpose.Intern("fflush")
+
+	fnOpendir  = interpose.Intern("opendir")
+	fnReaddir  = interpose.Intern("readdir")
+	fnClosedir = interpose.Intern("closedir")
+
+	fnSetenv   = interpose.Intern("setenv")
+	fnUnsetenv = interpose.Intern("unsetenv")
+	fnFcntl    = interpose.Intern("fcntl")
+
+	fnMutexLock   = interpose.Intern("pthread_mutex_lock")
+	fnMutexUnlock = interpose.Intern("pthread_mutex_unlock")
+
+	fnSocket   = interpose.Intern("socket")
+	fnBind     = interpose.Intern("bind")
+	fnSendto   = interpose.Intern("sendto")
+	fnRecvfrom = interpose.Intern("recvfrom")
+
+	fnXMLNewTextWriterDoc       = interpose.Intern("xmlNewTextWriterDoc")
+	fnXMLTextWriterWriteElement = interpose.Intern("xmlTextWriterWriteElement")
+	fnXMLFreeTextWriter         = interpose.Intern("xmlFreeTextWriter")
+	fnAprFileRead               = interpose.Intern("apr_file_read")
+	fnAprStat                   = interpose.Intern("apr_stat")
+)

@@ -108,7 +108,7 @@ func (a *Arena) release(ptr int64) errno.Errno {
 // Malloc models malloc(3): a non-zero pointer handle, or 0 with ENOMEM.
 func (t *Thread) Malloc(size int64) int64 {
 	a := t.C.heap
-	return t.call("malloc", []int64{size}, func() (int64, errno.Errno) {
+	return t.call(fnMalloc, []int64{size}, func() (int64, errno.Errno) {
 		return a.alloc(size)
 	})
 }
@@ -116,7 +116,7 @@ func (t *Thread) Malloc(size int64) int64 {
 // Calloc models calloc(3) (single-chunk form).
 func (t *Thread) Calloc(n, size int64) int64 {
 	a := t.C.heap
-	return t.call("calloc", []int64{n, size}, func() (int64, errno.Errno) {
+	return t.call(fnCalloc, []int64{n, size}, func() (int64, errno.Errno) {
 		if n <= 0 || size <= 0 || n > (1<<40)/size {
 			return 0, errno.EINVAL
 		}
@@ -128,7 +128,7 @@ func (t *Thread) Calloc(n, size int64) int64 {
 // already-freed pointer crashes the program, as glibc would abort.
 func (t *Thread) Free(ptr int64) {
 	a := t.C.heap
-	t.call("free", []int64{ptr}, func() (int64, errno.Errno) {
+	t.call(fnFree, []int64{ptr}, func() (int64, errno.Errno) {
 		if ptr == 0 {
 			return 0, errno.OK
 		}

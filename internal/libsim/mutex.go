@@ -39,7 +39,7 @@ func (c *C) mutex(h int64) (*simMutex, bool) {
 // stateful triggers (WithMutex, close-after-unlock) can observe it.
 func (t *Thread) MutexLock(h int64) int64 {
 	c := t.C
-	return t.call("pthread_mutex_lock", []int64{h}, func() (int64, errno.Errno) {
+	return t.call(fnMutexLock, []int64{h}, func() (int64, errno.Errno) {
 		m, ok := c.mutex(h)
 		if !ok {
 			return -1, errno.EINVAL
@@ -57,7 +57,7 @@ func (t *Thread) MutexLock(h int64) int64 {
 // thread does not hold aborts the program (double unlock).
 func (t *Thread) MutexUnlock(h int64) int64 {
 	c := t.C
-	return t.call("pthread_mutex_unlock", []int64{h}, func() (int64, errno.Errno) {
+	return t.call(fnMutexUnlock, []int64{h}, func() (int64, errno.Errno) {
 		m, ok := c.mutex(h)
 		if !ok {
 			return -1, errno.EINVAL

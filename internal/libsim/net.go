@@ -8,7 +8,7 @@ import (
 // descriptor bound to the process's network backend.
 func (t *Thread) Socket() int64 {
 	c := t.C
-	return t.call("socket", []int64{2 /* AF_INET */, 2 /* SOCK_DGRAM */, 0}, func() (int64, errno.Errno) {
+	return t.call(fnSocket, []int64{2 /* AF_INET */, 2 /* SOCK_DGRAM */, 0}, func() (int64, errno.Errno) {
 		if c.net == nil {
 			return -1, errno.ENOSYS
 		}
@@ -22,7 +22,7 @@ func (t *Thread) Socket() int64 {
 // Bind models bind(2), attaching the socket to a string address.
 func (t *Thread) Bind(fd int64, addr string) int64 {
 	c := t.C
-	return t.call("bind", []int64{fd, int64(len(addr))}, func() (int64, errno.Errno) {
+	return t.call(fnBind, []int64{fd, int64(len(addr))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		d, ok := c.fds[int(fd)]
 		c.mu.Unlock()
@@ -39,7 +39,7 @@ func (t *Thread) Bind(fd int64, addr string) int64 {
 // Sendto models sendto(2): returns the payload length or -1.
 func (t *Thread) Sendto(fd int64, payload []byte, dst string) int64 {
 	c := t.C
-	return t.call("sendto", []int64{fd, 0, int64(len(payload)), 0, int64(len(dst))}, func() (int64, errno.Errno) {
+	return t.call(fnSendto, []int64{fd, 0, int64(len(payload)), 0, int64(len(dst))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		d, ok := c.fds[int(fd)]
 		c.mu.Unlock()
@@ -59,7 +59,7 @@ func (t *Thread) Sendto(fd int64, payload []byte, dst string) int64 {
 // timeout, matching a SO_RCVTIMEO socket).
 func (t *Thread) Recvfrom(fd int64, buf []byte, from *string, timeoutMs int) int64 {
 	c := t.C
-	return t.call("recvfrom", []int64{fd, 0, int64(len(buf)), 0}, func() (int64, errno.Errno) {
+	return t.call(fnRecvfrom, []int64{fd, 0, int64(len(buf)), 0}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		d, ok := c.fds[int(fd)]
 		c.mu.Unlock()

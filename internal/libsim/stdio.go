@@ -15,7 +15,7 @@ type file struct {
 // Supported modes are "r", "w", and "a".
 func (t *Thread) Fopen(path, mode string) int64 {
 	c := t.C
-	return t.call("fopen", []int64{int64(len(path)), int64(len(mode))}, func() (int64, errno.Errno) {
+	return t.call(fnFopen, []int64{int64(len(path)), int64(len(mode))}, func() (int64, errno.Errno) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		var n *inode
@@ -80,7 +80,7 @@ func (t *Thread) lookupFile(h int64, op string) *file {
 // Fwrite models fwrite(3) with size=1: returns the number of bytes
 // written. Calling it with a NULL stream crashes the program.
 func (t *Thread) Fwrite(data []byte, stream int64) int64 {
-	return t.call("fwrite", []int64{0, 1, int64(len(data)), stream}, func() (int64, errno.Errno) {
+	return t.call(fnFwrite, []int64{0, 1, int64(len(data)), stream}, func() (int64, errno.Errno) {
 		f := t.lookupFile(stream, "fwrite")
 		if !f.wr {
 			return 0, errno.EBADF
@@ -96,7 +96,7 @@ func (t *Thread) Fwrite(data []byte, stream int64) int64 {
 // Fread models fread(3) with size=1: returns the number of bytes read
 // (possibly short at EOF). A NULL stream crashes.
 func (t *Thread) Fread(buf []byte, stream int64) int64 {
-	return t.call("fread", []int64{0, 1, int64(len(buf)), stream}, func() (int64, errno.Errno) {
+	return t.call(fnFread, []int64{0, 1, int64(len(buf)), stream}, func() (int64, errno.Errno) {
 		f := t.lookupFile(stream, "fread")
 		f.node.mu.Lock()
 		defer f.node.mu.Unlock()
@@ -112,7 +112,7 @@ func (t *Thread) Fread(buf []byte, stream int64) int64 {
 // Fclose models fclose(3). Closing NULL crashes (as glibc does).
 func (t *Thread) Fclose(stream int64) int64 {
 	c := t.C
-	return t.call("fclose", []int64{stream}, func() (int64, errno.Errno) {
+	return t.call(fnFclose, []int64{stream}, func() (int64, errno.Errno) {
 		t.lookupFile(stream, "fclose")
 		c.mu.Lock()
 		delete(c.files, stream)
@@ -124,7 +124,7 @@ func (t *Thread) Fclose(stream int64) int64 {
 // Fflush models fflush(3); the in-memory stream has nothing buffered, so
 // it only validates the handle.
 func (t *Thread) Fflush(stream int64) int64 {
-	return t.call("fflush", []int64{stream}, func() (int64, errno.Errno) {
+	return t.call(fnFflush, []int64{stream}, func() (int64, errno.Errno) {
 		t.lookupFile(stream, "fflush")
 		return 0, errno.OK
 	})

@@ -2,7 +2,6 @@ package libsim
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"lfi/internal/errno"
 	"lfi/internal/interpose"
@@ -23,14 +22,20 @@ type Thread struct {
 	mu     sync.Mutex
 	frames []interpose.Frame
 	locks  int
+
+	// scratch holds reusable Call values, one per dispatch nesting
+	// depth, so the hot path allocates nothing after warm-up. Only the
+	// owning thread touches it (simulated threads are single goroutines).
+	scratch []*interpose.Call
+	depth   int
 }
 
-var threadIDs atomic.Int64
-
 // NewThread creates a thread bound to library c. The first stack frame
-// names the thread's entry point, like a process's main.
+// names the thread's entry point, like a process's main. Thread IDs are
+// per-process (dense from 1), which keeps logs deterministic even when
+// independent test runs execute in parallel.
 func (c *C) NewThread(entryModule, entryFunc string) *Thread {
-	t := &Thread{ID: int(threadIDs.Add(1)), C: c}
+	t := &Thread{ID: int(c.threadIDs.Add(1)), C: c}
 	t.frames = append(t.frames, interpose.Frame{Module: entryModule, Func: entryFunc})
 	return t
 }
@@ -78,7 +83,7 @@ func (t *Thread) EnterAt(module, fn string, offset uint64, file string, line int
 }
 
 // StackCopy returns a snapshot of the virtual call stack, innermost
-// frame last. This is what stubs attach to intercepted calls.
+// frame last. This is what intercepted calls materialize on demand.
 func (t *Thread) StackCopy() []interpose.Frame {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -86,6 +91,12 @@ func (t *Thread) StackCopy() []interpose.Frame {
 	copy(out, t.frames)
 	return out
 }
+
+// CaptureStack implements interpose.CallSource.
+func (t *Thread) CaptureStack() []interpose.Frame { return t.StackCopy() }
+
+// CaptureLocks implements interpose.CallSource.
+func (t *Thread) CaptureLocks() int { return t.Locks() }
 
 // Depth returns the current virtual stack depth.
 func (t *Thread) Depth() int {
@@ -111,17 +122,19 @@ func (t *Thread) addLock(delta int) {
 // errno the way a real libc function would: on failure the wrapper
 // stores the error code, on success errno is left untouched (per POSIX,
 // successful calls do not reset errno).
-func (t *Thread) call(name string, args []int64, impl func() (int64, errno.Errno)) int64 {
-	c := &interpose.Call{
-		Func:   name,
-		Args:   args,
-		Thread: t.ID,
-		Stack:  t.StackCopy(),
-		Node:   t.C.Node,
-		Locks:  t.Locks(),
-		Errno:  t.errno,
+//
+// The Call is a per-thread scratch value (one per nesting depth) whose
+// stack/locks context is captured lazily via the CallSource interface,
+// so a pass-through dispatch performs zero heap allocations.
+func (t *Thread) call(fn interpose.FuncID, args []int64, impl func() (int64, errno.Errno)) int64 {
+	if t.depth == len(t.scratch) {
+		t.scratch = append(t.scratch, new(interpose.Call))
 	}
+	c := t.scratch[t.depth]
+	t.depth++
+	c.Prepare(fn, t.ID, t.C.Node, t.errno, t, args)
 	ret, e := t.C.Disp.Dispatch(c, impl)
+	t.depth--
 	if e != errno.OK {
 		t.errno = e
 	}

@@ -48,7 +48,7 @@ type WithMutex struct {
 }
 
 // Eval checks the caller's held-lock count.
-func (t *WithMutex) Eval(call *interpose.Call) bool { return call.Locks > 0 }
+func (t *WithMutex) Eval(call *interpose.Call) bool { return call.Locks() > 0 }
 
 // ReadPipe fires for read calls whose descriptor is a pipe and whose
 // requested byte count lies in [Low, High] — the parametrized half of

@@ -96,7 +96,7 @@ func (t *CallStack) Init(args *Args) error {
 // Eval implements the subsequence match over the virtual stack.
 func (t *CallStack) Eval(call *interpose.Call) bool {
 	i := 0
-	for _, f := range call.Stack {
+	for _, f := range call.Stack() {
 		if i < len(t.Frames) && t.Frames[i].Matches(f) {
 			i++
 		}

@@ -109,7 +109,9 @@ func TestArgsAccessors(t *testing.T) {
 // --- call stack -----------------------------------------------------------
 
 func stackCall(frames ...interpose.Frame) *interpose.Call {
-	return &interpose.Call{Func: "read", Stack: frames}
+	c := &interpose.Call{Func: "read"}
+	c.SetStack(frames)
+	return c
 }
 
 func TestCallStackSubsequence(t *testing.T) {
@@ -375,10 +377,14 @@ func TestDistributedNoDecider(t *testing.T) {
 
 func TestWithMutex(t *testing.T) {
 	tr := mustNew(t, "WithMutex", nil, nil)
-	if tr.Eval(&interpose.Call{Locks: 0}) {
+	unlocked := &interpose.Call{}
+	unlocked.SetLocks(0)
+	if tr.Eval(unlocked) {
 		t.Fatal("fired without lock")
 	}
-	if !tr.Eval(&interpose.Call{Locks: 2}) {
+	locked := &interpose.Call{}
+	locked.SetLocks(2)
+	if !tr.Eval(locked) {
 		t.Fatal("did not fire with locks held")
 	}
 }

@@ -143,6 +143,9 @@ var (
 	RunOne = controller.RunOne
 	// Campaign runs one test per scenario.
 	Campaign = controller.Campaign
+	// CampaignParallel runs one test per scenario on a worker pool,
+	// returning outcomes in scenario order.
+	CampaignParallel = controller.CampaignParallel
 	// DistinctBugs deduplicates campaign failures.
 	DistinctBugs = controller.DistinctBugs
 )

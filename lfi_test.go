@@ -1,9 +1,11 @@
 package lfi
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"lfi/internal/apps/minidb"
 	"lfi/internal/errno"
 	"lfi/internal/libsim"
 	"lfi/internal/libspec"
@@ -112,13 +114,16 @@ func TestFacadeAnalyzerPipeline(t *testing.T) {
 // TestFacadeControllerRun drives the controller through the facade.
 func TestFacadeControllerRun(t *testing.T) {
 	tgt := Target{
-		Name:  "toy",
-		Start: func() *Process { c := NewProcess(0); c.MustWriteFile("/f", []byte("x")); return c },
-		Workload: func(c *Process) error {
-			th := c.NewThread("toy", "main")
-			fd := th.Open("/f", libsim.O_RDONLY)
-			th.Read(fd, make([]byte, 1))
-			return nil
+		Name: "toy",
+		Start: func() (*Process, func() error) {
+			c := NewProcess(0)
+			c.MustWriteFile("/f", []byte("x"))
+			return c, func() error {
+				th := c.NewThread("toy", "main")
+				fd := th.Open("/f", libsim.O_RDONLY)
+				th.Read(fd, make([]byte, 1))
+				return nil
+			}
 		},
 	}
 	out, err := RunOne(tgt, nil)
@@ -127,6 +132,64 @@ func TestFacadeControllerRun(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ok") {
 		t.Fatal("outcome rendering")
+	}
+}
+
+// TestParallelCampaignBitIdentical runs the Table 1 minidb random
+// campaign sequentially and on an 8-worker pool under the same seed and
+// demands byte-identical DistinctBugs output and per-run injection logs
+// — the determinism contract that makes the parallel engine a drop-in.
+func TestParallelCampaignBitIdentical(t *testing.T) {
+	var scens []*Scenario
+	for _, fn := range []struct {
+		name, errno string
+		retval      int64
+	}{
+		{"close", "EIO", -1},
+		{"read", "EIO", -1},
+		{"malloc", "ENOMEM", 0},
+	} {
+		for seed := 0; seed < 4; seed++ {
+			s, err := ParseScenarioString(fmt.Sprintf(`<scenario name="random-%s-%d">
+			  <trigger id="rnd" class="RandomTrigger"><args><probability>0.1</probability></args></trigger>
+			  <function name="%s" return="%d" errno="%s"><reftrigger ref="rnd" /></function>
+			</scenario>`, fn.name, seed, fn.name, fn.retval, fn.errno))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scens = append(scens, s)
+		}
+	}
+	seq, err := Campaign(minidb.Target(), scens, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CampaignParallel(minidb.Target(), scens, 8, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("outcome counts: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].String() != par[i].String() {
+			t.Fatalf("outcome %d:\nsequential: %s\nparallel:   %s", i, seq[i], par[i])
+		}
+		var seqLog, parLog string
+		if seq[i].Log != nil {
+			seqLog = seq[i].Log.String()
+		}
+		if par[i].Log != nil {
+			parLog = par[i].Log.String()
+		}
+		if seqLog != parLog {
+			t.Fatalf("log %d diverges:\n%s\nvs\n%s", i, seqLog, parLog)
+		}
+	}
+	sb := fmt.Sprintf("%+v", DistinctBugs("minidb", seq))
+	pb := fmt.Sprintf("%+v", DistinctBugs("minidb", par))
+	if sb != pb {
+		t.Fatalf("DistinctBugs diverge:\n%s\nvs\n%s", sb, pb)
 	}
 }
 

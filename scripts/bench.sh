@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — tier-1 gate + perf-trajectory benchmarks.
+#
+# Runs the build and full test suite, then the dispatch and campaign
+# microbenchmarks with -benchmem, and writes machine-readable results
+# to BENCH_<n>.json (n from $BENCH_INDEX, default 1) at the repo root,
+# so future PRs can diff allocs/op and ns/op across the history.
+#
+# Usage: scripts/bench.sh [extra go-test -bench regexp]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_INDEX="${BENCH_INDEX:-1}"
+OUT="BENCH_${BENCH_INDEX}.json"
+PATTERN="${1:-BenchmarkDispatchUninstrumented|BenchmarkDispatchInstrumentedMiss|BenchmarkDispatchInstrumentedHit|BenchmarkCampaignParallel|BenchmarkInterceptionBaseline|BenchmarkTriggerEvaluation}"
+
+echo "== tier-1: go build ./... && go test ./..." >&2
+go build ./...
+go test ./...
+
+echo "== benchmarks: $PATTERN" >&2
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime=1s .)"
+echo "$RAW" >&2
+
+# Convert `go test -bench` lines into a JSON array:
+#   BenchmarkName-8  N  ns/op  B/op  allocs/op  [custom metrics...]
+echo "$RAW" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"generated\": \"%s\",\n", date; print "  \"benchmarks\": [" ; first = 1 }
+/^Benchmark/ {
+    # $1 is the canonical benchmark name (incl. any -GOMAXPROCS suffix,
+    # which benchstat-style tooling expects to stay).
+    name = $1
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_%-]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n  ]"; print "}" }
+' > "$OUT"
+
+echo "== wrote $OUT" >&2
