@@ -8,6 +8,7 @@
 //	lfi-experiments -table 2        # one table (1..6)
 //	lfi-experiments -figure3        # the PBFT degradation series
 //	lfi-experiments -dos            # the §7.3 DoS study
+//	lfi-experiments -explorer       # coverage-guided explorer vs stock campaigns
 //	lfi-experiments -quick          # smaller run counts everywhere
 package main
 
@@ -24,10 +25,11 @@ func main() {
 	fig3 := flag.Bool("figure3", false, "run the Figure 3 series")
 	dos := flag.Bool("dos", false, "run the DoS study")
 	eff := flag.Bool("efficiency", false, "run the analyzer-efficiency measurement")
+	explorer := flag.Bool("explorer", false, "run the coverage-guided explorer comparison")
 	quick := flag.Bool("quick", false, "reduced run counts (for smoke testing)")
 	flag.Parse()
 
-	all := *table == 0 && !*fig3 && !*dos && !*eff
+	all := *table == 0 && !*fig3 && !*dos && !*eff && !*explorer
 
 	runs := 100
 	t5req := 1000
@@ -97,5 +99,12 @@ func main() {
 	}
 	if all || *eff {
 		fmt.Println(experiments.Efficiency())
+	}
+	if all || *explorer {
+		res, err := experiments.Explorer(*quick)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
 	}
 }

@@ -8,6 +8,15 @@
 //	lfi -app minivcs -scenario fail-read.xml
 //	lfi -app minidns -auto           # run all analyzer-generated scenarios
 //	lfi -app minidb -auto -v         # verbose: print every injection log
+//
+// The explore subcommand runs the coverage-guided fault-space explorer
+// instead of a fixed scenario list: it enumerates candidate injections
+// from the library fault profiles and the call-site analysis,
+// prioritizes them by which uncovered recovery blocks they can reach,
+// and persists outcomes so a second run resumes incrementally:
+//
+//	lfi explore -app minidb
+//	lfi explore -app minidb -store minidb-explore.json -budget 200 -v
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"lfi/internal/apps/minivcs"
 	"lfi/internal/callsite"
 	"lfi/internal/controller"
+	"lfi/internal/explore"
 	"lfi/internal/isa"
 	"lfi/internal/libspec"
 	"lfi/internal/profile"
@@ -42,7 +52,46 @@ func target(name string) (controller.Target, *isa.Binary, bool) {
 	return controller.Target{}, nil, false
 }
 
+// runExplore implements `lfi explore`.
+func runExplore(args []string) {
+	fs := flag.NewFlagSet("lfi explore", flag.ExitOnError)
+	app := fs.String("app", "minidb", "target system: minivcs, minidns, minidb")
+	store := fs.String("store", "", "persistent campaign store (JSON); resumes incrementally")
+	budget := fs.Int("budget", 0, "max executed test runs (0 = explore everything)")
+	batch := fs.Int("batch", 0, "candidates per scheduling batch (default 16)")
+	stall := fs.Int("stall", 0, "stop after this many batches with no new coverage/bugs (default 3)")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "campaign worker pool size (1 = sequential)")
+	seed := fs.Int64("seed", 0, "runtime random seed")
+	verbose := fs.Bool("v", false, "print per-batch progress")
+	fs.Parse(args)
+
+	cfg, ok := explore.ConfigFor(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lfi explore: unknown target %q (have %v)\n", *app, explore.Systems())
+		os.Exit(2)
+	}
+	cfg.Store = *store
+	cfg.MaxRuns = *budget
+	cfg.BatchSize = *batch
+	cfg.StallBatches = *stall
+	cfg.Workers = *jobs
+	cfg.Seed = *seed
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	res, err := explore.Explore(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi explore:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res)
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explore" {
+		runExplore(os.Args[2:])
+		return
+	}
 	app := flag.String("app", "minivcs", "target system: minivcs, minidns, minidb")
 	scenFile := flag.String("scenario", "", "injection scenario XML file")
 	auto := flag.Bool("auto", false, "generate scenarios with the call-site analyzer and run them all")

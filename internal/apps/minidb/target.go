@@ -2,6 +2,7 @@ package minidb
 
 import (
 	"lfi/internal/controller"
+	"lfi/internal/coverage"
 	"lfi/internal/libsim"
 )
 
@@ -14,6 +15,22 @@ func Target() controller.Target {
 		Start: func() (*libsim.C, func() error) {
 			app := New()
 			return app.C, app.RunSuite
+		},
+	}
+}
+
+// TargetWithCoverage is Target plus per-run coverage accumulation into
+// acc — the Table 3 / explorer workflow, where lcov-style data from
+// every test run is merged before computing campaign coverage.
+func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
+	return controller.Target{
+		Name: Module,
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, func() error {
+				defer func() { acc.Merge(app.Cov) }()
+				return app.RunSuite()
+			}
 		},
 	}
 }

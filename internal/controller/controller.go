@@ -18,6 +18,7 @@ package controller
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -198,6 +199,10 @@ func CampaignParallel(tgt Target, scenarios []*scenario.Scenario, workers int, o
 	})
 }
 
+// workloadPrefix marks signatures of workload-detected failures (the
+// program recovered gracefully; no abnormal termination).
+const workloadPrefix = "workload: "
+
 // Bug is a distinct failure discovered by a campaign, deduplicated by
 // failure signature (crash kind + reason, or workload error text).
 type Bug struct {
@@ -206,34 +211,48 @@ type Bug struct {
 	Scenarios []string // scenarios that reproduced it
 }
 
-// DistinctBugs deduplicates campaign failures into the Table 1 shape.
-// The signature combines the failure (crash kind + reason, or workload
-// error) with the causal injection — the function and program call site
-// of the last fault injected before the failure. This is how the paper's
-// developers connect injections to bug manifestations via the LFI log,
-// and it distinguishes e.g. Git's three unchecked-malloc crashes, which
-// share a reason but live at different source locations.
+// IsCrash reports whether the signature records an abnormal termination
+// rather than a workload-detected failure.
+func (b Bug) IsCrash() bool { return !strings.HasPrefix(b.Signature, workloadPrefix) }
+
+// FailureSignature computes the deduplication signature of a failed
+// outcome. The signature combines the failure (crash kind + reason, or
+// workload error) with the causal injection — the function and program
+// call site of the last fault injected before the failure. This is how
+// the paper's developers connect injections to bug manifestations via
+// the LFI log, and it distinguishes e.g. Git's three unchecked-malloc
+// crashes, which share a reason but live at different source locations.
+// ok is false for a passing run.
+func FailureSignature(o Outcome) (sig string, ok bool) {
+	if !o.Failed() {
+		return "", false
+	}
+	if o.Crash != nil {
+		sig = fmt.Sprintf("%s: %s", o.Crash.Kind, o.Crash.Reason)
+	} else {
+		sig = workloadPrefix + o.WorkErr.Error()
+	}
+	if o.Crash != nil && o.Log != nil {
+		if last, ok := o.Log.Last(); ok {
+			site := ""
+			if len(last.Stack) > 0 {
+				f := last.Stack[len(last.Stack)-1]
+				site = fmt.Sprintf("%s+%#x", f.Module, f.Offset)
+			}
+			sig += fmt.Sprintf(" [inject %s at %s]", last.Func, site)
+		}
+	}
+	return sig, true
+}
+
+// DistinctBugs deduplicates campaign failures into the Table 1 shape,
+// grouping outcomes by FailureSignature.
 func DistinctBugs(system string, outcomes []Outcome) []Bug {
 	bySig := map[string]*Bug{}
 	for _, o := range outcomes {
-		if !o.Failed() {
+		sig, failed := FailureSignature(o)
+		if !failed {
 			continue
-		}
-		var sig string
-		if o.Crash != nil {
-			sig = fmt.Sprintf("%s: %s", o.Crash.Kind, o.Crash.Reason)
-		} else {
-			sig = "workload: " + o.WorkErr.Error()
-		}
-		if o.Crash != nil && o.Log != nil {
-			if last, ok := o.Log.Last(); ok {
-				site := ""
-				if len(last.Stack) > 0 {
-					f := last.Stack[len(last.Stack)-1]
-					site = fmt.Sprintf("%s+%#x", f.Module, f.Offset)
-				}
-				sig += fmt.Sprintf(" [inject %s at %s]", last.Func, site)
-			}
 		}
 		b, ok := bySig[sig]
 		if !ok {

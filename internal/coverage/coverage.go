@@ -128,6 +128,50 @@ func (t *Tracker) CoveredIDs() []string {
 	return out
 }
 
+// RegisteredIDs returns the IDs of all registered blocks, sorted.
+func (t *Tracker) RegisteredIDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.blocks))
+	for id := range t.blocks {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecoveryIDs returns the IDs of all registered recovery blocks,
+// sorted — the block universe the fault-space explorer validates
+// replayed store entries against.
+func (t *Tracker) RecoveryIDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for id, b := range t.blocks {
+		if b.Recovery {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoveredRecoveryIDs returns the IDs of recovery blocks executed at
+// least once, sorted — the per-run footprint the fault-space explorer
+// attributes to each scenario.
+func (t *Tracker) CoveredRecoveryIDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for id, b := range t.blocks {
+		if b.Recovery && b.Hits > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Merge folds another tracker's hits into this one (campaigns union
 // coverage across many runs, like lcov merging .info files).
 func (t *Tracker) Merge(other *Tracker) {

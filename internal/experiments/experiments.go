@@ -15,8 +15,8 @@ import (
 	"runtime"
 	"strings"
 
+	"lfi/internal/explore"
 	"lfi/internal/isa"
-	"lfi/internal/libspec"
 	"lfi/internal/profile"
 	"lfi/internal/trigger"
 )
@@ -27,14 +27,9 @@ import (
 func campaignWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // profiles builds the fault profiles of all three simulated libraries by
-// actually running the library profiler over the library binaries.
-func profiles() []*profile.Profile {
-	return []*profile.Profile{
-		profile.ProfileBinary(libspec.BuildLibc()),
-		profile.ProfileBinary(libspec.BuildLibxml()),
-		profile.ProfileBinary(libspec.BuildLibapr()),
-	}
-}
+// actually running the library profiler over the library binaries (the
+// same set the explorer uses).
+func profiles() []*profile.Profile { return explore.Profiles() }
 
 // header renders a table caption.
 func header(b *strings.Builder, title string) {

@@ -211,3 +211,27 @@ func TestViewChangeBugHuntReproduces(t *testing.T) {
 		t.Fatalf("wrong crash: %v", crash)
 	}
 }
+
+func TestExplorerMatchesStockCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiment")
+	}
+	res, err := Explorer(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 in quick mode", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The closed loop must rediscover every crash bug the stock
+		// Table 1 campaigns find, without a hand-written scenario.
+		if row.SharedCrashBugs != row.StockCrashBugs {
+			t.Errorf("%s: explorer shares %d of %d stock crash bugs:\n%s",
+				row.System, row.SharedCrashBugs, row.StockCrashBugs, res)
+		}
+		if row.ExplorerRecovery.LOCCovered <= row.SuiteRecovery.LOCCovered {
+			t.Errorf("%s: exploration added no recovery coverage:\n%s", row.System, res)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lfi/internal/apps/minidb"
+	"lfi/internal/apps/minidns"
+	"lfi/internal/apps/minivcs"
+	"lfi/internal/callsite"
+	"lfi/internal/controller"
+	"lfi/internal/coverage"
+	"lfi/internal/explore"
+	"lfi/internal/profile"
+)
+
+// ExplorerRow compares one system's coverage-guided exploration run
+// against the hand-written/stock campaigns of Tables 1-3.
+type ExplorerRow struct {
+	System     string
+	Candidates int
+	Executed   int
+	Batches    int
+
+	ExplorerCrashBugs int // distinct crash signatures the explorer found
+	StockCrashBugs    int // distinct crash signatures the Table 1 campaign finds
+	SharedCrashBugs   int // found by both
+
+	SuiteRecovery    coverage.Stats // default suite alone
+	ExplorerRecovery coverage.Stats // after exploration
+}
+
+// ExplorerResult reports the exploration engine next to the paper's
+// evaluation: does the closed loop rediscover the Table 1 bugs, and how
+// does its recovery coverage compare with the suite baseline of Table 3?
+type ExplorerResult struct {
+	Rows []ExplorerRow
+}
+
+// String renders the comparison.
+func (r ExplorerResult) String() string {
+	var b strings.Builder
+	header(&b, "Explorer: coverage-guided exploration vs the stock campaigns")
+	fmt.Fprintf(&b, "%-34s", "")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, " %12s", row.System)
+	}
+	b.WriteString("\n")
+	line := func(label string, val func(ExplorerRow) string) {
+		fmt.Fprintf(&b, "%-34s", label)
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, " %12s", val(row))
+		}
+		b.WriteString("\n")
+	}
+	line("Candidate scenarios generated", func(r ExplorerRow) string { return fmt.Sprint(r.Candidates) })
+	line("Tests executed", func(r ExplorerRow) string { return fmt.Sprint(r.Executed) })
+	line("Scheduling batches", func(r ExplorerRow) string { return fmt.Sprint(r.Batches) })
+	line("Crash bugs (explorer)", func(r ExplorerRow) string { return fmt.Sprint(r.ExplorerCrashBugs) })
+	line("Crash bugs (stock campaign)", func(r ExplorerRow) string { return fmt.Sprint(r.StockCrashBugs) })
+	line("Crash bugs found by both", func(r ExplorerRow) string { return fmt.Sprint(r.SharedCrashBugs) })
+	line("Recovery coverage, suite alone", func(r ExplorerRow) string {
+		return fmt.Sprintf("%.1f%%", r.SuiteRecovery.Percent())
+	})
+	line("Recovery coverage, explored", func(r ExplorerRow) string {
+		return fmt.Sprintf("%.1f%%", r.ExplorerRecovery.Percent())
+	})
+	return b.String()
+}
+
+// crashSignatures runs a stock campaign for one system and returns its
+// distinct crash signatures: the analyzer-generated scenario set for
+// minivcs/minidns (the Table 1 methodology), the seeded random
+// injection campaign for minidb (the paper's MySQL methodology).
+func crashSignatures(system string, quick bool, profs []*profile.Profile) (map[string]bool, error) {
+	var bugs []controller.Bug
+	switch system {
+	case minidb.Module:
+		dbBugs, _, err := minidbRandomCampaign(quick)
+		if err != nil {
+			return nil, err
+		}
+		bugs = dbBugs
+	default:
+		var bin *binaryOf
+		var tgt controller.Target
+		switch system {
+		case minivcs.Module:
+			bin, tgt = firstBin(minivcs.Binary()), minivcs.Target()
+		case minidns.Module:
+			bin, tgt = firstBin(minidns.Binary()), minidns.Target()
+		default:
+			return nil, fmt.Errorf("explorer: unknown system %q", system)
+		}
+		a := &callsite.Analyzer{}
+		rep := a.Analyze(bin, profs...)
+		yes, part, not := rep.ByClass()
+		scens := callsite.GenerateScenarios(bin, append(not, part...), profs...)
+		scens = append(scens, callsite.GenerateExercise(bin, yes, profs...)...)
+		outs, err := controller.CampaignParallel(tgt, scens, campaignWorkers())
+		if err != nil {
+			return nil, err
+		}
+		bugs = controller.DistinctBugs(system, crashesOnly(outs))
+	}
+	set := make(map[string]bool, len(bugs))
+	for _, b := range bugs {
+		set[b.Signature] = true
+	}
+	return set, nil
+}
+
+// Explorer runs the full exploration loop on each analyzable system and
+// lines the findings up against the stock campaigns.
+func Explorer(quick bool) (ExplorerResult, error) {
+	systems := explore.Systems()
+	if quick {
+		systems = systems[:2] // minidb + minivcs keep the smoke run short
+	}
+	var res ExplorerResult
+	profs := profiles() // one shared profile set for every system and campaign
+	for _, system := range systems {
+		cfg, ok := explore.ConfigFor(system)
+		if !ok {
+			return res, fmt.Errorf("explorer: no config for %q", system)
+		}
+		cfg.Profiles = profs
+		cfg.Workers = campaignWorkers()
+		er, err := explore.Explore(cfg)
+		if err != nil {
+			return res, err
+		}
+		stock, err := crashSignatures(system, quick, profs)
+		if err != nil {
+			return res, err
+		}
+		row := ExplorerRow{
+			System:           system,
+			Candidates:       er.Candidates,
+			Executed:         er.Executed,
+			Batches:          len(er.Batches),
+			StockCrashBugs:   len(stock),
+			SuiteRecovery:    er.Baseline,
+			ExplorerRecovery: er.Final,
+		}
+		for _, b := range er.Bugs {
+			if !b.IsCrash() {
+				continue // graceful recovery, not a crash bug
+			}
+			row.ExplorerCrashBugs++
+			if stock[b.Signature] {
+				row.SharedCrashBugs++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

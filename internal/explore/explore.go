@@ -1,0 +1,655 @@
+// Package explore implements the automatic, coverage-guided fault-space
+// exploration engine — the layer that turns the reproduction from
+// "replays the paper's scenarios" into "discovers its own".
+//
+// The paper's workflow (§5, §7.1) is a loop a human tester drives: the
+// analyzer proposes injection scenarios, the controller runs them, and
+// recovery-code coverage goes up. This package closes that loop
+// mechanically. A generator enumerates candidate scenarios from the
+// cross product of (profiled function × returnable error value × errno
+// side effect × occurrence/call-stack trigger), using the library fault
+// profiles of internal/profile and the Algorithm 1 classifications of
+// internal/callsite — the occurrence dimension is gated to functions
+// with at least one Unchecked or Partial call site. A scheduler then
+// runs candidates in batches on the parallel campaign executor and
+// feeds coverage deltas back in: candidates that target still-uncovered
+// recovery blocks are prioritized (the code-combinations-coverage idea
+// of Huang et al.), callees that recently produced new blocks or new
+// bug signatures get boosted, and the run stops on a budget or when
+// consecutive batches add no coverage and no new bugs.
+//
+// Outcomes persist in a JSON store keyed by scenario content hash plus
+// a hash of the targeted code region, so a second run against an
+// unchanged target replays results instead of re-executing them, and a
+// run after a code change re-executes only the invalidated scenarios
+// (the reuse-of-intermediate-results idea of Beyer et al.).
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"lfi/internal/callsite"
+	"lfi/internal/controller"
+	"lfi/internal/core"
+	"lfi/internal/coverage"
+	"lfi/internal/errno"
+	"lfi/internal/isa"
+	"lfi/internal/profile"
+	"lfi/internal/scenario"
+	"lfi/internal/trigger"
+)
+
+// Kind classifies how a candidate aims its fault.
+type Kind int
+
+const (
+	// Vulnerable targets an Unchecked or Partial call site with an
+	// error code the site does not check (the paper's C_not/C_part
+	// scenarios — likeliest to crash the target).
+	Vulnerable Kind = iota
+	// Exercise injects a code the site does check, driving execution
+	// into the recovery code behind the check (the Table 3 coverage
+	// workflow; finds bugs inside recovery code itself).
+	Exercise
+	// Occurrence injects at the n-th dynamic call of a function,
+	// regardless of site — the cross-product dimension that reaches
+	// sites and occurrences the stack-targeted candidates miss.
+	Occurrence
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Vulnerable:
+		return "vulnerable"
+	case Exercise:
+		return "exercise"
+	case Occurrence:
+		return "occurrence"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Candidate is one proposed injection experiment.
+type Candidate struct {
+	Scenario   *scenario.Scenario
+	Kind       Kind
+	Callee     string
+	Caller     string // enclosing symbol, call-stack kinds only
+	Offset     uint64 // call site offset, call-stack kinds only
+	Occurrence uint64 // n-th call, Occurrence kind only
+	Code       int64
+	Errno      errno.Errno
+	Class      callsite.Class
+	// Block is the recovery basic block this candidate targets, when
+	// the target application's site map can name it ("" = unknown).
+	Block string
+	// Hash is the content hash of the serialized scenario.
+	Hash string
+	// key is Hash plus the targeted code region's hash — the store
+	// identity that invalidates the cached outcome when code changes.
+	key string
+}
+
+// Config parametrizes one exploration run.
+type Config struct {
+	// System names the target (store records and bug reports).
+	System string
+	// Binary is the program image the analyzer dissects.
+	Binary *isa.Binary
+	// Profiles are the library fault profiles to cross with the
+	// binary's imports.
+	Profiles []*profile.Profile
+	// Target builds the controller target, merging each run's
+	// coverage into the given tracker (the TargetWithCoverage shape).
+	Target func(*coverage.Tracker) controller.Target
+	// BlockForSite maps a (callee, call site offset) to the recovery
+	// block its error path executes, when the application's site map
+	// knows it. Optional; "" means unknown.
+	BlockForSite func(callee string, offset uint64) string
+
+	// BatchSize is the number of candidates per scheduling round
+	// (default 16).
+	BatchSize int
+	// MaxOccurrence bounds the occurrence dimension (default 6).
+	MaxOccurrence int
+	// MaxRuns bounds executed tests, excluding replayed store hits
+	// (0 = unlimited).
+	MaxRuns int
+	// StallBatches stops the run after this many consecutive batches
+	// with no new coverage and no new bugs (default 3).
+	StallBatches int
+	// Workers is the campaign worker-pool width (default GOMAXPROCS).
+	Workers int
+	// Store is the path of the persistent campaign store ("" = none).
+	Store string
+	// Seed fixes the runtime random source per run.
+	Seed int64
+	// Log receives per-batch progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.MaxOccurrence <= 0 {
+		c.MaxOccurrence = 6
+	}
+	if c.StallBatches <= 0 {
+		c.StallBatches = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.System == "" && c.Binary != nil {
+		c.System = c.Binary.Name
+	}
+	return c
+}
+
+// BatchReport summarizes one scheduling round.
+type BatchReport struct {
+	Index     int
+	Runs      int
+	NewBlocks []string // recovery blocks first covered in this batch
+	NewBugs   []string // failure signatures first seen in this batch
+	Recovery  coverage.Stats
+}
+
+// Result is the outcome of one exploration run.
+type Result struct {
+	System     string
+	Candidates int
+	Executed   int // tests actually run
+	Replayed   int // outcomes reused from the store
+	Batches    []BatchReport
+	Bugs       []controller.Bug
+	Baseline   coverage.Stats // recovery coverage, default suite alone
+	Final      coverage.Stats // recovery coverage after exploration
+	Total      coverage.Stats // total coverage after exploration
+	Elapsed    time.Duration
+}
+
+// CoverageGain reports whether exploration covered recovery blocks the
+// run's first batch had not reached yet.
+func (r *Result) CoverageGain() bool {
+	if len(r.Batches) == 0 {
+		return false
+	}
+	return r.Final.BlocksCovered > r.Batches[0].Recovery.BlocksCovered
+}
+
+// String renders the run summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explore %s: %d candidates, %d executed, %d replayed, %d batches (%.2fs)\n",
+		r.System, r.Candidates, r.Executed, r.Replayed, len(r.Batches), r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "  recovery coverage: %s (suite alone) -> %s\n", r.Baseline, r.Final)
+	fmt.Fprintf(&b, "  total coverage:    %s\n", r.Total)
+	fmt.Fprintf(&b, "  %d distinct failure signatures:\n", len(r.Bugs))
+	for _, bug := range r.Bugs {
+		fmt.Fprintf(&b, "    %s (%d scenarios)\n", bug.Signature, len(bug.Scenarios))
+	}
+	return b.String()
+}
+
+// --- candidate generation ----------------------------------------------------
+
+// Generate enumerates the candidate fault space for cfg, in a
+// deterministic order: call-stack candidates by site offset, then the
+// occurrence cross product by function name. Duplicate scenarios (same
+// content hash) are dropped.
+func Generate(cfg Config) []*Candidate {
+	cfg = cfg.withDefaults()
+	a := &callsite.Analyzer{}
+	rep := a.Analyze(cfg.Binary, cfg.Profiles...)
+
+	var out []*Candidate
+	seen := make(map[string]bool)
+	hashes := newCodeHasher(cfg.Binary)
+	add := func(c *Candidate) {
+		c.Hash = contentHash(c.Scenario)
+		if seen[c.Hash] {
+			return
+		}
+		seen[c.Hash] = true
+		c.key = c.Hash + "@" + hashes.forCaller(c.Caller)
+		out = append(out, c)
+	}
+
+	vulnerableFn := make(map[string]bool)
+	for _, site := range rep.Sites {
+		if site.Class != callsite.Checked {
+			vulnerableFn[site.Callee] = true
+		}
+		// Vulnerable: codes the site fails to check.
+		if site.Class != callsite.Checked {
+			for _, code := range site.Missing {
+				for _, e := range errnosFor(cfg.Profiles, site.Callee, code) {
+					add(stackCandidate(cfg, site, code, e, Vulnerable))
+				}
+			}
+		}
+		// Exercise: codes the site does check — run its recovery path.
+		codes := site.ChkEq
+		if len(codes) == 0 && site.Class == callsite.Checked {
+			codes = profileErrorCodes(cfg.Profiles, site.Callee)
+		}
+		for _, code := range codes {
+			for _, e := range errnosFor(cfg.Profiles, site.Callee, code) {
+				add(stackCandidate(cfg, site, code, e, Exercise))
+			}
+		}
+	}
+
+	// Occurrence cross product, only for functions with a vulnerable
+	// (Unchecked/Partial) error return somewhere in the binary.
+	fns := make([]string, 0, len(vulnerableFn))
+	for fn := range vulnerableFn {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		for _, code := range profileErrorCodes(cfg.Profiles, fn) {
+			for _, e := range errnosFor(cfg.Profiles, fn, code) {
+				for n := uint64(1); n <= uint64(cfg.MaxOccurrence); n++ {
+					add(occurrenceCandidate(cfg, fn, n, code, e))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func stackCandidate(cfg Config, site callsite.Site, code int64, e errno.Errno, kind Kind) *Candidate {
+	name := fmt.Sprintf("explore-cs-%s-%s-%x-%d-%s", cfg.Binary.Name, site.Callee, site.Offset, code, e)
+	bld := scenario.NewBuilder(name)
+	cs := bld.Trigger(fmt.Sprintf("%x", site.Offset), "CallStackTrigger", frameArgs(cfg.Binary.Name, site.Offset))
+	once := bld.Trigger("once", "SingletonTrigger", nil)
+	bld.Inject(site.Callee, 0, code, e, cs, once)
+	s, err := bld.Build()
+	if err != nil {
+		panic("explore: generated scenario invalid: " + err.Error())
+	}
+	c := &Candidate{
+		Scenario: s, Kind: kind, Callee: site.Callee, Caller: site.Caller,
+		Offset: site.Offset, Code: code, Errno: e, Class: site.Class,
+	}
+	if cfg.BlockForSite != nil {
+		c.Block = cfg.BlockForSite(site.Callee, site.Offset)
+	}
+	return c
+}
+
+func occurrenceCandidate(cfg Config, fn string, n uint64, code int64, e errno.Errno) *Candidate {
+	name := fmt.Sprintf("explore-occ-%s-%s-%d-%d-%s", cfg.Binary.Name, fn, n, code, e)
+	bld := scenario.NewBuilder(name)
+	nth := bld.Trigger("nth", "CallCountTrigger", scenario.IntArgs("n", n))
+	bld.Inject(fn, 0, code, e, nth)
+	s, err := bld.Build()
+	if err != nil {
+		panic("explore: generated scenario invalid: " + err.Error())
+	}
+	return &Candidate{
+		Scenario: s, Kind: Occurrence, Callee: fn,
+		Occurrence: n, Code: code, Errno: e,
+	}
+}
+
+func frameArgs(module string, off uint64) *trigger.Args {
+	return &trigger.Args{
+		Name: "args",
+		Children: []*trigger.Args{{
+			Name: "frame",
+			Children: []*trigger.Args{
+				{Name: "module", Text: module},
+				{Name: "offset", Text: fmt.Sprintf("%x", off)},
+			},
+		}},
+	}
+}
+
+func errnosFor(ps []*profile.Profile, callee string, code int64) []errno.Errno {
+	for _, p := range ps {
+		if fp := p.Func(callee); fp != nil {
+			if es := fp.ErrnosFor(code); len(es) > 0 {
+				return es
+			}
+		}
+	}
+	return []errno.Errno{errno.OK}
+}
+
+func profileErrorCodes(ps []*profile.Profile, callee string) []int64 {
+	for _, p := range ps {
+		if fp := p.Func(callee); fp != nil {
+			return fp.ErrorCodes()
+		}
+	}
+	return nil
+}
+
+// contentHash is the scenario identity: a hash of the canonical
+// (deterministic) XML serialization.
+func contentHash(s *scenario.Scenario) string {
+	sum := sha256.Sum256(s.Serialize())
+	return hex.EncodeToString(sum[:8])
+}
+
+// codeHasher identifies the code region whose change invalidates a
+// candidate's cached outcome: the enclosing function for call-stack
+// candidates, the whole image for occurrence candidates. The image is
+// hashed once and caller regions are memoized — Generate calls this
+// for every candidate.
+type codeHasher struct {
+	bin      *isa.Binary
+	image    string
+	byCaller map[string]string
+}
+
+func newCodeHasher(b *isa.Binary) *codeHasher {
+	sum := sha256.Sum256(b.Code)
+	return &codeHasher{
+		bin:      b,
+		image:    hex.EncodeToString(sum[:6]),
+		byCaller: make(map[string]string),
+	}
+}
+
+func (h *codeHasher) forCaller(caller string) string {
+	if caller == "" {
+		return h.image
+	}
+	if cached, ok := h.byCaller[caller]; ok {
+		return cached
+	}
+	region := h.image
+	if sym, ok := h.bin.FindSymbol(caller); ok {
+		if end := sym.Off + sym.Size; end <= uint64(len(h.bin.Code)) {
+			sum := sha256.Sum256(h.bin.Code[sym.Off:end])
+			region = hex.EncodeToString(sum[:6])
+		}
+	}
+	h.byCaller[caller] = region
+	return region
+}
+
+// ImageVersion identifies the target image the store entries belong to.
+func ImageVersion(b *isa.Binary) string {
+	sum := sha256.Sum256(b.Code)
+	return b.Name + "@" + hex.EncodeToString(sum[:6])
+}
+
+// --- the exploration loop ----------------------------------------------------
+
+// explorer is the mutable state of one run.
+type explorer struct {
+	cfg     Config
+	acc     *coverage.Tracker
+	covered map[string]bool     // recovery blocks reached so far
+	sigs    map[string][]string // failure signature -> scenario names
+	boost   map[string]float64  // callee -> feedback priority boost
+}
+
+// score ranks a pending candidate. Higher runs earlier. The ordering
+// encodes §5's testing discipline (exhaust C_not, then C_part, then
+// exercise recovery) plus the coverage feedback: a candidate aimed at a
+// recovery block that is still uncovered outranks one whose block was
+// already reached, and callees that recently produced new blocks or
+// new bug signatures are boosted.
+func (x *explorer) score(c *Candidate) float64 {
+	var s float64
+	switch c.Kind {
+	case Vulnerable:
+		s = 100
+		if c.Class == callsite.Partial {
+			s = 90
+		}
+	case Exercise:
+		s = 60
+	case Occurrence:
+		s = 40 - float64(c.Occurrence)
+	}
+	if c.Block != "" {
+		if x.covered[c.Block] {
+			s -= 50
+		} else {
+			s += 30
+		}
+	}
+	return s + x.boost[c.Callee]
+}
+
+func (x *explorer) reward(callee string) {
+	if x.boost[callee] < 45 {
+		x.boost[callee] += 15
+	}
+}
+
+func (x *explorer) logf(format string, args ...any) {
+	if x.cfg.Log != nil {
+		fmt.Fprintf(x.cfg.Log, format+"\n", args...)
+	}
+}
+
+// Explore runs the engine: generate candidates, replay the store,
+// schedule the rest in coverage-guided batches, persist outcomes.
+func Explore(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	begin := time.Now()
+	cands := Generate(cfg)
+
+	x := &explorer{
+		cfg:     cfg,
+		acc:     coverage.New(),
+		covered: make(map[string]bool),
+		sigs:    make(map[string][]string),
+		boost:   make(map[string]float64),
+	}
+	res := &Result{System: cfg.System, Candidates: len(cands)}
+
+	// Baseline: the default suite with no injection. This registers
+	// the application's block universe in the accumulator and records
+	// what the suite reaches on its own.
+	if _, err := controller.RunOne(cfg.Target(x.acc), nil); err != nil {
+		return nil, fmt.Errorf("explore: baseline: %w", err)
+	}
+	for _, id := range x.acc.CoveredRecoveryIDs() {
+		x.covered[id] = true
+	}
+	res.Baseline = x.acc.Recovery()
+
+	// The block universes the baseline registered; replayed store
+	// entries may predate a code change elsewhere in the image, so
+	// block IDs they recorded are only trusted if they still exist.
+	allBlocks := make(map[string]bool)
+	for _, id := range x.acc.RegisteredIDs() {
+		allBlocks[id] = true
+	}
+	recBlocks := make(map[string]bool)
+	for _, id := range x.acc.RecoveryIDs() {
+		recBlocks[id] = true
+	}
+
+	// Replay the persistent store: cached outcomes count as explored
+	// without executing anything.
+	var store *Store
+	if cfg.Store != "" {
+		var err error
+		store, err = LoadStore(cfg.Store, cfg.System, ImageVersion(cfg.Binary))
+		if err != nil {
+			return nil, err
+		}
+	}
+	pending := make([]*Candidate, 0, len(cands))
+	for _, c := range cands {
+		e, ok := store.Lookup(c.key)
+		if !ok {
+			pending = append(pending, c)
+			continue
+		}
+		res.Replayed++
+		for _, id := range e.Blocks {
+			if !allBlocks[id] {
+				continue
+			}
+			x.acc.Hit(id)
+			if recBlocks[id] {
+				x.covered[id] = true
+			}
+		}
+		if e.Failed {
+			x.sigs[e.Signature] = append(x.sigs[e.Signature], e.Name)
+		}
+	}
+	if res.Replayed > 0 {
+		x.logf("explore %s: replayed %d cached outcomes from %s", cfg.System, res.Replayed, cfg.Store)
+	}
+
+	// The scheduling loop. The store is saved after every batch, not
+	// just at the end, so a mid-run error or interrupt loses at most
+	// one batch of outcomes.
+	keys := candidateKeys(cands)
+	stall := 0
+	for len(pending) > 0 && stall < cfg.StallBatches {
+		size := cfg.BatchSize
+		if cfg.MaxRuns > 0 {
+			if left := cfg.MaxRuns - res.Executed; left < size {
+				size = left
+			}
+		}
+		if size <= 0 {
+			break
+		}
+		batch, rest := x.takeBatch(pending, size)
+		pending = rest
+
+		report, err := x.runBatch(len(res.Batches), batch, store)
+		if err != nil {
+			store.Save(keys) // keep completed batches; the run error wins
+			return nil, err
+		}
+		if err := store.Save(keys); err != nil {
+			return nil, err
+		}
+		res.Executed += report.Runs
+		res.Batches = append(res.Batches, report)
+		x.logf("explore %s: batch %d: %d runs, %d new blocks, %d new bugs, recovery %s",
+			cfg.System, report.Index, report.Runs, len(report.NewBlocks), len(report.NewBugs), report.Recovery)
+
+		if len(report.NewBlocks) == 0 && len(report.NewBugs) == 0 {
+			stall++
+		} else {
+			stall = 0
+		}
+	}
+
+	// Final save covers the zero-batch (pure replay) path, where
+	// pruning of invalidated entries still has to land on disk.
+	if err := store.Save(keys); err != nil {
+		return nil, err
+	}
+
+	res.Bugs = x.distinctBugs()
+	res.Final = x.acc.Recovery()
+	res.Total = x.acc.Total()
+	res.Elapsed = time.Since(begin)
+	return res, nil
+}
+
+// takeBatch removes the size highest-scoring candidates from pending.
+// Ties break on scenario name, so scheduling is deterministic.
+func (x *explorer) takeBatch(pending []*Candidate, size int) (batch, rest []*Candidate) {
+	sort.SliceStable(pending, func(i, j int) bool {
+		si, sj := x.score(pending[i]), x.score(pending[j])
+		if si != sj {
+			return si > sj
+		}
+		return pending[i].Scenario.Name < pending[j].Scenario.Name
+	})
+	if size > len(pending) {
+		size = len(pending)
+	}
+	return pending[:size], pending[size:]
+}
+
+// runBatch executes one batch on the parallel campaign executor, then
+// folds coverage and failure deltas back into the scheduler state.
+func (x *explorer) runBatch(index int, batch []*Candidate, store *Store) (BatchReport, error) {
+	report := BatchReport{Index: index, Runs: len(batch)}
+	trackers := make([]*coverage.Tracker, len(batch))
+	outs, err := controller.RunN(x.cfg.Workers, len(batch), func(i int) (controller.Outcome, error) {
+		trackers[i] = coverage.New()
+		o, err := controller.RunOne(x.cfg.Target(trackers[i]), batch[i].Scenario, core.WithSeed(x.cfg.Seed))
+		if err != nil {
+			return o, fmt.Errorf("explore: scenario %q: %w", batch[i].Scenario.Name, err)
+		}
+		return o, nil
+	})
+	if err != nil {
+		return report, err
+	}
+
+	// Delta attribution is sequential in batch order, so results are
+	// independent of worker interleaving.
+	for i, out := range outs {
+		c := batch[i]
+		recovered := trackers[i].CoveredRecoveryIDs()
+		for _, id := range recovered {
+			if !x.covered[id] {
+				x.covered[id] = true
+				report.NewBlocks = append(report.NewBlocks, id)
+				x.reward(c.Callee)
+			}
+		}
+		x.acc.Merge(trackers[i])
+
+		// The entry records the run's full covered footprint (not just
+		// recovery blocks), so a resumed run reconstructs total
+		// coverage too.
+		entry := Entry{Name: c.Scenario.Name, Blocks: trackers[i].CoveredIDs(), Injections: out.Injections}
+		if sig, failed := controller.FailureSignature(out); failed {
+			entry.Failed, entry.Signature = true, sig
+			if _, known := x.sigs[sig]; !known {
+				report.NewBugs = append(report.NewBugs, sig)
+				x.reward(c.Callee)
+			}
+			x.sigs[sig] = append(x.sigs[sig], c.Scenario.Name)
+		}
+		store.Put(c.key, entry)
+	}
+	sort.Strings(report.NewBlocks)
+	report.Recovery = x.acc.Recovery()
+	return report, nil
+}
+
+// distinctBugs renders the accumulated signatures in DistinctBugs shape.
+func (x *explorer) distinctBugs() []controller.Bug {
+	sigs := make([]string, 0, len(x.sigs))
+	for s := range x.sigs {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	bugs := make([]controller.Bug, 0, len(sigs))
+	for _, s := range sigs {
+		bugs = append(bugs, controller.Bug{System: x.cfg.System, Signature: s, Scenarios: x.sigs[s]})
+	}
+	return bugs
+}
+
+func candidateKeys(cands []*Candidate) map[string]bool {
+	keys := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		keys[c.key] = true
+	}
+	return keys
+}

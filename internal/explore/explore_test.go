@@ -1,0 +1,218 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lfi/internal/callsite"
+)
+
+// minidbConfig returns a config that explores the whole minidb fault
+// space deterministically (no budget, stall disabled high enough that
+// every candidate runs).
+func minidbConfig(t *testing.T) Config {
+	t.Helper()
+	cfg, ok := ConfigFor("minidb")
+	if !ok {
+		t.Fatal("minidb config missing")
+	}
+	cfg.StallBatches = 1000
+	cfg.Workers = 4
+	return cfg
+}
+
+func TestGenerateDeterministicAndDeduped(t *testing.T) {
+	cfg := minidbConfig(t)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic candidate count: %d vs %d", len(a), len(b))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].Hash != b[i].Hash || a[i].Scenario.Name != b[i].Scenario.Name {
+			t.Fatalf("candidate %d differs across generations: %s vs %s", i, a[i].Scenario.Name, b[i].Scenario.Name)
+		}
+		if seen[a[i].Hash] {
+			t.Fatalf("duplicate candidate hash %s (%s)", a[i].Hash, a[i].Scenario.Name)
+		}
+		seen[a[i].Hash] = true
+	}
+
+	// The occurrence dimension is gated: only functions with at least
+	// one Unchecked/Partial site participate.
+	vulnerable := map[string]bool{}
+	for _, c := range a {
+		if c.Kind != Occurrence && c.Class != callsite.Checked {
+			vulnerable[c.Callee] = true
+		}
+	}
+	kinds := map[Kind]int{}
+	for _, c := range a {
+		kinds[c.Kind]++
+		if c.Kind == Occurrence && !vulnerable[c.Callee] {
+			t.Errorf("occurrence candidate for fully-checked callee %s", c.Callee)
+		}
+	}
+	if kinds[Vulnerable] == 0 || kinds[Exercise] == 0 || kinds[Occurrence] == 0 {
+		t.Fatalf("missing candidate kinds: %v", kinds)
+	}
+}
+
+// TestExploreMinidbFindsStockBugs is the acceptance run: with no
+// hand-written scenario, exploration must rediscover the Table 1 minidb
+// bugs (the double-unlock in mi_create's recovery path and the
+// uninitialized errmsg structure after a failed read) and must keep
+// covering recovery blocks after its first batch.
+func TestExploreMinidbFindsStockBugs(t *testing.T) {
+	cfg := minidbConfig(t)
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed == 0 || res.Replayed != 0 {
+		t.Fatalf("executed %d, replayed %d; want all executed", res.Executed, res.Replayed)
+	}
+	var foundUnlock, foundErrmsg bool
+	for _, b := range res.Bugs {
+		if strings.Contains(b.Signature, "double unlock") {
+			foundUnlock = true
+		}
+		if strings.Contains(b.Signature, "uninitialized errmsg") {
+			foundErrmsg = true
+		}
+	}
+	if !foundUnlock || !foundErrmsg {
+		t.Fatalf("stock minidb bugs not rediscovered (unlock=%v errmsg=%v):\n%s",
+			foundUnlock, foundErrmsg, res)
+	}
+	if !res.CoverageGain() {
+		t.Fatalf("no recovery-coverage gain over the first batch:\n%s", res)
+	}
+	if res.Final.BlocksCovered <= res.Baseline.BlocksCovered {
+		t.Fatalf("exploration added no recovery coverage over the suite baseline:\n%s", res)
+	}
+}
+
+// TestExploreResume checks the incremental store: a second run against
+// an unchanged target replays every outcome and executes nothing, and
+// reports the same bugs and coverage.
+func TestExploreResume(t *testing.T) {
+	cfg := minidbConfig(t)
+	cfg.Store = filepath.Join(t.TempDir(), "explore.json")
+
+	first, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed == 0 {
+		t.Fatal("first run executed nothing")
+	}
+	if _, err := os.Stat(cfg.Store); err != nil {
+		t.Fatalf("store not written: %v", err)
+	}
+
+	second, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 0 {
+		t.Fatalf("second run re-executed %d scenarios", second.Executed)
+	}
+	if second.Replayed != first.Executed {
+		t.Fatalf("second run replayed %d, want %d", second.Replayed, first.Executed)
+	}
+	if !reflect.DeepEqual(bugSigs(first), bugSigs(second)) {
+		t.Fatalf("bug signatures diverged across resume:\n%v\nvs\n%v", bugSigs(first), bugSigs(second))
+	}
+	if second.Final.BlocksCovered != first.Final.BlocksCovered {
+		t.Fatalf("recovery coverage diverged across resume: %s vs %s", first.Final, second.Final)
+	}
+	if second.Total.BlocksCovered != first.Total.BlocksCovered {
+		t.Fatalf("total coverage diverged across resume: %s vs %s", first.Total, second.Total)
+	}
+}
+
+func bugSigs(r *Result) []string {
+	out := make([]string, 0, len(r.Bugs))
+	for _, b := range r.Bugs {
+		out = append(out, b.Signature)
+	}
+	return out
+}
+
+// TestExploreBudget bounds the run and checks the budget counts only
+// executed tests.
+func TestExploreBudget(t *testing.T) {
+	cfg := minidbConfig(t)
+	cfg.MaxRuns = 5
+	cfg.BatchSize = 3
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 5 {
+		t.Fatalf("executed %d runs, budget was 5", res.Executed)
+	}
+	if len(res.Batches) != 2 || res.Batches[0].Runs != 3 || res.Batches[1].Runs != 2 {
+		t.Fatalf("unexpected batching under budget: %+v", res.Batches)
+	}
+}
+
+// TestExploreDeterministic runs twice without a store and expects
+// identical bug lists and batch structure.
+func TestExploreDeterministic(t *testing.T) {
+	cfg := minidbConfig(t)
+	a, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bugSigs(a), bugSigs(b)) {
+		t.Fatalf("bugs diverged:\n%v\nvs\n%v", bugSigs(a), bugSigs(b))
+	}
+	if len(a.Batches) != len(b.Batches) {
+		t.Fatalf("batch counts diverged: %d vs %d", len(a.Batches), len(b.Batches))
+	}
+	for i := range a.Batches {
+		if !reflect.DeepEqual(a.Batches[i].NewBlocks, b.Batches[i].NewBlocks) {
+			t.Fatalf("batch %d deltas diverged", i)
+		}
+	}
+}
+
+func TestStorePrune(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	st, err := LoadStore(path, "sys", "img@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put("keep@a", Entry{Name: "keep"})
+	st.Put("stale@b", Entry{Name: "stale"})
+	if err := st.Save(map[string]bool{"keep@a": true}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := LoadStore(path, "sys", "img@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Lookup("keep@a"); !ok {
+		t.Fatal("kept entry lost")
+	}
+	if _, ok := st2.Lookup("stale@b"); ok {
+		t.Fatal("stale entry survived pruning")
+	}
+	// A store written for a different system is refused, not clobbered.
+	if _, err := LoadStore(path, "other", "img@1"); err == nil {
+		t.Fatal("cross-system store load accepted")
+	}
+}

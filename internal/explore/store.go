@@ -1,0 +1,126 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is the persistent campaign store: one JSON document per target
+// system recording the outcome of every explored scenario, keyed by
+// scenario content hash plus targeted-code hash. A second exploration
+// of an unchanged target resumes from it and re-executes nothing; a
+// change to one application function invalidates only the entries whose
+// code-hash component covered that function.
+type Store struct {
+	path string
+
+	// System names the target the entries belong to.
+	System string `json:"system"`
+	// Image is the target image version the store was last saved for.
+	Image string `json:"image"`
+	// Entries maps candidate keys (scenarioHash@codeHash) to outcomes.
+	Entries map[string]Entry `json:"entries"`
+}
+
+// Entry is one cached scenario outcome.
+type Entry struct {
+	Name       string   `json:"name"`
+	Failed     bool     `json:"failed,omitempty"`
+	Signature  string   `json:"signature,omitempty"`
+	Blocks     []string `json:"blocks,omitempty"` // all blocks the run covered
+	Injections int      `json:"injections,omitempty"`
+}
+
+// LoadStore reads the store at path, or returns an empty store when the
+// file does not exist yet. Loading a store written for a different
+// system is refused — saving would silently destroy that system's
+// cache; use one store path per target. Stale entries from an older
+// image are kept — their keys carry code hashes, so they can never
+// match a changed region, and Save prunes the unmatchable ones.
+func LoadStore(path, system, image string) (*Store, error) {
+	st := &Store{path: path, System: system, Image: image, Entries: map[string]Entry{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("explore: store: %w", err)
+	}
+	var onDisk Store
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		return nil, fmt.Errorf("explore: store %s: %w", path, err)
+	}
+	if onDisk.System != "" && onDisk.System != system {
+		return nil, fmt.Errorf("explore: store %s belongs to system %q, not %q — use a separate store path per target",
+			path, onDisk.System, system)
+	}
+	if onDisk.Entries != nil {
+		st.Entries = onDisk.Entries
+	}
+	return st, nil
+}
+
+// Lookup returns the cached outcome for a candidate key.
+func (s *Store) Lookup(key string) (Entry, bool) {
+	if s == nil {
+		return Entry{}, false
+	}
+	e, ok := s.Entries[key]
+	return e, ok
+}
+
+// Put records one outcome.
+func (s *Store) Put(key string, e Entry) {
+	if s == nil {
+		return
+	}
+	s.Entries[key] = e
+}
+
+// Save writes the store, pruning entries whose key no longer belongs to
+// the current candidate set (scenarios invalidated by code changes).
+// Keys are sorted by the JSON encoder, so the file is deterministic.
+func (s *Store) Save(currentKeys map[string]bool) error {
+	if s == nil || s.path == "" {
+		return nil
+	}
+	for key := range s.Entries {
+		if !currentKeys[key] {
+			delete(s.Entries, key)
+		}
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	if dir := filepath.Dir(s.path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("explore: store: %w", err)
+		}
+	}
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	return nil
+}
+
+// Names returns the scenario names recorded in the store, sorted — a
+// debugging/reporting convenience.
+func (s *Store) Names() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.Entries))
+	for _, e := range s.Entries {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}

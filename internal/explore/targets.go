@@ -1,0 +1,90 @@
+package explore
+
+import (
+	"sync"
+
+	"lfi/internal/apps/minidb"
+	"lfi/internal/apps/minidns"
+	"lfi/internal/apps/minivcs"
+	"lfi/internal/libspec"
+	"lfi/internal/profile"
+)
+
+// This file wires the built-in target systems to the engine. Each
+// application exposes its program image, its site-label → offset map
+// (labels double as coverage block IDs under the "rec." prefix), and a
+// coverage-merging controller target; everything else is generic.
+
+var (
+	profilesOnce sync.Once
+	profilesSet  []*profile.Profile
+)
+
+// Profiles builds the fault profiles of the three simulated libraries
+// by running the library profiler over their binaries. The set is
+// built once and shared — profiles are read-only after construction,
+// and every ConfigFor/experiment call site wants the same three.
+func Profiles() []*profile.Profile {
+	profilesOnce.Do(func() {
+		profilesSet = []*profile.Profile{
+			profile.ProfileBinary(libspec.BuildLibc()),
+			profile.ProfileBinary(libspec.BuildLibxml()),
+			profile.ProfileBinary(libspec.BuildLibapr()),
+		}
+	})
+	return profilesSet
+}
+
+// blockForSite inverts a site-label → offset map into the recovery
+// block naming convention shared by the built-in applications.
+func blockForSite(offs map[string]uint64) func(string, uint64) string {
+	byOff := make(map[uint64]string, len(offs))
+	for label, off := range offs {
+		byOff[off] = "rec." + label
+	}
+	return func(_ string, off uint64) string { return byOff[off] }
+}
+
+// ConfigFor returns a ready exploration config for one of the built-in
+// systems (minidb, minivcs, minidns). The caller still sets budget,
+// batch size, store path and logging.
+func ConfigFor(app string) (Config, bool) {
+	var (
+		cfg Config
+		ok  = true
+	)
+	switch app {
+	case minidb.Module:
+		bin, offs := minidb.Binary()
+		cfg = Config{
+			System: minidb.Module, Binary: bin,
+			Target:       minidb.TargetWithCoverage,
+			BlockForSite: blockForSite(offs),
+		}
+	case minivcs.Module:
+		bin, offs := minivcs.Binary()
+		cfg = Config{
+			System: minivcs.Module, Binary: bin,
+			Target:       minivcs.TargetWithCoverage,
+			BlockForSite: blockForSite(offs),
+		}
+	case minidns.Module:
+		bin, offs := minidns.Binary()
+		cfg = Config{
+			System: minidns.Module, Binary: bin,
+			Target:       minidns.TargetWithCoverage,
+			BlockForSite: blockForSite(offs),
+		}
+	default:
+		ok = false
+	}
+	if ok {
+		cfg.Profiles = Profiles()
+	}
+	return cfg, ok
+}
+
+// Systems lists the app names ConfigFor accepts.
+func Systems() []string {
+	return []string{minidb.Module, minivcs.Module, minidns.Module}
+}

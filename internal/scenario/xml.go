@@ -5,6 +5,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -116,17 +117,20 @@ func decodeTree(dec *xml.Decoder) (*trigger.Args, error) {
 }
 
 // Serialize writes the scenario as an XML document with a <scenario>
-// root. The output parses back to an equal Scenario.
+// root. The output is byte-deterministic and parses back to an equal
+// Scenario.
 func (s *Scenario) Serialize() []byte {
 	var b bytes.Buffer
 	b.WriteString("<scenario")
 	if s.Name != "" {
-		fmt.Fprintf(&b, " name=%q", s.Name)
+		writeAttr(&b, "name", s.Name)
 	}
 	b.WriteString(">\n")
 	for _, td := range s.Triggers {
-		fmt.Fprintf(&b, "  <trigger id=%q class=%q", td.ID, td.Class)
-		if td.Args == nil || len(td.Args.Children) == 0 {
+		b.WriteString("  <trigger")
+		writeAttr(&b, "id", td.ID)
+		writeAttr(&b, "class", td.Class)
+		if td.Args == nil {
 			b.WriteString(" />\n")
 			continue
 		}
@@ -135,17 +139,21 @@ func (s *Scenario) Serialize() []byte {
 		b.WriteString("  </trigger>\n")
 	}
 	for _, fa := range s.Functions {
-		fmt.Fprintf(&b, "  <function name=%q", fa.Name)
+		b.WriteString("  <function")
+		writeAttr(&b, "name", fa.Name)
 		if fa.Argc > 0 {
-			fmt.Fprintf(&b, " argc=%q", strconv.Itoa(fa.Argc))
+			writeAttr(&b, "argc", strconv.Itoa(fa.Argc))
 		}
-		fmt.Fprintf(&b, " return=%q errno=%q>\n", fa.Return, fa.Errno)
+		writeAttr(&b, "return", fa.Return)
+		writeAttr(&b, "errno", fa.Errno)
+		b.WriteString(">\n")
 		for _, r := range fa.Refs {
+			b.WriteString("    <reftrigger")
+			writeAttr(&b, "ref", r.Ref)
 			if r.Negate {
-				fmt.Fprintf(&b, "    <reftrigger ref=%q negate=\"true\" />\n", r.Ref)
-			} else {
-				fmt.Fprintf(&b, "    <reftrigger ref=%q />\n", r.Ref)
+				writeAttr(&b, "negate", "true")
 			}
+			b.WriteString(" />\n")
 		}
 		b.WriteString("  </function>\n")
 	}
@@ -153,11 +161,46 @@ func (s *Scenario) Serialize() []byte {
 	return b.Bytes()
 }
 
+// writeAttr writes one attribute with XML escaping. Newlines, carriage
+// returns and tabs must be written as character references — a parser
+// normalizes the literal characters to spaces inside attribute values.
+func writeAttr(b *bytes.Buffer, name, value string) {
+	b.WriteByte(' ')
+	b.WriteString(name)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\n':
+			b.WriteString("&#xA;")
+		case '\r':
+			b.WriteString("&#xD;")
+		case '\t':
+			b.WriteString("&#x9;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+}
+
 func writeArgs(b *bytes.Buffer, n *trigger.Args, indent int) {
 	pad := strings.Repeat(" ", indent)
 	fmt.Fprintf(b, "%s<%s", pad, n.Name)
-	for k, v := range n.Attr {
-		fmt.Fprintf(b, " %s=%q", k, v)
+	keys := make([]string, 0, len(n.Attr))
+	for k := range n.Attr {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeAttr(b, k, n.Attr[k])
 	}
 	if len(n.Children) == 0 && n.Text == "" {
 		b.WriteString(" />\n")

@@ -26,6 +26,7 @@ import (
 	"lfi/internal/controller"
 	"lfi/internal/core"
 	"lfi/internal/errno"
+	"lfi/internal/explore"
 	"lfi/internal/interpose"
 	"lfi/internal/libsim"
 	"lfi/internal/profile"
@@ -148,4 +149,28 @@ var (
 	CampaignParallel = controller.CampaignParallel
 	// DistinctBugs deduplicates campaign failures.
 	DistinctBugs = controller.DistinctBugs
+	// FailureSignature computes a failed outcome's dedup signature.
+	FailureSignature = controller.FailureSignature
+)
+
+// Fault-space exploration.
+type (
+	// ExploreConfig parametrizes a coverage-guided exploration run.
+	ExploreConfig = explore.Config
+	// ExploreResult is an exploration run's outcome.
+	ExploreResult = explore.Result
+	// ExploreCandidate is one proposed injection experiment.
+	ExploreCandidate = explore.Candidate
+)
+
+var (
+	// Explore runs the coverage-guided fault-space explorer: generate
+	// candidate scenarios from profiles and call-site classifications,
+	// schedule them by which uncovered recovery blocks they can reach,
+	// and persist outcomes for incremental re-runs.
+	Explore = explore.Explore
+	// GenerateCandidates enumerates the candidate fault space.
+	GenerateCandidates = explore.Generate
+	// ExploreConfigFor returns a ready config for a built-in system.
+	ExploreConfigFor = explore.ConfigFor
 )

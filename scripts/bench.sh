@@ -12,15 +12,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_INDEX="${BENCH_INDEX:-1}"
+# BENCH_TIME shortens runs for smoke use (e.g. BENCH_TIME=100ms in CI).
+BENCH_TIME="${BENCH_TIME:-1s}"
 OUT="BENCH_${BENCH_INDEX}.json"
 PATTERN="${1:-BenchmarkDispatchUninstrumented|BenchmarkDispatchInstrumentedMiss|BenchmarkDispatchInstrumentedHit|BenchmarkCampaignParallel|BenchmarkInterceptionBaseline|BenchmarkTriggerEvaluation}"
 
-echo "== tier-1: go build ./... && go test ./..." >&2
-go build ./...
-go test ./...
+# BENCH_SKIP_TESTS=1 skips the tier-1 gate (CI runs it separately
+# under -race; no point paying for the suite twice).
+if [ "${BENCH_SKIP_TESTS:-0}" != "1" ]; then
+    echo "== tier-1: go build ./... && go test ./..." >&2
+    go build ./...
+    go test ./...
+fi
 
 echo "== benchmarks: $PATTERN" >&2
-RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime=1s .)"
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCH_TIME" .)"
 echo "$RAW" >&2
 
 # Convert `go test -bench` lines into a JSON array:
