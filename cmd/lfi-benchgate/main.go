@@ -1,0 +1,199 @@
+// Command lfi-benchgate is the CI perf regression wall: it diffs a
+// fresh scripts/bench.sh run against the committed BENCH_<n>.json
+// baseline and fails (exit 1) when a gated benchmark regressed.
+//
+// Gating rules, per benchmark matched by name (the -GOMAXPROCS suffix
+// is stripped so laptop baselines compare against CI runners):
+//
+//   - allocs/op may never increase — the dispatch fast path is
+//     contractually allocation-free, and allocation counts are exact
+//     and machine-independent;
+//   - ns/op may not regress by more than -tolerance (default 25%);
+//   - a gated benchmark present in the baseline must be present in the
+//     candidate (silently dropping a benchmark is not a pass).
+//
+// Usage:
+//
+//	lfi-benchgate -candidate BENCH_ci.json            # baseline auto-picked
+//	lfi-benchgate -baseline BENCH_1.json -candidate BENCH_ci.json -v
+//
+// With -baseline auto (the default) the highest-numbered committed
+// BENCH_<n>.json in the working directory is used.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Bench is one benchmark row of scripts/bench.sh's JSON output.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"B_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Generated  string  `json:"generated"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the -N worker-count suffix go test appends.
+// The suffix only exists when GOMAXPROCS != 1, so a baseline recorded
+// on a 1-CPU box has bare names ("…/workers-8") while a CI runner's
+// candidate carries a suffix ("…/workers-8-4") — and a name's own
+// trailing -N (a sub-benchmark parameter) looks identical to the
+// GOMAXPROCS one. findBench therefore matches along a ladder — exact,
+// then one side canonicalized, then both — instead of blindly
+// stripping, so "workers-1" and "workers-8" can never collapse into
+// one key.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func canon(name string) string { return gomaxprocsSuffix.ReplaceAllString(name, "") }
+
+func findBench(candidate []Bench, name string) (Bench, bool) {
+	for _, c := range candidate {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	for _, c := range candidate {
+		if canon(c.Name) == name {
+			return c, true
+		}
+	}
+	for _, c := range candidate {
+		if c.Name == canon(name) || canon(c.Name) == canon(name) {
+			return c, true
+		}
+	}
+	return Bench{}, false
+}
+
+// gate compares candidate against baseline over the benchmarks whose
+// name matches prefix, and returns the violations.
+func gate(baseline, candidate []Bench, prefix string, tolerance float64) []string {
+	var violations []string
+	for _, base := range baseline {
+		name := base.Name
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		c, ok := findBench(candidate, name)
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from candidate run", name))
+			continue
+		}
+		if c.AllocsPerOp > base.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf("%s: allocs/op increased %.0f -> %.0f",
+				name, base.AllocsPerOp, c.AllocsPerOp))
+		}
+		if base.NsPerOp > 0 && c.NsPerOp > base.NsPerOp*(1+tolerance) {
+			violations = append(violations, fmt.Sprintf("%s: ns/op regressed %.1f -> %.1f (+%.0f%%, limit +%.0f%%)",
+				name, base.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/base.NsPerOp-1), 100*tolerance))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// latestBaseline picks the highest-numbered BENCH_<n>.json in dir.
+func latestBaseline(dir string) (string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	numbered := regexp.MustCompile(`BENCH_(\d+)\.json$`)
+	best, bestN := "", -1
+	for _, name := range names {
+		m := numbered.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n > bestN {
+			best, bestN = name, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no committed BENCH_<n>.json baseline in %s", dir)
+	}
+	return best, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "auto", "baseline JSON (auto = highest committed BENCH_<n>.json)")
+	candidate := flag.String("candidate", "", "candidate JSON from this run's scripts/bench.sh")
+	prefix := flag.String("prefix", "BenchmarkDispatch", "gate benchmarks whose name has this prefix")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression")
+	verbose := flag.Bool("v", false, "print the gated comparison table")
+	flag.Parse()
+
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "lfi-benchgate: -candidate is required")
+		os.Exit(2)
+	}
+	basePath := *baseline
+	if basePath == "auto" {
+		var err error
+		basePath, err = latestBaseline(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi-benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	base, err := load(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-benchgate:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-benchgate:", err)
+		os.Exit(2)
+	}
+
+	if *verbose {
+		fmt.Printf("%-40s %14s %14s %10s %10s\n", "benchmark (vs "+filepath.Base(basePath)+")",
+			"base ns/op", "cand ns/op", "base a/op", "cand a/op")
+		for _, b := range base.Benchmarks {
+			if !strings.HasPrefix(b.Name, *prefix) {
+				continue
+			}
+			c, _ := findBench(cand.Benchmarks, b.Name)
+			fmt.Printf("%-40s %14.1f %14.1f %10.0f %10.0f\n", b.Name, b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+
+	violations := gate(base.Benchmarks, cand.Benchmarks, *prefix, *tolerance)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "lfi-benchgate: %d regression(s) vs %s:\n", len(violations), basePath)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("lfi-benchgate: ok — no alloc/op increase and ns/op within %.0f%% of %s\n",
+		100**tolerance, basePath)
+}

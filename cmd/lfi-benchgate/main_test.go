@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns, allocs float64) Bench {
+	return Bench{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+// TestGateCatchesSlowdown pins the CI acceptance criterion: a
+// deliberate dispatch-path slowdown beyond the tolerance fails.
+func TestGateCatchesSlowdown(t *testing.T) {
+	base := []Bench{bench("BenchmarkDispatchInstrumentedHit-8", 100, 0)}
+	slow := []Bench{bench("BenchmarkDispatchInstrumentedHit-4", 126, 0)}
+	v := gate(base, slow, "BenchmarkDispatch", 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op regressed") {
+		t.Fatalf("slowdown not caught: %v", v)
+	}
+	// Within tolerance passes (and the GOMAXPROCS suffix is ignored).
+	okRun := []Bench{bench("BenchmarkDispatchInstrumentedHit-16", 124, 0)}
+	if v := gate(base, okRun, "BenchmarkDispatch", 0.25); len(v) != 0 {
+		t.Fatalf("within-tolerance run rejected: %v", v)
+	}
+}
+
+func TestGateCatchesAllocIncrease(t *testing.T) {
+	base := []Bench{bench("BenchmarkDispatchInstrumentedMiss-8", 50, 0)}
+	leaky := []Bench{bench("BenchmarkDispatchInstrumentedMiss-8", 48, 1)}
+	v := gate(base, leaky, "BenchmarkDispatch", 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op increased") {
+		t.Fatalf("alloc increase not caught: %v", v)
+	}
+}
+
+func TestGateCatchesMissingBenchmark(t *testing.T) {
+	base := []Bench{
+		bench("BenchmarkDispatchUninstrumented-8", 10, 0),
+		bench("BenchmarkDispatchInstrumentedHit-8", 100, 0),
+	}
+	dropped := []Bench{bench("BenchmarkDispatchUninstrumented-8", 10, 0)}
+	v := gate(base, dropped, "BenchmarkDispatch", 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("dropped benchmark not caught: %v", v)
+	}
+}
+
+// TestGateSubBenchmarkSuffixes: a baseline recorded on a 1-CPU box has
+// no GOMAXPROCS suffix while the CI candidate does, and sub-benchmark
+// names carry their own meaningful trailing -N — the matching ladder
+// must neither collapse "workers-1"/"workers-8" into one key nor
+// report them missing.
+func TestGateSubBenchmarkSuffixes(t *testing.T) {
+	base := []Bench{
+		bench("BenchmarkCampaignParallel/cpu/workers-1", 100, 0),
+		bench("BenchmarkCampaignParallel/cpu/workers-8", 50, 0),
+	}
+	candidate := []Bench{
+		bench("BenchmarkCampaignParallel/cpu/workers-1-4", 101, 0),
+		bench("BenchmarkCampaignParallel/cpu/workers-8-4", 52, 0),
+	}
+	if v := gate(base, candidate, "BenchmarkCampaign", 0.25); len(v) != 0 {
+		t.Fatalf("suffix mismatch produced false violations: %v", v)
+	}
+	candidate[1].NsPerOp = 100 // regress only workers-8
+	v := gate(base, candidate, "BenchmarkCampaign", 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "workers-8") {
+		t.Fatalf("regression not attributed to the right sub-benchmark: %v", v)
+	}
+}
+
+func TestGateIgnoresUngatedBenchmarks(t *testing.T) {
+	base := []Bench{bench("BenchmarkCampaignParallel-8", 1000, 50)}
+	worse := []Bench{bench("BenchmarkCampaignParallel-8", 5000, 80)}
+	if v := gate(base, worse, "BenchmarkDispatch", 0.25); len(v) != 0 {
+		t.Fatalf("ungated benchmark gated: %v", v)
+	}
+}

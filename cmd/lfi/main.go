@@ -16,7 +16,12 @@
 // and persists outcomes so a second run resumes incrementally:
 //
 //	lfi explore -app minidb
-//	lfi explore -app minidb -store minidb-explore.json -budget 200 -v
+//	lfi explore -app pbft -store .lfi-store -budget 200 -v
+//
+// The explore store is a shard directory (one shard per targeted code
+// region, per-image-version manifests), so stores for several targets
+// and image versions share one root; a v1 single-file store is
+// migrated automatically.
 package main
 
 import (
@@ -24,15 +29,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"lfi/internal/apps/minidb"
 	"lfi/internal/apps/minidns"
 	"lfi/internal/apps/minivcs"
+	"lfi/internal/apps/miniweb"
 	"lfi/internal/callsite"
 	"lfi/internal/controller"
 	"lfi/internal/explore"
 	"lfi/internal/isa"
 	"lfi/internal/libspec"
+	"lfi/internal/pbft"
 	"lfi/internal/profile"
 	"lfi/internal/scenario"
 )
@@ -48,6 +56,12 @@ func target(name string) (controller.Target, *isa.Binary, bool) {
 	case "minidb":
 		b, _ := minidb.Binary()
 		return minidb.Target(), b, true
+	case "miniweb":
+		b, _ := miniweb.Binary()
+		return miniweb.Target(), b, true
+	case "pbft":
+		b, _ := pbft.Binary()
+		return pbft.Target(), b, true
 	}
 	return controller.Target{}, nil, false
 }
@@ -55,8 +69,8 @@ func target(name string) (controller.Target, *isa.Binary, bool) {
 // runExplore implements `lfi explore`.
 func runExplore(args []string) {
 	fs := flag.NewFlagSet("lfi explore", flag.ExitOnError)
-	app := fs.String("app", "minidb", "target system: minivcs, minidns, minidb")
-	store := fs.String("store", "", "persistent campaign store (JSON); resumes incrementally")
+	app := fs.String("app", "minidb", "target system: "+strings.Join(explore.Systems(), ", "))
+	store := fs.String("store", "", "persistent campaign store (shard directory); resumes incrementally")
 	budget := fs.Int("budget", 0, "max executed test runs (0 = explore everything)")
 	batch := fs.Int("batch", 0, "candidates per scheduling batch (default 16)")
 	stall := fs.Int("stall", 0, "stop after this many batches with no new coverage/bugs (default 3)")
@@ -92,7 +106,7 @@ func main() {
 		runExplore(os.Args[2:])
 		return
 	}
-	app := flag.String("app", "minivcs", "target system: minivcs, minidns, minidb")
+	app := flag.String("app", "minivcs", "target system: minivcs, minidns, minidb, miniweb, pbft")
 	scenFile := flag.String("scenario", "", "injection scenario XML file")
 	auto := flag.Bool("auto", false, "generate scenarios with the call-site analyzer and run them all")
 	verbose := flag.Bool("v", false, "print each run's injection log")

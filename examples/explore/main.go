@@ -35,9 +35,12 @@ func main() {
 	// Table 1 finds its two bugs (a double mutex unlock in mi_create's
 	// recovery path, a crash on an uninitialized errmsg structure)
 	// with hand-seeded random injection. The explorer finds both from
-	// first principles.
+	// first principles. StallBatches is raised so the run drains its
+	// whole queue (including bred window mutants) and the resume demo
+	// below can replay everything.
 	cfg, _ := explore.ConfigFor("minidb")
-	cfg.Store = filepath.Join(storeDir, "minidb.json")
+	cfg.Store = filepath.Join(storeDir, "store")
+	cfg.StallBatches = 1000
 	cfg.Log = os.Stdout
 
 	fmt.Println("=== exploring minidb ===")
@@ -72,8 +75,10 @@ func main() {
 	//
 	// A budget bounds the run; the scheduler spends it on the
 	// candidates most likely to reach uncovered recovery code first.
+	// Both systems share one store root: each gets its own shard
+	// directory underneath it.
 	vcs, _ := explore.ConfigFor("minivcs")
-	vcs.Store = filepath.Join(storeDir, "minivcs.json")
+	vcs.Store = filepath.Join(storeDir, "store")
 	vcs.MaxRuns = 60
 	vcs.Log = os.Stdout
 
@@ -83,4 +88,29 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(vres)
+
+	// --- pbft: window mutation earns its keep ----------------------
+	//
+	// The release-build view-change crash needs a *burst* of lost
+	// receives: dropping only the request or only the pre-prepare is
+	// repaired by PBFT's request dissemination, so no single generated
+	// candidate can trigger it. An occurrence candidate that reaches
+	// the receive-failure recovery path breeds CallCount from/to
+	// window mutants (widen / shift / split), and one of those loses
+	// both datagrams — the commit quorum then records a contentless
+	// entry the NEW-VIEW dereferences.
+	bft, _ := explore.ConfigFor("pbft")
+	bft.Log = os.Stdout
+
+	fmt.Println("\n=== exploring pbft (scripted replica harness) ===")
+	bres, err := explore.Explore(bft)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bres)
+	for _, b := range bres.Bugs {
+		if b.IsCrash() && len(b.Scenarios) > 0 {
+			fmt.Printf("  %s\n    found by %s\n", b.Signature, b.Scenarios[0])
+		}
+	}
 }

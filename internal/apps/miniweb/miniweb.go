@@ -3,9 +3,19 @@
 // issues apr_file_read calls at high frequency, under both a cheap
 // static-HTML workload and a computation-heavy "PHP" workload.
 //
-// No bugs are seeded here — the study measures the overhead of trigger
-// evaluation, with 1-5 triggers stacked on apr_file_read and all calls
-// passed through (the paper did not inject during the measurement).
+// The Table 5 measurement paths themselves carry no injected faults
+// (the paper did not inject while measuring overhead), but the server
+// seeds two Apache-class recovery bugs for the fault-space explorer:
+//
+//   - the access-log writer never checks fopen's return, so a failed
+//     open crashes the following fwrite on a NULL stream (the classic
+//     unchecked-log-open bug family of Table 1);
+//   - the static handler's read-error recovery releases "all" request
+//     resources, including the worker mutex the deferred cleanup also
+//     releases — error-checking mutexes abort on the double unlock.
+//
+// Both are dormant under the no-injection workloads, so the Table 5
+// numbers are unaffected.
 package miniweb
 
 import (
@@ -39,6 +49,12 @@ func Sites() []asm.FuncSpec {
 			{Label: "ph_open", Callee: "open", Style: asm.CheckIneq},
 			{Label: "ph_apr_read", Callee: "apr_file_read", Style: asm.CheckIneq},
 			{Label: "ph_close", Callee: "close", Style: asm.CheckIneq},
+		}},
+		{Name: "log_transaction", Sites: []asm.SiteSpec{
+			// BUG: the access-log fopen is unchecked; the fwrite below
+			// crashes on the NULL stream when it fails.
+			{Label: "lt_fopen", Callee: "fopen", Style: asm.CheckNone},
+			{Label: "lt_fwrite", Callee: "fwrite", Style: asm.CheckEq, Codes: []int64{0}},
 		}},
 	}
 }
@@ -78,6 +94,7 @@ func New() *App {
 	a := &App{C: c, Th: c.NewThread(Module, "main"), Cov: coverage.New()}
 	a.mutex = c.MutexInit()
 	c.MustMkdirAll("/www")
+	c.MustMkdirAll("/var/log")
 	page := make([]byte, 16384)
 	for i := range page {
 		page[i] = byte('a' + i%26)
@@ -87,10 +104,12 @@ func New() *App {
 	c.RegisterVar("method_number", func() int64 { return a.methodNumber })
 	a.Cov.Register("main.static", 40, false)
 	a.Cov.Register("main.php", 60, false)
+	a.Cov.Register("main.log", 14, false)
 	a.Cov.Register("rec.dh_open", 6, true)
-	a.Cov.Register("rec.dh_read", 8, true)
+	a.Cov.Register("rec.dh_apr_read", 8, true)
 	a.Cov.Register("rec.ph_open", 6, true)
-	a.Cov.Register("rec.ph_read", 8, true)
+	a.Cov.Register("rec.ph_apr_read", 8, true)
+	a.Cov.Register("rec.lt_fwrite", 5, true)
 	return a
 }
 
@@ -134,7 +153,12 @@ func (a *App) ServeStatic(path string, method int64) error {
 		st := t.APRFileRead(fd, buf, &n)
 		pop()
 		if st != 0 {
-			a.Cov.Hit("rec.dh_read")
+			// BUG: the error path tears down "all" request resources,
+			// including the worker mutex the deferred cleanup below
+			// also releases — a double unlock, which error-checking
+			// mutexes turn into an abort (the mi_create bug family).
+			a.Cov.Hit("rec.dh_apr_read")
+			t.MutexUnlock(a.mutex)
 			return fmt.Errorf("static: apr_file_read: status %d", st)
 		}
 		if n == 0 {
@@ -174,7 +198,7 @@ func (a *App) ServePHP(path string, method int64) error {
 	st := t.APRFileRead(fd, buf, &n)
 	pop()
 	if st != 0 {
-		a.Cov.Hit("rec.ph_read")
+		a.Cov.Hit("rec.ph_apr_read")
 		return fmt.Errorf("php: apr_file_read: status %d", st)
 	}
 
@@ -190,6 +214,25 @@ func (a *App) ServePHP(path string, method int64) error {
 	}
 	a.served++
 	return nil
+}
+
+// LogTransaction appends one access-log line, mod_log_config style.
+// BUG: the fopen return is never checked; when the log cannot be
+// opened, the fwrite crashes on the NULL stream.
+func (a *App) LogTransaction(line string) {
+	t := a.Th
+	a.Cov.Hit("main.log")
+	pop := a.at("log_transaction", "lt_fopen")
+	fp := t.Fopen("/var/log/access_log", "a")
+	pop()
+	// BUG: fp not checked.
+	pop = a.at("log_transaction", "lt_fwrite")
+	n := t.Fwrite([]byte(line+"\n"), fp)
+	pop()
+	if n == 0 {
+		a.Cov.Hit("rec.lt_fwrite")
+	}
+	t.Fclose(fp)
 }
 
 // Served returns the number of completed requests.
@@ -213,5 +256,26 @@ func (a *App) RunAB(n int, php bool) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// RunSuite is the default test suite the explorer drives: a handful of
+// logged static and PHP requests, enough to execute every modelled call
+// site at least once.
+func (a *App) RunSuite() error {
+	for i := 0; i < 3; i++ {
+		method := int64(MethodGET)
+		if i%2 == 1 {
+			method = MethodPOST
+		}
+		if err := a.ServeStatic("/www/index.html", method); err != nil {
+			return err
+		}
+		a.LogTransaction(fmt.Sprintf("GET /index.html %d", i))
+	}
+	if err := a.ServePHP("/www/app.php", MethodGET); err != nil {
+		return err
+	}
+	a.LogTransaction("GET /app.php")
 	return nil
 }

@@ -1,0 +1,36 @@
+package miniweb
+
+import (
+	"lfi/internal/controller"
+	"lfi/internal/coverage"
+	"lfi/internal/libsim"
+)
+
+// Target adapts miniweb to the LFI controller (default suite workload).
+// Each Start builds its own App, so the target is safe for concurrent
+// campaign workers.
+func Target() controller.Target {
+	return controller.Target{
+		Name: Module,
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, app.RunSuite
+		},
+	}
+}
+
+// TargetWithCoverage is Target plus per-run coverage accumulation into
+// acc — the explorer workflow, where every run's lcov-style data is
+// merged before computing campaign coverage.
+func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
+	return controller.Target{
+		Name: Module,
+		Start: func() (*libsim.C, func() error) {
+			app := New()
+			return app.C, func() error {
+				defer func() { acc.Merge(app.Cov) }()
+				return app.RunSuite()
+			}
+		},
+	}
+}

@@ -7,10 +7,12 @@ import (
 	"lfi/internal/apps/minidb"
 	"lfi/internal/apps/minidns"
 	"lfi/internal/apps/minivcs"
+	"lfi/internal/apps/miniweb"
 	"lfi/internal/callsite"
 	"lfi/internal/controller"
 	"lfi/internal/coverage"
 	"lfi/internal/explore"
+	"lfi/internal/pbft"
 	"lfi/internal/profile"
 )
 
@@ -19,6 +21,7 @@ import (
 type ExplorerRow struct {
 	System     string
 	Candidates int
+	Mutants    int // window candidates bred by occurrence mutation
 	Executed   int
 	Batches    int
 
@@ -54,6 +57,7 @@ func (r ExplorerResult) String() string {
 		b.WriteString("\n")
 	}
 	line("Candidate scenarios generated", func(r ExplorerRow) string { return fmt.Sprint(r.Candidates) })
+	line("Window mutants bred", func(r ExplorerRow) string { return fmt.Sprint(r.Mutants) })
 	line("Tests executed", func(r ExplorerRow) string { return fmt.Sprint(r.Executed) })
 	line("Scheduling batches", func(r ExplorerRow) string { return fmt.Sprint(r.Batches) })
 	line("Crash bugs (explorer)", func(r ExplorerRow) string { return fmt.Sprint(r.ExplorerCrashBugs) })
@@ -70,8 +74,12 @@ func (r ExplorerResult) String() string {
 
 // crashSignatures runs a stock campaign for one system and returns its
 // distinct crash signatures: the analyzer-generated scenario set for
-// minivcs/minidns (the Table 1 methodology), the seeded random
-// injection campaign for minidb (the paper's MySQL methodology).
+// minivcs/minidns/miniweb and the scripted pbft harness (the Table 1
+// methodology), the seeded random injection campaign for minidb (the
+// paper's MySQL methodology). For pbft the stock set covers only the
+// shutdown-checkpoint crash — the view-change crash needs a fault
+// burst no analyzer-generated scenario expresses, which is exactly
+// what the explorer's occurrence-window mutation adds on top.
 func crashSignatures(system string, quick bool, profs []*profile.Profile) (map[string]bool, error) {
 	var bugs []controller.Bug
 	switch system {
@@ -89,6 +97,10 @@ func crashSignatures(system string, quick bool, profs []*profile.Profile) (map[s
 			bin, tgt = firstBin(minivcs.Binary()), minivcs.Target()
 		case minidns.Module:
 			bin, tgt = firstBin(minidns.Binary()), minidns.Target()
+		case miniweb.Module:
+			bin, tgt = firstBin(miniweb.Binary()), miniweb.Target()
+		case explore.PBFTSystem:
+			bin, tgt = firstBin(pbft.Binary()), pbft.Target()
 		default:
 			return nil, fmt.Errorf("explorer: unknown system %q", system)
 		}
@@ -126,6 +138,11 @@ func Explorer(quick bool) (ExplorerResult, error) {
 		}
 		cfg.Profiles = profs
 		cfg.Workers = campaignWorkers()
+		// Drain the whole candidate queue, bred window mutants
+		// included, so the "Tests executed" row reports the full
+		// fault space rather than wherever the stall heuristic
+		// happened to stop.
+		cfg.StallBatches = 1000
 		er, err := explore.Explore(cfg)
 		if err != nil {
 			return res, err
@@ -137,6 +154,7 @@ func Explorer(quick bool) (ExplorerResult, error) {
 		row := ExplorerRow{
 			System:           system,
 			Candidates:       er.Candidates,
+			Mutants:          er.Mutants,
 			Executed:         er.Executed,
 			Batches:          len(er.Batches),
 			StockCrashBugs:   len(stock),

@@ -18,11 +18,20 @@
 // bug signatures get boosted, and the run stops on a budget or when
 // consecutive batches add no coverage and no new bugs.
 //
-// Outcomes persist in a JSON store keyed by scenario content hash plus
-// a hash of the targeted code region, so a second run against an
-// unchanged target replays results instead of re-executing them, and a
-// run after a code change re-executes only the invalidated scenarios
-// (the reuse-of-intermediate-results idea of Beyer et al.).
+// Occurrence candidates that prove interesting — they injected and then
+// failed or reached recovery code the suite alone does not — breed
+// *window* mutants: CallCount from/to bursts that widen, shift, and
+// split, feeding back into the queue. Sustained-pressure bugs (PBFT's
+// view-change crash needs both the request and the pre-prepare lost)
+// are only reachable through these.
+//
+// Outcomes persist in a sharded store keyed by scenario content hash
+// plus a hash of the targeted code region — one shard file per region,
+// per-image manifests in an index — so a second run against an
+// unchanged target replays results instead of re-executing them, a run
+// after a code change re-executes only the scenarios aimed at the
+// changed region, and stores for multiple image versions coexist (the
+// reuse-of-intermediate-results idea of Beyer et al.).
 package explore
 
 import (
@@ -62,6 +71,14 @@ const (
 	// regardless of site — the cross-product dimension that reaches
 	// sites and occurrences the stack-targeted candidates miss.
 	Occurrence
+	// Window injects on every call in a CallCount from/to burst. Window
+	// candidates are never generated up front: they are mutants, bred
+	// from occurrence candidates that produced recovery coverage or a
+	// failure, by widening, shifting, and splitting the burst. Bugs
+	// that need *sustained* fault pressure — PBFT's view-change crash
+	// requires losing both the request and the pre-prepare — are only
+	// reachable through this kind.
+	Window
 )
 
 // String names the kind.
@@ -73,6 +90,8 @@ func (k Kind) String() string {
 		return "exercise"
 	case Occurrence:
 		return "occurrence"
+	case Window:
+		return "window"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -86,6 +105,7 @@ type Candidate struct {
 	Caller     string // enclosing symbol, call-stack kinds only
 	Offset     uint64 // call site offset, call-stack kinds only
 	Occurrence uint64 // n-th call, Occurrence kind only
+	From, To   uint64 // burst bounds, Window kind only
 	Code       int64
 	Errno      errno.Errno
 	Class      callsite.Class
@@ -169,6 +189,7 @@ type BatchReport struct {
 type Result struct {
 	System     string
 	Candidates int
+	Mutants    int // window candidates bred during the run
 	Executed   int // tests actually run
 	Replayed   int // outcomes reused from the store
 	Batches    []BatchReport
@@ -191,8 +212,8 @@ func (r *Result) CoverageGain() bool {
 // String renders the run summary.
 func (r *Result) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "explore %s: %d candidates, %d executed, %d replayed, %d batches (%.2fs)\n",
-		r.System, r.Candidates, r.Executed, r.Replayed, len(r.Batches), r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "explore %s: %d candidates (+%d window mutants), %d executed, %d replayed, %d batches (%.2fs)\n",
+		r.System, r.Candidates, r.Mutants, r.Executed, r.Replayed, len(r.Batches), r.Elapsed.Seconds())
 	fmt.Fprintf(&b, "  recovery coverage: %s (suite alone) -> %s\n", r.Baseline, r.Final)
 	fmt.Fprintf(&b, "  total coverage:    %s\n", r.Total)
 	fmt.Fprintf(&b, "  %d distinct failure signatures:\n", len(r.Bugs))
@@ -305,6 +326,24 @@ func occurrenceCandidate(cfg Config, fn string, n uint64, code int64, e errno.Er
 	}
 }
 
+// windowCandidate builds a CallCount burst mutant: inject on every call
+// in [from, to]. The scenario name encodes the window, so the content
+// hash (and therefore dedup and the store key) is stable.
+func windowCandidate(cfg Config, fn string, from, to uint64, code int64, e errno.Errno) *Candidate {
+	name := fmt.Sprintf("explore-win-%s-%s-%d-%d-%d-%s", cfg.Binary.Name, fn, from, to, code, e)
+	bld := scenario.NewBuilder(name)
+	win := bld.Trigger("win", "CallCountTrigger", scenario.BurstArgs(from, to))
+	bld.Inject(fn, 0, code, e, win)
+	s, err := bld.Build()
+	if err != nil {
+		panic("explore: generated scenario invalid: " + err.Error())
+	}
+	return &Candidate{
+		Scenario: s, Kind: Window, Callee: fn,
+		From: from, To: to, Code: code, Errno: e,
+	}
+}
+
 func frameArgs(module string, off uint64) *trigger.Args {
 	return &trigger.Args{
 		Name: "args",
@@ -398,6 +437,90 @@ type explorer struct {
 	covered map[string]bool     // recovery blocks reached so far
 	sigs    map[string][]string // failure signature -> scenario names
 	boost   map[string]float64  // callee -> feedback priority boost
+
+	// Mutation state: the scenario hashes already enumerated (initial
+	// candidates plus spawned mutants), the candidates already mutated,
+	// the image-wide code region windows key on, the recovery-block
+	// universe, and the recovery blocks the suite covers on its own
+	// (mutation triggers only on coverage *beyond* that baseline, so
+	// the decision is identical whether an outcome was executed or
+	// replayed, in any order).
+	seen        map[string]bool
+	mutated     map[string]bool
+	imageRegion string
+	recBlocks   map[string]bool
+	baseRec     map[string]bool
+	spawned     int
+}
+
+// mutationWorthy reports whether an outcome earns its candidate a set
+// of window mutants: it actually injected, and it either failed or
+// reached recovery code the default suite does not reach.
+func (x *explorer) mutationWorthy(e Entry) bool {
+	if e.Injections == 0 {
+		return false
+	}
+	if e.Failed {
+		return true
+	}
+	for _, id := range e.Blocks {
+		if x.recBlocks[id] && !x.baseRec[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// mutate breeds window candidates from a worthy occurrence or window
+// candidate: a single occurrence n seeds the bursts [n,n+1] and
+// [n,n+2]; a window widens, shifts, and splits. Results are bounded to
+// the [1, 2*MaxOccurrence] range with bursts no longer than
+// MaxOccurrence, and deduplicated against everything already
+// enumerated, so the mutation lattice is finite and the loop always
+// terminates.
+func (x *explorer) mutate(c *Candidate) []*Candidate {
+	if x.mutated[c.Hash] {
+		return nil
+	}
+	x.mutated[c.Hash] = true
+	var wins [][2]uint64
+	switch c.Kind {
+	case Occurrence:
+		n := c.Occurrence
+		wins = append(wins, [2]uint64{n, n + 1}, [2]uint64{n, n + 2})
+	case Window:
+		a, b := c.From, c.To
+		wins = append(wins, [2]uint64{a, b + 1}) // widen
+		wins = append(wins, [2]uint64{a + 1, b + 1})
+		if a > 1 {
+			wins = append(wins, [2]uint64{a - 1, b}) // shift / widen left
+		}
+		if b-a >= 3 { // split
+			m := (a + b) / 2
+			wins = append(wins, [2]uint64{a, m}, [2]uint64{m + 1, b})
+		}
+	default:
+		return nil
+	}
+	maxTo := uint64(2 * x.cfg.MaxOccurrence)
+	maxLen := uint64(x.cfg.MaxOccurrence)
+	var out []*Candidate
+	for _, w := range wins {
+		from, to := w[0], w[1]
+		if from < 1 || to <= from || to > maxTo || to-from+1 > maxLen {
+			continue
+		}
+		nc := windowCandidate(x.cfg, c.Callee, from, to, c.Code, c.Errno)
+		nc.Hash = contentHash(nc.Scenario)
+		if x.seen[nc.Hash] {
+			continue
+		}
+		x.seen[nc.Hash] = true
+		nc.key = nc.Hash + "@" + x.imageRegion
+		x.spawned++
+		out = append(out, nc)
+	}
+	return out
 }
 
 // score ranks a pending candidate. Higher runs earlier. The ordering
@@ -418,6 +541,10 @@ func (x *explorer) score(c *Candidate) float64 {
 		s = 60
 	case Occurrence:
 		s = 40 - float64(c.Occurrence)
+	case Window:
+		// Mutants rank just above plain occurrences: they exist because
+		// an ancestor already proved the callee interesting.
+		s = 45 - float64(c.From) - 0.5*float64(c.To-c.From)
 	}
 	if c.Block != "" {
 		if x.covered[c.Block] {
@@ -454,7 +581,13 @@ func Explore(cfg Config) (*Result, error) {
 		covered: make(map[string]bool),
 		sigs:    make(map[string][]string),
 		boost:   make(map[string]float64),
+		seen:    make(map[string]bool, len(cands)),
+		mutated: make(map[string]bool),
 	}
+	for _, c := range cands {
+		x.seen[c.Hash] = true
+	}
+	x.imageRegion = newCodeHasher(cfg.Binary).forCaller("")
 	res := &Result{System: cfg.System, Candidates: len(cands)}
 
 	// Baseline: the default suite with no injection. This registers
@@ -475,13 +608,20 @@ func Explore(cfg Config) (*Result, error) {
 	for _, id := range x.acc.RegisteredIDs() {
 		allBlocks[id] = true
 	}
-	recBlocks := make(map[string]bool)
+	x.recBlocks = make(map[string]bool)
 	for _, id := range x.acc.RecoveryIDs() {
-		recBlocks[id] = true
+		x.recBlocks[id] = true
+	}
+	x.baseRec = make(map[string]bool, len(x.covered))
+	for id := range x.covered {
+		x.baseRec[id] = true
 	}
 
 	// Replay the persistent store: cached outcomes count as explored
-	// without executing anything.
+	// without executing anything. Worthy cached occurrence outcomes
+	// spawn their window mutants here too (the worklist), so a cached
+	// mutation chain replays to its fixpoint and a resumed run against
+	// an unchanged target still executes nothing.
 	var store *Store
 	if cfg.Store != "" {
 		var err error
@@ -490,8 +630,12 @@ func Explore(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	keys := candidateKeys(cands)
 	pending := make([]*Candidate, 0, len(cands))
-	for _, c := range cands {
+	work := append([]*Candidate(nil), cands...)
+	for len(work) > 0 {
+		c := work[0]
+		work = work[1:]
 		e, ok := store.Lookup(c.key)
 		if !ok {
 			pending = append(pending, c)
@@ -503,12 +647,18 @@ func Explore(cfg Config) (*Result, error) {
 				continue
 			}
 			x.acc.Hit(id)
-			if recBlocks[id] {
+			if x.recBlocks[id] {
 				x.covered[id] = true
 			}
 		}
 		if e.Failed {
 			x.sigs[e.Signature] = append(x.sigs[e.Signature], e.Name)
+		}
+		if x.mutationWorthy(e) {
+			for _, m := range x.mutate(c) {
+				keys[m.key] = true
+				work = append(work, m)
+			}
 		}
 	}
 	if res.Replayed > 0 {
@@ -516,9 +666,9 @@ func Explore(cfg Config) (*Result, error) {
 	}
 
 	// The scheduling loop. The store is saved after every batch, not
-	// just at the end, so a mid-run error or interrupt loses at most
-	// one batch of outcomes.
-	keys := candidateKeys(cands)
+	// just at the end — with the sharded layout that only rewrites the
+	// batch's dirty shards — so a mid-run error or interrupt loses at
+	// most one batch of outcomes.
 	stall := 0
 	for len(pending) > 0 && stall < cfg.StallBatches {
 		size := cfg.BatchSize
@@ -533,20 +683,29 @@ func Explore(cfg Config) (*Result, error) {
 		batch, rest := x.takeBatch(pending, size)
 		pending = rest
 
-		report, err := x.runBatch(len(res.Batches), batch, store)
+		report, mutants, err := x.runBatch(len(res.Batches), batch, store)
 		if err != nil {
 			store.Save(keys) // keep completed batches; the run error wins
 			return nil, err
 		}
+		for _, m := range mutants {
+			keys[m.key] = true
+		}
+		pending = append(pending, mutants...)
 		if err := store.Save(keys); err != nil {
 			return nil, err
 		}
 		res.Executed += report.Runs
 		res.Batches = append(res.Batches, report)
-		x.logf("explore %s: batch %d: %d runs, %d new blocks, %d new bugs, recovery %s",
-			cfg.System, report.Index, report.Runs, len(report.NewBlocks), len(report.NewBugs), report.Recovery)
+		x.logf("explore %s: batch %d: %d runs, %d new blocks, %d new bugs, %d mutants bred, recovery %s",
+			cfg.System, report.Index, report.Runs, len(report.NewBlocks), len(report.NewBugs), len(mutants), report.Recovery)
 
-		if len(report.NewBlocks) == 0 && len(report.NewBugs) == 0 {
+		// A batch that breeds mutants is progress even when it adds no
+		// immediate coverage: the interesting part of a mutation chain
+		// (pbft's view-change burst) can sit several generations past
+		// the last coverage gain, and stalling it off would orphan the
+		// bred candidates.
+		if len(report.NewBlocks) == 0 && len(report.NewBugs) == 0 && len(mutants) == 0 {
 			stall++
 		} else {
 			stall = 0
@@ -559,6 +718,7 @@ func Explore(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	res.Mutants = x.spawned
 	res.Bugs = x.distinctBugs()
 	res.Final = x.acc.Recovery()
 	res.Total = x.acc.Total()
@@ -583,8 +743,11 @@ func (x *explorer) takeBatch(pending []*Candidate, size int) (batch, rest []*Can
 }
 
 // runBatch executes one batch on the parallel campaign executor, then
-// folds coverage and failure deltas back into the scheduler state.
-func (x *explorer) runBatch(index int, batch []*Candidate, store *Store) (BatchReport, error) {
+// folds coverage and failure deltas back into the scheduler state. It
+// also returns the window mutants bred from this batch's worthy
+// occurrence/window outcomes, for the caller to feed back into the
+// queue.
+func (x *explorer) runBatch(index int, batch []*Candidate, store *Store) (BatchReport, []*Candidate, error) {
 	report := BatchReport{Index: index, Runs: len(batch)}
 	trackers := make([]*coverage.Tracker, len(batch))
 	outs, err := controller.RunN(x.cfg.Workers, len(batch), func(i int) (controller.Outcome, error) {
@@ -596,11 +759,12 @@ func (x *explorer) runBatch(index int, batch []*Candidate, store *Store) (BatchR
 		return o, nil
 	})
 	if err != nil {
-		return report, err
+		return report, nil, err
 	}
 
 	// Delta attribution is sequential in batch order, so results are
 	// independent of worker interleaving.
+	var mutants []*Candidate
 	for i, out := range outs {
 		c := batch[i]
 		recovered := trackers[i].CoveredRecoveryIDs()
@@ -626,10 +790,13 @@ func (x *explorer) runBatch(index int, batch []*Candidate, store *Store) (BatchR
 			x.sigs[sig] = append(x.sigs[sig], c.Scenario.Name)
 		}
 		store.Put(c.key, entry)
+		if x.mutationWorthy(entry) {
+			mutants = append(mutants, x.mutate(c)...)
+		}
 	}
 	sort.Strings(report.NewBlocks)
 	report.Recovery = x.acc.Recovery()
-	return report, nil
+	return report, mutants, nil
 }
 
 // distinctBugs renders the accumulated signatures in DistinctBugs shape.

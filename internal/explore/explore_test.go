@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"lfi/internal/callsite"
+	"lfi/internal/isa"
 )
 
 // minidbConfig returns a config that explores the whole minidb fault
@@ -105,7 +106,7 @@ func TestExploreMinidbFindsStockBugs(t *testing.T) {
 // reports the same bugs and coverage.
 func TestExploreResume(t *testing.T) {
 	cfg := minidbConfig(t)
-	cfg.Store = filepath.Join(t.TempDir(), "explore.json")
+	cfg.Store = filepath.Join(t.TempDir(), "store")
 
 	first, err := Explore(cfg)
 	if err != nil {
@@ -190,29 +191,220 @@ func TestExploreDeterministic(t *testing.T) {
 	}
 }
 
-func TestStorePrune(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "store.json")
+// TestExploreMiniwebFindsStockBugs: the Apache stand-in's two seeded
+// recovery bugs — the NULL-stream fwrite behind the unchecked
+// access-log fopen, and the double unlock in the static handler's
+// read-error path — must both surface with no hand-written scenario.
+func TestExploreMiniwebFindsStockBugs(t *testing.T) {
+	cfg, ok := ConfigFor("miniweb")
+	if !ok {
+		t.Fatal("miniweb config missing")
+	}
+	cfg.StallBatches = 1000
+	cfg.Workers = 4
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundLog, foundUnlock bool
+	for _, b := range res.Bugs {
+		if strings.Contains(b.Signature, "NULL FILE") {
+			foundLog = true
+		}
+		if strings.Contains(b.Signature, "double unlock") {
+			foundUnlock = true
+		}
+	}
+	if !foundLog || !foundUnlock {
+		t.Fatalf("stock miniweb bugs not rediscovered (log=%v unlock=%v):\n%s", foundLog, foundUnlock, res)
+	}
+	if res.Final.BlocksCovered <= res.Baseline.BlocksCovered {
+		t.Fatalf("exploration added no recovery coverage:\n%s", res)
+	}
+}
+
+// TestExplorePBFTFindsStockBugs: the scripted replica harness must
+// surface both release-build Table 1 bugs. The shutdown-checkpoint
+// crash needs one fault; the view-change crash needs a *burst* losing
+// both the request and the pre-prepare, which no generated single
+// candidate expresses — it is reachable only through the explorer's
+// occurrence-window mutation, so this test pins that whole mechanism.
+func TestExplorePBFTFindsStockBugs(t *testing.T) {
+	cfg, ok := ConfigFor("pbft")
+	if !ok {
+		t.Fatal("pbft config missing")
+	}
+	cfg.StallBatches = 1000
+	cfg.Workers = 4
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mutants == 0 {
+		t.Fatalf("no window mutants bred:\n%s", res)
+	}
+	var foundShutdown, foundVC bool
+	for _, b := range res.Bugs {
+		if strings.Contains(b.Signature, "NULL FILE") {
+			foundShutdown = true
+		}
+		if strings.Contains(b.Signature, "view change") {
+			foundVC = true
+			for _, name := range b.Scenarios {
+				if !strings.Contains(name, "explore-win-") {
+					t.Fatalf("view-change bug found by non-window scenario %q", name)
+				}
+			}
+		}
+	}
+	if !foundShutdown || !foundVC {
+		t.Fatalf("stock pbft bugs not rediscovered (shutdown=%v viewchange=%v):\n%s",
+			foundShutdown, foundVC, res)
+	}
+}
+
+// patched returns a copy of bin with the prologue immediate of fn
+// flipped — an inert change (r13 feeds nothing) that moves only that
+// function's code-region hash, plus the whole-image hash.
+func patched(t *testing.T, bin *isa.Binary, fn string) *isa.Binary {
+	t.Helper()
+	nb := *bin
+	nb.Code = append([]byte(nil), bin.Code...)
+	sym, ok := nb.FindSymbol(fn)
+	if !ok {
+		t.Fatalf("symbol %s not found", fn)
+	}
+	nb.Code[sym.Off+4] = 1 // movi r13, 0 -> movi r13, 1
+	return &nb
+}
+
+// TestShardInvalidation pins the incremental-reuse contract of the
+// sharded store: after a change to one application function, only the
+// candidates aimed at that function — its call-stack candidates, plus
+// the image-wide occurrence/window dimension — re-execute; every other
+// function's shard replays, and the old image's shards stay on disk
+// next to the new ones.
+func TestShardInvalidation(t *testing.T) {
+	const changed = "errmsg_load"
+	cfg := minidbConfig(t)
+	cfg.Store = filepath.Join(t.TempDir(), "store")
+
+	first, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed == 0 || first.Replayed != 0 {
+		t.Fatalf("first run: executed %d, replayed %d", first.Executed, first.Replayed)
+	}
+
+	// Entries that survive the change: call-stack candidates in other
+	// functions. Occurrence and window candidates target the whole
+	// image, so the image edit invalidates them by design.
+	surviving := 0
+	for _, c := range Generate(cfg) {
+		if c.Kind != Occurrence && c.Caller != changed {
+			surviving++
+		}
+	}
+	if surviving == 0 {
+		t.Fatal("no surviving candidates; test is vacuous")
+	}
+
+	cfg.Binary = patched(t, cfg.Binary, changed)
+	second, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Replayed != surviving {
+		t.Fatalf("replayed %d entries, want %d (only %s and the occurrence dimension invalidated)",
+			second.Replayed, surviving, changed)
+	}
+	if second.Executed != first.Executed-surviving {
+		t.Fatalf("executed %d, want %d", second.Executed, first.Executed-surviving)
+	}
+	if !reflect.DeepEqual(bugSigs(first), bugSigs(second)) {
+		t.Fatalf("bug signatures diverged across the code change:\n%v\nvs\n%v", bugSigs(first), bugSigs(second))
+	}
+
+	// Both image versions' manifests now coexist in the store.
+	st, err := LoadStore(cfg.Store, cfg.System, ImageVersion(cfg.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imgs := st.Images(); len(imgs) != 2 {
+		t.Fatalf("want 2 retained image manifests, have %v", imgs)
+	}
+}
+
+// TestWindowMutantsDeterministic: breeding must be reproducible — the
+// same config twice yields the same mutant count and the same bugs.
+func TestWindowMutantsDeterministic(t *testing.T) {
+	cfg, ok := ConfigFor("pbft")
+	if !ok {
+		t.Fatal("pbft config missing")
+	}
+	cfg.StallBatches = 1000
+	cfg.Workers = 4
+	a, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mutants != b.Mutants || a.Executed != b.Executed {
+		t.Fatalf("mutation nondeterministic: %d/%d vs %d/%d mutants/executed",
+			a.Mutants, a.Executed, b.Mutants, b.Executed)
+	}
+	if !reflect.DeepEqual(bugSigs(a), bugSigs(b)) {
+		t.Fatalf("bugs diverged:\n%v\nvs\n%v", bugSigs(a), bugSigs(b))
+	}
+}
+
+func TestStoreShardPrune(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store")
 	st, err := LoadStore(path, "sys", "img@1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.Put("keep@a", Entry{Name: "keep"})
-	st.Put("stale@b", Entry{Name: "stale"})
-	if err := st.Save(map[string]bool{"keep@a": true}); err != nil {
+	st.Put("keep@aaaa", Entry{Name: "keep"})
+	st.Put("stale@bbbb", Entry{Name: "stale"})
+	if err := st.Save(map[string]bool{"keep@aaaa": true}); err != nil {
 		t.Fatal(err)
+	}
+	// The unreferenced region's shard file is gone from disk.
+	if _, err := os.Stat(filepath.Join(path, "sys", "bbbb.json")); !os.IsNotExist(err) {
+		t.Fatalf("stale shard still on disk: %v", err)
 	}
 	st2, err := LoadStore(path, "sys", "img@2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st2.Lookup("keep@a"); !ok {
+	if _, ok := st2.Lookup("keep@aaaa"); !ok {
 		t.Fatal("kept entry lost")
 	}
-	if _, ok := st2.Lookup("stale@b"); ok {
+	if _, ok := st2.Lookup("stale@bbbb"); ok {
 		t.Fatal("stale entry survived pruning")
 	}
-	// A store written for a different system is refused, not clobbered.
-	if _, err := LoadStore(path, "other", "img@1"); err == nil {
-		t.Fatal("cross-system store load accepted")
+	// Two systems coexist under one root, each in its own directory;
+	// neither sees or clobbers the other's shards.
+	other, err := LoadStore(path, "other", "img@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := other.Lookup("keep@aaaa"); ok {
+		t.Fatal("cross-system entry visible")
+	}
+	other.Put("mine@cccc", Entry{Name: "mine"})
+	if err := other.Save(map[string]bool{"mine@cccc": true}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadStore(path, "sys", "img@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := again.Lookup("keep@aaaa"); !ok {
+		t.Fatal("sys entry destroyed by other system's save")
 	}
 }

@@ -6,22 +6,73 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
 )
 
-// Store is the persistent campaign store: one JSON document per target
-// system recording the outcome of every explored scenario, keyed by
-// scenario content hash plus targeted-code hash. A second exploration
-// of an unchanged target resumes from it and re-executes nothing; a
-// change to one application function invalidates only the entries whose
-// code-hash component covered that function.
+// Store is the persistent campaign store, v2: a shard directory instead
+// of one JSON document. Outcomes are keyed by scenario content hash plus
+// targeted-code-region hash ("scenarioHash@codeHash"), and every code
+// region gets its own shard file:
+//
+//	<dir>/<system>/index.json            image manifests (newest first)
+//	<dir>/<system>/<codeHash>.json       one shard per targeted region
+//
+// The layout buys three properties the single document could not offer:
+//
+//   - Stores from multiple image versions coexist. Each image version
+//     saves a manifest naming the shards its candidate set references;
+//     regions the versions share point at the same shard, so entries
+//     migrate forward for free when only untargeted code changed, and a
+//     shard is deleted only when no retained manifest references it.
+//   - A code change to one application function moves that function's
+//     region hash, so exactly one shard is invalidated; everything else
+//     replays untouched.
+//   - Concurrent campaign workers flush independently: FlushShard
+//     rewrites one region's file (write-temp-then-rename), never the
+//     whole store.
+//
+// All writes go through a temp file and an atomic rename, so a killed
+// campaign can never leave a half-written shard or index behind; stray
+// .tmp files and unparsable shards are ignored on load.
 type Store struct {
-	path string
+	dir    string // <root>/<system>
+	system string
+	image  string
 
-	// System names the target the entries belong to.
-	System string `json:"system"`
-	// Image is the target image version the store was last saved for.
-	Image string `json:"image"`
-	// Entries maps candidate keys (scenarioHash@codeHash) to outcomes.
+	mu     sync.Mutex
+	shards map[string]*shard // codeHash -> entries
+	index  storeIndex
+}
+
+type shard struct {
+	entries map[string]Entry // scenarioHash -> outcome
+	dirty   bool
+	// flushMu serializes writers of this one shard file: without it,
+	// two same-region flushes could race snapshot/rename so that the
+	// older snapshot lands last while dirty is already false — durably
+	// losing the newer entries. Disjoint shards still flush in
+	// parallel.
+	flushMu sync.Mutex
+}
+
+// storeIndex is the on-disk index.json shape.
+type storeIndex struct {
+	System string          `json:"system"`
+	Images []imageManifest `json:"images"` // most recent save first
+}
+
+// imageManifest names the shards one image version's candidate set
+// references.
+type imageManifest struct {
+	Image  string   `json:"image"`
+	Shards []string `json:"shards"`
+}
+
+// shardFile is the on-disk shape of one shard.
+type shardFile struct {
+	System  string           `json:"system"`
+	Region  string           `json:"region"`
 	Entries map[string]Entry `json:"entries"`
 }
 
@@ -34,33 +85,174 @@ type Entry struct {
 	Injections int      `json:"injections,omitempty"`
 }
 
-// LoadStore reads the store at path, or returns an empty store when the
-// file does not exist yet. Loading a store written for a different
-// system is refused — saving would silently destroy that system's
-// cache; use one store path per target. Stale entries from an older
-// image are kept — their keys carry code hashes, so they can never
-// match a changed region, and Save prunes the unmatchable ones.
+// maxImages bounds how many image-version manifests a store retains;
+// shards referenced only by older manifests are garbage-collected on
+// Save.
+const maxImages = 8
+
+// splitKey breaks a candidate key into its scenario-hash and
+// code-region components.
+func splitKey(key string) (scen, region string, ok bool) {
+	i := strings.IndexByte(key, '@')
+	if i < 0 {
+		return "", "", false
+	}
+	return key[:i], key[i+1:], true
+}
+
+// LoadStore opens the sharded store rooted at path for one target
+// system and image version, creating nothing on disk until the first
+// flush. Loading a store written for a different system is refused —
+// saving would destroy that system's cache; shards of other image
+// versions of the same system are loaded and kept. A legacy v1
+// single-document store at path is migrated into the shard layout
+// transparently.
 func LoadStore(path, system, image string) (*Store, error) {
-	st := &Store{path: path, System: system, Image: image, Entries: map[string]Entry{}}
-	data, err := os.ReadFile(path)
+	st := &Store{
+		dir:    filepath.Join(path, system),
+		system: system,
+		image:  image,
+		shards: make(map[string]*shard),
+		index:  storeIndex{System: system},
+	}
+	fi, err := os.Stat(path)
 	if os.IsNotExist(err) {
+		// A crash mid-migration leaves the v1 document parked at
+		// path+".v1" (see migrateLegacy); resume from it.
+		if _, verr := os.Stat(path + legacyParkSuffix); verr == nil {
+			if err := st.migrateLegacy(path + legacyParkSuffix); err != nil {
+				return nil, err
+			}
+		}
 		return st, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("explore: store: %w", err)
 	}
-	var onDisk Store
-	if err := json.Unmarshal(data, &onDisk); err != nil {
-		return nil, fmt.Errorf("explore: store %s: %w", path, err)
+	if !fi.IsDir() {
+		if err := st.migrateLegacy(path); err != nil {
+			return nil, err
+		}
+		return st, nil
 	}
-	if onDisk.System != "" && onDisk.System != system {
-		return nil, fmt.Errorf("explore: store %s belongs to system %q, not %q — use a separate store path per target",
-			path, onDisk.System, system)
-	}
-	if onDisk.Entries != nil {
-		st.Entries = onDisk.Entries
+	if err := st.loadDir(); err != nil {
+		return nil, err
 	}
 	return st, nil
+}
+
+// legacyParkSuffix is where migrateLegacy parks the v1 document during
+// the directory swap; LoadStore resumes from it after a mid-swap crash.
+const legacyParkSuffix = ".v1"
+
+// migrateLegacy converts a v1 single-file store (at src, which is
+// either the store path itself or a parked path+".v1" from an earlier
+// interrupted migration) into the shard layout. The shard tree is
+// staged durably in a sibling directory, the legacy document is parked
+// aside rather than deleted, and only after the staged directory is
+// renamed into place is the parked copy removed — every step of the
+// sequence leaves the cached outcomes recoverable on disk.
+func (s *Store) migrateLegacy(src string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	var legacy struct {
+		System  string           `json:"system"`
+		Entries map[string]Entry `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return fmt.Errorf("explore: store %s: %w", src, err)
+	}
+	if legacy.System != "" && legacy.System != s.system {
+		return fmt.Errorf("explore: store %s belongs to system %q, not %q — use a separate store path per target",
+			src, legacy.System, s.system)
+	}
+	dst := strings.TrimSuffix(src, legacyParkSuffix)
+	tmpRoot := dst + ".migrate"
+	if err := os.RemoveAll(tmpRoot); err != nil {
+		return fmt.Errorf("explore: store: migrating %s: %w", src, err)
+	}
+	staged := &Store{
+		dir:    filepath.Join(tmpRoot, s.system),
+		system: s.system,
+		image:  s.image,
+		shards: make(map[string]*shard),
+		index:  storeIndex{System: s.system},
+	}
+	if err := os.MkdirAll(staged.dir, 0o755); err != nil {
+		return fmt.Errorf("explore: store: migrating %s: %w", src, err)
+	}
+	for key, e := range legacy.Entries {
+		staged.Put(key, e)
+	}
+	if err := staged.FlushDirty(); err != nil {
+		return err
+	}
+	park := dst + legacyParkSuffix
+	if src != park {
+		if err := os.Rename(src, park); err != nil {
+			return fmt.Errorf("explore: store: migrating %s: %w", src, err)
+		}
+	}
+	if err := os.Rename(tmpRoot, dst); err != nil {
+		return fmt.Errorf("explore: store: migrating %s: %w", src, err)
+	}
+	os.Remove(park) // best-effort: once dst exists, a leftover park is inert
+	s.shards = staged.shards
+	return nil
+}
+
+// loadDir reads index.json and every parsable shard. Partial writes —
+// stray .tmp files from a killed campaign, or a shard that does not
+// parse — are skipped, never loaded: the worst case is re-executing the
+// scenarios that shard cached.
+func (s *Store) loadDir() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, "index.json"))
+	switch {
+	case os.IsNotExist(err):
+		// No index (or none survived): shards found on disk are still
+		// usable, their keys self-identify.
+	case err != nil:
+		return fmt.Errorf("explore: store: %w", err)
+	default:
+		var idx storeIndex
+		if jsonErr := json.Unmarshal(data, &idx); jsonErr == nil {
+			if idx.System != "" && idx.System != s.system {
+				return fmt.Errorf("explore: store %s belongs to system %q, not %q — use a separate store path per target",
+					s.dir, idx.System, s.system)
+			}
+			s.index = idx
+			s.index.System = s.system
+		}
+	}
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	for _, name := range names {
+		base := filepath.Base(name)
+		if base == "index.json" || strings.Contains(base, ".tmp") {
+			continue
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		var sf shardFile
+		if err := json.Unmarshal(data, &sf); err != nil || sf.Entries == nil {
+			continue // partial/corrupt write: not loaded
+		}
+		if sf.System != "" && sf.System != s.system {
+			continue
+		}
+		region := sf.Region
+		if region == "" {
+			region = strings.TrimSuffix(base, ".json")
+		}
+		s.shards[region] = &shard{entries: sf.Entries}
+	}
+	return nil
 }
 
 // Lookup returns the cached outcome for a candidate key.
@@ -68,59 +260,264 @@ func (s *Store) Lookup(key string) (Entry, bool) {
 	if s == nil {
 		return Entry{}, false
 	}
-	e, ok := s.Entries[key]
+	scen, region, ok := splitKey(key)
+	if !ok {
+		return Entry{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shards[region]
+	if !ok {
+		return Entry{}, false
+	}
+	e, ok := sh.entries[scen]
 	return e, ok
 }
 
-// Put records one outcome.
+// Put records one outcome and marks its shard dirty.
 func (s *Store) Put(key string, e Entry) {
 	if s == nil {
 		return
 	}
-	s.Entries[key] = e
+	scen, region, ok := splitKey(key)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shards[region]
+	if !ok {
+		sh = &shard{entries: make(map[string]Entry)}
+		s.shards[region] = sh
+	}
+	sh.entries[scen] = e
+	sh.dirty = true
 }
 
-// Save writes the store, pruning entries whose key no longer belongs to
-// the current candidate set (scenarios invalidated by code changes).
-// Keys are sorted by the JSON encoder, so the file is deterministic.
-func (s *Store) Save(currentKeys map[string]bool) error {
-	if s == nil || s.path == "" {
+// FlushShard persists one region's shard if it is dirty. The entry map
+// is snapshotted under the store lock and written outside it while the
+// shard's own flush lock is held, so concurrent workers flushing
+// disjoint shards do not serialize on each other's file IO, same-shard
+// flushes are linearized (a newer snapshot can never be overwritten by
+// an older one), and no flush ever rewrites more than its own file.
+func (s *Store) FlushShard(region string) error {
+	if s == nil {
 		return nil
 	}
-	for key := range s.Entries {
-		if !currentKeys[key] {
-			delete(s.Entries, key)
+	s.mu.Lock()
+	sh, ok := s.shards[region]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	sh.flushMu.Lock()
+	defer sh.flushMu.Unlock()
+	s.mu.Lock()
+	if !sh.dirty {
+		s.mu.Unlock()
+		return nil
+	}
+	sf := shardFile{System: s.system, Region: region, Entries: make(map[string]Entry, len(sh.entries))}
+	for k, v := range sh.entries {
+		sf.Entries[k] = v
+	}
+	sh.dirty = false
+	s.mu.Unlock()
+	if err := s.writeJSON(s.shardPath(region), sf); err != nil {
+		s.mu.Lock()
+		sh.dirty = true // retry on the next flush
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// FlushDirty persists every dirty shard.
+func (s *Store) FlushDirty() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	regions := make([]string, 0, len(s.shards))
+	for region, sh := range s.shards {
+		if sh.dirty {
+			regions = append(regions, region)
 		}
 	}
-	data, err := json.MarshalIndent(s, "", "  ")
-	if err != nil {
-		return fmt.Errorf("explore: store: %w", err)
+	s.mu.Unlock()
+	sort.Strings(regions)
+	for _, region := range regions {
+		if err := s.FlushShard(region); err != nil {
+			return err
+		}
 	}
-	tmp := s.path + ".tmp"
-	if dir := filepath.Dir(s.path); dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	return nil
+}
+
+// Save is the end-of-run (and end-of-batch) persistence point: it
+// updates the current image's manifest to the shards currentKeys
+// references, prunes entries and shards no retained image version can
+// ever match again, and flushes everything dirty plus the index.
+func (s *Store) Save(currentKeys map[string]bool) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	// The current image's shard set and per-shard live key sets.
+	liveByRegion := make(map[string]map[string]bool)
+	for key := range currentKeys {
+		scen, region, ok := splitKey(key)
+		if !ok {
+			continue
+		}
+		set := liveByRegion[region]
+		if set == nil {
+			set = make(map[string]bool)
+			liveByRegion[region] = set
+		}
+		set[scen] = true
+	}
+	manifest := imageManifest{Image: s.image}
+	for region := range liveByRegion {
+		manifest.Shards = append(manifest.Shards, region)
+	}
+	sort.Strings(manifest.Shards)
+
+	// Move/insert the manifest at the front, retain at most maxImages.
+	images := []imageManifest{manifest}
+	for _, m := range s.index.Images {
+		if m.Image != s.image && len(images) < maxImages {
+			images = append(images, m)
+		}
+	}
+	s.index.Images = images
+
+	// Shards shared with an older retained manifest may hold entries
+	// for candidate sets we cannot see; only shards exclusive to the
+	// current image are pruned entry-by-entry.
+	shared := make(map[string]bool)
+	for _, m := range s.index.Images[1:] {
+		for _, region := range m.Shards {
+			shared[region] = true
+		}
+	}
+	for region, live := range liveByRegion {
+		sh, ok := s.shards[region]
+		if !ok || shared[region] {
+			continue
+		}
+		for scen := range sh.entries {
+			if !live[scen] {
+				delete(sh.entries, scen)
+				sh.dirty = true
+			}
+		}
+	}
+
+	// Drop shards no retained manifest references.
+	referenced := make(map[string]bool)
+	for _, m := range s.index.Images {
+		for _, region := range m.Shards {
+			referenced[region] = true
+		}
+	}
+	var stale []string
+	for region := range s.shards {
+		if !referenced[region] {
+			stale = append(stale, region)
+			delete(s.shards, region)
+		}
+	}
+	idx := s.index
+	s.mu.Unlock()
+
+	for _, region := range stale {
+		if err := os.Remove(s.shardPath(region)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("explore: store: %w", err)
 		}
 	}
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := s.FlushDirty(); err != nil {
+		return err
+	}
+	return s.writeJSON(filepath.Join(s.dir, "index.json"), idx)
+}
+
+func (s *Store) shardPath(region string) string {
+	return filepath.Join(s.dir, region+".json")
+}
+
+// writeJSON writes v crash-safely: marshal, write a unique temp file in
+// the target directory, rename over the destination. A kill between
+// the two steps leaves only an ignorable .tmp file.
+func (s *Store) writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
 		return fmt.Errorf("explore: store: %w", err)
 	}
-	if err := os.Rename(tmp, s.path); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("explore: store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: store: writing %s: %v/%v", path, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("explore: store: %w", err)
 	}
 	return nil
 }
 
-// Names returns the scenario names recorded in the store, sorted — a
-// debugging/reporting convenience.
+// Names returns the scenario names recorded across all shards, sorted —
+// a debugging/reporting convenience.
 func (s *Store) Names() []string {
 	if s == nil {
 		return nil
 	}
-	out := make([]string, 0, len(s.Entries))
-	for _, e := range s.Entries {
-		out = append(out, e.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, sh := range s.shards {
+		for _, e := range sh.entries {
+			out = append(out, e.Name)
+		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Shards returns the in-memory shard regions, sorted (tests, CLI).
+func (s *Store) Shards() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.shards))
+	for region := range s.shards {
+		out = append(out, region)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Images returns the retained image versions, most recent first.
+func (s *Store) Images() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.index.Images))
+	for _, m := range s.index.Images {
+		out = append(out, m.Image)
+	}
 	return out
 }

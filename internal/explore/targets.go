@@ -6,7 +6,9 @@ import (
 	"lfi/internal/apps/minidb"
 	"lfi/internal/apps/minidns"
 	"lfi/internal/apps/minivcs"
+	"lfi/internal/apps/miniweb"
 	"lfi/internal/libspec"
+	"lfi/internal/pbft"
 	"lfi/internal/profile"
 )
 
@@ -45,9 +47,13 @@ func blockForSite(offs map[string]uint64) func(string, uint64) string {
 	return func(_ string, off uint64) string { return byOff[off] }
 }
 
+// PBFTSystem is the explorer's name for the scripted PBFT replica
+// harness (the binary itself is named bft/simple-server).
+const PBFTSystem = "pbft"
+
 // ConfigFor returns a ready exploration config for one of the built-in
-// systems (minidb, minivcs, minidns). The caller still sets budget,
-// batch size, store path and logging.
+// systems (minidb, minivcs, minidns, miniweb, pbft). The caller still
+// sets budget, batch size, store path and logging.
 func ConfigFor(app string) (Config, bool) {
 	var (
 		cfg Config
@@ -75,6 +81,20 @@ func ConfigFor(app string) (Config, bool) {
 			Target:       minidns.TargetWithCoverage,
 			BlockForSite: blockForSite(offs),
 		}
+	case miniweb.Module:
+		bin, offs := miniweb.Binary()
+		cfg = Config{
+			System: miniweb.Module, Binary: bin,
+			Target:       miniweb.TargetWithCoverage,
+			BlockForSite: blockForSite(offs),
+		}
+	case PBFTSystem:
+		bin, offs := pbft.Binary()
+		cfg = Config{
+			System: PBFTSystem, Binary: bin,
+			Target:       pbft.TargetWithCoverage,
+			BlockForSite: blockForSite(offs),
+		}
 	default:
 		ok = false
 	}
@@ -86,5 +106,5 @@ func ConfigFor(app string) (Config, bool) {
 
 // Systems lists the app names ConfigFor accepts.
 func Systems() []string {
-	return []string{minidb.Module, minivcs.Module, minidns.Module}
+	return []string{minidb.Module, minivcs.Module, minidns.Module, miniweb.Module, PBFTSystem}
 }

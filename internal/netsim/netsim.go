@@ -133,3 +133,25 @@ func (e *Endpoint) Close() {
 
 // Pending returns the queued datagram count (tests and monitors).
 func (e *Endpoint) Pending() int { return len(e.q) }
+
+// Drop removes and discards one queued datagram at addr, reporting
+// whether one was queued. It models a zero-depth receive buffer: a
+// datagram that was on the wire while the receiving socket call failed
+// is gone, exactly like UDP under load. The PBFT scripted harness uses
+// it to give injected recvfrom faults real loss semantics — without it
+// an injected receive failure would only delay the datagram, because
+// injection skips the dequeue.
+func (n *Network) Drop(addr string) bool {
+	n.mu.Lock()
+	e, ok := n.bound[addr]
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.q:
+		return true
+	default:
+		return false
+	}
+}

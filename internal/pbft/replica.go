@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lfi/internal/coverage"
 	"lfi/internal/libsim"
 )
 
@@ -67,6 +68,15 @@ type Replica struct {
 	Th *libsim.Thread
 	fd int64
 
+	// Cov tracks block coverage for the fault-space explorer; blocks
+	// follow the rec.<siteLabel> convention of the application targets.
+	// Hits are recorded only when covOn is set (the scripted harness):
+	// the live cluster loop must stay byte-identical to the seed hot
+	// path, because the view-change reproduction and the Figure 3 /
+	// DoS timing studies are sensitive to per-message overhead.
+	Cov   *coverage.Tracker
+	covOn bool
+
 	mu         sync.Mutex
 	view       int
 	seqCounter int
@@ -106,6 +116,7 @@ func NewReplica(id, f int, net libsim.NetBackend, build Build) *Replica {
 		ID: id, N: 3*f + 1, F: f, Build: build,
 		C:           c,
 		Th:          c.NewThread("bft/simple-server", "main"),
+		Cov:         coverage.New(),
 		entries:     make(map[int]*entry),
 		pendingReqs: make(map[string]Msg),
 		lastReply:   make(map[string]Msg),
@@ -113,8 +124,39 @@ func NewReplica(id, f int, net libsim.NetBackend, build Build) *Replica {
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	r.registerCoverage()
 	return r
 }
+
+func (r *Replica) registerCoverage() {
+	reg := func(id string, loc int, rec bool) { r.Cov.Register(id, loc, rec) }
+	reg("main.request", 30, false)
+	reg("main.preprepare", 25, false)
+	reg("main.prepare", 15, false)
+	reg("main.commit", 15, false)
+	reg("main.exec", 20, false)
+	reg("main.viewadopt", 25, false)
+	reg("main.checkpoint", 12, false)
+	reg("main.shutdown", 8, false)
+	// Recovery arms: the receive-failure pacing, the robust-send retry
+	// loop, and the tolerated periodic-checkpoint open failure.
+	reg("rec.sv_recvfrom", 5, true)
+	reg("rec.sv_sendto", 6, true)
+	reg("rec.cp_fopen_ok", 3, true)
+}
+
+// hit records a coverage block when tracking is enabled. The scripted
+// harness enables it; live cluster replicas leave it off so the timing
+// experiments see the seed-identical hot path.
+func (r *Replica) hit(id string) {
+	if r.covOn {
+		r.Cov.Hit(id)
+	}
+}
+
+// EnableCoverage turns per-block coverage recording on (the scripted
+// harness does this; see the Cov field comment for why it is opt-in).
+func (r *Replica) EnableCoverage() { r.covOn = true }
 
 // primary returns the primary replica id of a view.
 func primary(view, n int) int { return view % n }
@@ -153,8 +195,9 @@ func (r *Replica) View() int {
 	return r.view
 }
 
-// Start opens the socket and runs the replica loop in a goroutine.
-func (r *Replica) Start() error {
+// Open creates and binds the replica socket without starting the
+// receive loop — the scripted harness drives receives itself.
+func (r *Replica) Open() error {
 	t := r.Th
 	r.fd = t.Socket()
 	if r.fd < 0 {
@@ -163,8 +206,45 @@ func (r *Replica) Start() error {
 	if t.Bind(r.fd, ReplicaAddr(r.ID)) < 0 {
 		return fmt.Errorf("pbft: replica %d: bind: %v", r.ID, t.Errno())
 	}
+	return nil
+}
+
+// Start opens the socket and runs the replica loop in a goroutine.
+func (r *Replica) Start() error {
+	if err := r.Open(); err != nil {
+		return err
+	}
 	go r.run()
 	return nil
+}
+
+// PollOnce performs exactly one non-blocking receive and handles the
+// message if one arrived. It reports whether a datagram was consumed;
+// on a failed receive — injected or real — the caller owns the fate of
+// whatever was on the wire (the scripted harness drops it, modelling a
+// zero-depth socket buffer). Crashes raised while handling propagate to
+// the caller, which is what the controller's monitor expects.
+func (r *Replica) PollOnce(buf []byte) bool {
+	var from string
+	pop := r.at("svc_recv", "sv_recvfrom")
+	n := r.Th.Recvfrom(r.fd, buf, &from, 0)
+	pop()
+	if n <= 0 {
+		r.hit("rec.sv_recvfrom")
+		return false
+	}
+	if m, ok := DecodeMsg(buf[:n]); ok {
+		r.handle(m)
+	}
+	return true
+}
+
+// Checkpoint writes one periodic checkpoint on demand (the checked
+// fopen path the scripted harness exercises explicitly).
+func (r *Replica) Checkpoint() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.writeCheckpointLocked()
 }
 
 // Stop terminates the loop and writes the shutdown checkpoint (which
@@ -196,7 +276,7 @@ func (r *Replica) run() {
 	for {
 		select {
 		case <-r.stop:
-			r.shutdownCheckpoint()
+			r.ShutdownCheckpoint()
 			return
 		default:
 		}
@@ -216,6 +296,7 @@ func (r *Replica) run() {
 			// Defensive pacing: an instantly-failing receive (EINTR
 			// storm) must not turn the loop into a busy spin that
 			// starves the healthy replicas of CPU.
+			r.hit("rec.sv_recvfrom")
 			recvFails++
 			if recvFails >= 3 {
 				time.Sleep(time.Millisecond)
@@ -245,6 +326,9 @@ func (r *Replica) send(dst string, m Msg) {
 		pop()
 		if n >= 0 {
 			return
+		}
+		if i == 0 && attempts > 1 {
+			r.hit("rec.sv_sendto") // robust-send retry path entered
 		}
 	}
 	if r.Build == BuildDebug {
@@ -317,6 +401,7 @@ func (r *Replica) handle(m Msg) {
 }
 
 func (r *Replica) onRequest(m Msg) {
+	r.hit("main.request")
 	r.mu.Lock()
 	// Duplicate of an executed request: resend the cached reply.
 	if rep, ok := r.lastReply[m.Client]; ok && rep.ReqID == m.ReqID {
@@ -363,6 +448,7 @@ func (r *Replica) onRequest(m Msg) {
 }
 
 func (r *Replica) onPrePrepare(m Msg) {
+	r.hit("main.preprepare")
 	r.mu.Lock()
 	// A pre-prepare from the primary of a HIGHER view implies that a
 	// quorum already moved there; adopt it (new-view semantics
@@ -392,6 +478,7 @@ func (r *Replica) onPrePrepare(m Msg) {
 }
 
 func (r *Replica) onPrepare(m Msg) {
+	r.hit("main.prepare")
 	r.mu.Lock()
 	// Prepares are matched by (seq, digest) rather than exact view:
 	// under benign loss a peer may lag one view behind, and its
@@ -411,6 +498,7 @@ func (r *Replica) onPrepare(m Msg) {
 }
 
 func (r *Replica) onCommit(m Msg) {
+	r.hit("main.commit")
 	r.mu.Lock()
 	e := r.getEntry(m.Seq)
 	if e.digest == "" {
@@ -459,6 +547,7 @@ func (r *Replica) executeReady() {
 		r.execUpto++
 		e.executed = true
 		r.executedN++
+		r.hit("main.exec")
 		r.vcStreak = 0 // progress: reset the view-change backoff
 		r.state = append(r.state, e.op)
 		rep := Msg{Type: TypeReply, View: r.view, Seq: r.execUpto, Replica: r.ID,
@@ -569,6 +658,7 @@ func (r *Replica) onViewChange(m Msg) {
 // arrived is the seeded segfault; it can only happen in the release
 // build (see fillContentLocked).
 func (r *Replica) adoptViewLocked(v int) {
+	r.hit("main.viewadopt")
 	r.view = v
 	r.inVC = false
 	r.vcStreak++
@@ -632,10 +722,12 @@ func (r *Replica) onNewView(m Msg) {
 // writeCheckpointLocked persists periodic checkpoints (checked path).
 func (r *Replica) writeCheckpointLocked() {
 	t := r.Th
+	r.hit("main.checkpoint")
 	pop := r.at("checkpoint", "cp_fopen_ok")
 	fp := t.Fopen(fmt.Sprintf("/pbft/ckpt-%d", r.execUpto), "w")
 	pop()
 	if fp == 0 {
+		r.hit("rec.cp_fopen_ok")
 		return // periodic checkpoint failure is tolerated
 	}
 	pop = r.at("checkpoint", "cp_fwrite_ok")
@@ -644,11 +736,14 @@ func (r *Replica) writeCheckpointLocked() {
 	t.Fclose(fp)
 }
 
-// shutdownCheckpoint is the replica's exit path: it writes a final
+// ShutdownCheckpoint is the replica's exit path: it writes a final
 // checkpoint WITHOUT checking that the file opened — the Table 1 PBFT
-// bug (fwrite through a NULL FILE*).
-func (r *Replica) shutdownCheckpoint() {
+// bug (fwrite through a NULL FILE*). The receive loop calls it on
+// stop; the scripted harness calls it directly so the crash propagates
+// to the controller's monitor.
+func (r *Replica) ShutdownCheckpoint() {
 	t := r.Th
+	r.hit("main.shutdown")
 	pop := r.at("shutdown", "sd_fopen")
 	fp := t.Fopen("/pbft/checkpoint-final", "w")
 	pop()

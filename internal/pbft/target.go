@@ -1,0 +1,135 @@
+package pbft
+
+import (
+	"fmt"
+
+	"lfi/internal/controller"
+	"lfi/internal/coverage"
+	"lfi/internal/libsim"
+	"lfi/internal/netsim"
+)
+
+// This file adapts PBFT to the fault-space explorer: a scripted
+// single-replica harness that replays a recorded protocol trace
+// synchronously, so exploration over the replica binary is as
+// deterministic and as fast as the single-process application targets.
+//
+// The harness drives replica 3 of an f=1 configuration (a backup in
+// view 0, not the primary of view 1) through one complete operation —
+// REQUEST, PRE-PREPARE, the prepare and commit quorums, then a NEW-VIEW
+// announcing view 1 — followed by a periodic checkpoint and the
+// shutdown checkpoint. Each scripted datagram is staged on the wire and
+// consumed by exactly one interposed recvfrom, and a failed receive
+// drops the datagram (netsim.Drop models the zero-depth socket buffer),
+// so the i-th receive interception maps 1:1 to the i-th trace message
+// and injected receive faults have real loss semantics.
+//
+// Both release-build Table 1 bugs are reachable with no hand-written
+// scenario:
+//
+//   - the shutdown checkpoint's unchecked fopen (a single injected
+//     fault crashes the following fwrite on a NULL stream);
+//   - the view-change crash, which needs a *window* of receive faults:
+//     losing only the REQUEST leaves the pre-prepare to supply the
+//     content, and losing only the PRE-PREPARE is repaired from the
+//     client request cache — but losing both (occurrence window 1-2)
+//     lets the commit quorum record a contentless entry that the
+//     NEW-VIEW then dereferences. That is exactly the burst shape the
+//     explorer's occurrence-window mutation discovers.
+const harnessReplicaID = 3
+
+// Harness is one scripted replay of the protocol trace.
+type Harness struct {
+	Net *netsim.Network
+	R   *Replica
+
+	wire libsim.NetEndpoint // staging endpoint the trace is sent from
+}
+
+// NewHarness stages a release-build replica plus sink endpoints for its
+// peers and the client, so every outbound send has a live destination.
+func NewHarness() *Harness {
+	net := netsim.New()
+	h := &Harness{Net: net, R: NewReplica(harnessReplicaID, 1, net, BuildRelease)}
+	h.R.EnableCoverage()
+	for i := 0; i < h.R.N; i++ {
+		if i != harnessReplicaID {
+			sink := net.NewEndpoint()
+			sink.Bind(ReplicaAddr(i))
+		}
+	}
+	sink := net.NewEndpoint()
+	sink.Bind("client-0")
+	h.wire = net.NewEndpoint()
+	return h
+}
+
+// trace is the recorded message sequence: one operation reaching
+// execution on a backup, then the move to view 1.
+func (h *Harness) trace() []Msg {
+	const client, op = "client-0", "op-1"
+	d := digest(client, 1, op)
+	return []Msg{
+		{Type: TypeRequest, Replica: -1, Client: client, ReqID: 1, Op: op},
+		{Type: TypePrePrepare, View: 0, Seq: 1, Replica: 0, Client: client, ReqID: 1, Op: op, Digest: d},
+		{Type: TypePrepare, View: 0, Seq: 1, Replica: 1, Digest: d},
+		{Type: TypePrepare, View: 0, Seq: 1, Replica: 2, Digest: d},
+		{Type: TypeCommit, View: 0, Seq: 1, Replica: 0, Digest: d},
+		{Type: TypeCommit, View: 0, Seq: 1, Replica: 1, Digest: d},
+		{Type: TypeCommit, View: 0, Seq: 1, Replica: 2, Digest: d},
+		{Type: TypeNewView, View: 1, Replica: 1},
+	}
+}
+
+// Run replays the trace. Crashes (the shutdown NULL-stream fwrite, the
+// view-change dereference) propagate as panics for the controller's
+// monitor; a run that survives but fails to execute the operation is a
+// workload-detected failure.
+func (h *Harness) Run() error {
+	r := h.R
+	if err := r.Open(); err != nil {
+		return err
+	}
+	buf := make([]byte, 4096)
+	for _, m := range h.trace() {
+		if e := h.wire.SendTo(ReplicaAddr(harnessReplicaID), m.Encode()); e != 0 {
+			return fmt.Errorf("pbft harness: stage datagram: errno %d", e)
+		}
+		if !r.PollOnce(buf) {
+			h.Net.Drop(ReplicaAddr(harnessReplicaID)) // zero-depth buffer: the datagram is lost
+		}
+	}
+	r.Checkpoint()
+	r.ShutdownCheckpoint()
+	if got := r.Executed(); got != 1 {
+		return fmt.Errorf("pbft harness: executed %d of 1 operations", got)
+	}
+	return nil
+}
+
+// Target adapts the scripted harness to the LFI controller. Each Start
+// builds a fresh harness, so campaign workers run independently.
+func Target() controller.Target {
+	return controller.Target{
+		Name: "pbft",
+		Start: func() (*libsim.C, func() error) {
+			h := NewHarness()
+			return h.R.C, h.Run
+		},
+	}
+}
+
+// TargetWithCoverage is Target plus per-run coverage merged into acc —
+// the TargetWithCoverage shape the explorer consumes.
+func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
+	return controller.Target{
+		Name: "pbft",
+		Start: func() (*libsim.C, func() error) {
+			h := NewHarness()
+			return h.R.C, func() error {
+				defer func() { acc.Merge(h.R.Cov) }()
+				return h.Run()
+			}
+		},
+	}
+}

@@ -92,9 +92,56 @@ func (s *Scenario) FindTrigger(id string) *TriggerDecl {
 	return nil
 }
 
+// isXMLName reports whether s can serve as an XML element or attribute
+// name in a serialized scenario: an ASCII name-start character (letter
+// or '_') followed by ASCII name characters, with ':' excluded because
+// XML parsers treat it as a namespace separator and rewrite the name.
+// Serialize writes Args names and attribute keys verbatim, so a name
+// outside this grammar (a digit-leading key like "0", or "A:0", both
+// found by FuzzRoundTrip) would produce a document that does not read
+// back — Validate rejects it up front instead.
+func isXMLName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		nameStart := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if i == 0 && !nameStart {
+			return false
+		}
+		if !nameStart && r != '-' && r != '.' && !(r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validateArgs walks a trigger's parameter tree checking every element
+// name and attribute key is serializable.
+func validateArgs(id string, a *trigger.Args) error {
+	if a == nil {
+		return nil
+	}
+	if !isXMLName(a.Name) {
+		return fmt.Errorf("scenario: trigger %q: args element name %q is not a valid XML name", id, a.Name)
+	}
+	for k := range a.Attr {
+		if !isXMLName(k) {
+			return fmt.Errorf("scenario: trigger %q: args attribute name %q is not a valid XML name", id, k)
+		}
+	}
+	for _, c := range a.Children {
+		if err := validateArgs(id, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Validate checks referential integrity and fault encodings: every
 // reftrigger resolves, trigger ids are unique, trigger classes exist in
-// the registry, and every injecting association has a decodable fault.
+// the registry, every args tree is serializable, and every injecting
+// association has a decodable fault.
 func (s *Scenario) Validate() error {
 	seen := make(map[string]bool, len(s.Triggers))
 	for _, td := range s.Triggers {
@@ -106,6 +153,9 @@ func (s *Scenario) Validate() error {
 		}
 		seen[td.ID] = true
 		if _, err := trigger.New(td.Class); err != nil {
+			return err
+		}
+		if err := validateArgs(td.ID, td.Args); err != nil {
 			return err
 		}
 	}
@@ -196,4 +246,11 @@ func IntArgs(kv ...any) *trigger.Args {
 		})
 	}
 	return a
+}
+
+// BurstArgs builds the <from>/<to> argument tree of a CallCountTrigger
+// occurrence window — the burst form ("inject on calls from..to") used
+// by the DoS study and by the explorer's window mutants.
+func BurstArgs(from, to uint64) *trigger.Args {
+	return IntArgs("from", from, "to", to)
 }

@@ -292,8 +292,11 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add("", "t", "SingletonTrigger", "probability", "0.5", "", int64(0), false)
 	f.Add("x&y", "a", "C", "k", "\ttab\t", "]]>", int64(7), true)
 	f.Fuzz(func(t *testing.T, name, id, class, key, val, text string, ret int64, negate bool) {
-		if strings.ContainsAny(id+class+key, "<>&\"'/= \n\r\t") || id == "" || class == "" || key == "" {
-			t.Skip() // attribute names must be XML names; ids are tested as values elsewhere
+		if strings.ContainsAny(id+class, "<>&\"'/= \n\r\t") || id == "" || class == "" {
+			t.Skip() // ids/classes are serialized as attribute values; junk ones are tested elsewhere
+		}
+		if !isXMLName(key) {
+			t.Skip() // only key becomes an attribute *name*, which XML constrains
 		}
 		if strings.TrimSpace(text) != text {
 			t.Skip() // element text is documented as whitespace-trimmed
@@ -321,6 +324,43 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		roundTrip(t, s)
 	})
+}
+
+// TestValidateRejectsUnserializableArgNames pins the library-side
+// enforcement behind the fuzzer's skip guard: the fuzzer found that a
+// digit-leading attribute key like "0" (or a non-ASCII letter whose
+// XML name classification differs between Unicode tables) serializes
+// to a document no parser reads back, so Validate — and therefore
+// Builder.Build — must reject such names up front. The crashing
+// inputs are kept in testdata/fuzz as regression corpus.
+func TestValidateRejectsUnserializableArgNames(t *testing.T) {
+	for _, key := range []string{"0", "ˌ", "a b", "-x", ""} {
+		s := &Scenario{
+			Triggers: []TriggerDecl{{
+				ID: "t", Class: "SingletonTrigger",
+				Args: &trigger.Args{Name: "args", Attr: map[string]string{key: "v"}},
+			}},
+		}
+		if err := s.Validate(); err == nil {
+			t.Errorf("attr name %q accepted by Validate", key)
+		}
+		b := NewBuilder("n")
+		b.Trigger("t", "SingletonTrigger", IntArgs(key, 1))
+		b.Observe("read", "t")
+		if _, err := b.Build(); err == nil {
+			t.Errorf("Builder accepted arg name %q", key)
+		}
+	}
+	// Child element names are checked too.
+	s := &Scenario{
+		Triggers: []TriggerDecl{{
+			ID: "t", Class: "SingletonTrigger",
+			Args: &trigger.Args{Name: "args", Children: []*trigger.Args{{Name: "1st", Text: "x"}}},
+		}},
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("invalid child element name accepted")
+	}
 }
 
 // utf8ValidXML reports whether s consists of characters XML 1.0 can
