@@ -389,7 +389,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 		for _, workers := range []int{1, 8} {
 			b.Run(fmt.Sprintf("%s/workers-%d", reg.name, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					outs, err := CampaignParallel(reg.tgt, scens, workers, WithSeed(1))
+					outs, err := CampaignParallel(reg.tgt, scens, workers, RuntimeSeed(1))
 					if err != nil {
 						b.Fatal(err)
 					}

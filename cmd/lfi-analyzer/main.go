@@ -1,7 +1,9 @@
 // Command lfi-analyzer runs the call site analyzer (§5, Algorithm 1)
 // over an application binary: it classifies every library call site as
 // checked / partially checked / unchecked and generates the fault
-// injection scenarios aimed at the vulnerable sites.
+// injection scenarios aimed at the vulnerable sites. Targets are
+// resolved through the system registry, so every registered system is
+// analyzable with no command changes.
 //
 // Usage:
 //
@@ -14,61 +16,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"lfi/internal/apps/minidb"
-	"lfi/internal/apps/minidns"
-	"lfi/internal/apps/minivcs"
-	"lfi/internal/apps/miniweb"
-	"lfi/internal/callsite"
-	"lfi/internal/isa"
-	"lfi/internal/libspec"
-	"lfi/internal/pbft"
-	"lfi/internal/profile"
+	"lfi"
 )
 
-func appBinary(name string) (*isa.Binary, bool) {
-	switch name {
-	case "minivcs":
-		b, _ := minivcs.Binary()
-		return b, true
-	case "minidns":
-		b, _ := minidns.Binary()
-		return b, true
-	case "minidb":
-		b, _ := minidb.Binary()
-		return b, true
-	case "miniweb":
-		b, _ := miniweb.Binary()
-		return b, true
-	case "pbft":
-		b, _ := pbft.Binary()
-		return b, true
-	}
-	return nil, false
-}
-
 func main() {
-	app := flag.String("app", "minivcs", "application binary: minivcs, minidns, minidb, miniweb, pbft")
+	app := flag.String("app", "minivcs", "application binary: "+strings.Join(lfi.SystemNames(), ", "))
 	emit := flag.Bool("scenarios", false, "emit generated injection scenarios (XML) for C_not and C_part")
 	dis := flag.Bool("dis", false, "dump the binary disassembly to stderr")
 	window := flag.Int("window", 0, "post-call analysis window in instructions (default 100)")
 	flag.Parse()
 
-	bin, ok := appBinary(*app)
+	sys, ok := lfi.LookupSystem(*app)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "lfi-analyzer: unknown application %q\n", *app)
+		fmt.Fprintf(os.Stderr, "lfi-analyzer: unknown application %q (registered: %s)\n",
+			*app, strings.Join(lfi.SystemNames(), ", "))
 		os.Exit(2)
 	}
+	bin, _ := sys.Binary()
 	if *dis {
 		fmt.Fprintln(os.Stderr, bin.Disassemble())
 	}
 
-	profs := []*profile.Profile{
-		profile.ProfileBinary(libspec.BuildLibc()),
-		profile.ProfileBinary(libspec.BuildLibxml()),
-		profile.ProfileBinary(libspec.BuildLibapr()),
-	}
-	a := &callsite.Analyzer{Window: *window}
+	profs := sys.Profiles()
+	a := &lfi.Analyzer{Window: *window}
 	rep := a.Analyze(bin, profs...)
 
 	yes, part, not := rep.ByClass()
@@ -84,7 +56,7 @@ func main() {
 	}
 
 	if *emit {
-		scens := callsite.GenerateScenarios(bin, append(not, part...), profs...)
+		scens := lfi.GenerateScenarios(bin, append(not, part...), profs...)
 		fmt.Printf("\n%d generated scenarios:\n\n", len(scens))
 		for _, s := range scens {
 			os.Stdout.Write(s.Serialize())

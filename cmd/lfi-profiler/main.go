@@ -1,7 +1,8 @@
 // Command lfi-profiler runs the automated library profiler (§2): it
 // statically analyzes a simulated library binary and emits the fault
 // profile XML (error return values and errno side effects per exported
-// function).
+// function). Libraries are enumerated from the system registry's
+// library table, not a hand-rolled switch.
 //
 // Usage:
 //
@@ -15,27 +16,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"lfi/internal/isa"
-	"lfi/internal/libspec"
 	"lfi/internal/profile"
+	"lfi/internal/system"
 )
 
 func main() {
-	lib := flag.String("lib", "libc", "library to profile: libc, libxml, libapr")
+	lib := flag.String("lib", "libc", "library to profile: "+strings.Join(system.Libraries(), ", "))
 	dis := flag.Bool("dis", false, "dump the library disassembly to stderr")
 	flag.Parse()
 
-	var bin *isa.Binary
-	switch *lib {
-	case "libc":
-		bin = libspec.BuildLibc()
-	case "libxml":
-		bin = libspec.BuildLibxml()
-	case "libapr":
-		bin = libspec.BuildLibapr()
-	default:
-		fmt.Fprintf(os.Stderr, "lfi-profiler: unknown library %q\n", *lib)
+	bin, ok := system.BuildLibrary(*lib)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lfi-profiler: unknown library %q (have: %s)\n",
+			*lib, strings.Join(system.Libraries(), ", "))
 		os.Exit(2)
 	}
 	if *dis {

@@ -1,7 +1,10 @@
 // Command lfi is the LFI controller (§2): it takes an injection
 // scenario (XML file or the analyzer's generated set), conducts a test
-// against one of the built-in target systems, and prints the outcome
-// and the injection log.
+// against one of the registered target systems, and prints the outcome
+// and the injection log. Targets come from the system registry
+// (internal/system): every -app value and usage string is enumerated
+// from it, so a newly registered system is immediately drivable with no
+// command changes.
 //
 // Usage:
 //
@@ -17,88 +20,137 @@
 //
 //	lfi explore -app minidb
 //	lfi explore -app pbft -store .lfi-store -budget 200 -v
+//	lfi explore -all -store .lfi-store       # every registered system
+//	lfi explore -app minidb,minivcs -budget 500
 //
-// The explore store is a shard directory (one shard per targeted code
-// region, per-image-version manifests), so stores for several targets
-// and image versions share one root; a v1 single-file store is
-// migrated automatically.
+// With -all (or a comma-separated -app list) one session fans out over
+// the systems with a shared worker pool, a shared store root and a
+// shared budget, interleaving batches by uncovered-recovery-block
+// priority across systems. Ctrl-C cancels cleanly: in-flight tests
+// finish, every store is flushed (no torn shards), and the next run
+// resumes with zero re-execution. -v adds per-batch progress and the
+// per-store compaction stats (shards, retained image versions, entries
+// migrated vs invalidated).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
-	"lfi/internal/apps/minidb"
-	"lfi/internal/apps/minidns"
-	"lfi/internal/apps/minivcs"
-	"lfi/internal/apps/miniweb"
-	"lfi/internal/callsite"
-	"lfi/internal/controller"
-	"lfi/internal/explore"
-	"lfi/internal/isa"
-	"lfi/internal/libspec"
-	"lfi/internal/pbft"
-	"lfi/internal/profile"
-	"lfi/internal/scenario"
+	"lfi"
 )
 
-func target(name string) (controller.Target, *isa.Binary, bool) {
-	switch name {
-	case "minivcs":
-		b, _ := minivcs.Binary()
-		return minivcs.Target(), b, true
-	case "minidns":
-		b, _ := minidns.Binary()
-		return minidns.Target(), b, true
-	case "minidb":
-		b, _ := minidb.Binary()
-		return minidb.Target(), b, true
-	case "miniweb":
-		b, _ := miniweb.Binary()
-		return miniweb.Target(), b, true
-	case "pbft":
-		b, _ := pbft.Binary()
-		return pbft.Target(), b, true
+// appsUsage enumerates the registered systems for usage/error text.
+func appsUsage() string { return strings.Join(lfi.SystemNames(), ", ") }
+
+// lookupApps resolves a comma-separated -app list against the registry
+// (duplicates collapsed), exiting with the registry's contents on an
+// unknown name.
+func lookupApps(list string) []*lfi.System {
+	var systems []*lfi.System
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		sys, ok := lfi.LookupSystem(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lfi: unknown target %q (registered: %s)\n", name, appsUsage())
+			os.Exit(2)
+		}
+		systems = append(systems, sys)
 	}
-	return controller.Target{}, nil, false
+	if len(systems) == 0 {
+		fmt.Fprintf(os.Stderr, "lfi: no target given (registered: %s)\n", appsUsage())
+		os.Exit(2)
+	}
+	return systems
+}
+
+// interruptible is the Ctrl-C contract: SIGINT/SIGTERM cancel the
+// context; sessions finish in-flight tests, flush their stores, and
+// return the partial result with context.Canceled.
+func interruptible() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // runExplore implements `lfi explore`.
 func runExplore(args []string) {
 	fs := flag.NewFlagSet("lfi explore", flag.ExitOnError)
-	app := fs.String("app", "minidb", "target system: "+strings.Join(explore.Systems(), ", "))
-	store := fs.String("store", "", "persistent campaign store (shard directory); resumes incrementally")
-	budget := fs.Int("budget", 0, "max executed test runs (0 = explore everything)")
+	app := fs.String("app", "minidb", "target system(s), comma-separated: "+appsUsage())
+	all := fs.Bool("all", false, "explore every registered system in one session")
+	store := fs.String("store", "", "persistent campaign store root (shard directory per system); resumes incrementally")
+	budget := fs.Int("budget", 0, "max executed test runs, total across systems (0 = explore everything)")
 	batch := fs.Int("batch", 0, "candidates per scheduling batch (default 16)")
 	stall := fs.Int("stall", 0, "stop after this many batches with no new coverage/bugs (default 3)")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "campaign worker pool size (1 = sequential)")
 	seed := fs.Int64("seed", 0, "runtime random seed")
-	verbose := fs.Bool("v", false, "print per-batch progress")
+	verbose := fs.Bool("v", false, "print per-batch progress and per-store compaction stats")
 	fs.Parse(args)
 
-	cfg, ok := explore.ConfigFor(*app)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lfi explore: unknown target %q (have %v)\n", *app, explore.Systems())
-		os.Exit(2)
+	var systems []*lfi.System
+	if *all {
+		systems = lfi.Systems()
+	} else {
+		systems = lookupApps(*app)
 	}
-	cfg.Store = *store
-	cfg.MaxRuns = *budget
-	cfg.BatchSize = *batch
-	cfg.StallBatches = *stall
-	cfg.Workers = *jobs
-	cfg.Seed = *seed
+
+	opts := []lfi.SessionOption{
+		lfi.WithStore(*store),
+		lfi.WithBudget(*budget),
+		lfi.WithBatchSize(*batch),
+		lfi.WithStallBatches(*stall),
+		lfi.WithWorkers(*jobs),
+		lfi.WithSeed(*seed),
+	}
 	if *verbose {
-		cfg.Log = os.Stderr
+		opts = append(opts, lfi.WithLog(os.Stderr))
 	}
-	res, err := explore.Explore(cfg)
-	if err != nil {
+	sess := lfi.NewSession(opts...)
+	ctx, cancel := interruptible()
+	defer cancel()
+
+	printStats := func(res *lfi.ExploreResult) {
+		if *verbose && res != nil && res.StoreStats != nil {
+			fmt.Printf("  %s\n", res.StoreStats)
+		}
+	}
+
+	var err error
+	if len(systems) == 1 {
+		var res *lfi.ExploreResult
+		res, err = sess.Explore(ctx, systems[0])
+		if res != nil {
+			fmt.Print(res)
+			printStats(res)
+		}
+	} else {
+		var res *lfi.ExploreAllResult
+		res, err = sess.ExploreAll(ctx, systems...)
+		if res != nil {
+			fmt.Print(res)
+			for _, r := range res.Results {
+				printStats(r)
+			}
+		}
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "lfi explore: interrupted — stores flushed; rerun to resume with no re-execution")
+		os.Exit(130)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "lfi explore:", err)
 		os.Exit(1)
 	}
-	fmt.Print(res)
 }
 
 func main() {
@@ -106,20 +158,20 @@ func main() {
 		runExplore(os.Args[2:])
 		return
 	}
-	app := flag.String("app", "minivcs", "target system: minivcs, minidns, minidb, miniweb, pbft")
+	app := flag.String("app", "minivcs", "target system: "+appsUsage())
 	scenFile := flag.String("scenario", "", "injection scenario XML file")
 	auto := flag.Bool("auto", false, "generate scenarios with the call-site analyzer and run them all")
 	verbose := flag.Bool("v", false, "print each run's injection log")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "campaign worker pool size (1 = sequential)")
 	flag.Parse()
 
-	tgt, bin, ok := target(*app)
+	sys, ok := lfi.LookupSystem(*app)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "lfi: unknown target %q\n", *app)
+		fmt.Fprintf(os.Stderr, "lfi: unknown target %q (registered: %s)\n", *app, appsUsage())
 		os.Exit(2)
 	}
 
-	var scens []*scenario.Scenario
+	var scens []*lfi.Scenario
 	switch {
 	case *scenFile != "":
 		f, err := os.Open(*scenFile)
@@ -127,7 +179,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lfi:", err)
 			os.Exit(1)
 		}
-		s, err := scenario.Parse(f)
+		s, err := lfi.ParseScenario(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lfi:", err)
@@ -135,40 +187,39 @@ func main() {
 		}
 		scens = append(scens, s)
 	case *auto:
-		profs := []*profile.Profile{
-			profile.ProfileBinary(libspec.BuildLibc()),
-			profile.ProfileBinary(libspec.BuildLibxml()),
-			profile.ProfileBinary(libspec.BuildLibapr()),
-		}
-		a := &callsite.Analyzer{}
+		bin, _ := sys.Binary()
+		profs := sys.Profiles()
+		a := &lfi.Analyzer{}
 		rep := a.Analyze(bin, profs...)
 		yes, part, not := rep.ByClass()
-		scens = callsite.GenerateScenarios(bin, append(not, part...), profs...)
-		scens = append(scens, callsite.GenerateExercise(bin, yes, profs...)...)
+		scens = lfi.GenerateScenarios(bin, append(not, part...), profs...)
+		scens = append(scens, lfi.GenerateExercise(bin, yes, profs...)...)
 		fmt.Printf("analyzer generated %d scenarios for %s\n", len(scens), bin.Name)
 	default:
 		fmt.Fprintln(os.Stderr, "lfi: need -scenario FILE or -auto")
 		os.Exit(2)
 	}
 
-	outs, err := controller.CampaignParallel(tgt, scens, *jobs)
-	if err != nil {
+	ctx, cancel := interruptible()
+	defer cancel()
+	sess := lfi.NewSession(lfi.WithWorkers(*jobs))
+	rep, err := sess.Run(ctx, sys, scens)
+	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "lfi:", err)
 		os.Exit(1)
 	}
-	failures := 0
-	for _, o := range outs {
+	for _, o := range rep.Outcomes {
 		fmt.Println(o)
 		if *verbose && o.Log != nil && o.Log.Len() > 0 {
 			fmt.Print(o.Log)
 		}
-		if o.Failed() {
-			failures++
-		}
 	}
-	bugs := controller.DistinctBugs(*app, outs)
-	fmt.Printf("\n%d/%d runs failed; %d distinct failure signatures:\n", failures, len(outs), len(bugs))
-	for _, b := range bugs {
+	fmt.Printf("\n%d/%d runs failed; %d distinct failure signatures:\n", rep.Failures, len(rep.Outcomes), len(rep.Bugs))
+	for _, b := range rep.Bugs {
 		fmt.Printf("  %s (%d scenarios)\n", b.Signature, len(b.Scenarios))
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "lfi: interrupted")
+		os.Exit(130)
 	}
 }

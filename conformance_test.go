@@ -1,0 +1,110 @@
+package lfi
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lfi/internal/controller"
+	"lfi/internal/coverage"
+)
+
+// TestSystemRegistryConformance is the descriptor contract, enforced
+// for every registered system in one table-driven sweep: the binary
+// assembles with a site map, the libraries profile cleanly, both
+// controller adapters run the default suite, the coverage adapter
+// actually accumulates, and — the acceptance bar — Session.Explore
+// rediscovers every stock Table-1 crash bug with no hand-written
+// scenario, window-only bugs strictly through bred window mutants.
+// This subsumes the per-system stock-bug tests the explorer used to
+// carry: a new system registers a descriptor in its own package and is
+// held to the same bar with no new test code.
+func TestSystemRegistryConformance(t *testing.T) {
+	systems := Systems()
+	for _, want := range []string{"minidb", "minidns", "minivcs", "miniweb", "pbft"} {
+		if _, ok := LookupSystem(want); !ok {
+			t.Fatalf("built-in system %q not registered", want)
+		}
+	}
+	if len(systems) < 5 {
+		t.Fatalf("registry lists %d systems, want >= 5", len(systems))
+	}
+
+	for _, sys := range systems {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			// Descriptor shape.
+			bin, offs := sys.Binary()
+			if bin == nil || len(bin.Code) == 0 {
+				t.Fatal("Binary() returned no image")
+			}
+			if len(offs) == 0 {
+				t.Fatal("Binary() returned no site-label offsets")
+			}
+			if sys.Workload == "" {
+				t.Error("descriptor names no workload suite")
+			}
+			if len(sys.StockBugs) == 0 {
+				t.Fatal("descriptor advertises no stock bugs")
+			}
+
+			// Libraries profile cleanly.
+			profs := sys.Profiles()
+			if len(profs) == 0 {
+				t.Fatal("Profiles() returned nothing")
+			}
+			for _, p := range profs {
+				if p == nil || len(p.FuncNames()) == 0 {
+					t.Fatalf("library profile empty: %+v", p)
+				}
+			}
+
+			// Both controller adapters run the default suite; the
+			// coverage adapter must register a block universe with
+			// recovery blocks and merge per-run hits.
+			if out, err := controller.RunOne(sys.Target(), nil); err != nil || out.Failed() {
+				t.Fatalf("default suite failed under Target(): err=%v out=%v", err, out)
+			}
+			acc := coverage.New()
+			if out, err := controller.RunOne(sys.TargetWithCoverage(acc), nil); err != nil || out.Failed() {
+				t.Fatalf("default suite failed under TargetWithCoverage(): err=%v out=%v", err, out)
+			}
+			if len(acc.RegisteredIDs()) == 0 {
+				t.Fatal("coverage adapter registered no blocks")
+			}
+			if len(acc.RecoveryIDs()) == 0 {
+				t.Fatal("coverage adapter registered no recovery blocks")
+			}
+			if len(acc.CoveredIDs()) == 0 {
+				t.Fatal("coverage adapter merged no hits from the suite")
+			}
+
+			// The acceptance bar: exploration through the Session API
+			// rediscovers every advertised stock bug.
+			sess := NewSession(WithWorkers(4), WithStallBatches(1000))
+			res, err := sess.Explore(context.Background(), sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sb := range sys.StockBugs {
+				found := false
+				for _, b := range res.Bugs {
+					if !b.IsCrash() || !strings.Contains(b.Signature, sb.Match) {
+						continue
+					}
+					found = true
+					if sb.WindowOnly {
+						for _, name := range b.Scenarios {
+							if !strings.Contains(name, "explore-win-") {
+								t.Errorf("window-only bug %q found by non-window scenario %q", sb.Match, name)
+							}
+						}
+					}
+				}
+				if !found {
+					t.Errorf("stock bug not rediscovered: %q (%s)\n%s", sb.Match, sb.Note, res)
+				}
+			}
+		})
+	}
+}

@@ -1,26 +1,26 @@
 // Explore: discover bugs and cover recovery code without writing a
-// single scenario.
+// single scenario — through the Session API.
 //
-// This walkthrough drives the coverage-guided fault-space explorer
-// against two of the built-in target systems. The explorer enumerates
-// candidate injections from the library fault profiles crossed with the
-// call-site analysis (which error values can each imported function
-// return, at which call sites does the program fail to check them, and
-// at which dynamic occurrence), then schedules them in batches,
-// steering toward candidates that can still reach uncovered recovery
-// blocks. Outcomes persist in a JSON store, so running this example
-// twice replays the first run's results instead of re-executing them.
+// One lfi.Session owns the campaign knobs (store root, worker pool,
+// budget) and drives the coverage-guided fault-space explorer against
+// registered target systems. The explorer enumerates candidate
+// injections from the library fault profiles crossed with the call-site
+// analysis, schedules them in batches steered toward uncovered recovery
+// blocks, and persists outcomes in a sharded store — so a second run
+// replays instead of re-executing, and `ExploreAll` fans one session
+// out over every registered system at once.
 //
 //	go run ./examples/explore
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
-	"lfi/internal/explore"
+	"lfi"
 )
 
 func main() {
@@ -29,22 +29,30 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(storeDir)
+	ctx := context.Background()
+
+	// One session for everything below: shared store root, shared
+	// worker pool. StallBatches is raised so runs drain their whole
+	// candidate queue (bred window mutants included) and the resume
+	// demos can replay everything.
+	sess := lfi.NewSession(
+		lfi.WithStore(filepath.Join(storeDir, "store")),
+		lfi.WithStallBatches(1000),
+		lfi.WithLog(os.Stdout),
+	)
 
 	// --- minidb: the MySQL stand-in --------------------------------
 	//
 	// Table 1 finds its two bugs (a double mutex unlock in mi_create's
 	// recovery path, a crash on an uninitialized errmsg structure)
 	// with hand-seeded random injection. The explorer finds both from
-	// first principles. StallBatches is raised so the run drains its
-	// whole queue (including bred window mutants) and the resume demo
-	// below can replay everything.
-	cfg, _ := explore.ConfigFor("minidb")
-	cfg.Store = filepath.Join(storeDir, "store")
-	cfg.StallBatches = 1000
-	cfg.Log = os.Stdout
-
+	// first principles.
+	minidb, ok := lfi.LookupSystem("minidb")
+	if !ok {
+		log.Fatal("minidb not registered")
+	}
 	fmt.Println("=== exploring minidb ===")
-	res, err := explore.Explore(cfg)
+	res, err := sess.Explore(ctx, minidb)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,55 +70,34 @@ func main() {
 	//
 	// The store keys every outcome by scenario hash + targeted-code
 	// hash; with the target unchanged, the second run replays
-	// everything and executes no test.
+	// everything and executes no test. Store.Stats (the `lfi explore
+	// -v` report) shows the whole cache migrating forward.
 	fmt.Println("=== exploring minidb again (resumes from the store) ===")
-	res2, err := explore.Explore(cfg)
+	res2, err := sess.Explore(ctx, minidb)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("executed %d, replayed %d — the whole campaign came from %s\n\n",
-		res2.Executed, res2.Replayed, filepath.Base(cfg.Store))
+	fmt.Printf("executed %d, replayed %d — the whole campaign came from the store\n", res2.Executed, res2.Replayed)
+	fmt.Printf("%s\n\n", res2.StoreStats)
 
-	// --- minivcs: the Git stand-in, on a budget --------------------
+	// --- every registered system in one session --------------------
 	//
-	// A budget bounds the run; the scheduler spends it on the
-	// candidates most likely to reach uncovered recovery code first.
-	// Both systems share one store root: each gets its own shard
-	// directory underneath it.
-	vcs, _ := explore.ConfigFor("minivcs")
-	vcs.Store = filepath.Join(storeDir, "store")
-	vcs.MaxRuns = 60
-	vcs.Log = os.Stdout
-
-	fmt.Println("=== exploring minivcs (budget: 60 runs) ===")
-	vres, err := explore.Explore(vcs)
+	// ExploreAll is `lfi explore -all`: one session fans out over the
+	// registry with a shared worker pool, the shared store root (so
+	// the minidb results above replay for free) and a shared budget,
+	// interleaving batches across systems by how many recovery blocks
+	// each still has uncovered. The release-build PBFT view-change
+	// crash is in the haul — reachable only through the explorer's
+	// occurrence-window mutants, since it needs both the REQUEST and
+	// the PRE-PREPARE lost.
+	fmt.Println("=== exploring every registered system (`lfi explore -all`) ===")
+	all, err := sess.ExploreAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(vres)
-
-	// --- pbft: window mutation earns its keep ----------------------
-	//
-	// The release-build view-change crash needs a *burst* of lost
-	// receives: dropping only the request or only the pre-prepare is
-	// repaired by PBFT's request dissemination, so no single generated
-	// candidate can trigger it. An occurrence candidate that reaches
-	// the receive-failure recovery path breeds CallCount from/to
-	// window mutants (widen / shift / split), and one of those loses
-	// both datagrams — the commit quorum then records a contentless
-	// entry the NEW-VIEW dereferences.
-	bft, _ := explore.ConfigFor("pbft")
-	bft.Log = os.Stdout
-
-	fmt.Println("\n=== exploring pbft (scripted replica harness) ===")
-	bres, err := explore.Explore(bft)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(bres)
-	for _, b := range bres.Bugs {
-		if b.IsCrash() && len(b.Scenarios) > 0 {
-			fmt.Printf("  %s\n    found by %s\n", b.Signature, b.Scenarios[0])
-		}
+	fmt.Print(all)
+	fmt.Println("\ncrash bugs across all systems:")
+	for _, b := range all.CrashBugs() {
+		fmt.Printf("  %-8s %s\n    found by %s\n", b.System, b.Signature, b.Scenarios[0])
 	}
 }

@@ -1,28 +1,35 @@
-// Quickstart: intercept a program's library calls, inject a fault on
-// the second read(), and inspect the injection log.
+// Quickstart: the public lfi API in two bites.
+//
+// Part 1 — the raw injection engine: intercept a program's library
+// calls, inject a fault on the second read(), and inspect the
+// injection log.
+//
+// Part 2 — the Session API: look a registered target system up in the
+// registry and run a scenario campaign against its test suite through
+// one context-aware Session.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"lfi/internal/core"
-	"lfi/internal/errno"
-	"lfi/internal/libsim"
-	"lfi/internal/scenario"
+	"lfi"
 )
 
 func main() {
+	// --- Part 1: a scenario against a bare simulated process -------
+
 	// 1. A simulated process with a file to read.
-	proc := libsim.New(1 << 20)
+	proc := lfi.NewProcess(1 << 20)
 	proc.MustWriteFile("/data/input.txt", []byte("hello, fault injection"))
 	th := proc.NewThread("quickstart", "main")
 
 	// 2. A fault injection scenario in LFI's XML language: fail the
 	// second read() with -1/EINTR, exactly once.
-	s, err := scenario.ParseString(`
+	s, err := lfi.ParseScenarioString(`
 	<scenario name="quickstart">
 	  <trigger id="second" class="CallCountTrigger"><args><n>2</n></args></trigger>
 	  <function name="read" argc="3" return="-1" errno="EINTR">
@@ -35,7 +42,7 @@ func main() {
 
 	// 3. Compile the scenario and splice the LFI runtime in front of
 	// the simulated C library.
-	rt, err := core.New(proc, s)
+	rt, err := lfi.NewRuntime(proc, s)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +51,7 @@ func main() {
 
 	// 4. The program under test: read the file in 8-byte chunks,
 	// retrying on EINTR the way robust recovery code should.
-	fd := th.Open("/data/input.txt", libsim.O_RDONLY)
+	fd := th.Open("/data/input.txt", lfi.O_RDONLY)
 	if fd < 0 {
 		log.Fatalf("open: %v", th.Errno())
 	}
@@ -53,7 +60,7 @@ func main() {
 	for {
 		n := th.Read(fd, buf)
 		if n == -1 {
-			if th.Errno() == errno.EINTR {
+			if th.Errno() == lfi.EINTR {
 				fmt.Println("read interrupted (EINTR) — retrying, as recovery code should")
 				continue
 			}
@@ -67,5 +74,54 @@ func main() {
 	th.Close(fd)
 
 	fmt.Printf("read back: %q\n", out)
-	fmt.Printf("\ninjection log:\n%s", rt.Log())
+	fmt.Printf("\ninjection log:\n%s\n", rt.Log())
+
+	// --- Part 2: the same idea against a whole registered system ---
+
+	// Target systems self-register descriptors (internal/system/all),
+	// so the registry knows how to build, run and measure each one.
+	sys, ok := lfi.LookupSystem("minivcs")
+	if !ok {
+		log.Fatal("minivcs not registered")
+	}
+	fmt.Printf("registered systems: %v\n", lfi.SystemNames())
+	fmt.Printf("target %s: %s\n\n", sys.Name, sys.Workload)
+
+	// One Session unifies single runs and campaigns: it owns the
+	// worker pool, streams outcomes as they complete, and cancels
+	// cleanly with the context.
+	var scens []*lfi.Scenario
+	for _, doc := range []string{
+		// Handled gracefully: one EINTR deep in the suite.
+		`<scenario name="transient-close-eintr">
+		  <trigger id="once" class="CallCountTrigger"><args><n>2</n></args></trigger>
+		  <function name="close" return="-1" errno="EINTR"><reftrigger ref="once" /></function>
+		</scenario>`,
+		// Not handled: sustained allocation failure crashes the suite.
+		`<scenario name="malloc-exhaustion">
+		  <trigger id="all" class="CallCountTrigger"><args><from>1</from><to>200</to></args></trigger>
+		  <function name="malloc" return="0" errno="ENOMEM"><reftrigger ref="all" /></function>
+		</scenario>`,
+	} {
+		sc, err := lfi.ParseScenarioString(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scens = append(scens, sc)
+	}
+	sess := lfi.NewSession(
+		lfi.WithWorkers(2),
+		lfi.WithObserver(func(system string, o lfi.Outcome) {
+			fmt.Printf("  [%s] %s\n", system, o)
+		}),
+	)
+	rep, err := sess.Run(context.Background(), sys, scens)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d/%d runs failed, %d distinct failure signatures\n",
+		rep.Failures, len(rep.Outcomes), len(rep.Bugs))
+	for _, b := range rep.Bugs {
+		fmt.Printf("  %s\n", b.Signature)
+	}
 }

@@ -16,6 +16,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -133,12 +134,23 @@ func Campaign(tgt Target, scenarios []*scenario.Scenario, opts ...core.Option) (
 // monitor) re-raise on the caller's goroutine instead of killing the
 // process from a worker.
 func RunN(workers, n int, run func(i int) (Outcome, error)) ([]Outcome, error) {
+	return RunNContext(context.Background(), workers, n, run)
+}
+
+// RunNContext is RunN under a context. Cancellation is cooperative at
+// run granularity: in-flight tests finish (a test never observes a torn
+// process image), no new test starts afterwards, and the call returns
+// the contiguous prefix of completed outcomes together with ctx.Err().
+func RunNContext(ctx context.Context, workers, n int, run func(i int) (Outcome, error)) ([]Outcome, error) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		outcomes := make([]Outcome, 0, n)
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return outcomes, err
+			}
 			o, err := run(i)
 			if err != nil {
 				return outcomes, err
@@ -148,6 +160,7 @@ func RunN(workers, n int, run func(i int) (Outcome, error)) ([]Outcome, error) {
 		return outcomes, nil
 	}
 	outcomes := make([]Outcome, n)
+	done := make([]bool, n)
 	errs := make([]error, n)
 	panics := make([]any, n)
 	var next atomic.Int64
@@ -156,7 +169,7 @@ func RunN(workers, n int, run func(i int) (Outcome, error)) ([]Outcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -168,6 +181,7 @@ func RunN(workers, n int, run func(i int) (Outcome, error)) ([]Outcome, error) {
 						}
 					}()
 					outcomes[i], errs[i] = run(i)
+					done[i] = true
 				}()
 			}
 		}()
@@ -177,9 +191,16 @@ func RunN(workers, n int, run func(i int) (Outcome, error)) ([]Outcome, error) {
 		if panics[i] != nil {
 			panic(panics[i])
 		}
+		if !done[i] {
+			// Only cancellation leaves gaps; report the prefix.
+			return outcomes[:i], ctx.Err()
+		}
 		if errs[i] != nil {
 			return outcomes[:i], errs[i]
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return outcomes, err
 	}
 	return outcomes, nil
 }
@@ -190,7 +211,14 @@ func RunN(workers, n int, run func(i int) (Outcome, error)) ([]Outcome, error) {
 // each), so with a fixed seed the result is identical to the sequential
 // Campaign. workers <= 1 degrades to the sequential path.
 func CampaignParallel(tgt Target, scenarios []*scenario.Scenario, workers int, opts ...core.Option) ([]Outcome, error) {
-	return RunN(workers, len(scenarios), func(i int) (Outcome, error) {
+	return CampaignParallelContext(context.Background(), tgt, scenarios, workers, opts...)
+}
+
+// CampaignParallelContext is CampaignParallel under a context: on
+// cancellation, in-flight tests finish, no new test starts, and the
+// contiguous prefix of completed outcomes comes back with ctx.Err().
+func CampaignParallelContext(ctx context.Context, tgt Target, scenarios []*scenario.Scenario, workers int, opts ...core.Option) ([]Outcome, error) {
+	return RunNContext(ctx, workers, len(scenarios), func(i int) (Outcome, error) {
 		o, err := RunOne(tgt, scenarios[i], opts...)
 		if err != nil {
 			return o, fmt.Errorf("controller: scenario %q: %w", scenarios[i].Name, err)

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -193,6 +194,42 @@ func TestRunNOrderAndError(t *testing.T) {
 	}
 	if len(outs) != 5 {
 		t.Fatalf("%d outcomes survive, want 5", len(outs))
+	}
+}
+
+func TestRunNContextCancellation(t *testing.T) {
+	// A pre-cancelled context runs nothing, sequentially and on a pool.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		outs, err := RunNContext(ctx, workers, 16, func(i int) (Outcome, error) {
+			return Outcome{Injections: i}, nil
+		})
+		if err != context.Canceled || len(outs) != 0 {
+			t.Fatalf("workers=%d: %d outcomes, err=%v; want 0, context.Canceled", workers, len(outs), err)
+		}
+	}
+
+	// Cancelling mid-run: in-flight tests finish, no new test starts,
+	// and the contiguous completed prefix comes back with ctx.Err().
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	outs, err := RunNContext(ctx, 2, 64, func(i int) (Outcome, error) {
+		if i == 7 {
+			cancel()
+		}
+		return Outcome{Injections: i}, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(outs) == 0 || len(outs) >= 64 {
+		t.Fatalf("%d outcomes, want a proper prefix", len(outs))
+	}
+	for i, o := range outs {
+		if o.Injections != i {
+			t.Fatalf("prefix slot %d holds run %d", i, o.Injections)
+		}
 	}
 }
 

@@ -5,15 +5,12 @@ import (
 	"strings"
 
 	"lfi/internal/apps/minidb"
-	"lfi/internal/apps/minidns"
-	"lfi/internal/apps/minivcs"
-	"lfi/internal/apps/miniweb"
 	"lfi/internal/callsite"
 	"lfi/internal/controller"
 	"lfi/internal/coverage"
 	"lfi/internal/explore"
-	"lfi/internal/pbft"
 	"lfi/internal/profile"
+	"lfi/internal/system"
 )
 
 // ExplorerRow compares one system's coverage-guided exploration run
@@ -73,47 +70,33 @@ func (r ExplorerResult) String() string {
 }
 
 // crashSignatures runs a stock campaign for one system and returns its
-// distinct crash signatures: the analyzer-generated scenario set for
-// minivcs/minidns/miniweb and the scripted pbft harness (the Table 1
-// methodology), the seeded random injection campaign for minidb (the
-// paper's MySQL methodology). For pbft the stock set covers only the
-// shutdown-checkpoint crash — the view-change crash needs a fault
+// distinct crash signatures: the analyzer-generated scenario set over
+// the registered descriptor's binary and target (the Table 1
+// methodology), except minidb, which keeps the paper's seeded random
+// injection (the MySQL methodology). For pbft the stock set covers only
+// the shutdown-checkpoint crash — the view-change crash needs a fault
 // burst no analyzer-generated scenario expresses, which is exactly
 // what the explorer's occurrence-window mutation adds on top.
-func crashSignatures(system string, quick bool, profs []*profile.Profile) (map[string]bool, error) {
+func crashSignatures(sys *system.Descriptor, quick bool, profs []*profile.Profile) (map[string]bool, error) {
 	var bugs []controller.Bug
-	switch system {
-	case minidb.Module:
+	if sys.Name == minidb.Module {
 		dbBugs, _, err := minidbRandomCampaign(quick)
 		if err != nil {
 			return nil, err
 		}
 		bugs = dbBugs
-	default:
-		var bin *binaryOf
-		var tgt controller.Target
-		switch system {
-		case minivcs.Module:
-			bin, tgt = firstBin(minivcs.Binary()), minivcs.Target()
-		case minidns.Module:
-			bin, tgt = firstBin(minidns.Binary()), minidns.Target()
-		case miniweb.Module:
-			bin, tgt = firstBin(miniweb.Binary()), miniweb.Target()
-		case explore.PBFTSystem:
-			bin, tgt = firstBin(pbft.Binary()), pbft.Target()
-		default:
-			return nil, fmt.Errorf("explorer: unknown system %q", system)
-		}
+	} else {
+		bin, _ := sys.Binary()
 		a := &callsite.Analyzer{}
 		rep := a.Analyze(bin, profs...)
 		yes, part, not := rep.ByClass()
 		scens := callsite.GenerateScenarios(bin, append(not, part...), profs...)
 		scens = append(scens, callsite.GenerateExercise(bin, yes, profs...)...)
-		outs, err := controller.CampaignParallel(tgt, scens, campaignWorkers())
+		outs, err := controller.CampaignParallel(sys.Target(), scens, campaignWorkers())
 		if err != nil {
 			return nil, err
 		}
-		bugs = controller.DistinctBugs(system, crashesOnly(outs))
+		bugs = controller.DistinctBugs(sys.Name, crashesOnly(outs))
 	}
 	set := make(map[string]bool, len(bugs))
 	for _, b := range bugs {
@@ -122,20 +105,25 @@ func crashSignatures(system string, quick bool, profs []*profile.Profile) (map[s
 	return set, nil
 }
 
-// Explorer runs the full exploration loop on each analyzable system and
+// Explorer runs the full exploration loop on each registered system and
 // lines the findings up against the stock campaigns.
 func Explorer(quick bool) (ExplorerResult, error) {
-	systems := explore.Systems()
+	systems := system.All()
 	if quick {
-		systems = systems[:2] // minidb + minivcs keep the smoke run short
+		// minidb + minivcs keep the smoke run short.
+		systems = nil
+		for _, name := range []string{"minidb", "minivcs"} {
+			sys, ok := system.Lookup(name)
+			if !ok {
+				return ExplorerResult{}, fmt.Errorf("explorer: %q not registered", name)
+			}
+			systems = append(systems, sys)
+		}
 	}
 	var res ExplorerResult
 	profs := profiles() // one shared profile set for every system and campaign
-	for _, system := range systems {
-		cfg, ok := explore.ConfigFor(system)
-		if !ok {
-			return res, fmt.Errorf("explorer: no config for %q", system)
-		}
+	for _, sys := range systems {
+		cfg := explore.ConfigForSystem(sys)
 		cfg.Profiles = profs
 		cfg.Workers = campaignWorkers()
 		// Drain the whole candidate queue, bred window mutants
@@ -147,12 +135,12 @@ func Explorer(quick bool) (ExplorerResult, error) {
 		if err != nil {
 			return res, err
 		}
-		stock, err := crashSignatures(system, quick, profs)
+		stock, err := crashSignatures(sys, quick, profs)
 		if err != nil {
 			return res, err
 		}
 		row := ExplorerRow{
-			System:           system,
+			System:           sys.Name,
 			Candidates:       er.Candidates,
 			Mutants:          er.Mutants,
 			Executed:         er.Executed,

@@ -35,6 +35,7 @@
 package explore
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -198,6 +199,9 @@ type Result struct {
 	Final      coverage.Stats // recovery coverage after exploration
 	Total      coverage.Stats // total coverage after exploration
 	Elapsed    time.Duration
+	// StoreStats is the persistent store's compaction summary after the
+	// final save (nil when the run had no store).
+	StoreStats *StoreStats
 }
 
 // CoverageGain reports whether exploration covered recovery blocks the
@@ -571,6 +575,44 @@ func (x *explorer) logf(format string, args ...any) {
 // Explore runs the engine: generate candidates, replay the store,
 // schedule the rest in coverage-guided batches, persist outcomes.
 func Explore(cfg Config) (*Result, error) {
+	return ExploreContext(context.Background(), cfg)
+}
+
+// ExploreContext is Explore under a context. Cancellation is honored
+// between test runs: in-flight tests finish, the sharded store is saved
+// (no torn shards — at most the interrupted batch's outcomes are lost),
+// and the partial Result comes back together with ctx.Err(), so an
+// interrupted run is fully resumable.
+func ExploreContext(ctx context.Context, cfg Config) (*Result, error) {
+	r, err := newRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var runErr error
+	for runErr == nil && !r.done() {
+		runErr = r.step(ctx, 0)
+	}
+	return r.finish(runErr)
+}
+
+// run is one system's in-flight exploration — the schedulable unit
+// shared by the single-system driver (ExploreContext) and the
+// cross-system driver (ExploreAllContext), which interleaves steps of
+// several runs.
+type run struct {
+	cfg     Config
+	x       *explorer
+	res     *Result
+	store   *Store
+	keys    map[string]bool
+	pending []*Candidate
+	stall   int
+	begin   time.Time
+}
+
+// newRun generates the candidate space, runs the coverage baseline, and
+// replays the persistent store, leaving the run ready to step.
+func newRun(cfg Config) (*run, error) {
 	cfg = cfg.withDefaults()
 	begin := time.Now()
 	cands := Generate(cfg)
@@ -664,66 +706,100 @@ func Explore(cfg Config) (*Result, error) {
 	if res.Replayed > 0 {
 		x.logf("explore %s: replayed %d cached outcomes from %s", cfg.System, res.Replayed, cfg.Store)
 	}
+	return &run{cfg: cfg, x: x, res: res, store: store, keys: keys, pending: pending, begin: begin}, nil
+}
 
-	// The scheduling loop. The store is saved after every batch, not
-	// just at the end — with the sharded layout that only rewrites the
-	// batch's dirty shards — so a mid-run error or interrupt loses at
-	// most one batch of outcomes.
-	stall := 0
-	for len(pending) > 0 && stall < cfg.StallBatches {
-		size := cfg.BatchSize
-		if cfg.MaxRuns > 0 {
-			if left := cfg.MaxRuns - res.Executed; left < size {
-				size = left
-			}
-		}
-		if size <= 0 {
-			break
-		}
-		batch, rest := x.takeBatch(pending, size)
-		pending = rest
+// done reports whether scheduling is finished: queue drained, stalled,
+// or the per-run budget spent.
+func (r *run) done() bool {
+	if len(r.pending) == 0 || r.stall >= r.cfg.StallBatches {
+		return true
+	}
+	return r.cfg.MaxRuns > 0 && r.res.Executed >= r.cfg.MaxRuns
+}
 
-		report, mutants, err := x.runBatch(len(res.Batches), batch, store)
-		if err != nil {
-			store.Save(keys) // keep completed batches; the run error wins
-			return nil, err
-		}
-		for _, m := range mutants {
-			keys[m.key] = true
-		}
-		pending = append(pending, mutants...)
-		if err := store.Save(keys); err != nil {
-			return nil, err
-		}
-		res.Executed += report.Runs
-		res.Batches = append(res.Batches, report)
-		x.logf("explore %s: batch %d: %d runs, %d new blocks, %d new bugs, %d mutants bred, recovery %s",
-			cfg.System, report.Index, report.Runs, len(report.NewBlocks), len(report.NewBugs), len(mutants), report.Recovery)
+// uncoveredRecovery counts the recovery blocks exploration has not
+// reached yet — the cross-system scheduling priority.
+func (r *run) uncoveredRecovery() int {
+	return len(r.x.recBlocks) - len(r.x.covered)
+}
 
-		// A batch that breeds mutants is progress even when it adds no
-		// immediate coverage: the interesting part of a mutation chain
-		// (pbft's view-change burst) can sit several generations past
-		// the last coverage gain, and stalling it off would orphan the
-		// bred candidates.
-		if len(report.NewBlocks) == 0 && len(report.NewBugs) == 0 && len(mutants) == 0 {
-			stall++
-		} else {
-			stall = 0
+// step schedules and executes one batch, then persists its outcomes.
+// The store is saved after every batch, not just at the end — with the
+// sharded layout that only rewrites the batch's dirty shards — so a
+// mid-run error or interrupt loses at most one batch of outcomes. cap,
+// when positive, additionally bounds the batch size (the cross-system
+// driver passes its shared remaining budget).
+func (r *run) step(ctx context.Context, cap int) error {
+	size := r.cfg.BatchSize
+	if r.cfg.MaxRuns > 0 {
+		if left := r.cfg.MaxRuns - r.res.Executed; left < size {
+			size = left
 		}
 	}
-
-	// Final save covers the zero-batch (pure replay) path, where
-	// pruning of invalidated entries still has to land on disk.
-	if err := store.Save(keys); err != nil {
-		return nil, err
+	if cap > 0 && cap < size {
+		size = cap
 	}
+	if size <= 0 {
+		return nil
+	}
+	batch, rest := r.x.takeBatch(r.pending, size)
+	r.pending = rest
 
-	res.Mutants = x.spawned
-	res.Bugs = x.distinctBugs()
-	res.Final = x.acc.Recovery()
-	res.Total = x.acc.Total()
-	res.Elapsed = time.Since(begin)
-	return res, nil
+	report, mutants, err := r.x.runBatch(ctx, len(r.res.Batches), batch, r.store)
+	if err != nil {
+		r.store.Save(r.keys) // keep completed batches; the run error wins
+		return err
+	}
+	for _, m := range mutants {
+		r.keys[m.key] = true
+	}
+	r.pending = append(r.pending, mutants...)
+	if err := r.store.Save(r.keys); err != nil {
+		return err
+	}
+	r.res.Executed += report.Runs
+	r.res.Batches = append(r.res.Batches, report)
+	r.x.logf("explore %s: batch %d: %d runs, %d new blocks, %d new bugs, %d mutants bred, recovery %s",
+		r.cfg.System, report.Index, report.Runs, len(report.NewBlocks), len(report.NewBugs), len(mutants), report.Recovery)
+
+	// A batch that breeds mutants is progress even when it adds no
+	// immediate coverage: the interesting part of a mutation chain
+	// (pbft's view-change burst) can sit several generations past
+	// the last coverage gain, and stalling it off would orphan the
+	// bred candidates.
+	if len(report.NewBlocks) == 0 && len(report.NewBugs) == 0 && len(mutants) == 0 {
+		r.stall++
+	} else {
+		r.stall = 0
+	}
+	return nil
+}
+
+// finish saves the store one last time (the zero-batch pure-replay path
+// still has to land invalidated-entry pruning on disk), summarizes the
+// run, and attaches the store's compaction stats. runErr — cancellation
+// or a batch failure — wins over a save error, and the partial Result
+// is returned either way so callers can report progress up to the
+// interrupt.
+func (r *run) finish(runErr error) (*Result, error) {
+	saveErr := r.store.Save(r.keys)
+	r.res.Mutants = r.x.spawned
+	r.res.Bugs = r.x.distinctBugs()
+	r.res.Final = r.x.acc.Recovery()
+	r.res.Total = r.x.acc.Total()
+	r.res.Elapsed = time.Since(r.begin)
+	if r.store != nil {
+		stats := r.store.Stats()
+		r.res.StoreStats = &stats
+	}
+	if runErr != nil {
+		return r.res, runErr
+	}
+	if saveErr != nil {
+		return r.res, saveErr
+	}
+	return r.res, nil
 }
 
 // takeBatch removes the size highest-scoring candidates from pending.
@@ -747,10 +823,10 @@ func (x *explorer) takeBatch(pending []*Candidate, size int) (batch, rest []*Can
 // also returns the window mutants bred from this batch's worthy
 // occurrence/window outcomes, for the caller to feed back into the
 // queue.
-func (x *explorer) runBatch(index int, batch []*Candidate, store *Store) (BatchReport, []*Candidate, error) {
+func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, store *Store) (BatchReport, []*Candidate, error) {
 	report := BatchReport{Index: index, Runs: len(batch)}
 	trackers := make([]*coverage.Tracker, len(batch))
-	outs, err := controller.RunN(x.cfg.Workers, len(batch), func(i int) (controller.Outcome, error) {
+	outs, err := controller.RunNContext(ctx, x.cfg.Workers, len(batch), func(i int) (controller.Outcome, error) {
 		trackers[i] = coverage.New()
 		o, err := controller.RunOne(x.cfg.Target(trackers[i]), batch[i].Scenario, core.WithSeed(x.cfg.Seed))
 		if err != nil {

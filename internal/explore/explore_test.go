@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,10 @@ import (
 
 	"lfi/internal/callsite"
 	"lfi/internal/isa"
+
+	// ConfigFor resolves systems through the registry, which is
+	// populated by importing the system packages.
+	_ "lfi/internal/system/all"
 )
 
 // minidbConfig returns a config that explores the whole minidb fault
@@ -66,12 +71,11 @@ func TestGenerateDeterministicAndDeduped(t *testing.T) {
 	}
 }
 
-// TestExploreMinidbFindsStockBugs is the acceptance run: with no
-// hand-written scenario, exploration must rediscover the Table 1 minidb
-// bugs (the double-unlock in mi_create's recovery path and the
-// uninitialized errmsg structure after a failed read) and must keep
-// covering recovery blocks after its first batch.
-func TestExploreMinidbFindsStockBugs(t *testing.T) {
+// TestExploreMinidbCoverageGain: exploration must keep covering
+// recovery blocks after its first batch and beat the suite baseline.
+// (Stock-bug rediscovery for every registered system, minidb included,
+// is pinned by the registry conformance test at the repository root.)
+func TestExploreMinidbCoverageGain(t *testing.T) {
 	cfg := minidbConfig(t)
 	res, err := Explore(cfg)
 	if err != nil {
@@ -79,19 +83,6 @@ func TestExploreMinidbFindsStockBugs(t *testing.T) {
 	}
 	if res.Executed == 0 || res.Replayed != 0 {
 		t.Fatalf("executed %d, replayed %d; want all executed", res.Executed, res.Replayed)
-	}
-	var foundUnlock, foundErrmsg bool
-	for _, b := range res.Bugs {
-		if strings.Contains(b.Signature, "double unlock") {
-			foundUnlock = true
-		}
-		if strings.Contains(b.Signature, "uninitialized errmsg") {
-			foundErrmsg = true
-		}
-	}
-	if !foundUnlock || !foundErrmsg {
-		t.Fatalf("stock minidb bugs not rediscovered (unlock=%v errmsg=%v):\n%s",
-			foundUnlock, foundErrmsg, res)
 	}
 	if !res.CoverageGain() {
 		t.Fatalf("no recovery-coverage gain over the first batch:\n%s", res)
@@ -188,78 +179,6 @@ func TestExploreDeterministic(t *testing.T) {
 		if !reflect.DeepEqual(a.Batches[i].NewBlocks, b.Batches[i].NewBlocks) {
 			t.Fatalf("batch %d deltas diverged", i)
 		}
-	}
-}
-
-// TestExploreMiniwebFindsStockBugs: the Apache stand-in's two seeded
-// recovery bugs — the NULL-stream fwrite behind the unchecked
-// access-log fopen, and the double unlock in the static handler's
-// read-error path — must both surface with no hand-written scenario.
-func TestExploreMiniwebFindsStockBugs(t *testing.T) {
-	cfg, ok := ConfigFor("miniweb")
-	if !ok {
-		t.Fatal("miniweb config missing")
-	}
-	cfg.StallBatches = 1000
-	cfg.Workers = 4
-	res, err := Explore(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var foundLog, foundUnlock bool
-	for _, b := range res.Bugs {
-		if strings.Contains(b.Signature, "NULL FILE") {
-			foundLog = true
-		}
-		if strings.Contains(b.Signature, "double unlock") {
-			foundUnlock = true
-		}
-	}
-	if !foundLog || !foundUnlock {
-		t.Fatalf("stock miniweb bugs not rediscovered (log=%v unlock=%v):\n%s", foundLog, foundUnlock, res)
-	}
-	if res.Final.BlocksCovered <= res.Baseline.BlocksCovered {
-		t.Fatalf("exploration added no recovery coverage:\n%s", res)
-	}
-}
-
-// TestExplorePBFTFindsStockBugs: the scripted replica harness must
-// surface both release-build Table 1 bugs. The shutdown-checkpoint
-// crash needs one fault; the view-change crash needs a *burst* losing
-// both the request and the pre-prepare, which no generated single
-// candidate expresses — it is reachable only through the explorer's
-// occurrence-window mutation, so this test pins that whole mechanism.
-func TestExplorePBFTFindsStockBugs(t *testing.T) {
-	cfg, ok := ConfigFor("pbft")
-	if !ok {
-		t.Fatal("pbft config missing")
-	}
-	cfg.StallBatches = 1000
-	cfg.Workers = 4
-	res, err := Explore(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Mutants == 0 {
-		t.Fatalf("no window mutants bred:\n%s", res)
-	}
-	var foundShutdown, foundVC bool
-	for _, b := range res.Bugs {
-		if strings.Contains(b.Signature, "NULL FILE") {
-			foundShutdown = true
-		}
-		if strings.Contains(b.Signature, "view change") {
-			foundVC = true
-			for _, name := range b.Scenarios {
-				if !strings.Contains(name, "explore-win-") {
-					t.Fatalf("view-change bug found by non-window scenario %q", name)
-				}
-			}
-		}
-	}
-	if !foundShutdown || !foundVC {
-		t.Fatalf("stock pbft bugs not rediscovered (shutdown=%v viewchange=%v):\n%s",
-			foundShutdown, foundVC, res)
 	}
 }
 
@@ -360,6 +279,154 @@ func TestWindowMutantsDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(bugSigs(a), bugSigs(b)) {
 		t.Fatalf("bugs diverged:\n%v\nvs\n%v", bugSigs(a), bugSigs(b))
 	}
+}
+
+// cancelAfterBatches is a Config.Log sink that cancels a context once
+// it has seen n per-batch progress lines — a deterministic way to
+// interrupt an exploration mid-run.
+type cancelAfterBatches struct {
+	cancel  context.CancelFunc
+	n       int
+	batches int
+}
+
+func (c *cancelAfterBatches) Write(p []byte) (int, error) {
+	if strings.Contains(string(p), ": batch ") {
+		if c.batches++; c.batches >= c.n {
+			c.cancel()
+		}
+	}
+	return len(p), nil
+}
+
+// TestExploreCancelLeavesResumableStore pins the Ctrl-C contract:
+// cancelling mid-run returns the partial result with ctx.Err(), the
+// sharded store is flushed (no torn shards), and the next run resumes
+// from it — replaying everything the interrupted run completed and
+// converging on the same bugs as an uninterrupted run.
+func TestExploreCancelLeavesResumableStore(t *testing.T) {
+	full, err := Explore(minidbConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := minidbConfig(t)
+	cfg.Store = filepath.Join(t.TempDir(), "store")
+	cfg.BatchSize = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Log = &cancelAfterBatches{cancel: cancel, n: 2}
+
+	partial, err := ExploreContext(ctx, cfg)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if partial == nil || partial.Executed == 0 {
+		t.Fatalf("cancelled run reported no progress: %+v", partial)
+	}
+	if partial.Executed >= full.Executed {
+		t.Fatalf("cancellation did not interrupt: %d vs full %d", partial.Executed, full.Executed)
+	}
+
+	cfg.Log = nil
+	resumed, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Replayed != partial.Executed {
+		t.Fatalf("resume replayed %d, want the %d completed before cancel", resumed.Replayed, partial.Executed)
+	}
+	if resumed.Executed+resumed.Replayed != full.Executed {
+		t.Fatalf("resume executed %d + replayed %d != full %d",
+			resumed.Executed, resumed.Replayed, full.Executed)
+	}
+	if !reflect.DeepEqual(bugSigs(full), bugSigs(resumed)) {
+		t.Fatalf("bugs diverged after cancel+resume:\n%v\nvs\n%v", bugSigs(full), bugSigs(resumed))
+	}
+}
+
+// TestExploreAllSharedStore: one cross-system session over minidb and
+// minivcs, sharing a store root, must find both systems' bugs; a second
+// session resumes from both stores and executes nothing.
+func TestExploreAllSharedStore(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	configs := func() []Config {
+		var cfgs []Config
+		for _, sys := range []string{"minidb", "minivcs"} {
+			cfg, ok := ConfigFor(sys)
+			if !ok {
+				t.Fatalf("%s config missing", sys)
+			}
+			cfg.StallBatches = 1000
+			cfg.Workers = 4
+			cfg.Store = root
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs
+	}
+
+	first, err := ExploreAllContext(context.Background(), configs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Results) != 2 || first.Executed == 0 || first.Replayed != 0 {
+		t.Fatalf("unexpected first multi run: %d results, %d executed, %d replayed",
+			len(first.Results), first.Executed, first.Replayed)
+	}
+	bySystem := map[string]int{}
+	for _, b := range first.CrashBugs() {
+		bySystem[b.System]++
+	}
+	if bySystem["minidb"] < 2 || bySystem["minivcs"] < 5 {
+		t.Fatalf("cross-system run missed stock bugs: %v", bySystem)
+	}
+
+	second, err := ExploreAllContext(context.Background(), configs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 0 {
+		t.Fatalf("second multi run re-executed %d scenarios", second.Executed)
+	}
+	if second.Replayed != first.Executed {
+		t.Fatalf("second multi run replayed %d, want %d", second.Replayed, first.Executed)
+	}
+	if !reflect.DeepEqual(multiBugSigs(first), multiBugSigs(second)) {
+		t.Fatalf("bugs diverged across multi resume:\n%v\nvs\n%v", multiBugSigs(first), multiBugSigs(second))
+	}
+
+	// The shared budget is a cross-system total.
+	if err := os.RemoveAll(root); err != nil {
+		t.Fatal(err)
+	}
+	capped, err := ExploreAllContext(context.Background(), configs(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Executed != 10 {
+		t.Fatalf("budgeted multi run executed %d, want 10", capped.Executed)
+	}
+}
+
+// TestExploreAllRejectsDuplicateSystems: two runs of one system would
+// double-execute its candidate space and race two Store instances over
+// the same shard directory, so the engine refuses.
+func TestExploreAllRejectsDuplicateSystems(t *testing.T) {
+	cfg, ok := ConfigFor("minidb")
+	if !ok {
+		t.Fatal("minidb config missing")
+	}
+	if _, err := ExploreAllContext(context.Background(), []Config{cfg, cfg}, 0); err == nil {
+		t.Fatal("duplicate system accepted")
+	}
+}
+
+func multiBugSigs(m *MultiResult) []string {
+	out := make([]string, 0, len(m.Bugs))
+	for _, b := range m.Bugs {
+		out = append(out, b.System+"/"+b.Signature)
+	}
+	return out
 }
 
 func TestStoreShardPrune(t *testing.T) {

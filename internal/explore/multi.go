@@ -1,0 +1,156 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lfi/internal/controller"
+)
+
+// MultiResult is the outcome of one cross-system exploration run — the
+// `lfi explore -all` shape: per-system results plus the merged totals.
+type MultiResult struct {
+	Results  []*Result        // one per system, in scheduling-input order
+	Executed int              // tests actually run, all systems
+	Replayed int              // outcomes reused from stores, all systems
+	Bugs     []controller.Bug // all systems, sorted by system then signature
+	Elapsed  time.Duration
+}
+
+// String renders the cross-system summary after the per-system ones.
+func (m *MultiResult) String() string {
+	var b strings.Builder
+	for _, r := range m.Results {
+		b.WriteString(r.String())
+	}
+	fmt.Fprintf(&b, "explore all: %d systems, %d executed, %d replayed, %d distinct failure signatures (%.2fs)\n",
+		len(m.Results), m.Executed, m.Replayed, len(m.Bugs), m.Elapsed.Seconds())
+	return b.String()
+}
+
+// CrashBugs returns the merged crash signatures (excluding
+// workload-detected failures), in Bugs order.
+func (m *MultiResult) CrashBugs() []controller.Bug {
+	var out []controller.Bug
+	for _, b := range m.Bugs {
+		if b.IsCrash() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ExploreAllContext runs one exploration session over several systems
+// at once — the ROADMAP's cross-system campaign orchestration. All
+// configs share the caller's worker pool width and (by convention) one
+// store root: LoadStore keys shards by system name, so the configs'
+// Store fields may all point at the same directory.
+//
+// Scheduling interleaves batches across systems by uncovered-recovery-
+// block priority: each round the system with the most recovery blocks
+// still uncovered runs one batch (ties break by name), so early budget
+// flows to whichever target has the most unexplored recovery code —
+// the cross-version analogue of the candidate scoring inside one run.
+//
+// budget, when positive, bounds the total tests executed across all
+// systems (replayed store hits are free, as in Config.MaxRuns).
+// Cancellation behaves like ExploreContext per system: every started
+// batch's outcomes are saved, no shard is ever torn, and the partial
+// MultiResult comes back with ctx.Err().
+func ExploreAllContext(ctx context.Context, cfgs []Config, budget int) (*MultiResult, error) {
+	begin := time.Now()
+	seen := make(map[string]bool, len(cfgs))
+	for _, cfg := range cfgs {
+		name := cfg.withDefaults().System
+		if seen[name] {
+			// Two runs of one system would double-execute its whole
+			// candidate space and race their Store instances over the
+			// same shard directory.
+			return nil, fmt.Errorf("explore: duplicate system %q in cross-system explore", name)
+		}
+		seen[name] = true
+	}
+	runs := make([]*run, 0, len(cfgs))
+	var runErr error
+	for _, cfg := range cfgs {
+		if runErr = ctx.Err(); runErr != nil {
+			break
+		}
+		r, err := newRun(cfg)
+		if err != nil {
+			// Creation failures (bad store, broken baseline) abort the
+			// whole session before any scheduling starts.
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+
+	executed := func() int {
+		total := 0
+		for _, r := range runs {
+			total += r.res.Executed
+		}
+		return total
+	}
+	for runErr == nil {
+		remaining := 0
+		if budget > 0 {
+			if remaining = budget - executed(); remaining <= 0 {
+				break
+			}
+		}
+		r := nextRun(runs)
+		if r == nil {
+			break
+		}
+		runErr = r.step(ctx, remaining)
+	}
+
+	res := &MultiResult{}
+	for _, r := range runs {
+		// finish flushes and prunes each store even on a shared error,
+		// so an interrupted -all session resumes with no re-execution.
+		sysRes, err := r.finish(nil)
+		if runErr == nil {
+			runErr = err
+		}
+		res.Results = append(res.Results, sysRes)
+		res.Executed += sysRes.Executed
+		res.Replayed += sysRes.Replayed
+		res.Bugs = append(res.Bugs, sysRes.Bugs...)
+	}
+	sort.Slice(res.Bugs, func(i, j int) bool {
+		if res.Bugs[i].System != res.Bugs[j].System {
+			return res.Bugs[i].System < res.Bugs[j].System
+		}
+		return res.Bugs[i].Signature < res.Bugs[j].Signature
+	})
+	res.Elapsed = time.Since(begin)
+	if runErr != nil {
+		return res, runErr
+	}
+	return res, nil
+}
+
+// nextRun picks the not-done run with the most uncovered recovery
+// blocks, ties broken by system name so scheduling is deterministic.
+func nextRun(runs []*run) *run {
+	var best *run
+	for _, r := range runs {
+		if r.done() {
+			continue
+		}
+		switch {
+		case best == nil:
+			best = r
+		case r.uncoveredRecovery() > best.uncoveredRecovery():
+			best = r
+		case r.uncoveredRecovery() == best.uncoveredRecovery() && r.cfg.System < best.cfg.System:
+			best = r
+		}
+	}
+	return best
+}

@@ -43,10 +43,18 @@ type Store struct {
 	mu     sync.Mutex
 	shards map[string]*shard // codeHash -> entries
 	index  storeIndex
+
+	// migrated/invalidated are computed by Save from the loaded sets:
+	// how many on-disk entries the current image's manifest still
+	// references vs how many it can no longer reach (stale code region,
+	// or pruned from an exclusive shard).
+	migrated    int
+	invalidated int
 }
 
 type shard struct {
 	entries map[string]Entry // scenarioHash -> outcome
+	loaded  map[string]bool  // entries read from disk (vs Put this run)
 	dirty   bool
 	// flushMu serializes writers of this one shard file: without it,
 	// two same-region flushes could race snapshot/rename so that the
@@ -200,6 +208,14 @@ func (s *Store) migrateLegacy(src string) error {
 	}
 	os.Remove(park) // best-effort: once dst exists, a leftover park is inert
 	s.shards = staged.shards
+	// Migrated v1 entries came from disk: count them as loaded so the
+	// compaction stats treat them like any other cached outcome.
+	for _, sh := range s.shards {
+		sh.loaded = make(map[string]bool, len(sh.entries))
+		for scen := range sh.entries {
+			sh.loaded[scen] = true
+		}
+	}
 	return nil
 }
 
@@ -250,7 +266,11 @@ func (s *Store) loadDir() error {
 		if region == "" {
 			region = strings.TrimSuffix(base, ".json")
 		}
-		s.shards[region] = &shard{entries: sf.Entries}
+		loaded := make(map[string]bool, len(sf.Entries))
+		for scen := range sf.Entries {
+			loaded[scen] = true
+		}
+		s.shards[region] = &shard{entries: sf.Entries, loaded: loaded}
 	}
 	return nil
 }
@@ -414,6 +434,26 @@ func (s *Store) Save(currentKeys map[string]bool) error {
 		}
 	}
 
+	// Compaction stats: of the entries that were on disk when the store
+	// was opened, how many the current image's manifest can still
+	// replay (migrated forward across image versions) vs how many it
+	// can no longer reach (their code region changed, or they were
+	// pruned from a shard exclusive to this image).
+	current := make(map[string]bool, len(manifest.Shards))
+	for _, region := range manifest.Shards {
+		current[region] = true
+	}
+	s.migrated, s.invalidated = 0, 0
+	for region, sh := range s.shards {
+		for scen := range sh.loaded {
+			if _, live := sh.entries[scen]; live && current[region] {
+				s.migrated++
+			} else {
+				s.invalidated++
+			}
+		}
+	}
+
 	// Drop shards no retained manifest references.
 	referenced := make(map[string]bool)
 	for _, m := range s.index.Images {
@@ -506,6 +546,49 @@ func (s *Store) Shards() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// StoreStats is a store's compaction summary — the `lfi explore -v`
+// per-store report.
+type StoreStats struct {
+	System  string
+	Shards  int // shard files retained (one per targeted code region)
+	Images  int // retained image-version manifests
+	Entries int // cached outcomes across all shards
+	// Migrated counts on-disk entries the current image's manifest
+	// still references: cache carried forward across image versions.
+	Migrated int
+	// Invalidated counts on-disk entries the current image can no
+	// longer reach — their code region changed (the shard may survive
+	// for older retained images) or they were pruned.
+	Invalidated int
+}
+
+// String renders the one-line -v report.
+func (st StoreStats) String() string {
+	return fmt.Sprintf("store %s: %d shards, %d image versions, %d entries (%d migrated, %d invalidated)",
+		st.System, st.Shards, st.Images, st.Entries, st.Migrated, st.Invalidated)
+}
+
+// Stats reports the store's compaction state. Migrated/invalidated
+// counts are computed by Save, so they are zero before the first save.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		System:      s.system,
+		Shards:      len(s.shards),
+		Images:      len(s.index.Images),
+		Migrated:    s.migrated,
+		Invalidated: s.invalidated,
+	}
+	for _, sh := range s.shards {
+		st.Entries += len(sh.entries)
+	}
+	return st
 }
 
 // Images returns the retained image versions, most recent first.

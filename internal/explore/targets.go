@@ -1,41 +1,21 @@
 package explore
 
 import (
-	"sync"
-
-	"lfi/internal/apps/minidb"
-	"lfi/internal/apps/minidns"
-	"lfi/internal/apps/minivcs"
-	"lfi/internal/apps/miniweb"
-	"lfi/internal/libspec"
-	"lfi/internal/pbft"
 	"lfi/internal/profile"
+	"lfi/internal/system"
 )
 
-// This file wires the built-in target systems to the engine. Each
-// application exposes its program image, its site-label → offset map
-// (labels double as coverage block IDs under the "rec." prefix), and a
-// coverage-merging controller target; everything else is generic.
+// This file adapts registered system descriptors (internal/system) to
+// the engine. The explorer no longer knows any target by name: each
+// application package registers a descriptor carrying its program
+// image, its site-label → offset map (labels double as coverage block
+// IDs under the "rec." prefix), and a coverage-merging controller
+// target; everything here is generic over that contract.
 
-var (
-	profilesOnce sync.Once
-	profilesSet  []*profile.Profile
-)
-
-// Profiles builds the fault profiles of the three simulated libraries
-// by running the library profiler over their binaries. The set is
-// built once and shared — profiles are read-only after construction,
-// and every ConfigFor/experiment call site wants the same three.
-func Profiles() []*profile.Profile {
-	profilesOnce.Do(func() {
-		profilesSet = []*profile.Profile{
-			profile.ProfileBinary(libspec.BuildLibc()),
-			profile.ProfileBinary(libspec.BuildLibxml()),
-			profile.ProfileBinary(libspec.BuildLibapr()),
-		}
-	})
-	return profilesSet
-}
+// Profiles returns the shared library fault profiles.
+//
+// Deprecated: use system.DefaultProfiles (or a descriptor's Profiles).
+func Profiles() []*profile.Profile { return system.DefaultProfiles() }
 
 // blockForSite inverts a site-label → offset map into the recovery
 // block naming convention shared by the built-in applications.
@@ -49,62 +29,43 @@ func blockForSite(offs map[string]uint64) func(string, uint64) string {
 
 // PBFTSystem is the explorer's name for the scripted PBFT replica
 // harness (the binary itself is named bft/simple-server).
+//
+// Deprecated: use pbft.SystemName.
 const PBFTSystem = "pbft"
 
-// ConfigFor returns a ready exploration config for one of the built-in
-// systems (minidb, minivcs, minidns, miniweb, pbft). The caller still
-// sets budget, batch size, store path and logging.
-func ConfigFor(app string) (Config, bool) {
-	var (
-		cfg Config
-		ok  = true
-	)
-	switch app {
-	case minidb.Module:
-		bin, offs := minidb.Binary()
-		cfg = Config{
-			System: minidb.Module, Binary: bin,
-			Target:       minidb.TargetWithCoverage,
-			BlockForSite: blockForSite(offs),
-		}
-	case minivcs.Module:
-		bin, offs := minivcs.Binary()
-		cfg = Config{
-			System: minivcs.Module, Binary: bin,
-			Target:       minivcs.TargetWithCoverage,
-			BlockForSite: blockForSite(offs),
-		}
-	case minidns.Module:
-		bin, offs := minidns.Binary()
-		cfg = Config{
-			System: minidns.Module, Binary: bin,
-			Target:       minidns.TargetWithCoverage,
-			BlockForSite: blockForSite(offs),
-		}
-	case miniweb.Module:
-		bin, offs := miniweb.Binary()
-		cfg = Config{
-			System: miniweb.Module, Binary: bin,
-			Target:       miniweb.TargetWithCoverage,
-			BlockForSite: blockForSite(offs),
-		}
-	case PBFTSystem:
-		bin, offs := pbft.Binary()
-		cfg = Config{
-			System: PBFTSystem, Binary: bin,
-			Target:       pbft.TargetWithCoverage,
-			BlockForSite: blockForSite(offs),
-		}
-	default:
-		ok = false
+// ConfigForSystem builds an exploration config from a registered system
+// descriptor. The caller still sets budget, batch size, store path,
+// workers, seed and logging.
+func ConfigForSystem(d *system.Descriptor) Config {
+	bin, offs := d.Binary()
+	cfg := Config{
+		System:       d.Name,
+		Binary:       bin,
+		Target:       d.TargetWithCoverage,
+		Profiles:     d.Profiles(),
+		BlockForSite: d.BlockForSite,
 	}
-	if ok {
-		cfg.Profiles = Profiles()
+	if cfg.BlockForSite == nil {
+		cfg.BlockForSite = blockForSite(offs)
 	}
-	return cfg, ok
+	return cfg
 }
 
-// Systems lists the app names ConfigFor accepts.
-func Systems() []string {
-	return []string{minidb.Module, minivcs.Module, minidns.Module, miniweb.Module, PBFTSystem}
+// ConfigFor returns a ready exploration config for a registered system.
+// Registration follows package imports (see internal/system/all), so
+// callers that do not import the lfi facade must import the system
+// packages they target.
+//
+// Deprecated: use system.Lookup with ConfigForSystem.
+func ConfigFor(app string) (Config, bool) {
+	d, ok := system.Lookup(app)
+	if !ok {
+		return Config{}, false
+	}
+	return ConfigForSystem(d), true
 }
+
+// Systems lists the registered system names ConfigFor accepts.
+//
+// Deprecated: use system.Names.
+func Systems() []string { return system.Names() }

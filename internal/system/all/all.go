@@ -1,0 +1,15 @@
+// Package all registers every built-in target system with the system
+// registry, database/sql-driver style: importing it for side effects is
+// the one line that pulls the built-in descriptors into a binary. The
+// public lfi package imports it, so facade users always see the full
+// set; a program that wants only a subset can import the individual
+// system packages instead.
+package all
+
+import (
+	_ "lfi/internal/apps/minidb"
+	_ "lfi/internal/apps/minidns"
+	_ "lfi/internal/apps/minivcs"
+	_ "lfi/internal/apps/miniweb"
+	_ "lfi/internal/pbft"
+)

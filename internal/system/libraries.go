@@ -1,0 +1,67 @@
+package system
+
+import (
+	"fmt"
+	"sync"
+
+	"lfi/internal/isa"
+	"lfi/internal/libspec"
+	"lfi/internal/profile"
+)
+
+// This file registers the simulated shared libraries next to the target
+// systems, so library-facing entry points (the profiler, DefaultProfiles)
+// enumerate them instead of hand-rolling a switch.
+
+var libraries = []struct {
+	name  string
+	build func() *isa.Binary
+}{
+	// Profile order is load-bearing: fault lookups scan profiles in
+	// this order and take the first library exporting the function.
+	{"libc", libspec.BuildLibc},
+	{"libxml", libspec.BuildLibxml},
+	{"libapr", libspec.BuildLibapr},
+}
+
+// Libraries returns the names of the simulated shared libraries, in
+// profile order.
+func Libraries() []string {
+	out := make([]string, 0, len(libraries))
+	for _, lib := range libraries {
+		out = append(out, lib.name)
+	}
+	return out
+}
+
+// BuildLibrary assembles one simulated library binary by name.
+func BuildLibrary(name string) (*isa.Binary, bool) {
+	for _, lib := range libraries {
+		if lib.name == name {
+			return lib.build(), true
+		}
+	}
+	return nil, false
+}
+
+var (
+	profilesOnce sync.Once
+	profilesSet  []*profile.Profile
+)
+
+// DefaultProfiles builds the fault profiles of every simulated library
+// by running the library profiler over their binaries. The set is built
+// once and shared — profiles are read-only after construction, and every
+// descriptor and campaign call site wants the same ones.
+func DefaultProfiles() []*profile.Profile {
+	profilesOnce.Do(func() {
+		for _, name := range Libraries() {
+			bin, ok := BuildLibrary(name)
+			if !ok {
+				panic(fmt.Sprintf("system: library %q vanished", name))
+			}
+			profilesSet = append(profilesSet, profile.ProfileBinary(bin))
+		}
+	})
+	return profilesSet
+}

@@ -4,6 +4,17 @@
 //
 // The package re-exports the public surface of the toolchain:
 //
+//   - System / Systems / LookupSystem / RegisterSystem — the target
+//     registry: every testable system self-describes with a descriptor
+//     (binary, controller targets, library profiles, workload, stock
+//     bugs) and registers itself database/sql-driver style, so engines
+//     and tools never enumerate targets by hand;
+//   - Session / NewSession — the unified, context-aware test driver:
+//     functional options (WithStore, WithWorkers, WithBudget, WithSeed,
+//     …) configure one session whose Run, Explore and ExploreAll
+//     methods subsume the older RunOne/Campaign/CampaignParallel/
+//     Explore entry points, stream outcomes, cancel cleanly, and fan
+//     out over every registered system (`lfi explore -all`);
 //   - Scenario / ParseScenario / NewScenarioBuilder — the XML fault
 //     injection language (§4);
 //   - Trigger / RegisterTrigger / TriggerArgs — the extensible trigger
@@ -11,12 +22,12 @@
 //   - Runtime / NewRuntime — the injection engine that splices into a
 //     simulated process (§2, §6);
 //   - Analyzer / GenerateScenarios — the call-site analyzer (§5);
-//   - ProfileBinary — the automated library profiler (§2);
-//   - RunOne / Campaign / Target — the test controller.
+//   - ProfileBinary — the automated library profiler (§2).
 //
 // The substrates (simulated C library, synthetic ISA, PBFT, target
-// applications) live under internal/; see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the paper-vs-measured results.
+// applications) live under internal/; see DESIGN.md ("Public API: the
+// system registry and sessions") for the architecture and
+// EXPERIMENTS.md for the paper-vs-measured results.
 package lfi
 
 import (
@@ -32,6 +43,10 @@ import (
 	"lfi/internal/profile"
 	"lfi/internal/scenario"
 	"lfi/internal/trigger"
+
+	// Register every built-in target system with the registry, so
+	// facade users always see the full set.
+	_ "lfi/internal/system/all"
 )
 
 // Core runtime.
@@ -50,8 +65,11 @@ type (
 var (
 	// NewRuntime compiles a scenario for a simulated process.
 	NewRuntime = core.New
-	// WithSeed makes Random triggers reproducible.
-	WithSeed = core.WithSeed
+	// RuntimeSeed makes a Runtime's Random triggers reproducible. (It
+	// was exported as WithSeed before the Session API claimed that
+	// name; sessions seed every run they own via the WithSeed session
+	// option instead.)
+	RuntimeSeed = core.WithSeed
 	// WithDecider installs a distributed-trigger central controller.
 	WithDecider = core.WithDecider
 	// WithMaxInjections bounds the number of injected faults.
@@ -110,6 +128,18 @@ type (
 // NewProcess creates a process image with the given heap capacity.
 var NewProcess = libsim.New
 
+// Common open(2) flags and errno values, re-exported so facade users
+// can drive simulated programs without reaching into internal/.
+const (
+	O_RDONLY = libsim.O_RDONLY
+	O_WRONLY = libsim.O_WRONLY
+	O_CREAT  = libsim.O_CREAT
+
+	EINTR  = errno.EINTR
+	EIO    = errno.EIO
+	ENOMEM = errno.ENOMEM
+)
+
 // Binary analyses.
 type (
 	// Analyzer runs the call site analysis (Algorithm 1).
@@ -141,12 +171,23 @@ type (
 
 var (
 	// RunOne executes a single injection test.
+	//
+	// Deprecated: use Session.Run, which adds context cancellation,
+	// worker pooling and outcome streaming.
 	RunOne = controller.RunOne
 	// Campaign runs one test per scenario.
+	//
+	// Deprecated: use Session.Run.
 	Campaign = controller.Campaign
 	// CampaignParallel runs one test per scenario on a worker pool,
 	// returning outcomes in scenario order.
+	//
+	// Deprecated: use Session.Run.
 	CampaignParallel = controller.CampaignParallel
+	// CampaignParallelContext is CampaignParallel under a context.
+	//
+	// Deprecated: use Session.Run.
+	CampaignParallelContext = controller.CampaignParallelContext
 	// DistinctBugs deduplicates campaign failures.
 	DistinctBugs = controller.DistinctBugs
 	// FailureSignature computes a failed outcome's dedup signature.
@@ -159,8 +200,14 @@ type (
 	ExploreConfig = explore.Config
 	// ExploreResult is an exploration run's outcome.
 	ExploreResult = explore.Result
+	// ExploreAllResult is a cross-system exploration's outcome — the
+	// Session.ExploreAll / `lfi explore -all` shape.
+	ExploreAllResult = explore.MultiResult
 	// ExploreCandidate is one proposed injection experiment.
 	ExploreCandidate = explore.Candidate
+	// StoreStats is a persistent store's compaction summary (shards,
+	// retained image versions, entries migrated vs invalidated).
+	StoreStats = explore.StoreStats
 )
 
 var (
@@ -168,9 +215,14 @@ var (
 	// candidate scenarios from profiles and call-site classifications,
 	// schedule them by which uncovered recovery blocks they can reach,
 	// and persist outcomes for incremental re-runs.
+	//
+	// Deprecated: use Session.Explore, which adds context cancellation
+	// and session-wide stores, budgets and seeds.
 	Explore = explore.Explore
 	// GenerateCandidates enumerates the candidate fault space.
 	GenerateCandidates = explore.Generate
-	// ExploreConfigFor returns a ready config for a built-in system.
+	// ExploreConfigFor returns a ready config for a registered system.
+	//
+	// Deprecated: use LookupSystem with a Session.
 	ExploreConfigFor = explore.ConfigFor
 )

@@ -160,11 +160,11 @@ func TestParallelCampaignBitIdentical(t *testing.T) {
 			scens = append(scens, s)
 		}
 	}
-	seq, err := Campaign(minidb.Target(), scens, WithSeed(7))
+	seq, err := Campaign(minidb.Target(), scens, RuntimeSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := CampaignParallel(minidb.Target(), scens, 8, WithSeed(7))
+	par, err := CampaignParallel(minidb.Target(), scens, 8, RuntimeSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}

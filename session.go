@@ -1,0 +1,207 @@
+package lfi
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"lfi/internal/controller"
+	"lfi/internal/core"
+	"lfi/internal/explore"
+	"lfi/internal/system"
+)
+
+// System describes one registered target system: how to build its
+// binary, adapt it to the test controller (with or without coverage),
+// which library profiles it links against, and which stock Table-1
+// bugs the toolchain must rediscover. Built-in systems self-register
+// via internal/system/all; external packages add their own with
+// RegisterSystem and become first-class `lfi explore` / Session
+// targets with no engine changes.
+type System = system.Descriptor
+
+// StockBug is a known bug a System descriptor advertises.
+type StockBug = system.StockBug
+
+var (
+	// RegisterSystem adds a target system to the global registry
+	// (database/sql-driver style; call it from your package's init).
+	RegisterSystem = system.Register
+	// LookupSystem returns the descriptor registered under name.
+	LookupSystem = system.Lookup
+	// Systems returns every registered system, sorted by name.
+	Systems = system.All
+	// SystemNames returns the registered system names, sorted.
+	SystemNames = system.Names
+)
+
+// Session is the unified, context-aware entry point of the test
+// controller and the fault-space explorer. One Session carries the
+// campaign-wide knobs — store root, worker-pool width, run budget,
+// seed, logging — and applies them to every system it tests, so
+// single-scenario runs, scenario campaigns, per-system exploration and
+// cross-system exploration (`lfi explore -all`) all flow through the
+// same two methods, Run and Explore/ExploreAll.
+//
+// A Session is safe for sequential reuse across systems (that is the
+// -all workflow: one session, one shared store root, one worker pool);
+// its methods must not be called concurrently with each other.
+type Session struct {
+	store    string
+	workers  int
+	budget   int
+	batch    int
+	stall    int
+	seed     int64
+	log      io.Writer
+	observer func(system string, o Outcome)
+}
+
+// SessionOption configures a Session.
+type SessionOption func(*Session)
+
+// WithStore sets the persistent store root shared by every system the
+// session explores (each system keeps its own shard directory under
+// it); "" disables persistence.
+func WithStore(root string) SessionOption { return func(s *Session) { s.store = root } }
+
+// WithWorkers sets the shared campaign worker-pool width (default
+// GOMAXPROCS).
+func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n } }
+
+// WithBudget bounds executed test runs: per Explore call, and in total
+// across systems for ExploreAll. Replayed store outcomes are free.
+// 0 means unlimited.
+func WithBudget(n int) SessionOption { return func(s *Session) { s.budget = n } }
+
+// WithBatchSize sets the explorer's scheduling batch size (default 16).
+func WithBatchSize(n int) SessionOption { return func(s *Session) { s.batch = n } }
+
+// WithStallBatches stops exploration after n consecutive batches with
+// no new coverage, bugs, or mutants (default 3).
+func WithStallBatches(n int) SessionOption { return func(s *Session) { s.stall = n } }
+
+// WithSeed fixes the runtime random source of every test the session
+// runs, making Random triggers reproducible across runs and workers.
+// (For a bare Runtime outside a session, use RuntimeSeed.)
+func WithSeed(seed int64) SessionOption { return func(s *Session) { s.seed = seed } }
+
+// WithLog streams per-batch exploration progress to w.
+func WithLog(w io.Writer) SessionOption { return func(s *Session) { s.log = w } }
+
+// WithObserver streams every completed Run outcome to fn as workers
+// finish (completion order, serialized); the final report still lists
+// outcomes in scenario order.
+func WithObserver(fn func(system string, o Outcome)) SessionOption {
+	return func(s *Session) { s.observer = fn }
+}
+
+// NewSession builds a Session from functional options.
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+// RunReport is Run's final summary.
+type RunReport struct {
+	System   string
+	Outcomes []Outcome // scenario order
+	Failures int
+	Bugs     []Bug // distinct failure signatures
+	Elapsed  time.Duration
+}
+
+// Run executes one test per scenario against sys on the session's
+// worker pool — the unified replacement for RunOne, Campaign and
+// CampaignParallel. Outcomes stream to the WithObserver callback as
+// they complete; the report lists them in scenario order (identical to
+// a sequential campaign under the session seed). On cancellation,
+// in-flight tests finish and the report carries the completed prefix
+// together with ctx.Err().
+func (s *Session) Run(ctx context.Context, sys *System, scenarios []*Scenario) (*RunReport, error) {
+	begin := time.Now()
+	tgt := sys.Target()
+	var mu sync.Mutex
+	outs, err := controller.RunNContext(ctx, s.workers, len(scenarios), func(i int) (Outcome, error) {
+		o, rerr := controller.RunOne(tgt, scenarios[i], core.WithSeed(s.seed))
+		if rerr != nil {
+			return o, fmt.Errorf("session %s: scenario %q: %w", sys.Name, scenarios[i].Name, rerr)
+		}
+		if s.observer != nil {
+			// The deferred unlock keeps a panicking observer from
+			// wedging the pool: the panic re-raises through RunNContext
+			// with the mutex released.
+			func() {
+				mu.Lock()
+				defer mu.Unlock()
+				s.observer(sys.Name, o)
+			}()
+		}
+		return o, nil
+	})
+	rep := &RunReport{
+		System:   sys.Name,
+		Outcomes: outs,
+		Bugs:     controller.DistinctBugs(sys.Name, outs),
+		Elapsed:  time.Since(begin),
+	}
+	for _, o := range outs {
+		if o.Failed() {
+			rep.Failures++
+		}
+	}
+	return rep, err
+}
+
+// config adapts the session knobs to one system's exploration config.
+func (s *Session) config(sys *System) ExploreConfig {
+	cfg := explore.ConfigForSystem(sys)
+	cfg.Store = s.store
+	cfg.Workers = s.workers
+	cfg.BatchSize = s.batch
+	cfg.StallBatches = s.stall
+	cfg.Seed = s.seed
+	cfg.Log = s.log
+	return cfg
+}
+
+// Explore runs the coverage-guided fault-space explorer on one system.
+// Cancellation flushes the sharded store cleanly (at most the
+// interrupted batch is lost) and returns the partial result with
+// ctx.Err(), so the next run resumes with no re-execution.
+func (s *Session) Explore(ctx context.Context, sys *System) (*ExploreResult, error) {
+	cfg := s.config(sys)
+	cfg.MaxRuns = s.budget
+	return explore.ExploreContext(ctx, cfg)
+}
+
+// ExploreAll explores several systems (default: every registered one)
+// in one session: a shared worker pool, a shared store root, and a
+// shared budget, with batches interleaved across systems by
+// uncovered-recovery-block priority. Cancellation flushes every
+// system's store cleanly and returns the partial result with
+// ctx.Err().
+func (s *Session) ExploreAll(ctx context.Context, systems ...*System) (*ExploreAllResult, error) {
+	if len(systems) == 0 {
+		systems = Systems()
+	}
+	cfgs := make([]ExploreConfig, 0, len(systems))
+	seen := make(map[string]bool, len(systems))
+	for _, sys := range systems {
+		if seen[sys.Name] {
+			continue // exploring a system twice in one session is a no-op
+		}
+		seen[sys.Name] = true
+		cfgs = append(cfgs, s.config(sys))
+	}
+	return explore.ExploreAllContext(ctx, cfgs, s.budget)
+}

@@ -1,0 +1,115 @@
+package lfi
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func sessionScenario(t *testing.T, doc string) *Scenario {
+	t.Helper()
+	s, err := ParseScenarioString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSessionRun: Session.Run subsumes Campaign/CampaignParallel — it
+// runs one test per scenario on the pool, streams every outcome to the
+// observer, and reports outcomes in scenario order.
+func TestSessionRun(t *testing.T) {
+	sys, ok := LookupSystem("minivcs")
+	if !ok {
+		t.Fatal("minivcs not registered")
+	}
+	scens := []*Scenario{
+		sessionScenario(t, `<scenario name="benign">
+		  <trigger id="never" class="CallCountTrigger"><args><n>100000</n></args></trigger>
+		  <function name="read" return="-1" errno="EINTR"><reftrigger ref="never" /></function>
+		</scenario>`),
+		sessionScenario(t, `<scenario name="first-malloc-fails">
+		  <trigger id="all" class="CallCountTrigger"><args><from>1</from><to>200</to></args></trigger>
+		  <function name="malloc" return="0" errno="ENOMEM"><reftrigger ref="all" /></function>
+		</scenario>`),
+	}
+
+	var mu sync.Mutex
+	streamed := 0
+	sess := NewSession(WithWorkers(2), WithObserver(func(system string, o Outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		if system != "minivcs" {
+			t.Errorf("observer saw system %q", system)
+		}
+		streamed++
+	}))
+	rep, err := sess.Run(context.Background(), sys, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 2 || streamed != 2 {
+		t.Fatalf("want 2 outcomes streamed and reported, got %d reported / %d streamed", len(rep.Outcomes), streamed)
+	}
+	if rep.Outcomes[0].Scenario.Name != "benign" || rep.Outcomes[1].Scenario.Name != "first-malloc-fails" {
+		t.Fatalf("outcomes out of scenario order: %v, %v", rep.Outcomes[0], rep.Outcomes[1])
+	}
+	if rep.Outcomes[0].Failed() {
+		t.Fatalf("benign scenario failed: %v", rep.Outcomes[0])
+	}
+	if !rep.Outcomes[1].Failed() || rep.Failures != 1 || len(rep.Bugs) != 1 {
+		t.Fatalf("malloc-exhaustion run should be the one failure: %+v", rep)
+	}
+
+	// A cancelled context stops the session before any test starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err = sess.Run(ctx, sys, scens)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(rep.Outcomes) != 0 {
+		t.Fatalf("cancelled session still ran %d tests", len(rep.Outcomes))
+	}
+}
+
+// TestSessionExploreStoreStats: the session surfaces the sharded
+// store's compaction stats; an unchanged-target resume migrates every
+// entry and invalidates none.
+func TestSessionExploreStoreStats(t *testing.T) {
+	sys, ok := LookupSystem("minidb")
+	if !ok {
+		t.Fatal("minidb not registered")
+	}
+	sess := NewSession(
+		WithWorkers(4),
+		WithStallBatches(1000),
+		WithStore(filepath.Join(t.TempDir(), "store")),
+	)
+	first, err := sess.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.StoreStats == nil {
+		t.Fatal("no store stats on a stored run")
+	}
+	if first.StoreStats.Shards == 0 || first.StoreStats.Entries == 0 || first.StoreStats.Images != 1 {
+		t.Fatalf("implausible first-run stats: %s", first.StoreStats)
+	}
+	if first.StoreStats.Migrated != 0 {
+		t.Fatalf("first run migrated %d entries out of thin air", first.StoreStats.Migrated)
+	}
+
+	second, err := sess.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 0 || second.Replayed != first.Executed {
+		t.Fatalf("resume executed %d / replayed %d, want 0 / %d", second.Executed, second.Replayed, first.Executed)
+	}
+	st := second.StoreStats
+	if st == nil || st.Migrated != st.Entries || st.Invalidated != 0 {
+		t.Fatalf("resume should migrate every entry and invalidate none: %s", st)
+	}
+}
