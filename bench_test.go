@@ -10,7 +10,9 @@
 package lfi
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"lfi/internal/apps/minivcs"
 	"lfi/internal/apps/miniweb"
 	"lfi/internal/callsite"
+	"lfi/internal/controller"
 	"lfi/internal/core"
 	"lfi/internal/errno"
 	"lfi/internal/experiments"
@@ -389,7 +392,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 		for _, workers := range []int{1, 8} {
 			b.Run(fmt.Sprintf("%s/workers-%d", reg.name, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					outs, err := CampaignParallel(reg.tgt, scens, workers, RuntimeSeed(1))
+					outs, err := controller.CampaignParallel(reg.tgt, scens, workers, RuntimeSeed(1))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -505,4 +508,78 @@ func BenchmarkMiniwebRequest(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkExecutorBatchLocal measures the execution-backend layer's
+// dispatch overhead on the in-process path: one 32-scenario minidb
+// batch through the local Executor (the adapter every Session uses by
+// default). This is the number the executor gate in CI watches — the
+// backend abstraction must not tax the hot local path.
+func BenchmarkExecutorBatchLocal(b *testing.B) {
+	s, err := ParseScenarioString(`<scenario name="bench-exec-read">
+	  <trigger id="nth" class="CallCountTrigger"><args><n>3</n></args></trigger>
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="nth" /></function>
+	</scenario>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const tests = 32
+	scens := make([]*Scenario, tests)
+	for i := range scens {
+		scens[i] = s
+	}
+	e := NewLocalExecutor(4)
+	batch := &ExecBatch{System: "minidb", Scenarios: scens}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := e.Run(context.Background(), batch)
+		if err != nil || len(outs) != tests {
+			b.Fatalf("%d outcomes, err %v", len(outs), err)
+		}
+	}
+	b.ReportMetric(float64(tests)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+}
+
+// BenchmarkExecutorBatchRemote is the same batch through a loopback
+// `lfi serve` TCP worker: canonical-XML serialization, length-prefixed
+// JSON-RPC framing and transport, per batch. The gap to
+// BenchmarkExecutorBatchLocal is the wire tax a remote worker must
+// amortize with batch size — the reason the cost model routes big
+// batches remote and small hot batches locally.
+func BenchmarkExecutorBatchRemote(b *testing.B) {
+	s, err := ParseScenarioString(`<scenario name="bench-exec-read">
+	  <trigger id="nth" class="CallCountTrigger"><args><n>3</n></args></trigger>
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="nth" /></function>
+	</scenario>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const tests = 32
+	scens := make([]*Scenario, tests)
+	for i := range scens {
+		scens[i] = s
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ServeExecutor(ctx, ln, 4, nil)
+	e, err := DialExecutor(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	batch := &ExecBatch{System: "minidb", Scenarios: scens}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := e.Run(context.Background(), batch)
+		if err != nil || len(outs) != tests {
+			b.Fatalf("%d outcomes, err %v", len(outs), err)
+		}
+	}
+	b.ReportMetric(float64(tests)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
 }

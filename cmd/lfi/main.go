@@ -24,13 +24,27 @@
 //	lfi explore -app minidb,minivcs -budget 500
 //
 // With -all (or a comma-separated -app list) one session fans out over
-// the systems with a shared worker pool, a shared store root and a
-// shared budget, interleaving batches by uncovered-recovery-block
-// priority across systems. Ctrl-C cancels cleanly: in-flight tests
-// finish, every store is flushed (no torn shards), and the next run
-// resumes with zero re-execution. -v adds per-batch progress and the
-// per-store compaction stats (shards, retained image versions, entries
-// migrated vs invalidated).
+// the systems with a shared backend fleet, a shared store root and a
+// shared budget, interleaving batches across systems by the per-system
+// cost model (expected coverage gain per second). Ctrl-C cancels
+// cleanly: in-flight tests finish, every store is flushed (no torn
+// shards), and the next run resumes with zero re-execution. -v adds
+// per-batch progress and the per-store compaction stats (shards,
+// retained image versions, entries migrated vs invalidated).
+//
+// Execution backends are pluggable. The serve subcommand turns this
+// binary into a remote test-execution worker speaking length-prefixed
+// JSON-RPC over TCP:
+//
+//	lfi serve -addr :7411 -j 8
+//
+// and explore fans batches across any mix of backends:
+//
+//	lfi explore -all -workers-remote host1:7411,host2:7411
+//	lfi explore -app minidb -pool 4     # crash-isolating subprocess pool
+//
+// Remote workers drain their in-flight batch on Ctrl-C; a worker killed
+// mid-batch has its unfinished runs requeued on the surviving backends.
 package main
 
 import (
@@ -38,6 +52,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -83,6 +98,84 @@ func interruptible() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
+// newSession builds a session or exits with the validation error.
+func newSession(opts ...lfi.SessionOption) *lfi.Session {
+	sess, err := lfi.NewSession(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi:", err)
+		os.Exit(2)
+	}
+	return sess
+}
+
+// executorOpts translates the backend flags (-pool, -workers-remote)
+// into session options: the local pool always participates unless
+// -no-local is set, subprocess/remote backends join the mix.
+func executorOpts(jobs, pool int, remotes string, noLocal bool) []lfi.SessionOption {
+	var execs []lfi.Executor
+	if !noLocal {
+		execs = append(execs, lfi.NewLocalExecutor(jobs))
+	}
+	if pool > 0 {
+		p, err := lfi.NewPoolExecutor(pool)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi: -pool:", err)
+			os.Exit(2)
+		}
+		execs = append(execs, p)
+	}
+	for _, addr := range strings.Split(remotes, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		r, err := lfi.DialExecutor(addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi: -workers-remote:", err)
+			os.Exit(2)
+		}
+		execs = append(execs, r)
+	}
+	if len(execs) == 0 {
+		fmt.Fprintln(os.Stderr, "lfi: -no-local needs at least one -pool or -workers-remote backend")
+		os.Exit(2)
+	}
+	return []lfi.SessionOption{lfi.WithExecutors(execs...), lfi.WithWorkers(jobs)}
+}
+
+// runServe implements `lfi serve`: this process becomes a remote test
+// execution worker for `lfi explore -workers-remote`.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("lfi serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7411", "TCP listen address")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "worker pool size for batches this worker executes")
+	verbose := fs.Bool("v", false, "log connections")
+	fs.Parse(args)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi serve:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := interruptible()
+	defer cancel()
+	fmt.Printf("listening %s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "lfi serve: %d workers, systems: %s\n", *jobs, appsUsage())
+	var logw *os.File
+	if *verbose {
+		logw = os.Stderr
+	}
+	err = lfi.ServeExecutor(ctx, ln, *jobs, logw)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "lfi serve: interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi serve:", err)
+		os.Exit(1)
+	}
+}
+
 // runExplore implements `lfi explore`.
 func runExplore(args []string) {
 	fs := flag.NewFlagSet("lfi explore", flag.ExitOnError)
@@ -92,7 +185,10 @@ func runExplore(args []string) {
 	budget := fs.Int("budget", 0, "max executed test runs, total across systems (0 = explore everything)")
 	batch := fs.Int("batch", 0, "candidates per scheduling batch (default 16)")
 	stall := fs.Int("stall", 0, "stop after this many batches with no new coverage/bugs (default 3)")
-	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "campaign worker pool size (1 = sequential)")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "local campaign worker pool size (1 = sequential)")
+	pool := fs.Int("pool", 0, "add a crash-isolating pool of this many worker subprocesses")
+	remotes := fs.String("workers-remote", "", "comma-separated host:port list of `lfi serve` workers to fan batches across")
+	noLocal := fs.Bool("no-local", false, "run batches only on -pool/-workers-remote backends")
 	seed := fs.Int64("seed", 0, "runtime random seed")
 	verbose := fs.Bool("v", false, "print per-batch progress and per-store compaction stats")
 	fs.Parse(args)
@@ -106,16 +202,28 @@ func runExplore(args []string) {
 
 	opts := []lfi.SessionOption{
 		lfi.WithStore(*store),
-		lfi.WithBudget(*budget),
-		lfi.WithBatchSize(*batch),
-		lfi.WithStallBatches(*stall),
-		lfi.WithWorkers(*jobs),
 		lfi.WithSeed(*seed),
+	}
+	if *budget > 0 {
+		opts = append(opts, lfi.WithBudget(*budget))
+	}
+	if *batch > 0 {
+		opts = append(opts, lfi.WithBatchSize(*batch))
+	}
+	if *stall > 0 {
+		opts = append(opts, lfi.WithStallBatches(*stall))
 	}
 	if *verbose {
 		opts = append(opts, lfi.WithLog(os.Stderr))
 	}
-	sess := lfi.NewSession(opts...)
+	opts = append(opts, executorOpts(*jobs, *pool, *remotes, *noLocal)...)
+	sess := newSession(opts...)
+	defer sess.Close()
+	if *verbose {
+		for _, info := range sess.Executors() {
+			fmt.Fprintf(os.Stderr, "lfi explore: backend %s (capacity %d, isolated %v)\n", info.Name, info.Capacity, info.Isolated)
+		}
+	}
 	ctx, cancel := interruptible()
 	defer cancel()
 
@@ -154,9 +262,18 @@ func runExplore(args []string) {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "explore" {
-		runExplore(os.Args[2:])
-		return
+	// Become a pool worker when re-executed by NewPoolExecutor (or a
+	// serve worker via the env hook); no-op otherwise.
+	lfi.MaybeExecWorker()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "explore":
+			runExplore(os.Args[2:])
+			return
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		}
 	}
 	app := flag.String("app", "minivcs", "target system: "+appsUsage())
 	scenFile := flag.String("scenario", "", "injection scenario XML file")
@@ -202,7 +319,8 @@ func main() {
 
 	ctx, cancel := interruptible()
 	defer cancel()
-	sess := lfi.NewSession(lfi.WithWorkers(*jobs))
+	sess := newSession(lfi.WithWorkers(*jobs))
+	defer sess.Close()
 	rep, err := sess.Run(ctx, sys, scens)
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "lfi:", err)

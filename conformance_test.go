@@ -81,7 +81,7 @@ func TestSystemRegistryConformance(t *testing.T) {
 
 			// The acceptance bar: exploration through the Session API
 			// rediscovers every advertised stock bug.
-			sess := NewSession(WithWorkers(4), WithStallBatches(1000))
+			sess := mustSession(t, WithWorkers(4), WithStallBatches(1000))
 			res, err := sess.Explore(context.Background(), sys)
 			if err != nil {
 				t.Fatal(err)

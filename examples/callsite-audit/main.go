@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"lfi"
 	"lfi/internal/apps/minivcs"
 	"lfi/internal/callsite"
 	"lfi/internal/controller"
@@ -37,13 +39,24 @@ func main() {
 	}
 
 	// 3. Generate scenarios for the vulnerable sites and run the
-	// default test suite once per scenario.
+	// default test suite once per scenario, through the Session API
+	// (minivcs resolves from the system registry by name).
 	scens := callsite.GenerateScenarios(bin, append(not, part...), libc)
 	fmt.Printf("\nrunning %d generated scenarios against the test suite...\n\n", len(scens))
-	outs, err := controller.Campaign(minivcs.Target(), scens)
+	sys, ok := lfi.LookupSystem(minivcs.Module)
+	if !ok {
+		log.Fatal("minivcs not registered")
+	}
+	sess, err := lfi.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
+	rep2, err := sess.Run(context.Background(), sys, scens)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outs := rep2.Outcomes
 
 	// 4. Report distinct crashes (gracefully handled injections are
 	// recovery working as intended, so they are not bugs).

@@ -35,11 +35,15 @@ func main() {
 	// worker pool. StallBatches is raised so runs drain their whole
 	// candidate queue (bred window mutants included) and the resume
 	// demos can replay everything.
-	sess := lfi.NewSession(
+	sess, err := lfi.NewSession(
 		lfi.WithStore(filepath.Join(storeDir, "store")),
 		lfi.WithStallBatches(1000),
 		lfi.WithLog(os.Stdout),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	// --- minidb: the MySQL stand-in --------------------------------
 	//

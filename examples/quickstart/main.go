@@ -109,12 +109,16 @@ func main() {
 		}
 		scens = append(scens, sc)
 	}
-	sess := lfi.NewSession(
+	sess, err := lfi.NewSession(
 		lfi.WithWorkers(2),
 		lfi.WithObserver(func(system string, o lfi.Outcome) {
 			fmt.Printf("  [%s] %s\n", system, o)
 		}),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 	rep, err := sess.Run(context.Background(), sys, scens)
 	if err != nil {
 		log.Fatal(err)

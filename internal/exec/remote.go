@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Remote is the client side of the wire protocol: one TCP connection to
+// an `lfi serve` worker. A Remote dispatches one batch at a time (the
+// Fleet gives each backend its own dispatcher); a broken connection
+// fails the batch with BackendError and marks the backend dead — the
+// scheduler requeues the batch's runs elsewhere, so killing a worker
+// loses no work.
+type Remote struct {
+	addr  string
+	hello helloInfo
+
+	// drainGrace bounds how long a cancelled Run keeps waiting for the
+	// in-flight response before force-closing the connection. Remote
+	// workers get no cancel message in protocol v1; draining the
+	// response is what lands an interrupted batch's outcomes in the
+	// store just like a local Ctrl-C.
+	drainGrace time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+// defaultDrainGrace is generous: a batch is at most a few hundred
+// simulated runs, each of which completes in milliseconds.
+const defaultDrainGrace = 30 * time.Second
+
+// Dial connects to an `lfi serve` worker and performs the hello
+// exchange, verifying the protocol version and learning the worker's
+// capacity and registered systems.
+func Dial(addr string) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("exec: remote %s: %w", addr, err)
+	}
+	r := &Remote{addr: addr, conn: conn, drainGrace: defaultDrainGrace}
+	var resp response
+	if err := r.roundTrip(&request{Method: "hello"}, &resp); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("exec: remote %s: hello: %w", addr, err)
+	}
+	if resp.Hello == nil || resp.Hello.Proto != protoVersion {
+		conn.Close()
+		return nil, fmt.Errorf("exec: remote %s: protocol mismatch (want %d, got %+v)", addr, protoVersion, resp.Hello)
+	}
+	r.hello = *resp.Hello
+	return r, nil
+}
+
+// Info reports the worker's advertised metadata. A remote worker is
+// crash-isolated by construction: it is a different process on
+// (possibly) a different machine.
+func (r *Remote) Info() Info {
+	return Info{Name: "remote(" + r.addr + ")", Kind: KindRemote, Capacity: r.hello.Capacity, Isolated: true}
+}
+
+// Systems returns the registered system names the worker advertised.
+func (r *Remote) Systems() []string { return r.hello.Systems }
+
+// Close shuts the connection down.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return nil
+	}
+	err := r.conn.Close()
+	r.conn = nil
+	return err
+}
+
+// roundTrip sends one request and reads its response under the
+// connection lock. The caller holds no locks.
+func (r *Remote) roundTrip(req *request, resp *response) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return fmt.Errorf("connection closed")
+	}
+	r.nextID++
+	req.ID = r.nextID
+	if err := writeFrame(r.conn, req); err != nil {
+		r.conn.Close()
+		r.conn = nil
+		return err
+	}
+	if err := readFrame(r.conn, resp); err != nil {
+		r.conn.Close()
+		r.conn = nil
+		return err
+	}
+	if resp.ID != req.ID {
+		r.conn.Close()
+		r.conn = nil
+		return fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+	}
+	return nil
+}
+
+// Run ships the batch to the worker and waits for its outcomes. On
+// cancellation it keeps draining the in-flight response for up to the
+// drain grace — outcomes that come back are returned with ctx.Err(), so
+// the caller persists them exactly like a locally interrupted batch —
+// then force-closes the connection. Transport failures (a killed
+// worker) come back as BackendError: requeue, don't retry here.
+func (r *Remote) Run(ctx context.Context, b *Batch) ([]*Outcome, error) {
+	var resp response
+	done := make(chan error, 1)
+	go func() {
+		done <- r.roundTrip(&request{Method: "run", Batch: toWire(b)}, &resp)
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-ctx.Done():
+		// Drain: the worker finishes the whole batch; give it the
+		// grace period before declaring the backend dead.
+		t := time.NewTimer(r.drainGrace)
+		select {
+		case err = <-done:
+			t.Stop()
+		case <-t.C:
+			r.Close()
+			<-done // roundTrip fails fast once the conn is closed
+			return nil, &BackendError{Backend: r.Info().Name, Err: fmt.Errorf("cancelled and drain timed out")}
+		}
+		if err == nil {
+			if resp.Error != "" {
+				return r.observed(b, resp.Outcomes), fmt.Errorf("exec: remote %s: %s", r.addr, resp.Error)
+			}
+			return r.observed(b, resp.Outcomes), ctx.Err()
+		}
+	}
+	if err != nil {
+		return nil, &BackendError{Backend: r.Info().Name, Err: err}
+	}
+	if resp.Error != "" {
+		// A batch problem (unknown system, bad scenario, mid-batch run
+		// error), not a backend one; the worker's completed prefix
+		// still comes back for the caller to fold.
+		return r.observed(b, resp.Outcomes), fmt.Errorf("exec: remote %s: %s", r.addr, resp.Error)
+	}
+	return r.observed(b, resp.Outcomes), nil
+}
+
+// observed caps outcomes at the batch length and streams them to the
+// batch observer.
+func (r *Remote) observed(b *Batch, outs []*Outcome) []*Outcome {
+	if len(outs) > len(b.Scenarios) {
+		outs = outs[:len(b.Scenarios)]
+	}
+	if b.Observe != nil {
+		for i, o := range outs {
+			b.Observe(i, o)
+		}
+	}
+	return outs
+}

@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+
+	"lfi/internal/system"
+)
+
+// This file is the worker side of the wire protocol: the TCP server
+// behind `lfi serve`, the stdio loop pool workers run, and the
+// self-re-exec hook that turns any binary calling MaybeWorker into a
+// pool-capable worker.
+
+// EnvWorker, when set in a process's environment, makes MaybeWorker
+// take over the process as a stdio protocol worker (the pool backend's
+// subprocess mode).
+const EnvWorker = "LFI_EXEC_WORKER"
+
+// EnvServe, when set to a TCP listen address, makes MaybeWorker take
+// over the process as a serve worker on that address. It prints
+// "listening <addr>" on stdout once bound — tests and scripts spawn
+// workers on ":0" and read the chosen port back.
+const EnvServe = "LFI_EXEC_SERVE"
+
+// EnvWorkerJobs overrides a worker's in-process pool width (default 1
+// for stdio workers: pool parallelism comes from having several).
+const EnvWorkerJobs = "LFI_EXEC_WORKER_J"
+
+// MaybeWorker checks the worker environment hooks and, when one is
+// set, runs the corresponding protocol loop and exits the process.
+// Call it first thing in main (cmd/lfi does) or TestMain: it is what
+// lets the pool backend re-exec the current binary as its worker
+// without a dedicated worker executable.
+func MaybeWorker() {
+	jobs := 1
+	if j, err := strconv.Atoi(os.Getenv(EnvWorkerJobs)); err == nil && j > 0 {
+		jobs = j
+	}
+	if os.Getenv(EnvWorker) != "" {
+		err := ServeConn(struct {
+			io.Reader
+			io.Writer
+		}{os.Stdin, os.Stdout}, jobs)
+		if err != nil && !errors.Is(err, io.EOF) {
+			fmt.Fprintln(os.Stderr, "lfi exec worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if addr := os.Getenv(EnvServe); addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi exec serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("listening %s\n", ln.Addr())
+		if err := Serve(context.Background(), ln, jobs, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "lfi exec serve:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+}
+
+// Serve accepts protocol connections on ln until ctx is cancelled and
+// answers each with ServeConn — the engine behind `lfi serve`. Every
+// batch a connection carries runs on an in-process pool of the given
+// width. Cancellation closes the listener and every active connection:
+// a client mid-batch observes a dead worker and requeues (the same
+// contract as a killed worker process).
+func Serve(ctx context.Context, ln net.Listener, workers int, logw io.Writer) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	var (
+		mu    sync.Mutex
+		conns = make(map[net.Conn]bool)
+		wg    sync.WaitGroup
+	)
+	stop := context.AfterFunc(ctx, func() {
+		ln.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for c := range conns {
+			c.Close()
+		}
+	})
+	defer stop()
+	logf := func(format string, args ...any) {
+		if logw != nil {
+			fmt.Fprintf(logw, format+"\n", args...)
+		}
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		mu.Lock()
+		conns[conn] = true
+		mu.Unlock()
+		logf("lfi serve: %s connected", conn.RemoteAddr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := ServeConn(conn, workers)
+			conn.Close()
+			mu.Lock()
+			delete(conns, conn)
+			mu.Unlock()
+			if err != nil && !errors.Is(err, io.EOF) && ctx.Err() == nil {
+				logf("lfi serve: %s: %v", conn.RemoteAddr(), err)
+			} else {
+				logf("lfi serve: %s disconnected", conn.RemoteAddr())
+			}
+		}()
+	}
+}
+
+// ServeConn answers one protocol connection: hello, then run requests,
+// each batch executed on an in-process Local backend of the given
+// width. It returns io.EOF on clean client disconnect. Which systems
+// the worker offers follows from which system packages the serving
+// binary imports (cmd/lfi imports them all via the lfi facade).
+func ServeConn(conn io.ReadWriter, workers int) error {
+	local := NewLocal(workers)
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return err
+		}
+		resp := response{ID: req.ID}
+		switch req.Method {
+		case "hello":
+			resp.Hello = &helloInfo{Proto: protoVersion, Capacity: workers, Systems: system.Names()}
+		case "run":
+			if req.Batch == nil {
+				resp.Error = "run request without batch"
+				break
+			}
+			b, err := fromWire(req.Batch)
+			if err != nil {
+				resp.Error = err.Error()
+				break
+			}
+			// On a mid-batch error the completed prefix still ships
+			// alongside the error, mirroring the local backend's
+			// contract — the client folds it so no completed run is
+			// ever re-executed.
+			outs, err := local.Run(context.Background(), b)
+			resp.Outcomes = outs
+			if err != nil {
+				resp.Error = err.Error()
+			}
+		default:
+			resp.Error = fmt.Sprintf("unknown method %q", req.Method)
+		}
+		if err := writeFrame(conn, &resp); err != nil {
+			return err
+		}
+	}
+}

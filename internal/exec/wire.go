@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lfi/internal/scenario"
+)
+
+// The wire protocol shared by the pool (stdio) and remote (TCP)
+// backends: length-prefixed JSON-RPC. Every message is one frame —
+// a 4-byte big-endian payload length followed by that many bytes of
+// JSON — so framing survives any stream transport and a reader can
+// reject oversized or torn messages before parsing.
+//
+//	client → worker: {"id":1,"method":"hello"}
+//	worker → client: {"id":1,"hello":{"proto":1,"capacity":4,"systems":[...]}}
+//	client → worker: {"id":2,"method":"run","batch":{...}}
+//	worker → client: {"id":2,"outcomes":[...]}
+//
+// A batch's scenarios travel as canonical XML (scenario.Serialize is
+// byte-deterministic), so content hashes — and therefore store keys —
+// mean the same thing on both ends. Errors come back in-band on the
+// response's error field; transport failures surface as BackendError.
+
+// protoVersion is bumped on incompatible message changes; hello
+// mismatches are rejected at connection setup, not mid-campaign.
+const protoVersion = 1
+
+// maxFrame bounds one message (a batch of a few hundred scenarios is
+// well under 1 MiB; 64 MiB rejects garbage and runaway peers).
+const maxFrame = 64 << 20
+
+type request struct {
+	ID     uint64     `json:"id"`
+	Method string     `json:"method"`
+	Batch  *wireBatch `json:"batch,omitempty"`
+}
+
+type response struct {
+	ID       uint64     `json:"id"`
+	Error    string     `json:"error,omitempty"`
+	Hello    *helloInfo `json:"hello,omitempty"`
+	Outcomes []*Outcome `json:"outcomes,omitempty"`
+}
+
+type helloInfo struct {
+	Proto    int      `json:"proto"`
+	Capacity int      `json:"capacity"`
+	Systems  []string `json:"systems"`
+}
+
+// wireBatch is a Batch with scenarios serialized for transport.
+type wireBatch struct {
+	System    string   `json:"system"`
+	Seed      int64    `json:"seed,omitempty"`
+	Coverage  bool     `json:"coverage,omitempty"`
+	Scenarios []string `json:"scenarios"`
+}
+
+// toWire serializes a batch's scenarios into canonical XML.
+func toWire(b *Batch) *wireBatch {
+	wb := &wireBatch{System: b.System, Seed: b.Seed, Coverage: b.Coverage}
+	wb.Scenarios = make([]string, len(b.Scenarios))
+	for i, s := range b.Scenarios {
+		wb.Scenarios[i] = string(s.Serialize())
+	}
+	return wb
+}
+
+// fromWire parses a received batch back into scenarios.
+func fromWire(wb *wireBatch) (*Batch, error) {
+	b := &Batch{System: wb.System, Seed: wb.Seed, Coverage: wb.Coverage}
+	b.Scenarios = make([]*scenario.Scenario, len(wb.Scenarios))
+	for i, doc := range wb.Scenarios {
+		s, err := scenario.ParseString(doc)
+		if err != nil {
+			return nil, fmt.Errorf("exec: batch scenario %d: %w", i, err)
+		}
+		b.Scenarios[i] = s
+	}
+	return b, nil
+}
+
+// writeFrame marshals v and writes one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("exec: marshal: %w", err)
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("exec: frame too large: %d bytes", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("exec: frame too large: %d bytes", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("exec: unmarshal: %w", err)
+	}
+	return nil
+}

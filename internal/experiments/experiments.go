@@ -15,9 +15,9 @@ import (
 	"runtime"
 	"strings"
 
-	"lfi/internal/explore"
 	"lfi/internal/isa"
 	"lfi/internal/profile"
+	"lfi/internal/system"
 	"lfi/internal/trigger"
 )
 
@@ -29,7 +29,7 @@ func campaignWorkers() int { return runtime.GOMAXPROCS(0) }
 // profiles builds the fault profiles of all three simulated libraries by
 // actually running the library profiler over the library binaries (the
 // same set the explorer uses).
-func profiles() []*profile.Profile { return explore.Profiles() }
+func profiles() []*profile.Profile { return system.DefaultProfiles() }
 
 // header renders a table caption.
 func header(b *strings.Builder, title string) {

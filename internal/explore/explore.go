@@ -47,9 +47,9 @@ import (
 
 	"lfi/internal/callsite"
 	"lfi/internal/controller"
-	"lfi/internal/core"
 	"lfi/internal/coverage"
 	"lfi/internal/errno"
+	"lfi/internal/exec"
 	"lfi/internal/isa"
 	"lfi/internal/profile"
 	"lfi/internal/scenario"
@@ -149,7 +149,15 @@ type Config struct {
 	// with no new coverage and no new bugs (default 3).
 	StallBatches int
 	// Workers is the campaign worker-pool width (default GOMAXPROCS).
+	// It sizes the default local execution backend; when Exec is set it
+	// only carries the session's width for reporting.
 	Workers int
+	// Exec is the execution-backend fleet batches dispatch through.
+	// nil means a private fleet with one local (in-process) backend of
+	// Workers width — the pre-backend behavior, bit for bit. The
+	// system's cost model (runs/sec per backend, coverage gain per run)
+	// lives in the fleet and persists through the store index.
+	Exec *exec.Fleet
 	// Store is the path of the persistent campaign store ("" = none).
 	Store string
 	// Seed fixes the runtime random source per run.
@@ -444,14 +452,15 @@ type explorer struct {
 
 	// Mutation state: the scenario hashes already enumerated (initial
 	// candidates plus spawned mutants), the candidates already mutated,
-	// the image-wide code region windows key on, the recovery-block
-	// universe, and the recovery blocks the suite covers on its own
-	// (mutation triggers only on coverage *beyond* that baseline, so
-	// the decision is identical whether an outcome was executed or
-	// replayed, in any order).
+	// the image-wide code region windows key on, the registered and
+	// recovery block universes, and the recovery blocks the suite
+	// covers on its own (mutation triggers only on coverage *beyond*
+	// that baseline, so the decision is identical whether an outcome
+	// was executed or replayed, in any order).
 	seen        map[string]bool
 	mutated     map[string]bool
 	imageRegion string
+	allBlocks   map[string]bool
 	recBlocks   map[string]bool
 	baseRec     map[string]bool
 	spawned     int
@@ -608,12 +617,19 @@ type run struct {
 	pending []*Candidate
 	stall   int
 	begin   time.Time
+	// ownExec marks a fleet newRun built itself (no Config.Exec);
+	// finish closes it.
+	ownExec bool
 }
 
 // newRun generates the candidate space, runs the coverage baseline, and
 // replays the persistent store, leaving the run ready to step.
 func newRun(cfg Config) (*run, error) {
 	cfg = cfg.withDefaults()
+	ownExec := cfg.Exec == nil
+	if ownExec {
+		cfg.Exec = exec.NewFleet(exec.NewLocal(cfg.Workers))
+	}
 	begin := time.Now()
 	cands := Generate(cfg)
 
@@ -644,11 +660,12 @@ func newRun(cfg Config) (*run, error) {
 	res.Baseline = x.acc.Recovery()
 
 	// The block universes the baseline registered; replayed store
-	// entries may predate a code change elsewhere in the image, so
-	// block IDs they recorded are only trusted if they still exist.
-	allBlocks := make(map[string]bool)
+	// entries may predate a code change elsewhere in the image, and a
+	// mismatched remote worker could report blocks this image does not
+	// have, so recorded block IDs are only trusted if they still exist.
+	x.allBlocks = make(map[string]bool)
 	for _, id := range x.acc.RegisteredIDs() {
-		allBlocks[id] = true
+		x.allBlocks[id] = true
 	}
 	x.recBlocks = make(map[string]bool)
 	for _, id := range x.acc.RecoveryIDs() {
@@ -671,6 +688,11 @@ func newRun(cfg Config) (*run, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Resume the execution cost model the last session measured, so
+		// scheduling starts from observed economics instead of priors.
+		if cost, ok := store.CostModel(); ok {
+			cfg.Exec.SeedCost(cfg.System, cost)
+		}
 	}
 	keys := candidateKeys(cands)
 	pending := make([]*Candidate, 0, len(cands))
@@ -685,7 +707,7 @@ func newRun(cfg Config) (*run, error) {
 		}
 		res.Replayed++
 		for _, id := range e.Blocks {
-			if !allBlocks[id] {
+			if !x.allBlocks[id] {
 				continue
 			}
 			x.acc.Hit(id)
@@ -706,7 +728,7 @@ func newRun(cfg Config) (*run, error) {
 	if res.Replayed > 0 {
 		x.logf("explore %s: replayed %d cached outcomes from %s", cfg.System, res.Replayed, cfg.Store)
 	}
-	return &run{cfg: cfg, x: x, res: res, store: store, keys: keys, pending: pending, begin: begin}, nil
+	return &run{cfg: cfg, x: x, res: res, store: store, keys: keys, pending: pending, begin: begin, ownExec: ownExec}, nil
 }
 
 // done reports whether scheduling is finished: queue drained, stalled,
@@ -724,12 +746,15 @@ func (r *run) uncoveredRecovery() int {
 	return len(r.x.recBlocks) - len(r.x.covered)
 }
 
-// step schedules and executes one batch, then persists its outcomes.
-// The store is saved after every batch, not just at the end — with the
-// sharded layout that only rewrites the batch's dirty shards — so a
-// mid-run error or interrupt loses at most one batch of outcomes. cap,
-// when positive, additionally bounds the batch size (the cross-system
-// driver passes its shared remaining budget).
+// step schedules one batch, dispatches it across the execution fleet,
+// and persists its outcomes. The store is saved after every batch, not
+// just at the end — with the sharded layout that only rewrites the
+// batch's dirty shards — so a mid-run error or interrupt loses nothing
+// that completed: even a cancelled batch's drained outcomes (local
+// prefix, in-flight remote responses) are folded, counted as executed
+// and saved, and only the candidates that never ran go back to the
+// queue. cap, when positive, additionally bounds the batch size (the
+// cross-system driver passes its shared remaining budget).
 func (r *run) step(ctx context.Context, cap int) error {
 	size := r.cfg.BatchSize
 	if r.cfg.MaxRuns > 0 {
@@ -746,22 +771,26 @@ func (r *run) step(ctx context.Context, cap int) error {
 	batch, rest := r.x.takeBatch(r.pending, size)
 	r.pending = rest
 
-	report, mutants, err := r.x.runBatch(ctx, len(r.res.Batches), batch, r.store)
-	if err != nil {
-		r.store.Save(r.keys) // keep completed batches; the run error wins
-		return err
-	}
+	report, mutants, unrun, err := r.x.runBatch(ctx, len(r.res.Batches), batch, r.store)
 	for _, m := range mutants {
 		r.keys[m.key] = true
 	}
 	r.pending = append(r.pending, mutants...)
+	r.pending = append(r.pending, unrun...)
+	if report.Runs > 0 {
+		r.res.Executed += report.Runs
+		r.res.Batches = append(r.res.Batches, report)
+		r.cfg.Exec.ObserveGain(r.cfg.System, report.Runs, len(report.NewBlocks))
+		r.x.logf("explore %s: batch %d: %d runs, %d new blocks, %d new bugs, %d mutants bred, recovery %s",
+			r.cfg.System, report.Index, report.Runs, len(report.NewBlocks), len(report.NewBugs), len(mutants), report.Recovery)
+	}
+	if err != nil {
+		r.store.Save(r.keys) // keep drained outcomes; the run error wins
+		return err
+	}
 	if err := r.store.Save(r.keys); err != nil {
 		return err
 	}
-	r.res.Executed += report.Runs
-	r.res.Batches = append(r.res.Batches, report)
-	r.x.logf("explore %s: batch %d: %d runs, %d new blocks, %d new bugs, %d mutants bred, recovery %s",
-		r.cfg.System, report.Index, report.Runs, len(report.NewBlocks), len(report.NewBugs), len(mutants), report.Recovery)
 
 	// A batch that breeds mutants is progress even when it adds no
 	// immediate coverage: the interesting part of a mutation chain
@@ -783,7 +812,13 @@ func (r *run) step(ctx context.Context, cap int) error {
 // is returned either way so callers can report progress up to the
 // interrupt.
 func (r *run) finish(runErr error) (*Result, error) {
+	// Persist the measured execution economics next to the outcomes:
+	// the next session schedules on them from its first batch.
+	r.store.SetCostModel(r.cfg.Exec.Cost(r.cfg.System))
 	saveErr := r.store.Save(r.keys)
+	if r.ownExec {
+		r.cfg.Exec.Close()
+	}
 	r.res.Mutants = r.x.spawned
 	r.res.Bugs = r.x.distinctBugs()
 	r.res.Final = r.x.acc.Recovery()
@@ -818,52 +853,65 @@ func (x *explorer) takeBatch(pending []*Candidate, size int) (batch, rest []*Can
 	return pending[:size], pending[size:]
 }
 
-// runBatch executes one batch on the parallel campaign executor, then
-// folds coverage and failure deltas back into the scheduler state. It
-// also returns the window mutants bred from this batch's worthy
-// occurrence/window outcomes, for the caller to feed back into the
-// queue.
-func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, store *Store) (BatchReport, []*Candidate, error) {
-	report := BatchReport{Index: index, Runs: len(batch)}
-	trackers := make([]*coverage.Tracker, len(batch))
-	outs, err := controller.RunNContext(ctx, x.cfg.Workers, len(batch), func(i int) (controller.Outcome, error) {
-		trackers[i] = coverage.New()
-		o, err := controller.RunOne(x.cfg.Target(trackers[i]), batch[i].Scenario, core.WithSeed(x.cfg.Seed))
-		if err != nil {
-			return o, fmt.Errorf("explore: scenario %q: %w", batch[i].Scenario.Name, err)
-		}
-		return o, nil
-	})
-	if err != nil {
-		return report, nil, err
+// runBatch dispatches one batch across the execution fleet, then folds
+// coverage and failure deltas back into the scheduler state. Every
+// completed outcome is folded even when the dispatch returned an error
+// — that is how a cancelled batch's drained remote responses land in
+// the store — and candidates the fleet never ran come back as unrun for
+// the caller to requeue. It also returns the window mutants bred from
+// this batch's worthy occurrence/window outcomes.
+func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, store *Store) (report BatchReport, mutants, unrun []*Candidate, err error) {
+	report = BatchReport{Index: index}
+	scens := make([]*scenario.Scenario, len(batch))
+	for i, c := range batch {
+		scens[i] = c.Scenario
 	}
+	outs, err := x.cfg.Exec.Run(ctx, &exec.Batch{
+		System:    x.cfg.System,
+		Seed:      x.cfg.Seed,
+		Coverage:  true,
+		Scenarios: scens,
+	})
 
 	// Delta attribution is sequential in batch order, so results are
-	// independent of worker interleaving.
-	var mutants []*Candidate
-	for i, out := range outs {
-		c := batch[i]
-		recovered := trackers[i].CoveredRecoveryIDs()
-		for _, id := range recovered {
-			if !x.covered[id] {
+	// independent of backend routing and worker interleaving — the
+	// executor equivalence property makes the outcomes themselves
+	// backend-independent.
+	for i, c := range batch {
+		var out *exec.Outcome
+		if i < len(outs) {
+			out = outs[i]
+		}
+		if out == nil {
+			unrun = append(unrun, c)
+			continue
+		}
+		report.Runs++
+		for _, id := range out.Blocks {
+			if !x.allBlocks[id] {
+				continue
+			}
+			x.acc.Hit(id)
+			if x.recBlocks[id] && !x.covered[id] {
 				x.covered[id] = true
 				report.NewBlocks = append(report.NewBlocks, id)
 				x.reward(c.Callee)
 			}
 		}
-		x.acc.Merge(trackers[i])
 
 		// The entry records the run's full covered footprint (not just
 		// recovery blocks), so a resumed run reconstructs total
-		// coverage too.
-		entry := Entry{Name: c.Scenario.Name, Blocks: trackers[i].CoveredIDs(), Injections: out.Injections}
-		if sig, failed := controller.FailureSignature(out); failed {
-			entry.Failed, entry.Signature = true, sig
-			if _, known := x.sigs[sig]; !known {
-				report.NewBugs = append(report.NewBugs, sig)
+		// coverage too. The failure signature was computed where the
+		// run executed — it needs the injection log, which stays with
+		// the worker.
+		entry := Entry{Name: c.Scenario.Name, Blocks: out.Blocks, Injections: out.Injections}
+		if out.Signature != "" {
+			entry.Failed, entry.Signature = true, out.Signature
+			if _, known := x.sigs[out.Signature]; !known {
+				report.NewBugs = append(report.NewBugs, out.Signature)
 				x.reward(c.Callee)
 			}
-			x.sigs[sig] = append(x.sigs[sig], c.Scenario.Name)
+			x.sigs[out.Signature] = append(x.sigs[out.Signature], c.Scenario.Name)
 		}
 		store.Put(c.key, entry)
 		if x.mutationWorthy(entry) {
@@ -872,7 +920,7 @@ func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, 
 	}
 	sort.Strings(report.NewBlocks)
 	report.Recovery = x.acc.Recovery()
-	return report, mutants, nil
+	return report, mutants, unrun, err
 }
 
 // distinctBugs renders the accumulated signatures in DistinctBugs shape.

@@ -45,21 +45,29 @@ func (m *MultiResult) CrashBugs() []controller.Bug {
 
 // ExploreAllContext runs one exploration session over several systems
 // at once — the ROADMAP's cross-system campaign orchestration. All
-// configs share the caller's worker pool width and (by convention) one
-// store root: LoadStore keys shards by system name, so the configs'
-// Store fields may all point at the same directory.
+// configs share the caller's execution fleet (by convention: a Session
+// passes one fleet to every config) and one store root: LoadStore keys
+// shards by system name, so the configs' Store fields may all point at
+// the same directory.
 //
-// Scheduling interleaves batches across systems by uncovered-recovery-
-// block priority: each round the system with the most recovery blocks
-// still uncovered runs one batch (ties break by name), so early budget
-// flows to whichever target has the most unexplored recovery code —
-// the cross-version analogue of the candidate scoring inside one run.
+// Scheduling interleaves batches across systems by expected coverage
+// gain per second, priced by each system's cost model: gain/run (EWMA
+// of new recovery blocks per executed run, seeded by the uncovered-
+// recovery fraction before any batch has run) times the fleet's
+// aggregate runs/sec for that system (EWMA per backend, persisted in
+// the store index). Early budget still flows to whichever target has
+// the most unexplored recovery code — that is the seed prior — but a
+// system whose batches keep paying off, or that executes cheaply on
+// the available backends, overtakes a nominally larger one that has
+// gone cold or runs slow. Each scheduled batch then fans out across
+// the fleet's mix of local/pool/remote backends (exec.Fleet.Run).
 //
 // budget, when positive, bounds the total tests executed across all
 // systems (replayed store hits are free, as in Config.MaxRuns).
 // Cancellation behaves like ExploreContext per system: every started
-// batch's outcomes are saved, no shard is ever torn, and the partial
-// MultiResult comes back with ctx.Err().
+// batch's outcomes are saved — drained remote responses included — no
+// shard is ever torn, and the partial MultiResult comes back with
+// ctx.Err().
 func ExploreAllContext(ctx context.Context, cfgs []Config, budget int) (*MultiResult, error) {
 	begin := time.Now()
 	seen := make(map[string]bool, len(cfgs))
@@ -135,20 +143,36 @@ func ExploreAllContext(ctx context.Context, cfgs []Config, budget int) (*MultiRe
 	return res, nil
 }
 
-// nextRun picks the not-done run with the most uncovered recovery
-// blocks, ties broken by system name so scheduling is deterministic.
+// systemScore prices one more batch of r in expected new recovery
+// blocks per second:
+//
+//	score = (gain + 0.05·uncovered) × speed
+//
+// where gain is the system's gain-per-run EWMA (seeded by the
+// uncovered-recovery fraction before any batch has run), uncovered is
+// that fraction — a floor that keeps breadth in the mix after gain
+// EWMAs decay — and speed is the fleet's aggregate runs/sec estimate
+// for the system.
+func systemScore(r *run) float64 {
+	uncovered := float64(r.uncoveredRecovery()) / float64(len(r.x.recBlocks)+1)
+	gain := r.cfg.Exec.GainEstimate(r.cfg.System, uncovered)
+	return (gain + 0.05*uncovered) * r.cfg.Exec.SpeedEstimate(r.cfg.System)
+}
+
+// nextRun picks the not-done run with the highest cost-model score,
+// ties broken by system name so scheduling is deterministic.
 func nextRun(runs []*run) *run {
 	var best *run
+	var bestScore float64
 	for _, r := range runs {
 		if r.done() {
 			continue
 		}
+		score := systemScore(r)
 		switch {
-		case best == nil:
-			best = r
-		case r.uncoveredRecovery() > best.uncoveredRecovery():
-			best = r
-		case r.uncoveredRecovery() == best.uncoveredRecovery() && r.cfg.System < best.cfg.System:
+		case best == nil, score > bestScore:
+			best, bestScore = r, score
+		case score == bestScore && r.cfg.System < best.cfg.System:
 			best = r
 		}
 	}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"lfi/internal/exec"
 )
 
 // Store is the persistent campaign store, v2: a shard directory instead
@@ -68,6 +70,10 @@ type shard struct {
 type storeIndex struct {
 	System string          `json:"system"`
 	Images []imageManifest `json:"images"` // most recent save first
+	// Cost is the system's persisted execution cost model (EWMA of
+	// runs/sec per backend and coverage gain per run): the scheduling
+	// signal a resumed session starts from.
+	Cost *exec.CostModel `json:"cost,omitempty"`
 }
 
 // imageManifest names the shards one image version's candidate set
@@ -513,6 +519,30 @@ func (s *Store) writeJSON(path string, v any) error {
 		return fmt.Errorf("explore: store: %w", err)
 	}
 	return nil
+}
+
+// CostModel returns the persisted execution cost model, if any session
+// has saved one.
+func (s *Store) CostModel() (exec.CostModel, bool) {
+	if s == nil {
+		return exec.CostModel{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.index.Cost == nil {
+		return exec.CostModel{}, false
+	}
+	return *s.index.Cost, true
+}
+
+// SetCostModel records the cost model to persist with the next Save.
+func (s *Store) SetCostModel(c exec.CostModel) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index.Cost = &c
 }
 
 // Names returns the scenario names recorded across all shards, sorted —

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"lfi/internal/exec"
 )
 
 // TestStoreCrashSafePartialWrite pins the crash-safety satellite: every
@@ -278,5 +280,42 @@ func TestStoreImageRetention(t *testing.T) {
 	last := fmt.Sprintf("s@only%d", maxImages+2)
 	if _, ok := st.Lookup(last); !ok {
 		t.Fatal("latest image's private shard lost")
+	}
+}
+
+// TestStoreCostModelRoundTrip: the execution cost model persists in the
+// store index across load/save cycles — a resumed session schedules on
+// the economics the last one measured.
+func TestStoreCostModelRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store")
+	st, err := LoadStore(path, "sys", "img@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.CostModel(); ok {
+		t.Fatal("fresh store claims a cost model")
+	}
+	want := exec.CostModel{
+		GainPerRun: 0.25,
+		Batches:    7,
+		Speed:      map[string]float64{"local": 1200, "remote(h:1)": 3400},
+	}
+	st.SetCostModel(want)
+	st.Put("scen@aaaa", Entry{Name: "scen"})
+	if err := st.Save(map[string]bool{"scen@aaaa": true}); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := LoadStore(path, "sys", "img@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st2.CostModel()
+	if !ok {
+		t.Fatal("cost model lost across load")
+	}
+	if got.GainPerRun != want.GainPerRun || got.Batches != want.Batches ||
+		got.Speed["local"] != 1200 || got.Speed["remote(h:1)"] != 3400 {
+		t.Fatalf("cost model mangled: %+v vs %+v", got, want)
 	}
 }

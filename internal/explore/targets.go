@@ -1,7 +1,6 @@
 package explore
 
 import (
-	"lfi/internal/profile"
 	"lfi/internal/system"
 )
 
@@ -12,11 +11,6 @@ import (
 // IDs under the "rec." prefix), and a coverage-merging controller
 // target; everything here is generic over that contract.
 
-// Profiles returns the shared library fault profiles.
-//
-// Deprecated: use system.DefaultProfiles (or a descriptor's Profiles).
-func Profiles() []*profile.Profile { return system.DefaultProfiles() }
-
 // blockForSite inverts a site-label → offset map into the recovery
 // block naming convention shared by the built-in applications.
 func blockForSite(offs map[string]uint64) func(string, uint64) string {
@@ -26,12 +20,6 @@ func blockForSite(offs map[string]uint64) func(string, uint64) string {
 	}
 	return func(_ string, off uint64) string { return byOff[off] }
 }
-
-// PBFTSystem is the explorer's name for the scripted PBFT replica
-// harness (the binary itself is named bft/simple-server).
-//
-// Deprecated: use pbft.SystemName.
-const PBFTSystem = "pbft"
 
 // ConfigForSystem builds an exploration config from a registered system
 // descriptor. The caller still sets budget, batch size, store path,
@@ -55,8 +43,6 @@ func ConfigForSystem(d *system.Descriptor) Config {
 // Registration follows package imports (see internal/system/all), so
 // callers that do not import the lfi facade must import the system
 // packages they target.
-//
-// Deprecated: use system.Lookup with ConfigForSystem.
 func ConfigFor(app string) (Config, bool) {
 	d, ok := system.Lookup(app)
 	if !ok {
@@ -64,8 +50,3 @@ func ConfigFor(app string) (Config, bool) {
 	}
 	return ConfigForSystem(d), true
 }
-
-// Systems lists the registered system names ConfigFor accepts.
-//
-// Deprecated: use system.Names.
-func Systems() []string { return system.Names() }

@@ -11,10 +11,14 @@
 //     and tools never enumerate targets by hand;
 //   - Session / NewSession — the unified, context-aware test driver:
 //     functional options (WithStore, WithWorkers, WithBudget, WithSeed,
-//     …) configure one session whose Run, Explore and ExploreAll
-//     methods subsume the older RunOne/Campaign/CampaignParallel/
-//     Explore entry points, stream outcomes, cancel cleanly, and fan
-//     out over every registered system (`lfi explore -all`);
+//     WithExecutors, …) configure one session whose Run, Explore and
+//     ExploreAll methods stream outcomes, cancel cleanly, and fan out
+//     over every registered system (`lfi explore -all`);
+//   - Executor / NewLocalExecutor / NewPoolExecutor / DialExecutor /
+//     ServeExecutor — the pluggable execution backends: batches run on
+//     the in-process pool, in crash-isolating worker subprocesses, or
+//     on remote `lfi serve` workers, scheduled by a per-system cost
+//     model with identical results on every backend;
 //   - Scenario / ParseScenario / NewScenarioBuilder — the XML fault
 //     injection language (§4);
 //   - Trigger / RegisterTrigger / TriggerArgs — the extensible trigger
@@ -37,6 +41,7 @@ import (
 	"lfi/internal/controller"
 	"lfi/internal/core"
 	"lfi/internal/errno"
+	"lfi/internal/exec"
 	"lfi/internal/explore"
 	"lfi/internal/interpose"
 	"lfi/internal/libsim"
@@ -170,28 +175,50 @@ type (
 )
 
 var (
-	// RunOne executes a single injection test.
-	//
-	// Deprecated: use Session.Run, which adds context cancellation,
-	// worker pooling and outcome streaming.
-	RunOne = controller.RunOne
-	// Campaign runs one test per scenario.
-	//
-	// Deprecated: use Session.Run.
-	Campaign = controller.Campaign
-	// CampaignParallel runs one test per scenario on a worker pool,
-	// returning outcomes in scenario order.
-	//
-	// Deprecated: use Session.Run.
-	CampaignParallel = controller.CampaignParallel
-	// CampaignParallelContext is CampaignParallel under a context.
-	//
-	// Deprecated: use Session.Run.
-	CampaignParallelContext = controller.CampaignParallelContext
 	// DistinctBugs deduplicates campaign failures.
 	DistinctBugs = controller.DistinctBugs
 	// FailureSignature computes a failed outcome's dedup signature.
 	FailureSignature = controller.FailureSignature
+)
+
+// Execution backends. A Session runs batches through one or more
+// executors: the default in-process pool, crash-isolating subprocess
+// pools, or remote `lfi serve` workers reached over TCP. All backends
+// produce byte-identical outcomes for the same batch and seed, so the
+// mix changes throughput, never results.
+type (
+	// Executor is a pluggable execution backend (local / pool /
+	// remote) a Session dispatches test batches to.
+	Executor = exec.Executor
+	// ExecutorInfo is an executor's capability and cost metadata.
+	ExecutorInfo = exec.Info
+	// ExecBatch is one dispatch unit: scenarios + system + seed.
+	ExecBatch = exec.Batch
+	// ExecOutcome is one run's serializable, backend-independent
+	// result.
+	ExecOutcome = exec.Outcome
+	// CostModel is a system's persisted execution economics (EWMA
+	// runs/sec per backend, coverage gain per run) — the scheduling
+	// signal behind Session.ExploreAll and the fleet's batch routing.
+	CostModel = exec.CostModel
+)
+
+var (
+	// NewLocalExecutor returns the in-process backend (the default).
+	NewLocalExecutor = exec.NewLocal
+	// NewPoolExecutor starts a pool of crash-isolating worker
+	// subprocesses; the calling binary must invoke MaybeExecWorker
+	// first thing in main (cmd/lfi does) or TestMain.
+	NewPoolExecutor = exec.NewPool
+	// DialExecutor connects to an `lfi serve` worker.
+	DialExecutor = exec.Dial
+	// ServeExecutor accepts executor connections on a listener — the
+	// engine behind `lfi serve`.
+	ServeExecutor = exec.Serve
+	// MaybeExecWorker turns the current process into an execution
+	// worker when the worker environment hooks are set; call it first
+	// thing in main or TestMain to make a binary pool-capable.
+	MaybeExecWorker = exec.MaybeWorker
 )
 
 // Fault-space exploration.
@@ -210,19 +237,5 @@ type (
 	StoreStats = explore.StoreStats
 )
 
-var (
-	// Explore runs the coverage-guided fault-space explorer: generate
-	// candidate scenarios from profiles and call-site classifications,
-	// schedule them by which uncovered recovery blocks they can reach,
-	// and persist outcomes for incremental re-runs.
-	//
-	// Deprecated: use Session.Explore, which adds context cancellation
-	// and session-wide stores, budgets and seeds.
-	Explore = explore.Explore
-	// GenerateCandidates enumerates the candidate fault space.
-	GenerateCandidates = explore.Generate
-	// ExploreConfigFor returns a ready config for a registered system.
-	//
-	// Deprecated: use LookupSystem with a Session.
-	ExploreConfigFor = explore.ConfigFor
-)
+// GenerateCandidates enumerates the candidate fault space.
+var GenerateCandidates = explore.Generate

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lfi/internal/apps/minidb"
+	"lfi/internal/controller"
 	"lfi/internal/errno"
 	"lfi/internal/libsim"
 	"lfi/internal/libspec"
@@ -126,7 +127,7 @@ func TestFacadeControllerRun(t *testing.T) {
 			}
 		},
 	}
-	out, err := RunOne(tgt, nil)
+	out, err := controller.RunOne(tgt, nil)
 	if err != nil || out.Failed() {
 		t.Fatalf("clean run: %v %v", err, out)
 	}
@@ -160,11 +161,11 @@ func TestParallelCampaignBitIdentical(t *testing.T) {
 			scens = append(scens, s)
 		}
 	}
-	seq, err := Campaign(minidb.Target(), scens, RuntimeSeed(7))
+	seq, err := controller.Campaign(minidb.Target(), scens, RuntimeSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := CampaignParallel(minidb.Target(), scens, 8, RuntimeSeed(7))
+	par, err := controller.CampaignParallel(minidb.Target(), scens, 8, RuntimeSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}

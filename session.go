@@ -4,12 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
-	"sync"
+	"sort"
 	"time"
 
 	"lfi/internal/controller"
-	"lfi/internal/core"
+	"lfi/internal/exec"
 	"lfi/internal/explore"
 	"lfi/internal/system"
 )
@@ -40,15 +41,23 @@ var (
 
 // Session is the unified, context-aware entry point of the test
 // controller and the fault-space explorer. One Session carries the
-// campaign-wide knobs — store root, worker-pool width, run budget,
+// campaign-wide knobs — store root, execution backends, run budget,
 // seed, logging — and applies them to every system it tests, so
 // single-scenario runs, scenario campaigns, per-system exploration and
 // cross-system exploration (`lfi explore -all`) all flow through the
 // same two methods, Run and Explore/ExploreAll.
 //
+// Where tests execute is pluggable: by default a session runs batches
+// on the in-process worker pool, but WithExecutor/WithExecutors swap in
+// or add crash-isolating subprocess pools (NewPoolExecutor) and remote
+// `lfi serve` workers (DialExecutor). Mixed backends are scheduled by a
+// per-system cost model; because all backends produce byte-identical
+// outcomes for the same batch and seed, the mix never changes results,
+// only speed. Close releases the backends.
+//
 // A Session is safe for sequential reuse across systems (that is the
-// -all workflow: one session, one shared store root, one worker pool);
-// its methods must not be called concurrently with each other.
+// -all workflow: one session, one shared store root, one backend
+// fleet); its methods must not be called concurrently with each other.
 type Session struct {
 	store    string
 	workers  int
@@ -58,58 +67,160 @@ type Session struct {
 	seed     int64
 	log      io.Writer
 	observer func(system string, o Outcome)
+	execs    []Executor
+	fleet    *exec.Fleet
 }
 
-// SessionOption configures a Session.
-type SessionOption func(*Session)
+// SessionOption configures a Session. Options validate their arguments:
+// NewSession fails fast on a nonsensical knob (non-positive workers, a
+// negative budget, an unwritable store root) instead of panicking or
+// stalling mid-campaign.
+type SessionOption func(*Session) error
 
 // WithStore sets the persistent store root shared by every system the
 // session explores (each system keeps its own shard directory under
-// it); "" disables persistence.
-func WithStore(root string) SessionOption { return func(s *Session) { s.store = root } }
+// it); "" disables persistence. NewSession verifies the root is
+// creatable and writable.
+func WithStore(root string) SessionOption {
+	return func(s *Session) error { s.store = root; return nil }
+}
 
-// WithWorkers sets the shared campaign worker-pool width (default
-// GOMAXPROCS).
-func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n } }
+// WithWorkers sets the in-process worker-pool width (default
+// GOMAXPROCS). It must be positive; it sizes the default local
+// execution backend.
+func WithWorkers(n int) SessionOption {
+	return func(s *Session) error {
+		if n <= 0 {
+			return fmt.Errorf("lfi: WithWorkers(%d): worker pool width must be positive", n)
+		}
+		s.workers = n
+		return nil
+	}
+}
 
 // WithBudget bounds executed test runs: per Explore call, and in total
 // across systems for ExploreAll. Replayed store outcomes are free.
-// 0 means unlimited.
-func WithBudget(n int) SessionOption { return func(s *Session) { s.budget = n } }
+// 0 means unlimited; negative budgets are rejected.
+func WithBudget(n int) SessionOption {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("lfi: WithBudget(%d): budget cannot be negative (0 means unlimited)", n)
+		}
+		s.budget = n
+		return nil
+	}
+}
 
 // WithBatchSize sets the explorer's scheduling batch size (default 16).
-func WithBatchSize(n int) SessionOption { return func(s *Session) { s.batch = n } }
+func WithBatchSize(n int) SessionOption {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("lfi: WithBatchSize(%d): batch size cannot be negative", n)
+		}
+		s.batch = n
+		return nil
+	}
+}
 
 // WithStallBatches stops exploration after n consecutive batches with
 // no new coverage, bugs, or mutants (default 3).
-func WithStallBatches(n int) SessionOption { return func(s *Session) { s.stall = n } }
+func WithStallBatches(n int) SessionOption {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("lfi: WithStallBatches(%d): stall threshold cannot be negative", n)
+		}
+		s.stall = n
+		return nil
+	}
+}
 
 // WithSeed fixes the runtime random source of every test the session
-// runs, making Random triggers reproducible across runs and workers.
-// (For a bare Runtime outside a session, use RuntimeSeed.)
-func WithSeed(seed int64) SessionOption { return func(s *Session) { s.seed = seed } }
+// runs, making Random triggers reproducible across runs, workers and
+// execution backends. (For a bare Runtime outside a session, use
+// RuntimeSeed.)
+func WithSeed(seed int64) SessionOption {
+	return func(s *Session) error { s.seed = seed; return nil }
+}
 
 // WithLog streams per-batch exploration progress to w.
-func WithLog(w io.Writer) SessionOption { return func(s *Session) { s.log = w } }
+func WithLog(w io.Writer) SessionOption {
+	return func(s *Session) error { s.log = w; return nil }
+}
 
-// WithObserver streams every completed Run outcome to fn as workers
+// WithObserver streams every completed Run outcome to fn as backends
 // finish (completion order, serialized); the final report still lists
 // outcomes in scenario order.
 func WithObserver(fn func(system string, o Outcome)) SessionOption {
-	return func(s *Session) { s.observer = fn }
+	return func(s *Session) error { s.observer = fn; return nil }
 }
 
-// NewSession builds a Session from functional options.
-func NewSession(opts ...SessionOption) *Session {
+// WithExecutor makes e the session's only execution backend, replacing
+// the default in-process pool. Combine backends with WithExecutors.
+func WithExecutor(e Executor) SessionOption { return WithExecutors(e) }
+
+// WithExecutors adds execution backends to the session. Batches fan
+// out across the whole mix — local pools, crash-isolating subprocess
+// pools, remote `lfi serve` workers — routed by the per-system cost
+// model; a backend that dies has its in-flight work requeued on the
+// survivors. The session takes ownership: Close closes every backend.
+func WithExecutors(execs ...Executor) SessionOption {
+	return func(s *Session) error {
+		if len(execs) == 0 {
+			return fmt.Errorf("lfi: WithExecutors: no executors given")
+		}
+		for _, e := range execs {
+			if e == nil {
+				return fmt.Errorf("lfi: WithExecutors: nil executor")
+			}
+		}
+		s.execs = append(s.execs, execs...)
+		return nil
+	}
+}
+
+// NewSession builds a Session from functional options, failing fast on
+// invalid ones: a non-positive WithWorkers, a negative WithBudget, an
+// unwritable WithStore root, or a nil executor all error here rather
+// than misbehaving mid-campaign.
+func NewSession(opts ...SessionOption) (*Session, error) {
 	s := &Session{}
 	for _, opt := range opts {
-		opt(s)
+		if err := opt(s); err != nil {
+			return nil, err
+		}
 	}
-	if s.workers <= 0 {
+	if s.workers == 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
-	return s
+	if s.store != "" {
+		// Probe the store root now: a typo'd or read-only path should
+		// fail session construction, not the first mid-campaign flush.
+		if err := os.MkdirAll(s.store, 0o755); err != nil {
+			return nil, fmt.Errorf("lfi: WithStore(%q): store root not creatable: %w", s.store, err)
+		}
+		probe, err := os.CreateTemp(s.store, ".lfi-probe-*")
+		if err != nil {
+			return nil, fmt.Errorf("lfi: WithStore(%q): store root not writable: %w", s.store, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	if len(s.execs) == 0 {
+		s.execs = []Executor{exec.NewLocal(s.workers)}
+	}
+	s.fleet = exec.NewFleet(s.execs...)
+	return s, nil
 }
+
+// Close releases the session's execution backends — worker
+// subprocesses are reaped, remote connections closed. The session must
+// not be used afterwards. Sessions with only the default local backend
+// may skip Close; it is then a no-op.
+func (s *Session) Close() error { return s.fleet.Close() }
+
+// Executors reports the session's execution backends and their
+// capability metadata, in dispatch (latency) order.
+func (s *Session) Executors() []ExecutorInfo { return s.fleet.Executors() }
 
 // RunReport is Run's final summary.
 type RunReport struct {
@@ -120,46 +231,65 @@ type RunReport struct {
 	Elapsed  time.Duration
 }
 
-// Run executes one test per scenario against sys on the session's
-// worker pool — the unified replacement for RunOne, Campaign and
-// CampaignParallel. Outcomes stream to the WithObserver callback as
-// they complete; the report lists them in scenario order (identical to
-// a sequential campaign under the session seed). On cancellation,
-// in-flight tests finish and the report carries the completed prefix
-// together with ctx.Err().
+// Run executes one test per scenario against sys, fanned across the
+// session's execution backends — the unified replacement for the old
+// RunOne, Campaign and CampaignParallel entry points. Outcomes stream
+// to the WithObserver callback as they complete; the report lists them
+// in scenario order, identical to a sequential campaign under the
+// session seed regardless of which backend ran which slice. On
+// cancellation, in-flight tests finish (remote batches drain) and the
+// report carries the completed prefix together with ctx.Err().
 func (s *Session) Run(ctx context.Context, sys *System, scenarios []*Scenario) (*RunReport, error) {
 	begin := time.Now()
-	tgt := sys.Target()
-	var mu sync.Mutex
-	outs, err := controller.RunNContext(ctx, s.workers, len(scenarios), func(i int) (Outcome, error) {
-		o, rerr := controller.RunOne(tgt, scenarios[i], core.WithSeed(s.seed))
-		if rerr != nil {
-			return o, fmt.Errorf("session %s: scenario %q: %w", sys.Name, scenarios[i].Name, rerr)
+	b := &exec.Batch{System: sys.Name, Seed: s.seed, Scenarios: scenarios}
+	if s.observer != nil {
+		b.Observe = func(i int, o *exec.Outcome) {
+			s.observer(sys.Name, o.Controller(scenarios[i]))
 		}
-		if s.observer != nil {
-			// The deferred unlock keeps a panicking observer from
-			// wedging the pool: the panic re-raises through RunNContext
-			// with the mutex released.
-			func() {
-				mu.Lock()
-				defer mu.Unlock()
-				s.observer(sys.Name, o)
-			}()
-		}
-		return o, nil
-	})
-	rep := &RunReport{
-		System:   sys.Name,
-		Outcomes: outs,
-		Bugs:     controller.DistinctBugs(sys.Name, outs),
-		Elapsed:  time.Since(begin),
 	}
-	for _, o := range outs {
+	outs, err := s.fleet.Run(ctx, b)
+	rep := &RunReport{System: sys.Name}
+	for i, o := range outs {
+		if o == nil {
+			break // contiguous prefix: everything before the first gap
+		}
+		rep.Outcomes = append(rep.Outcomes, o.Controller(scenarios[i]))
 		if o.Failed() {
 			rep.Failures++
 		}
 	}
+	rep.Bugs = distinctExecBugs(sys.Name, outs[:len(rep.Outcomes)])
+	rep.Elapsed = time.Since(begin)
 	return rep, err
+}
+
+// distinctExecBugs deduplicates failures by their worker-computed
+// signature — the backend-independent analogue of
+// controller.DistinctBugs (whose recomputation would need the
+// injection log, which remote outcomes do not carry).
+func distinctExecBugs(systemName string, outs []*exec.Outcome) []Bug {
+	bySig := map[string]*controller.Bug{}
+	for _, o := range outs {
+		if o == nil || o.Signature == "" {
+			continue
+		}
+		b, ok := bySig[o.Signature]
+		if !ok {
+			b = &controller.Bug{System: systemName, Signature: o.Signature}
+			bySig[o.Signature] = b
+		}
+		b.Scenarios = append(b.Scenarios, o.Name)
+	}
+	sigs := make([]string, 0, len(bySig))
+	for sig := range bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]Bug, 0, len(sigs))
+	for _, sig := range sigs {
+		out = append(out, *bySig[sig])
+	}
+	return out
 }
 
 // config adapts the session knobs to one system's exploration config.
@@ -171,12 +301,15 @@ func (s *Session) config(sys *System) ExploreConfig {
 	cfg.StallBatches = s.stall
 	cfg.Seed = s.seed
 	cfg.Log = s.log
+	cfg.Exec = s.fleet
 	return cfg
 }
 
-// Explore runs the coverage-guided fault-space explorer on one system.
-// Cancellation flushes the sharded store cleanly (at most the
-// interrupted batch is lost) and returns the partial result with
+// Explore runs the coverage-guided fault-space explorer on one system,
+// batches dispatched across the session's execution backends.
+// Cancellation flushes the sharded store cleanly — completed local runs
+// and drained remote responses included; only candidates that never ran
+// are left for the next session — and returns the partial result with
 // ctx.Err(), so the next run resumes with no re-execution.
 func (s *Session) Explore(ctx context.Context, sys *System) (*ExploreResult, error) {
 	cfg := s.config(sys)
@@ -185,11 +318,12 @@ func (s *Session) Explore(ctx context.Context, sys *System) (*ExploreResult, err
 }
 
 // ExploreAll explores several systems (default: every registered one)
-// in one session: a shared worker pool, a shared store root, and a
-// shared budget, with batches interleaved across systems by
-// uncovered-recovery-block priority. Cancellation flushes every
-// system's store cleanly and returns the partial result with
-// ctx.Err().
+// in one session: a shared backend fleet, a shared store root, and a
+// shared budget, with batches interleaved across systems by the cost
+// model — expected coverage gain per second, seeded by uncovered
+// recovery blocks and updated from observed runs/sec and gain/run.
+// Cancellation flushes every system's store cleanly and returns the
+// partial result with ctx.Err().
 func (s *Session) ExploreAll(ctx context.Context, systems ...*System) (*ExploreAllResult, error) {
 	if len(systems) == 0 {
 		systems = Systems()

@@ -1,11 +1,24 @@
 package lfi
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"net"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
+
+// TestMain makes this test binary pool-capable: a copy re-executed by
+// NewPoolExecutor with the worker env hook set becomes a protocol
+// worker instead of running the tests.
+func TestMain(m *testing.M) {
+	MaybeExecWorker()
+	os.Exit(m.Run())
+}
 
 func sessionScenario(t *testing.T, doc string) *Scenario {
 	t.Helper()
@@ -14,6 +27,17 @@ func sessionScenario(t *testing.T, doc string) *Scenario {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// mustSession builds a session, failing the test on option errors.
+func mustSession(t *testing.T, opts ...SessionOption) *Session {
+	t.Helper()
+	sess, err := NewSession(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return sess
 }
 
 // TestSessionRun: Session.Run subsumes Campaign/CampaignParallel — it
@@ -37,7 +61,7 @@ func TestSessionRun(t *testing.T) {
 
 	var mu sync.Mutex
 	streamed := 0
-	sess := NewSession(WithWorkers(2), WithObserver(func(system string, o Outcome) {
+	sess := mustSession(t, WithWorkers(2), WithObserver(func(system string, o Outcome) {
 		mu.Lock()
 		defer mu.Unlock()
 		if system != "minivcs" {
@@ -82,7 +106,7 @@ func TestSessionExploreStoreStats(t *testing.T) {
 	if !ok {
 		t.Fatal("minidb not registered")
 	}
-	sess := NewSession(
+	sess := mustSession(t,
 		WithWorkers(4),
 		WithStallBatches(1000),
 		WithStore(filepath.Join(t.TempDir(), "store")),
@@ -111,5 +135,175 @@ func TestSessionExploreStoreStats(t *testing.T) {
 	st := second.StoreStats
 	if st == nil || st.Migrated != st.Entries || st.Invalidated != 0 {
 		t.Fatalf("resume should migrate every entry and invalidate none: %s", st)
+	}
+}
+
+// TestNewSessionValidation: nonsensical options fail fast from
+// NewSession with a clear error instead of panicking or stalling
+// mid-campaign.
+func TestNewSessionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []SessionOption
+		want string
+	}{
+		{"zero workers", []SessionOption{WithWorkers(0)}, "WithWorkers"},
+		{"negative workers", []SessionOption{WithWorkers(-3)}, "WithWorkers"},
+		{"negative budget", []SessionOption{WithBudget(-1)}, "WithBudget"},
+		{"negative batch", []SessionOption{WithBatchSize(-2)}, "WithBatchSize"},
+		{"negative stall", []SessionOption{WithStallBatches(-2)}, "WithStallBatches"},
+		{"nil executor", []SessionOption{WithExecutors(nil)}, "nil executor"},
+		{"no executors", []SessionOption{WithExecutors()}, "no executors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess, err := NewSession(tc.opts...)
+			if err == nil {
+				sess.Close()
+				t.Fatalf("NewSession accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the bad option (%q)", err, tc.want)
+			}
+		})
+	}
+
+	// An unwritable store root: a regular file where the directory
+	// should go.
+	blocked := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if sess, err := NewSession(WithStore(filepath.Join(blocked, "store"))); err == nil {
+		sess.Close()
+		t.Fatal("NewSession accepted an unwritable store root")
+	} else if !strings.Contains(err.Error(), "WithStore") {
+		t.Fatalf("store error does not name the option: %q", err)
+	}
+}
+
+// startSessionLoopback runs an in-process `lfi serve` worker and dials
+// it.
+func startSessionLoopback(t *testing.T, workers int) Executor {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go ServeExecutor(ctx, ln, workers, nil)
+	r, err := DialExecutor(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSessionExecutorEquivalence is the public-API face of the
+// executor equivalence property: Session.Run through the default local
+// backend, a subprocess pool, and a loopback `lfi serve` worker must
+// produce identical reports — outcome strings, failure counts and
+// worker-computed bug signatures — for the same scenarios and seed.
+func TestSessionExecutorEquivalence(t *testing.T) {
+	sys, ok := LookupSystem("minidb")
+	if !ok {
+		t.Fatal("minidb not registered")
+	}
+	scens := []*Scenario{
+		sessionScenario(t, `<scenario name="first-read-fails">
+		  <trigger id="nth" class="CallCountTrigger"><args><n>1</n></args></trigger>
+		  <function name="read" return="-1" errno="EIO"><reftrigger ref="nth" /></function>
+		</scenario>`),
+		sessionScenario(t, `<scenario name="malloc-exhaustion">
+		  <trigger id="all" class="CallCountTrigger"><args><from>1</from><to>200</to></args></trigger>
+		  <function name="malloc" return="0" errno="ENOMEM"><reftrigger ref="all" /></function>
+		</scenario>`),
+		sessionScenario(t, `<scenario name="benign">
+		  <trigger id="never" class="CallCountTrigger"><args><n>100000</n></args></trigger>
+		  <function name="read" return="-1" errno="EINTR"><reftrigger ref="never" /></function>
+		</scenario>`),
+	}
+	pool, err := NewPoolExecutor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := func(name string, e Executor) string {
+		t.Helper()
+		opts := []SessionOption{WithSeed(11)}
+		if e != nil {
+			opts = append(opts, WithExecutor(e))
+		}
+		sess := mustSession(t, opts...)
+		rep, err := sess.Run(context.Background(), sys, scens)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var b bytes.Buffer
+		for _, o := range rep.Outcomes {
+			b.WriteString(o.String())
+			b.WriteByte('\n')
+		}
+		bugs, _ := json.Marshal(rep.Bugs)
+		b.Write(bugs)
+		return b.String()
+	}
+	local := report("local", nil)
+	if got := report("pool", pool); got != local {
+		t.Fatalf("pool report diverges from local:\n%s\nvs\n%s", got, local)
+	}
+	if got := report("remote", startSessionLoopback(t, 2)); got != local {
+		t.Fatalf("remote report diverges from local:\n%s\nvs\n%s", got, local)
+	}
+}
+
+// TestSessionExploreRemoteMatchesLocal: exploring minidb entirely on a
+// loopback remote worker finds exactly the bugs the local explorer
+// finds, and a second session resumes from the shared store with zero
+// re-execution — the store lives with the session, not the worker.
+func TestSessionExploreRemoteMatchesLocal(t *testing.T) {
+	sys, ok := LookupSystem("minidb")
+	if !ok {
+		t.Fatal("minidb not registered")
+	}
+	localSess := mustSession(t, WithWorkers(4), WithStallBatches(1000))
+	localRes, err := localSess.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := filepath.Join(t.TempDir(), "store")
+	remoteSess := mustSession(t,
+		WithExecutor(startSessionLoopback(t, 4)),
+		WithStallBatches(1000),
+		WithStore(store),
+	)
+	remoteRes, err := remoteSess.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := func(res *ExploreResult) []string {
+		var out []string
+		for _, b := range res.Bugs {
+			out = append(out, b.Signature)
+		}
+		return out
+	}
+	lw, rw := sigs(localRes), sigs(remoteRes)
+	if strings.Join(lw, "\n") != strings.Join(rw, "\n") {
+		t.Fatalf("remote exploration found different bugs:\nlocal:  %v\nremote: %v", lw, rw)
+	}
+	if remoteRes.Executed == 0 {
+		t.Fatal("remote exploration executed nothing")
+	}
+
+	resumed := mustSession(t, WithWorkers(4), WithStallBatches(1000), WithStore(store))
+	res, err := resumed.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 0 || res.Replayed != remoteRes.Executed {
+		t.Fatalf("resume after remote run executed %d / replayed %d, want 0 / %d",
+			res.Executed, res.Replayed, remoteRes.Executed)
 	}
 }
