@@ -406,6 +406,30 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkArenaRunReuse measures one full minidb suite run through the
+// controller in steady state — the per-worker arena path. The app
+// image, runtime overlay, and dispatch scratch are all pooled and
+// recycled between runs, so allocs/op here is the per-run floor every
+// campaign worker pays; the benchgate holds it flat.
+func BenchmarkArenaRunReuse(b *testing.B) {
+	s, err := ParseScenarioString(`<scenario name="arena-close-10">
+	  <trigger id="rnd" class="RandomTrigger"><args><probability>0.1</probability></args></trigger>
+	  <function name="close" return="-1" errno="EIO"><reftrigger ref="rnd" /></function>
+	</scenario>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := minidb.Target()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := controller.RunOne(tgt, s, RuntimeSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+}
+
 // BenchmarkAblationShortCircuit quantifies §4.3's short-circuit
 // optimization: a 5-trigger conjunction whose FIRST trigger is false
 // versus one whose first four are true (so all five evaluate).

@@ -9,6 +9,10 @@
 //     contractually allocation-free, and allocation counts are exact
 //     and machine-independent;
 //   - ns/op may not regress by more than -tolerance (default 25%);
+//   - tests/s (the campaign and executor benchmarks' custom throughput
+//     metric) may not drop by more than -tolerance — wall-clock
+//     throughput is the paper's own headline unit, so a change that
+//     keeps allocs flat but halves tests/s still fails;
 //   - a gated benchmark present in the baseline must be present in the
 //     candidate (silently dropping a benchmark is not a pass).
 //
@@ -39,6 +43,7 @@ type Bench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"B_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	TestsPerS   float64 `json:"tests_per_s"`
 }
 
 type benchFile struct {
@@ -99,6 +104,13 @@ func gate(baseline, candidate []Bench, prefix string, tolerance float64) []strin
 		if base.NsPerOp > 0 && c.NsPerOp > base.NsPerOp*(1+tolerance) {
 			violations = append(violations, fmt.Sprintf("%s: ns/op regressed %.1f -> %.1f (+%.0f%%, limit +%.0f%%)",
 				name, base.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/base.NsPerOp-1), 100*tolerance))
+		}
+		// Throughput is only gated where the baseline recorded it; a
+		// candidate that stopped reporting the metric fails too (that's
+		// a dropped gate, same as a missing benchmark).
+		if base.TestsPerS > 0 && c.TestsPerS < base.TestsPerS*(1-tolerance) {
+			violations = append(violations, fmt.Sprintf("%s: tests/s dropped %.0f -> %.0f (%.0f%%, limit -%.0f%%)",
+				name, base.TestsPerS, c.TestsPerS, 100*(c.TestsPerS/base.TestsPerS-1), 100*tolerance))
 		}
 	}
 	sort.Strings(violations)

@@ -70,6 +70,32 @@ func TestGateSubBenchmarkSuffixes(t *testing.T) {
 	}
 }
 
+// TestGateCatchesThroughputDrop: the tests/s custom metric is gated
+// where the baseline recorded it — including the degenerate candidate
+// that stopped reporting it at all (reads as 0 tests/s).
+func TestGateCatchesThroughputDrop(t *testing.T) {
+	base := []Bench{{Name: "BenchmarkCampaignParallel/cpu/workers-1", NsPerOp: 100, TestsPerS: 30000}}
+	slow := []Bench{{Name: "BenchmarkCampaignParallel/cpu/workers-1", NsPerOp: 100, TestsPerS: 20000}}
+	v := gate(base, slow, "BenchmarkCampaign", 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "tests/s dropped") {
+		t.Fatalf("throughput drop not caught: %v", v)
+	}
+	okRun := []Bench{{Name: "BenchmarkCampaignParallel/cpu/workers-1", NsPerOp: 100, TestsPerS: 25000}}
+	if v := gate(base, okRun, "BenchmarkCampaign", 0.25); len(v) != 0 {
+		t.Fatalf("within-tolerance throughput rejected: %v", v)
+	}
+	unreported := []Bench{{Name: "BenchmarkCampaignParallel/cpu/workers-1", NsPerOp: 100}}
+	v = gate(base, unreported, "BenchmarkCampaign", 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "tests/s dropped") {
+		t.Fatalf("vanished throughput metric not caught: %v", v)
+	}
+	// A baseline without the metric gates nothing.
+	noMetric := []Bench{{Name: "BenchmarkCampaignParallel/cpu/workers-1", NsPerOp: 100}}
+	if v := gate(noMetric, unreported, "BenchmarkCampaign", 0.25); len(v) != 0 {
+		t.Fatalf("metric-free baseline produced violations: %v", v)
+	}
+}
+
 func TestGateIgnoresUngatedBenchmarks(t *testing.T) {
 	base := []Bench{bench("BenchmarkCampaignParallel-8", 1000, 50)}
 	worse := []Bench{bench("BenchmarkCampaignParallel-8", 5000, 80)}

@@ -131,6 +131,15 @@ func executorOpts(jobs, pool int, remotes string, noLocal bool) []lfi.SessionOpt
 		}
 		r, err := lfi.DialExecutor(addr)
 		if err != nil {
+			// A worker speaking the wrong protocol version just needs a
+			// rebuild: drop it with a warning and keep the campaign on
+			// the remaining backends. Anything else (refused connection,
+			// bad address) is a configuration error and still fatal.
+			var pm *lfi.ProtoMismatchError
+			if errors.As(err, &pm) {
+				fmt.Fprintln(os.Stderr, "lfi: -workers-remote: skipping:", err)
+				continue
+			}
 			fmt.Fprintln(os.Stderr, "lfi: -workers-remote:", err)
 			os.Exit(2)
 		}

@@ -105,20 +105,71 @@ type App struct {
 	threadCount        int64
 	shutdownInProgress int64
 	txnCount           int64
+
+	// Reused run-loop scratch: the suite's read buffers and the bound
+	// workload closure, kept on the instance so a pooled app's runs
+	// allocate nothing for them.
+	readBuf [256]byte
+	txnBuf  [16]byte
+	suite   func() error
 }
+
+// Fixed byte/path constants of the suite, hoisted so the hot run loop
+// does not rebuild them per call.
+var (
+	myiHeader = []byte("MYI-header")
+	updateRec = []byte("update;")
+
+	flushLabels   = [...]string{"hf_close1", "hf_close2", "hf_close3"}
+	flushRecIDs   = [...]string{"rec.hf_close1", "rec.hf_close2", "rec.hf_close3"}
+	bufpoolLabels = [...]string{"bp_malloc1", "bp_malloc2"}
+	bufpoolRecIDs = [...]string{"rec.bp_malloc1", "rec.bp_malloc2"}
+)
+
+// mergeNames are the six merge-big table names with their derived
+// paths, precomputed because MergeBig runs them every suite.
+var mergeNames = func() [6]struct{ name, tmp, myi string } {
+	var out [6]struct{ name, tmp, myi string }
+	for i := range out {
+		name := fmt.Sprintf("merge_%d", i)
+		out[i] = struct{ name, tmp, myi string }{name, "/var/db/" + name + ".tmp", "/var/db/" + name + ".MYI"}
+	}
+	return out
+}()
 
 // New stages database fixtures and returns a ready instance.
 func New() *App {
 	c := libsim.New(1 << 22)
 	a := &App{C: c, Th: c.NewThread(Module, "main"), Cov: coverage.New()}
+	c.Owner = a
+	a.suite = a.RunSuite
 	a.mutex = c.MutexInit()
 	c.MustMkdirAll("/var/db")
 	c.MustWriteFile("/var/db/errmsg.sys", []byte("ER_DUP_KEY;ER_NO_SUCH_TABLE;ER_LOCK_WAIT"))
 	c.MustWriteFile("/var/db/table.MYD", []byte("row1;row2;row3;row4"))
+	c.SnapshotFS()
 	c.RegisterVar("thread_count", func() int64 { return a.threadCount })
 	c.RegisterVar("shutdown_in_progress", func() int64 { return a.shutdownInProgress })
 	a.registerCoverage()
 	return a
+}
+
+// Reset rewinds the instance to its post-New state so a worker pool can
+// reuse it: process image restored (fixtures, heap, handles, dispatcher
+// counters), thread rewound, coverage hits cleared, app state zeroed.
+// The mutex is freshly created rather than recycled — a crashed run can
+// abandon the old one in a locked state.
+func (a *App) Reset() {
+	a.C.Reset()
+	a.Th.Reset()
+	a.Cov.ResetHits()
+	a.mutex = a.C.MutexInit()
+	a.tableFD = 0
+	a.errmsgReady = false
+	a.errmsgs = a.errmsgs[:0]
+	a.threadCount = 0
+	a.shutdownInProgress = 0
+	a.txnCount = 0
 }
 
 func (a *App) atLine(fn, label, file string, line int) func() {
@@ -158,12 +209,19 @@ func (a *App) registerCoverage() {
 // checked, but its error-handling path releases the already-released
 // mutex — glibc-style error-checking mutexes abort on the double unlock.
 func (a *App) MiCreate(name string) error {
+	return a.miCreate("/var/db/"+name+".tmp", "/var/db/"+name+".MYI")
+}
+
+// miCreate is MiCreate on precomputed paths (MergeBig reruns the same
+// six tables every suite; rebuilding their path strings per run would
+// dominate the allocation profile).
+func (a *App) miCreate(tmpPath, myiPath string) error {
 	t := a.Th
 	a.Cov.Hit("main.mi_create")
 
 	// A scratch descriptor, closed well before the lock region. Its
 	// failure is tolerated (logged) without aborting table creation.
-	scratch := t.Open("/var/db/"+name+".tmp", libsim.O_CREAT|libsim.O_WRONLY)
+	scratch := t.Open(tmpPath, libsim.O_CREAT|libsim.O_WRONLY)
 	if scratch >= 0 {
 		pop := a.atLine("mi_create", "mc_scratch_close", MiCreateFile, 512)
 		if t.Close(scratch) < 0 {
@@ -173,7 +231,7 @@ func (a *App) MiCreate(name string) error {
 	}
 
 	pop := a.atLine("mi_create", "mc_open", MiCreateFile, 540)
-	fd := t.Open("/var/db/"+name+".MYI", libsim.O_CREAT|libsim.O_WRONLY|libsim.O_TRUNC)
+	fd := t.Open(myiPath, libsim.O_CREAT|libsim.O_WRONLY|libsim.O_TRUNC)
 	pop()
 	if fd < 0 {
 		a.Cov.Hit("rec.mc_open")
@@ -183,7 +241,7 @@ func (a *App) MiCreate(name string) error {
 	t.MutexLock(a.mutex)
 
 	pop = a.atLine("mi_create", "mc_write", MiCreateFile, 555)
-	n := t.Write(fd, []byte("MYI-header"))
+	n := t.Write(fd, myiHeader)
 	pop()
 	if n < 0 {
 		a.Cov.Hit("rec.mc_write")
@@ -226,7 +284,7 @@ func (a *App) ErrmsgLoad() error {
 		return fmt.Errorf("errmsg: cannot open errmsg.sys: %v", t.Errno())
 	}
 
-	buf := make([]byte, 256)
+	buf := a.readBuf[:]
 	pop = a.atLine("errmsg_load", "em_read", ErrmsgFile, 134)
 	n := t.Read(fd, buf)
 	pop()
@@ -234,7 +292,7 @@ func (a *App) ErrmsgLoad() error {
 		// BUG [20]: log and continue; errmsgs stays uninitialized.
 		a.Cov.Hit("rec.em_read")
 	} else {
-		a.errmsgs = splitMsgs(string(buf[:max64(n, 0)]))
+		a.errmsgs = splitMsgs(a.errmsgs[:0], string(buf[:max64(n, 0)]))
 		a.errmsgReady = true
 	}
 
@@ -261,8 +319,9 @@ func (a *App) Errmsg(i int) string {
 	return a.errmsgs[i]
 }
 
-func splitMsgs(s string) []string {
-	var out []string
+// splitMsgs appends the ';'-separated segments of s to out (the caller
+// may pass a reused slice truncated to zero length).
+func splitMsgs(out []string, s string) []string {
 	start := 0
 	for i := 0; i <= len(s); i++ {
 		if i == len(s) || s[i] == ';' {
@@ -289,7 +348,7 @@ func max64(a, b int64) int64 {
 func (a *App) HandlerFlush() error {
 	t := a.Th
 	a.Cov.Hit("main.flush")
-	for i, label := range []string{"hf_close1", "hf_close2", "hf_close3"} {
+	for i, label := range flushLabels {
 		fd := t.Open("/var/db/table.MYD", libsim.O_RDONLY)
 		if fd < 0 {
 			return fmt.Errorf("flush: open: %v", t.Errno())
@@ -298,7 +357,7 @@ func (a *App) HandlerFlush() error {
 		rc := t.Close(fd)
 		pop()
 		if rc < 0 {
-			a.Cov.Hit("rec." + label)
+			a.Cov.Hit(flushRecIDs[i])
 			return fmt.Errorf("flush: close %d: %v", i, t.Errno())
 		}
 	}
@@ -352,7 +411,7 @@ func (a *App) Txn(readWrite bool) error {
 	}
 	fd := a.ensureTable()
 	t.Lseek(fd, 0)
-	buf := make([]byte, 16)
+	buf := a.txnBuf[:]
 	pop := a.atLine("oltp_txn", "tx_read", HandlerFile, 950)
 	n := t.Read(fd, buf)
 	pop()
@@ -364,7 +423,7 @@ func (a *App) Txn(readWrite bool) error {
 		wfd := t.Open("/var/db/txn.log", libsim.O_CREAT|libsim.O_WRONLY|libsim.O_APPEND)
 		if wfd >= 0 {
 			pop = a.atLine("oltp_txn", "tx_write", HandlerFile, 960)
-			if t.Write(wfd, []byte("update;")) < 0 {
+			if t.Write(wfd, updateRec) < 0 {
 				a.Cov.Hit("rec.tx_write")
 			}
 			pop()
@@ -391,12 +450,12 @@ func (a *App) SetShutdown(v bool) {
 func (a *App) BufferPoolInit() error {
 	t := a.Th
 	a.Cov.Hit("main.bufpool")
-	for _, label := range []string{"bp_malloc1", "bp_malloc2"} {
+	for i, label := range bufpoolLabels {
 		pop := a.atLine("buffer_pool_init", label, HandlerFile, 100)
 		p := t.Malloc(4096)
 		pop()
 		if p == 0 {
-			a.Cov.Hit("rec." + label)
+			a.Cov.Hit(bufpoolRecIDs[i])
 			return fmt.Errorf("bufpool: out of memory")
 		}
 		t.Free(p)
@@ -409,11 +468,12 @@ func (a *App) BufferPoolInit() error {
 // sql/handler.cc) and then creating a table via MiCreate. A failed flush
 // aborts the run — "execution does not reach the intended target".
 func (a *App) MergeBig() error {
-	for i := 0; i < 6; i++ {
+	for i := range mergeNames {
 		if err := a.HandlerFlush(); err != nil {
 			return err
 		}
-		if err := a.MiCreate(fmt.Sprintf("merge_%d", i)); err != nil {
+		m := &mergeNames[i]
+		if err := a.miCreate(m.tmp, m.myi); err != nil {
 			return err
 		}
 	}

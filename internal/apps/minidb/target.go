@@ -1,21 +1,38 @@
 package minidb
 
 import (
+	"sync"
+
 	"lfi/internal/controller"
 	"lfi/internal/coverage"
 	"lfi/internal/libsim"
 )
 
+// pool recycles App instances across runs: Start draws a reset app,
+// Recycle rewinds it after the controller has captured the outcome.
+// Concurrent campaign workers each hold distinct apps, so the target
+// stays safe for parallel campaigns while steady-state runs skip the
+// full fixture staging of New.
+var pool = sync.Pool{New: func() any { return New() }}
+
+func acquire() *App { return pool.Get().(*App) }
+
+func recycle(c *libsim.C) {
+	if app, ok := c.Owner.(*App); ok {
+		app.Reset()
+		pool.Put(app)
+	}
+}
+
 // Target adapts minidb to the LFI controller (default suite workload).
-// Each Start builds its own App, so the target is safe for concurrent
-// campaign workers.
 func Target() controller.Target {
 	return controller.Target{
 		Name: Module,
 		Start: func() (*libsim.C, func() error) {
-			app := New()
-			return app.C, app.RunSuite
+			app := acquire()
+			return app.C, app.suite
 		},
+		Recycle: recycle,
 	}
 }
 
@@ -26,12 +43,13 @@ func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
 	return controller.Target{
 		Name: Module,
 		Start: func() (*libsim.C, func() error) {
-			app := New()
+			app := acquire()
 			return app.C, func() error {
 				defer func() { acc.Merge(app.Cov) }()
 				return app.RunSuite()
 			}
 		},
+		Recycle: recycle,
 	}
 }
 
@@ -40,8 +58,9 @@ func MergeBigTarget() controller.Target {
 	return controller.Target{
 		Name: Module + "-merge-big",
 		Start: func() (*libsim.C, func() error) {
-			app := New()
+			app := acquire()
 			return app.C, app.MergeBig
 		},
+		Recycle: recycle,
 	}
 }

@@ -111,6 +111,8 @@ type App struct {
 	dstInitialized bool
 	dstKeyBuf      int64
 	dstCtxBuf      int64
+
+	suite func() error // bound RunSuite, reused across pooled runs
 }
 
 // New stages zone fixtures and returns a ready instance.
@@ -122,13 +124,31 @@ func New() *App {
 		Cov:   coverage.New(),
 		zones: make(map[string]string),
 	}
+	c.Owner = a
+	a.suite = a.RunSuite
 	c.MustMkdirAll("/etc/named")
 	c.MustWriteFile("/etc/named/example.zone",
 		[]byte("www.example.com=10.0.0.1;mail.example.com=10.0.0.2"))
 	c.MustWriteFile("/etc/named/journal", []byte("ixfr-delta-1"))
+	c.SnapshotFS()
 	c.RegisterVar("queries_served", func() int64 { return a.queriesServed })
 	a.registerCoverage()
 	return a
+}
+
+// Reset rewinds the instance to its post-New state for reuse by a
+// pooled target: process image restored (zone fixtures, heap, handles,
+// dispatcher counters), thread rewound, coverage hits cleared, app
+// state zeroed.
+func (a *App) Reset() {
+	a.C.Reset()
+	a.Th.Reset()
+	a.Cov.ResetHits()
+	clear(a.zones)
+	a.queriesServed = 0
+	a.dstInitialized = false
+	a.dstKeyBuf = 0
+	a.dstCtxBuf = 0
 }
 
 func (a *App) at(fn, label string) func() {

@@ -105,20 +105,34 @@ type App struct {
 	C   *libsim.C
 	Th  *libsim.Thread
 	Cov *coverage.Tracker
+
+	suite func() error // bound RunSuite, reused across pooled runs
 }
 
 // New stages a repository fixture and returns a ready instance.
 func New() *App {
 	c := libsim.New(1 << 22)
 	a := &App{C: c, Th: c.NewThread(Module, "main"), Cov: coverage.New()}
+	c.Owner = a
+	a.suite = a.RunSuite
 	c.MustMkdirAll("/repo/.git/objects")
 	c.MustMkdirAll("/repo/.git/refs")
 	c.MustWriteFile("/repo/.git/index", []byte("DIRC0001 file-a file-b file-c"))
 	c.MustWriteFile("/repo/file-a", []byte("alpha contents\n"))
 	c.MustWriteFile("/repo/file-b", []byte("bravo contents\n"))
 	c.MustWriteFile("/repo/link-x.lnk", []byte("file-a"))
+	c.SnapshotFS()
 	a.registerCoverage()
 	return a
+}
+
+// Reset rewinds the instance to its post-New state for reuse by a
+// pooled target: process image restored (repository fixture, heap,
+// handles, dispatcher counters), thread rewound, coverage hits cleared.
+func (a *App) Reset() {
+	a.C.Reset()
+	a.Th.Reset()
+	a.Cov.ResetHits()
 }
 
 // at pushes the virtual stack frame for one modelled call site.

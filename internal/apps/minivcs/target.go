@@ -1,22 +1,39 @@
 package minivcs
 
 import (
+	"sync"
+
 	"lfi/internal/controller"
 	"lfi/internal/coverage"
 	"lfi/internal/libsim"
 )
 
+// pool recycles App instances across runs: Start draws a reset app,
+// Recycle rewinds it after the controller has captured the outcome.
+// Concurrent campaign workers each hold distinct apps, so the target
+// stays safe for parallel campaigns while steady-state runs skip the
+// full fixture staging of New.
+var pool = sync.Pool{New: func() any { return New() }}
+
+func acquire() *App { return pool.Get().(*App) }
+
+func recycle(c *libsim.C) {
+	if app, ok := c.Owner.(*App); ok {
+		app.Reset()
+		pool.Put(app)
+	}
+}
+
 // Target adapts minivcs to the LFI controller: Start stages a fresh
-// repository and returns the default test suite as the workload. Each
-// Start builds its own App, so one Target may serve concurrent campaign
-// workers.
+// repository and returns the default test suite as the workload.
 func Target() controller.Target {
 	return controller.Target{
 		Name: Module,
 		Start: func() (*libsim.C, func() error) {
-			app := New()
-			return app.C, app.RunSuite
+			app := acquire()
+			return app.C, app.suite
 		},
+		Recycle: recycle,
 	}
 }
 
@@ -27,11 +44,12 @@ func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
 	return controller.Target{
 		Name: Module,
 		Start: func() (*libsim.C, func() error) {
-			app := New()
+			app := acquire()
 			return app.C, func() error {
 				defer func() { acc.Merge(app.Cov) }()
 				return app.RunSuite()
 			}
 		},
+		Recycle: recycle,
 	}
 }

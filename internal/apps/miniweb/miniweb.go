@@ -86,12 +86,16 @@ type App struct {
 	methodNumber int64
 	served       int64
 	mutex        int64
+
+	suite func() error // bound RunSuite, reused across pooled runs
 }
 
 // New stages the document root and returns a ready instance.
 func New() *App {
 	c := libsim.New(1 << 22)
 	a := &App{C: c, Th: c.NewThread(Module, "main"), Cov: coverage.New()}
+	c.Owner = a
+	a.suite = a.RunSuite
 	a.mutex = c.MutexInit()
 	c.MustMkdirAll("/www")
 	c.MustMkdirAll("/var/log")
@@ -101,6 +105,7 @@ func New() *App {
 	}
 	c.MustWriteFile("/www/index.html", page)
 	c.MustWriteFile("/www/app.php", []byte("<?php compute(); ?>"))
+	c.SnapshotFS()
 	c.RegisterVar("method_number", func() int64 { return a.methodNumber })
 	a.Cov.Register("main.static", 40, false)
 	a.Cov.Register("main.php", 60, false)
@@ -111,6 +116,18 @@ func New() *App {
 	a.Cov.Register("rec.ph_apr_read", 8, true)
 	a.Cov.Register("rec.lt_fwrite", 5, true)
 	return a
+}
+
+// Reset rewinds the instance to its post-New state for reuse by a
+// pooled target. The worker mutex is freshly created rather than
+// recycled — a crashed run can abandon the old one in a locked state.
+func (a *App) Reset() {
+	a.C.Reset()
+	a.Th.Reset()
+	a.Cov.ResetHits()
+	a.mutex = a.C.MutexInit()
+	a.methodNumber = 0
+	a.served = 0
 }
 
 func (a *App) at(fn, label string) func() {

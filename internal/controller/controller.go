@@ -40,6 +40,12 @@ type Target struct {
 	// workload error marks workload-detected misbehaviour that is not
 	// a crash (e.g. wrong output).
 	Start func() (*libsim.C, func() error)
+	// Recycle, when non-nil, takes the process image back after the
+	// run's outcome has been fully captured and the runtime detached.
+	// Pooled targets reset and reuse the image for a later Start; the
+	// controller guarantees nothing still references it. Targets
+	// without Recycle keep the one-image-per-run behaviour.
+	Recycle func(*libsim.C)
 }
 
 // Outcome is the observed result of one test run.
@@ -82,15 +88,28 @@ func RunOne(tgt Target, s *scenario.Scenario, opts ...core.Option) (Outcome, err
 		var err error
 		rt, err = core.New(proc, s, opts...)
 		if err != nil {
+			if tgt.Recycle != nil {
+				tgt.Recycle(proc)
+			}
 			return out, err
 		}
 		rt.Install()
-		defer rt.Uninstall()
 	}
 	out.Crash, out.WorkErr = monitor(workload)
+	// Teardown order matters for pooled targets: capture everything the
+	// outcome needs, detach the runtime from the dispatcher, release the
+	// runtime for reuse, and only then hand the image back — once
+	// Recycle returns, another worker may reset and reuse it. (A panic
+	// that escapes monitor skips recycling; the pool just loses one
+	// image.)
 	if rt != nil {
 		out.Injections = int(rt.Injections())
 		out.Log = rt.Log()
+		rt.Uninstall()
+		rt.Release()
+	}
+	if tgt.Recycle != nil {
+		tgt.Recycle(proc)
 	}
 	out.Elapsed = time.Since(begin)
 	return out, nil

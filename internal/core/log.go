@@ -35,9 +35,11 @@ type Log struct {
 	errs    map[string]error
 }
 
-// NewLog creates an empty log.
+// NewLog creates an empty log. The errs map is built lazily on the
+// first noteError — one log is allocated per run, and misconfigured
+// triggers are the rare case.
 func NewLog() *Log {
-	return &Log{errs: make(map[string]error)}
+	return &Log{}
 }
 
 func (l *Log) record(call *interpose.Call, rv int64, e errno.Errno, triggers []string) {
@@ -63,6 +65,9 @@ func (l *Log) record(call *interpose.Call, rv int64, e errno.Errno, triggers []s
 func (l *Log) noteError(id string, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.errs == nil {
+		l.errs = make(map[string]error)
+	}
 	if _, dup := l.errs[id]; !dup {
 		l.errs[id] = err
 	}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lfi/internal/errno"
+	"lfi/internal/interpose"
+	"lfi/internal/scenario"
+	"lfi/internal/trigger"
+)
+
+// Program is the immutable compiled form of a scenario: the validated
+// trigger declarations, the FuncID-indexed entry table, and the
+// touched-function bitset. One Program is shared by every Runtime that
+// runs its scenario — concurrently and across runs — so the explorer
+// compiles each scenario structure once per campaign instead of once
+// per run. All per-run state (trigger instances, log, rng, counters)
+// lives in the Runtime overlay.
+type Program struct {
+	src     *scenario.Scenario
+	decls   []declInfo
+	declIdx map[string]int
+	entries [][]progEntry // indexed by interpose.FuncID
+	touched []uint64      // bitset over FuncIDs with at least one entry
+
+	// pool recycles Runtimes for this program between runs; a pooled
+	// Runtime keeps its rng, instance table, and eval shards, so a
+	// steady-state acquire allocates only the run's fresh Log.
+	pool sync.Pool
+}
+
+// declInfo is one compiled trigger declaration.
+type declInfo struct {
+	id    string
+	class string
+	args  *trigger.Args
+}
+
+// progRef references a declared trigger by decl index.
+type progRef struct {
+	decl   int
+	negate bool
+}
+
+// progEntry is one compiled <function> association.
+type progEntry struct {
+	refs          []progRef
+	ids           []string // referenced trigger ids, precomputed at compile time
+	observational bool
+	retval        int64
+	e             errno.Errno
+}
+
+// progCacheMax caps the compiled-program cache; beyond it the cache is
+// dropped wholesale (simpler than LRU, and campaigns reuse a bounded
+// working set of scenario structures anyway).
+const progCacheMax = 4096
+
+var (
+	progCache     sync.Map // *scenario.Scenario -> *Program
+	progCacheSize atomic.Int64
+)
+
+// Compile validates and compiles a scenario, memoized by scenario
+// identity: repeated compiles of the same *Scenario return the same
+// Program. Scenarios must not be mutated after first use, which the
+// toolchain already guarantees (builders and parsers hand out fresh
+// values).
+func Compile(s *scenario.Scenario) (*Program, error) {
+	if p, ok := progCache.Load(s); ok {
+		return p.(*Program), nil
+	}
+	p, err := compile(s)
+	if err != nil {
+		return nil, err
+	}
+	if actual, loaded := progCache.LoadOrStore(s, p); loaded {
+		return actual.(*Program), nil
+	}
+	if progCacheSize.Add(1) > progCacheMax {
+		progCache.Range(func(k, _ any) bool {
+			progCache.Delete(k)
+			return true
+		})
+		progCacheSize.Store(0)
+	}
+	return p, nil
+}
+
+func compile(s *scenario.Scenario) (*Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{src: s, declIdx: make(map[string]int, len(s.Triggers))}
+	for i := range s.Triggers {
+		td := &s.Triggers[i]
+		p.declIdx[td.ID] = len(p.decls)
+		p.decls = append(p.decls, declInfo{id: td.ID, class: td.Class, args: td.Args})
+	}
+	for i := range s.Functions {
+		fa := &s.Functions[i]
+		en := progEntry{observational: fa.Observational()}
+		if !en.observational {
+			rv, e, err := fa.RetvalErrno()
+			if err != nil {
+				return nil, err
+			}
+			en.retval, en.e = rv, e
+		}
+		for _, ref := range fa.Refs {
+			en.refs = append(en.refs, progRef{decl: p.declIdx[ref.Ref], negate: ref.Negate})
+			en.ids = append(en.ids, ref.Ref)
+		}
+		id := interpose.Intern(fa.Name)
+		if n := int(id) + 1; n > len(p.entries) {
+			grown := make([][]progEntry, n)
+			copy(grown, p.entries)
+			p.entries = grown
+			bits := make([]uint64, (n+63)/64)
+			copy(bits, p.touched)
+			p.touched = bits
+		}
+		p.entries[id] = append(p.entries[id], en)
+		p.touched[int(id)/64] |= 1 << (uint(id) % 64)
+	}
+	return p, nil
+}

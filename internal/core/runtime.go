@@ -14,6 +14,11 @@
 //     disjunction, evaluated in scenario order;
 //   - trigger instances are initialized lazily, right before their first
 //     evaluation, to avoid program-startup overhead.
+//
+// Compilation is split in two (see Program): the immutable entry table
+// is compiled and cached once per scenario, and New only assembles the
+// small per-run overlay — pooled and reused via Release, so the
+// steady-state run loop allocates almost nothing.
 package core
 
 import (
@@ -29,60 +34,67 @@ import (
 	"lfi/internal/trigger"
 )
 
-// instance is one declared trigger instance. The same instance may be
-// referenced from several function associations (that is how stateful
-// triggers observe lock/unlock while injecting into read).
+// instance is one live trigger instance for one run. The same instance
+// may be referenced from several function associations (that is how
+// stateful triggers observe lock/unlock while injecting into read).
+// Instances are embedded in a Runtime-owned slice and reset in place
+// between runs, never copied.
 type instance struct {
-	id    string
-	class string
-	args  *trigger.Args
-	env   *trigger.Env
+	decl *declInfo
+	env  *trigger.Env
 
-	once sync.Once
-	trig trigger.Trigger
-	err  error
+	// state is 0 until the first get initializes the trigger, then 1;
+	// mu serializes the one-time initialization across simulated
+	// threads. Unlike sync.Once this is resettable between runs.
+	state atomic.Uint32
+	mu    sync.Mutex
+	trig  trigger.Trigger
+	err   error
 }
 
 // get lazily instantiates and initializes the trigger (§4.3: "each
 // trigger is initialized right before it is invoked for the first
 // time").
 func (in *instance) get() (trigger.Trigger, error) {
-	in.once.Do(func() {
-		t, err := trigger.New(in.class)
-		if err != nil {
-			in.err = err
-			return
-		}
-		if b, ok := t.(trigger.EnvBinder); ok {
-			b.SetEnv(in.env)
-		}
-		if in.args != nil {
-			if err := t.Init(in.args); err != nil {
-				in.err = err
-				return
-			}
-		} else if err := t.Init(&trigger.Args{Name: "args"}); err != nil {
-			in.err = err
-			return
-		}
-		in.trig = t
-	})
+	if in.state.Load() == 1 {
+		return in.trig, in.err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.state.Load() != 1 {
+		in.init()
+		in.state.Store(1)
+	}
 	return in.trig, in.err
 }
 
-type compiledRef struct {
-	inst   *instance
-	negate bool
+func (in *instance) init() {
+	t, err := trigger.New(in.decl.class)
+	if err != nil {
+		in.err = err
+		return
+	}
+	if b, ok := t.(trigger.EnvBinder); ok {
+		b.SetEnv(in.env)
+	}
+	args := in.decl.args
+	if args == nil {
+		args = &trigger.Args{Name: "args"}
+	}
+	if err := t.Init(args); err != nil {
+		in.err = err
+		return
+	}
+	in.trig = t
 }
 
-// entry is one compiled <function> association.
-type entry struct {
-	refs          []compiledRef
-	ids           []string // referenced trigger ids, precomputed at compile time
-	observational bool
-	retval        int64
-	e             errno.Errno
-	fired         atomic.Uint64
+// reset re-arms the instance for the next run: the next get builds a
+// fresh trigger, so no cross-run trigger state (Singleton.fired,
+// CallStack frame lists grown by Init) can leak between runs.
+func (in *instance) reset() {
+	in.state.Store(0)
+	in.trig = nil
+	in.err = nil
 }
 
 // Option configures a Runtime.
@@ -111,19 +123,23 @@ func WithMaxInjections(n uint64) Option {
 // a point of cache-line contention on the hot path.
 const evalShards = 16
 
-// Runtime is the compiled, installable injection engine for one process.
+// Runtime is the per-run injection engine for one process: a thin
+// overlay (live trigger instances, injection log, rng, counters) over
+// an immutable compiled Program.
 //
 // Scenario entries are compiled into a FuncID-indexed table plus a
 // bitset of touched functions: an intercepted call whose function has no
 // scenario entry bails out with two array reads, no map lookup and no
 // allocation.
 type Runtime struct {
+	prog      *Program
 	proc      *libsim.C
-	entries   [][]*entry // indexed by interpose.FuncID
-	touched   []uint64   // bitset over FuncIDs with at least one entry
-	instances map[string]*instance
+	insts     []instance // index-aligned with prog.decls
 	log       *Log
-	env       *trigger.Env
+	env       trigger.Env
+	insp      inspector
+	rng       *rand.Rand
+	rngMu     sync.Mutex
 	seed      int64
 	decider   trigger.Decider
 	maxInject uint64
@@ -131,74 +147,85 @@ type Runtime struct {
 	evals     [evalShards]interpose.PaddedUint64
 }
 
-// inspector adapts libsim.C to the trigger.Inspector interface.
+// inspector adapts libsim.C to the trigger.Inspector interface. It is
+// embedded in the Runtime and retargeted per run, so binding it into
+// the trigger Env costs nothing per acquire.
 type inspector struct{ c *libsim.C }
 
-func (i inspector) FDMode(fd int64) (int64, bool) {
+func (i *inspector) FDMode(fd int64) (int64, bool) {
 	st, ok := i.c.RawStatFD(fd)
 	return st.Mode, ok
 }
-func (i inspector) Nonblocking(fd int64) bool         { return i.c.RawNonblocking(fd) }
-func (i inspector) ReadVar(name string) (int64, bool) { return i.c.ReadVar(name) }
+func (i *inspector) Nonblocking(fd int64) bool         { return i.c.RawNonblocking(fd) }
+func (i *inspector) ReadVar(name string) (int64, bool) { return i.c.ReadVar(name) }
 
 // New compiles a scenario for the given process. The scenario is
 // validated; unknown trigger classes or dangling references fail here
-// rather than mid-campaign.
+// rather than mid-campaign. Compilation is cached per scenario, and the
+// returned Runtime is drawn from the program's pool — callers that are
+// done with a run may hand it back with Release.
 func New(proc *libsim.C, s *scenario.Scenario, opts ...Option) (*Runtime, error) {
-	if err := s.Validate(); err != nil {
+	p, err := Compile(s)
+	if err != nil {
 		return nil, err
 	}
-	r := &Runtime{
-		proc:      proc,
-		instances: make(map[string]*instance),
-		log:       NewLog(),
-		seed:      1,
+	return p.acquire(proc, opts...), nil
+}
+
+// acquire assembles a run-ready overlay Runtime: pooled when available,
+// freshly built otherwise.
+func (p *Program) acquire(proc *libsim.C, opts ...Option) *Runtime {
+	r, _ := p.pool.Get().(*Runtime)
+	if r == nil {
+		r = &Runtime{
+			prog:  p,
+			insts: make([]instance, len(p.decls)),
+			rng:   rand.New(rand.NewSource(1)),
+		}
+		r.env.Rand = func() float64 {
+			r.rngMu.Lock()
+			defer r.rngMu.Unlock()
+			return r.rng.Float64()
+		}
+		r.env.Inspect = &r.insp
+		for i := range r.insts {
+			r.insts[i].decl = &p.decls[i]
+			r.insts[i].env = &r.env
+		}
 	}
+	r.proc = proc
+	r.insp.c = proc
+	r.seed = 1
+	r.decider = nil
+	r.maxInject = 0
 	for _, o := range opts {
 		o(r)
 	}
-	rng := rand.New(rand.NewSource(r.seed))
-	var rngMu sync.Mutex
-	r.env = &trigger.Env{
-		Rand: func() float64 {
-			rngMu.Lock()
-			defer rngMu.Unlock()
-			return rng.Float64()
-		},
-		Inspect: inspector{proc},
-		Dist:    r.decider,
+	r.env.Dist = r.decider
+	r.rng.Seed(r.seed)
+	r.log = NewLog()
+	r.injected.Store(0)
+	for i := range r.evals {
+		r.evals[i].V.Store(0)
 	}
-	for i := range s.Triggers {
-		td := &s.Triggers[i]
-		r.instances[td.ID] = &instance{id: td.ID, class: td.Class, args: td.Args, env: r.env}
+	for i := range r.insts {
+		r.insts[i].reset()
 	}
-	for i := range s.Functions {
-		fa := &s.Functions[i]
-		en := &entry{observational: fa.Observational()}
-		if !en.observational {
-			rv, e, err := fa.RetvalErrno()
-			if err != nil {
-				return nil, err
-			}
-			en.retval, en.e = rv, e
-		}
-		for _, ref := range fa.Refs {
-			en.refs = append(en.refs, compiledRef{inst: r.instances[ref.Ref], negate: ref.Negate})
-			en.ids = append(en.ids, ref.Ref)
-		}
-		id := interpose.Intern(fa.Name)
-		if n := int(id) + 1; n > len(r.entries) {
-			grown := make([][]*entry, n)
-			copy(grown, r.entries)
-			r.entries = grown
-			bits := make([]uint64, (n+63)/64)
-			copy(bits, r.touched)
-			r.touched = bits
-		}
-		r.entries[id] = append(r.entries[id], en)
-		r.touched[int(id)/64] |= 1 << (uint(id) % 64)
-	}
-	return r, nil
+	return r
+}
+
+// Release returns the runtime to its program's pool for reuse by a
+// later New on the same scenario. The caller must be completely done
+// with it: uninstalled, log captured (the Log itself is never recycled,
+// so captured logs stay valid). Runtimes that are never released are
+// simply collected by the GC.
+func (r *Runtime) Release() {
+	r.proc = nil
+	r.insp.c = nil
+	r.log = nil
+	r.decider = nil
+	r.env.Dist = nil
+	r.prog.pool.Put(r)
 }
 
 // Install splices the runtime into the process's dispatcher.
@@ -227,11 +254,11 @@ func (r *Runtime) Evals() uint64 {
 // TriggerInstance exposes a live trigger instance by id (tests use it to
 // reach stateful triggers). It forces initialization.
 func (r *Runtime) TriggerInstance(id string) (trigger.Trigger, error) {
-	in, ok := r.instances[id]
+	i, ok := r.prog.declIdx[id]
 	if !ok {
 		return nil, fmt.Errorf("core: no trigger instance %q", id)
 	}
-	return in.get()
+	return r.insts[i].get()
 }
 
 // Before implements interpose.Hook: it evaluates the disjunction of
@@ -241,10 +268,13 @@ func (r *Runtime) TriggerInstance(id string) (trigger.Trigger, error) {
 func (r *Runtime) Before(call *interpose.Call) interpose.Decision {
 	id := call.Resolve()
 	w := int(id) / 64
-	if w >= len(r.touched) || r.touched[w]&(1<<(uint(id)%64)) == 0 {
+	touched := r.prog.touched
+	if w >= len(touched) || touched[w]&(1<<(uint(id)%64)) == 0 {
 		return interpose.Decision{}
 	}
-	for _, en := range r.entries[id] {
+	ens := r.prog.entries[id]
+	for i := range ens {
+		en := &ens[i]
 		if !r.evalEntry(en, call) {
 			continue
 		}
@@ -255,7 +285,6 @@ func (r *Runtime) Before(call *interpose.Call) interpose.Decision {
 			continue
 		}
 		r.injected.Add(1)
-		en.fired.Add(1)
 		r.log.record(call, en.retval, en.e, en.ids)
 		return interpose.Decision{Inject: true, Retval: en.retval, Errno: en.e}
 	}
@@ -267,17 +296,18 @@ func (r *Runtime) Before(call *interpose.Call) interpose.Decision {
 func (r *Runtime) After(*interpose.Call, int64, errno.Errno) {}
 
 // evalEntry evaluates one conjunction with short-circuiting.
-func (r *Runtime) evalEntry(en *entry, call *interpose.Call) bool {
+func (r *Runtime) evalEntry(en *progEntry, call *interpose.Call) bool {
 	if len(en.refs) == 0 {
 		return false
 	}
 	shard := &r.evals[uint(call.Thread)%evalShards]
 	for _, ref := range en.refs {
-		t, err := ref.inst.get()
+		in := &r.insts[ref.decl]
+		t, err := in.get()
 		if err != nil {
 			// A misconfigured trigger never fires; the error is
 			// surfaced once in the log so the tester notices.
-			r.log.noteError(ref.inst.id, err)
+			r.log.noteError(in.decl.id, err)
 			return false
 		}
 		shard.V.Add(1)

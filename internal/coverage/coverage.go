@@ -24,8 +24,9 @@ type Block struct {
 
 // Tracker accumulates coverage for one application image.
 type Tracker struct {
-	mu     sync.Mutex
-	blocks map[string]*Block
+	mu      sync.Mutex
+	blocks  map[string]*Block
+	scratch []string // reused by CoveredIDs/CoveredRecoveryIDs
 }
 
 // New creates an empty tracker.
@@ -115,16 +116,20 @@ func (t *Tracker) stats(recoveryOnly bool) Stats {
 }
 
 // CoveredIDs returns the IDs of blocks executed at least once, sorted.
+// The returned slice is tracker-owned scratch, invalidated by the next
+// CoveredIDs/CoveredRecoveryIDs call — callers that retain it (store
+// and wire serialization boundaries) must copy.
 func (t *Tracker) CoveredIDs() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []string
+	out := t.scratch[:0]
 	for id, b := range t.blocks {
 		if b.Hits > 0 {
 			out = append(out, id)
 		}
 	}
 	sort.Strings(out)
+	t.scratch = out
 	return out
 }
 
@@ -158,37 +163,41 @@ func (t *Tracker) RecoveryIDs() []string {
 
 // CoveredRecoveryIDs returns the IDs of recovery blocks executed at
 // least once, sorted — the per-run footprint the fault-space explorer
-// attributes to each scenario.
+// attributes to each scenario. Like CoveredIDs it returns tracker-owned
+// scratch; retaining callers must copy.
 func (t *Tracker) CoveredRecoveryIDs() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []string
+	out := t.scratch[:0]
 	for id, b := range t.blocks {
 		if b.Recovery && b.Hits > 0 {
 			out = append(out, id)
 		}
 	}
 	sort.Strings(out)
+	t.scratch = out
 	return out
 }
 
 // Merge folds another tracker's hits into this one (campaigns union
-// coverage across many runs, like lcov merging .info files).
+// coverage across many runs, like lcov merging .info files). Both locks
+// are held for the duration, destination first; merges only ever flow
+// per-run tracker → campaign accumulator, so the order cannot invert.
+// This keeps the steady-state merge allocation-free (no snapshot slice)
+// once the accumulator knows the universe.
 func (t *Tracker) Merge(other *Tracker) {
-	other.mu.Lock()
-	snapshot := make([]Block, 0, len(other.blocks))
-	for _, b := range other.blocks {
-		snapshot = append(snapshot, *b)
+	if other == t {
+		return
 	}
-	other.mu.Unlock()
-
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, ob := range snapshot {
-		b, ok := t.blocks[ob.ID]
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	for id, ob := range other.blocks {
+		b, ok := t.blocks[id]
 		if !ok {
-			nb := ob
-			t.blocks[ob.ID] = &nb
+			nb := *ob
+			t.blocks[id] = &nb
 			continue
 		}
 		b.Hits += ob.Hits

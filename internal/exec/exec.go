@@ -105,11 +105,28 @@ type Outcome struct {
 	WorkErr     string   `json:"work_err,omitempty"`
 	Signature   string   `json:"signature,omitempty"` // "" = passed
 	Injections  int      `json:"injections,omitempty"`
-	Blocks      []string `json:"blocks,omitempty"` // covered block IDs, sorted
+	Blocks      []string `json:"blocks,omitempty"` // covered block IDs, sorted (JSON boundary form)
+
+	// Cov/CovU are the hot-path coverage encoding: a dense bitset over
+	// the block universe CovU. Backends fill these instead of Blocks;
+	// BlockIDs materializes the sorted-ID form at serialization
+	// boundaries (JSON stores, wire fallback).
+	Cov  coverage.Bitset `json:"-"`
+	CovU *coverage.Index `json:"-"`
 
 	// Raw carries the full in-process outcome (injection log included)
 	// when the run executed locally; wire backends leave it nil.
 	Raw *controller.Outcome `json:"-"`
+}
+
+// BlockIDs returns the run's covered block IDs, sorted: the explicit
+// Blocks slice when set (wire/store deserialization), otherwise a fresh
+// materialization of the bitset. The result is caller-owned.
+func (o *Outcome) BlockIDs() []string {
+	if o.Blocks != nil || o.CovU == nil {
+		return o.Blocks
+	}
+	return o.CovU.AppendIDs(nil, o.Cov)
 }
 
 // Failed reports whether the run ended abnormally in any way.
@@ -195,6 +212,49 @@ func (l *Local) Info() Info {
 // Close is a no-op: the local backend holds no resources.
 func (l *Local) Close() error { return nil }
 
+// sysCov caches per-system coverage machinery: the block-universe index
+// (built from the first run's registrations, immutable afterwards) and
+// a pool of per-run trackers, so coverage batches neither rebuild the
+// universe nor allocate a tracker per run.
+type sysCov struct {
+	mu   sync.Mutex
+	idx  *coverage.Index
+	pool sync.Pool
+}
+
+var sysCovs sync.Map // system name -> *sysCov
+
+func covState(sys string) *sysCov {
+	if v, ok := sysCovs.Load(sys); ok {
+		return v.(*sysCov)
+	}
+	v, _ := sysCovs.LoadOrStore(sys, &sysCov{})
+	return v.(*sysCov)
+}
+
+func (s *sysCov) tracker() *coverage.Tracker {
+	if tr, ok := s.pool.Get().(*coverage.Tracker); ok {
+		return tr
+	}
+	return coverage.New()
+}
+
+func (s *sysCov) release(tr *coverage.Tracker) {
+	tr.ResetHits()
+	s.pool.Put(tr)
+}
+
+// index returns the system's block universe, built once from a tracker
+// that has seen a full run's registrations.
+func (s *sysCov) index(tr *coverage.Tracker) *coverage.Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idx == nil {
+		s.idx = tr.Index()
+	}
+	return s.idx
+}
+
 // Run executes the batch on the in-process pool. Outcomes come back in
 // scenario order; under a fixed seed the sequence is identical to a
 // sequential campaign (the PR-1 equivalence invariant), which is what
@@ -206,20 +266,34 @@ func (l *Local) Run(ctx context.Context, b *Batch) ([]*Outcome, error) {
 	}
 	outs := make([]*Outcome, len(b.Scenarios))
 	var obsMu sync.Mutex
+	// The plain target is stateless (Start/Recycle functions) and shared
+	// by every non-coverage run; coverage runs bind a pooled per-run
+	// tracker instead.
+	baseTgt := d.Target()
+	var sc *sysCov
+	if b.Coverage {
+		sc = covState(b.System)
+	}
 	ctrl, err := controller.RunNContext(ctx, l.workers, len(b.Scenarios), func(i int) (controller.Outcome, error) {
+		tgt := baseTgt
 		var tr *coverage.Tracker
-		tgt := d.Target()
-		if b.Coverage {
-			tr = coverage.New()
+		if sc != nil {
+			tr = sc.tracker()
 			tgt = d.TargetWithCoverage(tr)
 		}
 		o, rerr := controller.RunOne(tgt, b.Scenarios[i], core.WithSeed(b.Seed))
 		if rerr != nil {
+			if tr != nil {
+				sc.release(tr)
+			}
 			return o, fmt.Errorf("exec: scenario %q: %w", b.Scenarios[i].Name, rerr)
 		}
 		outs[i] = fromController(&o)
 		if tr != nil {
-			outs[i].Blocks = tr.CoveredIDs()
+			idx := sc.index(tr)
+			outs[i].Cov = tr.CoveredBits(idx, nil)
+			outs[i].CovU = idx
+			sc.release(tr)
 		}
 		if b.Observe != nil {
 			// Streamed in completion order, serialized; the deferred

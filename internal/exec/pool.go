@@ -2,12 +2,15 @@ package exec
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	osexec "os/exec"
 	"sync"
 	"time"
+
+	"lfi/internal/coverage"
 )
 
 // Pool is the subprocess backend: a fixed pool of worker processes,
@@ -186,7 +189,7 @@ func (p *Pool) runSlice(ctx context.Context, sub *Batch) ([]*Outcome, error) {
 	var resp response
 	done := make(chan error, 1)
 	go func() {
-		done <- w.roundTrip(&request{Method: "run", Batch: toWire(sub)}, &resp)
+		done <- w.call("run", sub, &resp)
 	}()
 	var err error
 	select {
@@ -253,16 +256,21 @@ func (p *Pool) spawn() (*poolWorker, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("exec: pool: %w", err)
 	}
-	w := &poolWorker{cmd: cmd, in: stdin, out: stdout}
+	w := &poolWorker{cmd: cmd, in: stdin, out: stdout, proto: protoOldest, universes: make(map[uint64]*coverage.Index)}
 	var resp response
-	if err := w.roundTrip(&request{Method: "hello"}, &resp); err != nil {
+	if err := w.call("hello", nil, &resp); err != nil {
 		w.kill()
 		return nil, fmt.Errorf("exec: pool worker hello: %w", err)
 	}
-	if resp.Hello == nil || resp.Hello.Proto != protoVersion {
+	if resp.Hello == nil {
 		w.kill()
-		return nil, fmt.Errorf("exec: pool worker protocol mismatch: %+v", resp.Hello)
+		return nil, fmt.Errorf("exec: pool worker: malformed hello response")
 	}
+	if resp.Hello.Proto < protoOldest || resp.Hello.Proto > protoVersion {
+		w.kill()
+		return nil, fmt.Errorf("exec: pool worker speaks proto v%d, need v%d — rebuild worker", resp.Hello.Proto, protoVersion)
+	}
+	w.proto = resp.Hello.Proto
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -276,23 +284,50 @@ func (p *Pool) spawn() (*poolWorker, error) {
 
 // poolWorker is one subprocess and its stdio protocol stream.
 type poolWorker struct {
-	cmd    *osexec.Cmd
-	in     io.WriteCloser
-	out    io.ReadCloser
-	nextID uint64
+	cmd       *osexec.Cmd
+	in        io.WriteCloser
+	out       io.ReadCloser
+	nextID    uint64
+	proto     int
+	universes map[uint64]*coverage.Index // per-worker universe table
 }
 
-func (w *poolWorker) roundTrip(req *request, resp *response) error {
+// call sends one request and reads its response: binary frames for run
+// requests once the worker negotiated protocol 2, JSON otherwise
+// (mirrors Remote.call; pool workers are single-client so no lock).
+func (w *poolWorker) call(method string, b *Batch, resp *response) error {
 	w.nextID++
-	req.ID = w.nextID
-	if err := writeFrame(w.in, req); err != nil {
-		return err
+	id := w.nextID
+	if method == "run" && w.proto >= 2 {
+		if err := writeRawFrame(w.in, encodeRunRequest(id, b)); err != nil {
+			return err
+		}
+		payload, err := readRawFrame(w.out)
+		if err != nil {
+			return err
+		}
+		if isBinaryFrame(payload, frameRunResp) {
+			err = decodeRunResponse(payload, resp, w.universes)
+		} else {
+			err = json.Unmarshal(payload, resp)
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		req := &request{ID: id, Method: method}
+		if b != nil {
+			req.Batch = toWire(b)
+		}
+		if err := writeFrame(w.in, req); err != nil {
+			return err
+		}
+		if err := readFrame(w.out, resp); err != nil {
+			return err
+		}
 	}
-	if err := readFrame(w.out, resp); err != nil {
-		return err
-	}
-	if resp.ID != req.ID {
-		return fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+	if resp.ID != id {
+		return fmt.Errorf("response id %d for request %d", resp.ID, id)
 	}
 	return nil
 }

@@ -2,10 +2,13 @@ package exec
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
 	"time"
+
+	"lfi/internal/coverage"
 )
 
 // Remote is the client side of the wire protocol: one TCP connection to
@@ -17,17 +20,33 @@ import (
 type Remote struct {
 	addr  string
 	hello helloInfo
+	proto int // negotiated protocol: min(ours, worker's)
 
 	// drainGrace bounds how long a cancelled Run keeps waiting for the
 	// in-flight response before force-closing the connection. Remote
-	// workers get no cancel message in protocol v1; draining the
-	// response is what lands an interrupted batch's outcomes in the
-	// store just like a local Ctrl-C.
+	// workers get no cancel message; draining the response is what
+	// lands an interrupted batch's outcomes in the store just like a
+	// local Ctrl-C.
 	drainGrace time.Duration
 
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
+	mu        sync.Mutex
+	conn      net.Conn
+	nextID    uint64
+	universes map[uint64]*coverage.Index // per-connection universe table
+}
+
+// ProtoMismatchError reports a worker whose wire protocol this client
+// cannot speak. The fleet assembler treats it as "drop this worker",
+// not "abort the campaign" — the worker just needs a rebuild.
+type ProtoMismatchError struct {
+	Addr string
+	Got  int
+}
+
+// Error renders the mismatch with the remedy.
+func (e *ProtoMismatchError) Error() string {
+	return fmt.Sprintf("exec: remote %s: worker speaks proto v%d, need v%d — rebuild worker",
+		e.Addr, e.Got, protoVersion)
 }
 
 // defaultDrainGrace is generous: a batch is at most a few hundred
@@ -35,24 +54,38 @@ type Remote struct {
 const defaultDrainGrace = 30 * time.Second
 
 // Dial connects to an `lfi serve` worker and performs the hello
-// exchange, verifying the protocol version and learning the worker's
-// capacity and registered systems.
+// exchange, negotiating the protocol version and learning the worker's
+// capacity and registered systems. A protocol-1 worker is served with
+// JSON run frames; a worker outside [protoOldest, protoVersion] fails
+// with ProtoMismatchError so fleet assembly can drop the worker and
+// keep the campaign.
 func Dial(addr string) (*Remote, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("exec: remote %s: %w", addr, err)
 	}
-	r := &Remote{addr: addr, conn: conn, drainGrace: defaultDrainGrace}
+	r := &Remote{
+		addr:       addr,
+		conn:       conn,
+		proto:      protoOldest, // hello itself is always JSON
+		drainGrace: defaultDrainGrace,
+		universes:  make(map[uint64]*coverage.Index),
+	}
 	var resp response
-	if err := r.roundTrip(&request{Method: "hello"}, &resp); err != nil {
+	if err := r.call("hello", nil, &resp); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("exec: remote %s: hello: %w", addr, err)
 	}
-	if resp.Hello == nil || resp.Hello.Proto != protoVersion {
+	if resp.Hello == nil {
 		conn.Close()
-		return nil, fmt.Errorf("exec: remote %s: protocol mismatch (want %d, got %+v)", addr, protoVersion, resp.Hello)
+		return nil, fmt.Errorf("exec: remote %s: malformed hello response", addr)
+	}
+	if resp.Hello.Proto < protoOldest || resp.Hello.Proto > protoVersion {
+		conn.Close()
+		return nil, &ProtoMismatchError{Addr: addr, Got: resp.Hello.Proto}
 	}
 	r.hello = *resp.Hello
+	r.proto = resp.Hello.Proto
 	return r, nil
 }
 
@@ -78,30 +111,63 @@ func (r *Remote) Close() error {
 	return err
 }
 
-// roundTrip sends one request and reads its response under the
-// connection lock. The caller holds no locks.
-func (r *Remote) roundTrip(req *request, resp *response) error {
+// drop tears the connection down after a protocol failure. Caller
+// holds r.mu.
+func (r *Remote) drop() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+}
+
+// call sends one request and reads its response under the connection
+// lock. Run requests to a protocol-2 worker go as binary frames (and
+// come back binary, decoded against the connection's universe table);
+// everything else is JSON. The caller holds no locks.
+func (r *Remote) call(method string, b *Batch, resp *response) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.conn == nil {
 		return fmt.Errorf("connection closed")
 	}
 	r.nextID++
-	req.ID = r.nextID
-	if err := writeFrame(r.conn, req); err != nil {
-		r.conn.Close()
-		r.conn = nil
-		return err
+	id := r.nextID
+	if method == "run" && r.proto >= 2 {
+		if err := writeRawFrame(r.conn, encodeRunRequest(id, b)); err != nil {
+			r.drop()
+			return err
+		}
+		payload, err := readRawFrame(r.conn)
+		if err != nil {
+			r.drop()
+			return err
+		}
+		if isBinaryFrame(payload, frameRunResp) {
+			err = decodeRunResponse(payload, resp, r.universes)
+		} else {
+			err = json.Unmarshal(payload, resp)
+		}
+		if err != nil {
+			r.drop()
+			return err
+		}
+	} else {
+		req := &request{ID: id, Method: method}
+		if b != nil {
+			req.Batch = toWire(b)
+		}
+		if err := writeFrame(r.conn, req); err != nil {
+			r.drop()
+			return err
+		}
+		if err := readFrame(r.conn, resp); err != nil {
+			r.drop()
+			return err
+		}
 	}
-	if err := readFrame(r.conn, resp); err != nil {
-		r.conn.Close()
-		r.conn = nil
-		return err
-	}
-	if resp.ID != req.ID {
-		r.conn.Close()
-		r.conn = nil
-		return fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+	if resp.ID != id {
+		r.drop()
+		return fmt.Errorf("response id %d for request %d", resp.ID, id)
 	}
 	return nil
 }
@@ -116,7 +182,7 @@ func (r *Remote) Run(ctx context.Context, b *Batch) ([]*Outcome, error) {
 	var resp response
 	done := make(chan error, 1)
 	go func() {
-		done <- r.roundTrip(&request{Method: "run", Batch: toWire(b)}, &resp)
+		done <- r.call("run", b, &resp)
 	}()
 	var err error
 	select {

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,8 @@ import (
 	"strconv"
 	"sync"
 
+	"lfi/internal/coverage"
+	"lfi/internal/scenario"
 	"lfi/internal/system"
 )
 
@@ -128,17 +131,115 @@ func Serve(ctx context.Context, ln net.Listener, workers int, logw io.Writer) er
 	}
 }
 
+// scenarioCacheMax caps a connection's parsed-scenario cache; beyond it
+// the cache is dropped wholesale (campaigns resend a bounded working
+// set of scenario documents, and a fresh parse is always correct).
+const scenarioCacheMax = 4096
+
+// serverConn is the per-connection protocol state: the parsed-scenario
+// cache (repeated batches reuse scenario — and therefore compiled-
+// program — identity) and the coverage-universe tags already sent to
+// this client.
+type serverConn struct {
+	scenarios map[string]*scenario.Scenario // canonical XML -> parsed
+	uniTags   map[*coverage.Index]uint64
+	sent      map[uint64]bool
+	nextTag   uint64
+}
+
+// parse resolves one canonical XML document, memoized per connection.
+func (sc *serverConn) parse(doc string) (*scenario.Scenario, error) {
+	if s, ok := sc.scenarios[doc]; ok {
+		return s, nil
+	}
+	s, err := scenario.ParseString(doc)
+	if err != nil {
+		return nil, err
+	}
+	if sc.scenarios == nil || len(sc.scenarios) >= scenarioCacheMax {
+		sc.scenarios = make(map[string]*scenario.Scenario)
+	}
+	sc.scenarios[doc] = s
+	return s, nil
+}
+
+// universe assigns (or recalls) this connection's tag for a coverage
+// universe and reports whether its ID table must still be sent inline.
+func (sc *serverConn) universe(idx *coverage.Index) (tag uint64, inline []string) {
+	if sc.uniTags == nil {
+		sc.uniTags = make(map[*coverage.Index]uint64)
+		sc.sent = make(map[uint64]bool)
+	}
+	tag, ok := sc.uniTags[idx]
+	if !ok {
+		sc.nextTag++
+		tag = sc.nextTag
+		sc.uniTags[idx] = tag
+	}
+	if !sc.sent[tag] {
+		sc.sent[tag] = true
+		return tag, idx.IDs()
+	}
+	return tag, nil
+}
+
+// runBatch executes one received batch on the local backend, returning
+// the completed prefix and the in-band error string. On a mid-batch
+// error the completed prefix still ships alongside the error, mirroring
+// the local backend's contract — the client folds it so no completed
+// run is ever re-executed.
+func runBatch(local *Local, b *Batch) (outs []*Outcome, errStr string) {
+	outs, err := local.Run(context.Background(), b)
+	if err != nil {
+		errStr = err.Error()
+	}
+	return outs, errStr
+}
+
 // ServeConn answers one protocol connection: hello, then run requests,
 // each batch executed on an in-process Local backend of the given
 // width. It returns io.EOF on clean client disconnect. Which systems
 // the worker offers follows from which system packages the serving
 // binary imports (cmd/lfi imports them all via the lfi facade).
+//
+// Run requests arrive as protocol-2 binary frames (answered in kind)
+// or as protocol-1 JSON (answered with JSON, coverage materialized as
+// sorted block-ID strings) — the first payload byte tells them apart,
+// so one worker serves both old and new clients.
 func ServeConn(conn io.ReadWriter, workers int) error {
 	local := NewLocal(workers)
+	sc := &serverConn{}
 	for {
-		var req request
-		if err := readFrame(conn, &req); err != nil {
+		payload, err := readRawFrame(conn)
+		if err != nil {
 			return err
+		}
+		if isBinaryFrame(payload, frameRunReq) {
+			id, b, derr := decodeRunRequest(payload, sc.parse)
+			var outs []*Outcome
+			var errStr string
+			if derr != nil {
+				errStr = derr.Error()
+			} else {
+				outs, errStr = runBatch(local, b)
+			}
+			var tag uint64
+			var inline []string
+			for _, o := range outs {
+				if o.CovU != nil {
+					// One system per batch, so one universe per response.
+					tag, inline = sc.universe(o.CovU)
+					break
+				}
+			}
+			if err := writeRawFrame(conn, encodeRunResponse(id, errStr, outs, tag, inline)); err != nil {
+				return err
+			}
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return fmt.Errorf("exec: unmarshal: %w", err)
 		}
 		resp := response{ID: req.ID}
 		switch req.Method {
@@ -149,19 +250,16 @@ func ServeConn(conn io.ReadWriter, workers int) error {
 				resp.Error = "run request without batch"
 				break
 			}
-			b, err := fromWire(req.Batch)
+			b, err := fromWireCached(sc, req.Batch)
 			if err != nil {
 				resp.Error = err.Error()
 				break
 			}
-			// On a mid-batch error the completed prefix still ships
-			// alongside the error, mirroring the local backend's
-			// contract — the client folds it so no completed run is
-			// ever re-executed.
-			outs, err := local.Run(context.Background(), b)
-			resp.Outcomes = outs
-			if err != nil {
-				resp.Error = err.Error()
+			resp.Outcomes, resp.Error = runBatch(local, b)
+			for _, o := range resp.Outcomes {
+				if o.Blocks == nil && o.CovU != nil {
+					o.Blocks = o.BlockIDs() // JSON boundary: sorted-ID form
+				}
 			}
 		default:
 			resp.Error = fmt.Sprintf("unknown method %q", req.Method)

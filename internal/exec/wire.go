@@ -10,24 +10,43 @@ import (
 )
 
 // The wire protocol shared by the pool (stdio) and remote (TCP)
-// backends: length-prefixed JSON-RPC. Every message is one frame —
-// a 4-byte big-endian payload length followed by that many bytes of
-// JSON — so framing survives any stream transport and a reader can
-// reject oversized or torn messages before parsing.
+// backends. Every message is one frame — a 4-byte big-endian payload
+// length followed by that many payload bytes — so framing survives any
+// stream transport and a reader can reject oversized or torn messages
+// before parsing.
+//
+// Two payload encodings share the framing and are distinguished by the
+// first payload byte:
+//
+//   - JSON (first byte '{'): the protocol-1 encoding, still used for
+//     hello/control methods and as the fallback when either end speaks
+//     protocol 1.
 //
 //	client → worker: {"id":1,"method":"hello"}
-//	worker → client: {"id":1,"hello":{"proto":1,"capacity":4,"systems":[...]}}
+//	worker → client: {"id":1,"hello":{"proto":2,"capacity":4,"systems":[...]}}
 //	client → worker: {"id":2,"method":"run","batch":{...}}
 //	worker → client: {"id":2,"outcomes":[...]}
+//
+//   - binary (first byte 0xB2): the protocol-2 encoding of the hot
+//     "run" method — varint batch header, per-connection block-universe
+//     table, bitset coverage, and a per-response string table (see
+//     wire2.go). Negotiated by the hello exchange: a client that
+//     learns the worker speaks protocol 2 switches its run frames to
+//     binary; everything else stays JSON.
 //
 // A batch's scenarios travel as canonical XML (scenario.Serialize is
 // byte-deterministic), so content hashes — and therefore store keys —
 // mean the same thing on both ends. Errors come back in-band on the
 // response's error field; transport failures surface as BackendError.
 
-// protoVersion is bumped on incompatible message changes; hello
-// mismatches are rejected at connection setup, not mid-campaign.
-const protoVersion = 1
+// protoVersion is what this build speaks natively; protoOldest is the
+// oldest peer protocol it can still fall back to (JSON frames). A hello
+// outside [protoOldest, protoVersion] is rejected at connection setup,
+// not mid-campaign.
+const (
+	protoVersion = 2
+	protoOldest  = 1
+)
 
 // maxFrame bounds one message (a batch of a few hundred scenarios is
 // well under 1 MiB; 64 MiB rejects garbage and runaway peers).
@@ -70,12 +89,14 @@ func toWire(b *Batch) *wireBatch {
 	return wb
 }
 
-// fromWire parses a received batch back into scenarios.
-func fromWire(wb *wireBatch) (*Batch, error) {
+// fromWireCached parses a received batch back into scenarios through
+// the connection's memoizing parser, so a resent scenario document maps
+// to the same *Scenario (and the same compiled program).
+func fromWireCached(sc *serverConn, wb *wireBatch) (*Batch, error) {
 	b := &Batch{System: wb.System, Seed: wb.Seed, Coverage: wb.Coverage}
 	b.Scenarios = make([]*scenario.Scenario, len(wb.Scenarios))
 	for i, doc := range wb.Scenarios {
-		s, err := scenario.ParseString(doc)
+		s, err := sc.parse(doc)
 		if err != nil {
 			return nil, fmt.Errorf("exec: batch scenario %d: %w", i, err)
 		}
@@ -84,12 +105,8 @@ func fromWire(wb *wireBatch) (*Batch, error) {
 	return b, nil
 }
 
-// writeFrame marshals v and writes one length-prefixed frame.
-func writeFrame(w io.Writer, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("exec: marshal: %w", err)
-	}
+// writeRawFrame writes one length-prefixed frame.
+func writeRawFrame(w io.Writer, data []byte) error {
 	if len(data) > maxFrame {
 		return fmt.Errorf("exec: frame too large: %d bytes", len(data))
 	}
@@ -98,22 +115,40 @@ func writeFrame(w io.Writer, v any) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(data)
+	_, err := w.Write(data)
 	return err
 }
 
-// readFrame reads one length-prefixed frame into v.
-func readFrame(r io.Reader, v any) error {
+// readRawFrame reads one length-prefixed frame's payload.
+func readRawFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("exec: frame too large: %d bytes", n)
+		return nil, fmt.Errorf("exec: frame too large: %d bytes", n)
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// writeFrame marshals v as JSON and writes one frame.
+func writeFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("exec: marshal: %w", err)
+	}
+	return writeRawFrame(w, data)
+}
+
+// readFrame reads one frame and unmarshals its JSON payload into v.
+func readFrame(r io.Reader, v any) error {
+	data, err := readRawFrame(r)
+	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(data, v); err != nil {

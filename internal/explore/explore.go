@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -444,26 +445,57 @@ func ImageVersion(b *isa.Binary) string {
 
 // explorer is the mutable state of one run.
 type explorer struct {
-	cfg     Config
-	acc     *coverage.Tracker
-	covered map[string]bool     // recovery blocks reached so far
-	sigs    map[string][]string // failure signature -> scenario names
-	boost   map[string]float64  // callee -> feedback priority boost
+	cfg   Config
+	acc   *coverage.Tracker
+	sigs  map[string][]string // failure signature -> scenario names
+	boost map[string]float64  // callee -> feedback priority boost
+
+	// Block universe, established by the baseline run and encoded as
+	// bitsets over idx (the folding of per-run footprints is bit
+	// arithmetic, not string-map traffic): recovery membership, the
+	// recovery blocks reached so far, and the recovery blocks the suite
+	// covers with no injection. Replayed store entries may predate a
+	// code change elsewhere in the image, and a mismatched remote
+	// worker could report blocks this image does not have, so recorded
+	// block IDs are only trusted if they still exist in idx.
+	idx      *coverage.Index
+	recBits  coverage.Bitset
+	covBits  coverage.Bitset
+	baseBits coverage.Bitset
 
 	// Mutation state: the scenario hashes already enumerated (initial
 	// candidates plus spawned mutants), the candidates already mutated,
-	// the image-wide code region windows key on, the registered and
-	// recovery block universes, and the recovery blocks the suite
-	// covers on its own (mutation triggers only on coverage *beyond*
-	// that baseline, so the decision is identical whether an outcome
-	// was executed or replayed, in any order).
+	// and the image-wide code region windows key on. (Mutation triggers
+	// only on coverage *beyond* the suite baseline, so the decision is
+	// identical whether an outcome was executed or replayed, in any
+	// order.)
 	seen        map[string]bool
 	mutated     map[string]bool
 	imageRegion string
-	allBlocks   map[string]bool
-	recBlocks   map[string]bool
-	baseRec     map[string]bool
 	spawned     int
+
+	// uniSame memoizes which outcome universes are bit-compatible with
+	// idx (same sorted ID table, possibly a different *Index — the local
+	// backend builds its own per-system index).
+	uniSame map[*coverage.Index]bool
+}
+
+// sameUniverse reports whether bitsets over u can be folded directly
+// into this explorer's bitsets (identical universes, position for
+// position).
+func (x *explorer) sameUniverse(u *coverage.Index) bool {
+	if u == x.idx {
+		return true
+	}
+	same, ok := x.uniSame[u]
+	if !ok {
+		if x.uniSame == nil {
+			x.uniSame = make(map[*coverage.Index]bool)
+		}
+		same = slices.Equal(u.IDs(), x.idx.IDs())
+		x.uniSame[u] = same
+	}
+	return same
 }
 
 // mutationWorthy reports whether an outcome earns its candidate a set
@@ -477,7 +509,7 @@ func (x *explorer) mutationWorthy(e Entry) bool {
 		return true
 	}
 	for _, id := range e.Blocks {
-		if x.recBlocks[id] && !x.baseRec[id] {
+		if p, ok := x.idx.Pos(id); ok && x.recBits.Has(p) && !x.baseBits.Has(p) {
 			return true
 		}
 	}
@@ -560,7 +592,7 @@ func (x *explorer) score(c *Candidate) float64 {
 		s = 45 - float64(c.From) - 0.5*float64(c.To-c.From)
 	}
 	if c.Block != "" {
-		if x.covered[c.Block] {
+		if p, ok := x.idx.Pos(c.Block); ok && x.covBits.Has(p) {
 			s -= 50
 		} else {
 			s += 30
@@ -636,7 +668,6 @@ func newRun(cfg Config) (*run, error) {
 	x := &explorer{
 		cfg:     cfg,
 		acc:     coverage.New(),
-		covered: make(map[string]bool),
 		sigs:    make(map[string][]string),
 		boost:   make(map[string]float64),
 		seen:    make(map[string]bool, len(cands)),
@@ -654,27 +685,16 @@ func newRun(cfg Config) (*run, error) {
 	if _, err := controller.RunOne(cfg.Target(x.acc), nil); err != nil {
 		return nil, fmt.Errorf("explore: baseline: %w", err)
 	}
-	for _, id := range x.acc.CoveredRecoveryIDs() {
-		x.covered[id] = true
-	}
 	res.Baseline = x.acc.Recovery()
 
-	// The block universes the baseline registered; replayed store
-	// entries may predate a code change elsewhere in the image, and a
-	// mismatched remote worker could report blocks this image does not
-	// have, so recorded block IDs are only trusted if they still exist.
-	x.allBlocks = make(map[string]bool)
-	for _, id := range x.acc.RegisteredIDs() {
-		x.allBlocks[id] = true
-	}
-	x.recBlocks = make(map[string]bool)
-	for _, id := range x.acc.RecoveryIDs() {
-		x.recBlocks[id] = true
-	}
-	x.baseRec = make(map[string]bool, len(x.covered))
-	for id := range x.covered {
-		x.baseRec[id] = true
-	}
+	// The block universe the baseline registered, as an index plus
+	// bitsets: recovery membership, covered-so-far (seeded with what
+	// the suite reaches uninjected), and that baseline snapshot.
+	x.idx = x.acc.Index()
+	x.recBits = x.acc.RecoveryBits(x.idx)
+	x.covBits = x.acc.CoveredBits(x.idx, nil)
+	x.covBits.And(x.recBits)
+	x.baseBits = x.covBits.Clone()
 
 	// Replay the persistent store: cached outcomes count as explored
 	// without executing anything. Worthy cached occurrence outcomes
@@ -707,12 +727,13 @@ func newRun(cfg Config) (*run, error) {
 		}
 		res.Replayed++
 		for _, id := range e.Blocks {
-			if !x.allBlocks[id] {
+			p, ok := x.idx.Pos(id)
+			if !ok {
 				continue
 			}
 			x.acc.Hit(id)
-			if x.recBlocks[id] {
-				x.covered[id] = true
+			if x.recBits.Has(p) {
+				x.covBits.Set(p)
 			}
 		}
 		if e.Failed {
@@ -743,7 +764,7 @@ func (r *run) done() bool {
 // uncoveredRecovery counts the recovery blocks exploration has not
 // reached yet — the cross-system scheduling priority.
 func (r *run) uncoveredRecovery() int {
-	return len(r.x.recBlocks) - len(r.x.covered)
+	return r.x.recBits.Count() - r.x.covBits.Count()
 }
 
 // step schedules one batch, dispatches it across the execution fleet,
@@ -887,15 +908,30 @@ func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, 
 			continue
 		}
 		report.Runs++
-		for _, id := range out.Blocks {
-			if !x.allBlocks[id] {
-				continue
-			}
-			x.acc.Hit(id)
-			if x.recBlocks[id] && !x.covered[id] {
-				x.covered[id] = true
-				report.NewBlocks = append(report.NewBlocks, id)
+		// covBlocks is the run's footprint materialized as sorted IDs —
+		// the JSON form the store entry keeps (and an owned copy, so
+		// nothing wire- or scratch-backed is retained).
+		covBlocks := out.BlockIDs()
+		if out.CovU != nil && x.sameUniverse(out.CovU) {
+			// Bitset fast path: the outcome's universe matches ours, so
+			// the fold is pure bit arithmetic.
+			x.acc.HitBits(x.idx, out.Cov)
+			x.covBits.FoldNew(out.Cov, x.recBits, func(p int) {
+				report.NewBlocks = append(report.NewBlocks, x.idx.ID(p))
 				x.reward(c.Callee)
+			})
+		} else {
+			for _, id := range covBlocks {
+				p, ok := x.idx.Pos(id)
+				if !ok {
+					continue
+				}
+				x.acc.Hit(id)
+				if x.recBits.Has(p) && !x.covBits.Has(p) {
+					x.covBits.Set(p)
+					report.NewBlocks = append(report.NewBlocks, id)
+					x.reward(c.Callee)
+				}
 			}
 		}
 
@@ -904,7 +940,7 @@ func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, 
 		// coverage too. The failure signature was computed where the
 		// run executed — it needs the injection log, which stays with
 		// the worker.
-		entry := Entry{Name: c.Scenario.Name, Blocks: out.Blocks, Injections: out.Injections}
+		entry := Entry{Name: c.Scenario.Name, Blocks: covBlocks, Injections: out.Injections}
 		if out.Signature != "" {
 			entry.Failed, entry.Signature = true, out.Signature
 			if _, known := x.sigs[out.Signature]; !known {

@@ -154,7 +154,7 @@ func ExploreAllContext(ctx context.Context, cfgs []Config, budget int) (*MultiRe
 // EWMAs decay — and speed is the fleet's aggregate runs/sec estimate
 // for the system.
 func systemScore(r *run) float64 {
-	uncovered := float64(r.uncoveredRecovery()) / float64(len(r.x.recBlocks)+1)
+	uncovered := float64(r.uncoveredRecovery()) / float64(r.x.recBits.Count()+1)
 	gain := r.cfg.Exec.GainEstimate(r.cfg.System, uncovered)
 	return (gain + 0.05*uncovered) * r.cfg.Exec.SpeedEstimate(r.cfg.System)
 }

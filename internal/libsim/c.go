@@ -46,6 +46,11 @@ type C struct {
 	// distributed triggers see it on every intercepted call.
 	Node string
 
+	// Owner is an opaque backlink to the application wrapping this
+	// process image; controller.Target.Recycle hooks use it to return
+	// the whole app to a worker-local pool between runs.
+	Owner any
+
 	// threadIDs allocates per-process thread ids (dense from 1), so
 	// logs stay deterministic when independent runs execute in parallel.
 	threadIDs atomic.Int64
@@ -54,6 +59,12 @@ type C struct {
 	root  *inode
 	fds   map[int]*fdesc
 	nexfd int
+
+	// Descriptor and file-inode pools, reclaimed by Reset (never on
+	// Close, so nothing can observe a recycled object mid-run).
+	fdPool   []*fdesc
+	fdNext   int
+	fileFree []*inode
 
 	heap *Arena
 
@@ -97,6 +108,40 @@ func New(heapBytes int64) *C {
 
 // SetNet installs the datagram transport used by socket calls.
 func (c *C) SetNet(n NetBackend) { c.net = n }
+
+// Reset returns the process image to its pristine state — the state
+// right after New plus whatever fixtures SnapshotFS recorded — while
+// retaining every reusable buffer (heap blocks, inodes, descriptor
+// objects, map storage). A reset image is observationally identical to
+// a fresh one: descriptor numbers restart at 3, every handle space
+// restarts at its base, the heap hands out the same pointers, and the
+// dispatcher's per-function call counters restart at zero, so a run on
+// a recycled image is byte-for-byte the run a fresh image would give.
+//
+// Registered program variables survive (their getters capture the
+// owning app, which is itself recycled), as do live Threads — the app
+// resets those separately via Thread.Reset.
+func (c *C) Reset() {
+	c.Disp.ResetCounts()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetFS()
+	c.heap.Reset()
+	clear(c.env)
+	clear(c.files)
+	c.nextFile = 0x4000_0000
+	clear(c.dirs)
+	c.nextDir = 0x5000_0000
+	// simMutex objects are never recycled: a crashed run can leave the
+	// inner lock held (the double-unlock crash raises before the inner
+	// unlock), so recycling one could deadlock the next run.
+	clear(c.mutexes)
+	c.nextMutex = 0x6000_0000
+	if c.xml != nil {
+		clear(c.xml.m)
+		c.xml.next = 0x7000_0000
+	}
+}
 
 // RegisterVar publishes a named program variable (a global like MySQL's
 // thread_count or shutdown_in_progress) so that program state-based

@@ -2,7 +2,6 @@ package libsim
 
 import (
 	"sort"
-	"strings"
 	"sync"
 
 	"lfi/internal/errno"
@@ -47,6 +46,13 @@ type inode struct {
 	data     []byte
 	children map[string]*inode
 	pipe     *pipeBuf
+
+	// Fixture snapshot state (SnapshotFS / C.Reset). A fixed node is
+	// part of the pristine image; fix holds a file's original contents
+	// and fixChildren a directory's original entry set.
+	fixed       bool
+	fix         []byte
+	fixChildren map[string]*inode
 }
 
 func newDir() *inode  { return &inode{kind: S_IFDIR, children: make(map[string]*inode)} }
@@ -77,20 +83,62 @@ func newPipeBuf() *pipeBuf {
 
 // --- path resolution (caller holds c.mu) --------------------------------
 
-func splitPath(path string) []string {
-	parts := strings.Split(path, "/")
-	out := parts[:0]
-	for _, p := range parts {
-		if p != "" && p != "." {
-			out = append(out, p)
+// pathIter yields the meaningful segments of a slash-separated path
+// ("" and "." are skipped) without allocating — path resolution is on
+// the run loop's hot path.
+type pathIter struct {
+	path string
+	i    int
+}
+
+func (it *pathIter) next() (string, bool) {
+	for {
+		for it.i < len(it.path) && it.path[it.i] == '/' {
+			it.i++
+		}
+		if it.i >= len(it.path) {
+			return "", false
+		}
+		start := it.i
+		for it.i < len(it.path) && it.path[it.i] != '/' {
+			it.i++
+		}
+		if seg := it.path[start:it.i]; seg != "." {
+			return seg, true
 		}
 	}
-	return out
+}
+
+// lastSeg returns the bounds of the final meaningful path segment, or
+// ok=false when the path has none ("", "/", "/.").
+func lastSeg(path string) (start, end int, ok bool) {
+	end = len(path)
+	for {
+		for end > 0 && path[end-1] == '/' {
+			end--
+		}
+		if end == 0 {
+			return 0, 0, false
+		}
+		start = end
+		for start > 0 && path[start-1] != '/' {
+			start--
+		}
+		if path[start:end] != "." {
+			return start, end, true
+		}
+		end = start
+	}
 }
 
 func (c *C) lookup(path string) (*inode, errno.Errno) {
 	n := c.root
-	for _, part := range splitPath(path) {
+	it := pathIter{path: path}
+	for {
+		part, ok := it.next()
+		if !ok {
+			return n, errno.OK
+		}
 		if n.kind != S_IFDIR {
 			return nil, errno.ENOTDIR
 		}
@@ -100,16 +148,20 @@ func (c *C) lookup(path string) (*inode, errno.Errno) {
 		}
 		n = child
 	}
-	return n, errno.OK
 }
 
 func (c *C) lookupParent(path string) (*inode, string, errno.Errno) {
-	parts := splitPath(path)
-	if len(parts) == 0 {
+	start, end, ok := lastSeg(path)
+	if !ok {
 		return nil, "", errno.EINVAL
 	}
 	n := c.root
-	for _, part := range parts[:len(parts)-1] {
+	it := pathIter{path: path[:start]}
+	for {
+		part, more := it.next()
+		if !more {
+			return n, path[start:end], errno.OK
+		}
 		child, ok := n.children[part]
 		if !ok {
 			return nil, "", errno.ENOENT
@@ -119,7 +171,6 @@ func (c *C) lookupParent(path string) (*inode, string, errno.Errno) {
 		}
 		n = child
 	}
-	return n, parts[len(parts)-1], errno.OK
 }
 
 func (c *C) newFD(d *fdesc) int {
@@ -129,6 +180,102 @@ func (c *C) newFD(d *fdesc) int {
 	return fd
 }
 
+// allocFD hands out a descriptor object from the per-process pool.
+// Pooled objects are only reclaimed by Reset — never on Close — so a
+// descriptor cannot be reused while any code path still holds it.
+func (c *C) allocFD() *fdesc {
+	if c.fdNext < len(c.fdPool) {
+		d := c.fdPool[c.fdNext]
+		c.fdNext++
+		*d = fdesc{}
+		return d
+	}
+	d := &fdesc{}
+	c.fdPool = append(c.fdPool, d)
+	c.fdNext++
+	return d
+}
+
+// newFileNode hands out a regular-file inode, reusing one reclaimed by
+// a previous Reset when available (data capacity is retained).
+func (c *C) newFileNode() *inode {
+	if n := len(c.fileFree); n > 0 {
+		f := c.fileFree[n-1]
+		c.fileFree = c.fileFree[:n-1]
+		return f
+	}
+	return newFile()
+}
+
+// --- fixture snapshot / reset --------------------------------------------
+
+// SnapshotFS records the current filesystem tree as the pristine
+// fixture image that C.Reset restores: directory entry sets and file
+// contents. Apps call it once, after staging fixtures in New.
+func (c *C) SnapshotFS() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snapshotNode(c.root)
+}
+
+func snapshotNode(n *inode) {
+	n.fixed = true
+	if n.kind != S_IFDIR {
+		n.fix = append(n.fix[:0], n.data...)
+		return
+	}
+	if n.fixChildren == nil {
+		n.fixChildren = make(map[string]*inode, len(n.children))
+	}
+	clear(n.fixChildren)
+	for name, ch := range n.children {
+		n.fixChildren[name] = ch
+		snapshotNode(ch)
+	}
+}
+
+// resetFS restores the snapshot: drops descriptors, removes nodes the
+// run created, re-links fixture nodes the run unlinked, and restores
+// fixture file contents. Reclaimed file inodes feed newFileNode so the
+// next run's creations allocate nothing. Caller holds c.mu.
+func (c *C) resetFS() {
+	clear(c.fds)
+	c.nexfd = 3
+	c.fdNext = 0
+	c.restoreNode(c.root)
+}
+
+func (c *C) restoreNode(n *inode) {
+	if n.kind != S_IFDIR {
+		n.data = append(n.data[:0], n.fix...)
+		return
+	}
+	for name, ch := range n.children {
+		if !ch.fixed {
+			delete(n.children, name)
+			c.reclaimNode(ch)
+		}
+	}
+	for name, ch := range n.fixChildren {
+		n.children[name] = ch
+		c.restoreNode(ch)
+	}
+}
+
+func (c *C) reclaimNode(n *inode) {
+	if n.kind == S_IFDIR {
+		for name, ch := range n.children {
+			delete(n.children, name)
+			c.reclaimNode(ch)
+		}
+		return // directories are not pooled; they are rare
+	}
+	if n.pipe == nil && n.kind == S_IFREG {
+		n.data = n.data[:0]
+		c.fileFree = append(c.fileFree, n)
+	}
+}
+
 // --- filesystem setup helpers (not interposed) ---------------------------
 
 // MustWriteFile creates path (and parents) with the given contents,
@@ -136,9 +283,17 @@ func (c *C) newFD(d *fdesc) int {
 func (c *C) MustWriteFile(path string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start, end, ok := lastSeg(path)
+	if !ok {
+		return
+	}
 	n := c.root
-	parts := splitPath(path)
-	for _, part := range parts[:len(parts)-1] {
+	it := pathIter{path: path[:start]}
+	for {
+		part, more := it.next()
+		if !more {
+			break
+		}
 		child, ok := n.children[part]
 		if !ok {
 			child = newDir()
@@ -146,9 +301,13 @@ func (c *C) MustWriteFile(path string, data []byte) {
 		}
 		n = child
 	}
-	f := newFile()
-	f.data = append([]byte(nil), data...)
-	n.children[parts[len(parts)-1]] = f
+	name := path[start:end]
+	f, ok := n.children[name]
+	if !ok || f.kind != S_IFREG {
+		f = newFile()
+		n.children[name] = f
+	}
+	f.data = append(f.data[:0], data...)
 }
 
 // MustMkdirAll creates a directory path, bypassing the dispatcher.
@@ -156,7 +315,12 @@ func (c *C) MustMkdirAll(path string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := c.root
-	for _, part := range splitPath(path) {
+	it := pathIter{path: path}
+	for {
+		part, more := it.next()
+		if !more {
+			return
+		}
 		child, ok := n.children[part]
 		if !ok {
 			child = newDir()
@@ -194,15 +358,16 @@ func (t *Thread) Open(path string, flags int64) int64 {
 			if pe != errno.OK {
 				return -1, pe
 			}
-			n = newFile()
+			n = c.newFileNode()
 			parent.children[name] = n
 		} else if n.kind == S_IFDIR && flags&(O_WRONLY|O_RDWR) != 0 {
 			return -1, errno.EISDIR
 		}
 		if flags&O_TRUNC != 0 && n.kind == S_IFREG {
-			n.data = nil
+			n.data = n.data[:0]
 		}
-		d := &fdesc{node: n, flags: flags}
+		d := c.allocFD()
+		d.node, d.flags = n, flags
 		if flags&O_APPEND != 0 {
 			d.off = int64(len(n.data))
 		}
@@ -411,8 +576,12 @@ func (t *Thread) Pipe(fds *[2]int64) int64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		p := newPipeBuf()
-		fds[0] = int64(c.newFD(&fdesc{pipe: p}))
-		fds[1] = int64(c.newFD(&fdesc{pipe: p, pipeW: true}))
+		rd := c.allocFD()
+		rd.pipe = p
+		wr := c.allocFD()
+		wr.pipe, wr.pipeW = p, true
+		fds[0] = int64(c.newFD(rd))
+		fds[1] = int64(c.newFD(wr))
 		return 0, errno.OK
 	})
 }

@@ -19,6 +19,9 @@ type Arena struct {
 	blocks   map[int64]*block
 	failNext int  // fail the next N allocations
 	failAll  bool // fail every allocation
+	// freelist recycles block objects across Reset cycles, keyed by
+	// size class, so a steady-state run loop allocates no heap blocks.
+	freelist map[int64][]*block
 }
 
 type block struct {
@@ -49,6 +52,28 @@ func (a *Arena) FailAll(v bool) {
 	a.mu.Lock()
 	a.failAll = v
 	a.mu.Unlock()
+}
+
+// Reset returns the arena to its post-NewArena state while recycling
+// every block's backing storage into a per-size freelist. The next
+// allocation sequence sees the same pointer handles a fresh arena would
+// hand out, and reused storage is zeroed on allocation, so a recycled
+// arena is observationally identical to a new one.
+func (a *Arena) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.freelist == nil {
+		a.freelist = make(map[int64][]*block)
+	}
+	for _, b := range a.blocks {
+		b.freed = false
+		a.freelist[int64(cap(b.data))] = append(a.freelist[int64(cap(b.data))], b)
+	}
+	clear(a.blocks)
+	a.next = heapBase
+	a.used = 0
+	a.failNext = 0
+	a.failAll = false
 }
 
 // Used returns the live byte count.
@@ -88,7 +113,16 @@ func (a *Arena) alloc(size int64) (int64, errno.Errno) {
 	}
 	ptr := a.next
 	a.next += (size + 15) &^ 15 // 16-byte alignment, like real allocators
-	a.blocks[ptr] = &block{size: size, data: make([]byte, size)}
+	if l := a.freelist[size]; len(l) > 0 {
+		b := l[len(l)-1]
+		a.freelist[size] = l[:len(l)-1]
+		clear(b.data) // reused storage must read as freshly zeroed
+		b.size = size
+		b.freed = false
+		a.blocks[ptr] = b
+	} else {
+		a.blocks[ptr] = &block{size: size, data: make([]byte, size)}
+	}
 	a.used += size
 	return ptr, errno.OK
 }

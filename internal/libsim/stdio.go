@@ -36,7 +36,7 @@ func (t *Thread) Fopen(path, mode string) int64 {
 				if pe != errno.OK {
 					return 0, pe
 				}
-				n = newFile()
+				n = c.newFileNode()
 				parent.children[name] = n
 			} else if e != errno.OK {
 				return 0, e
@@ -44,7 +44,7 @@ func (t *Thread) Fopen(path, mode string) int64 {
 				return 0, errno.EISDIR
 			}
 			if mode == "w" {
-				n.data = nil
+				n.data = n.data[:0]
 			}
 		default:
 			return 0, errno.EINVAL

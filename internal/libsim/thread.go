@@ -28,6 +28,37 @@ type Thread struct {
 	// owning thread touches it (simulated threads are single goroutines).
 	scratch []*interpose.Call
 	depth   int
+
+	// pop is the single pop-one-frame closure Enter/EnterAt return;
+	// caching it keeps frame push/pop allocation-free after the first
+	// call. Correct because frames form a stack: every Enter's matching
+	// pop removes whatever frame is innermost at that point.
+	pop func()
+}
+
+// popFrame returns the cached frame-pop closure, creating it once.
+// Caller holds t.mu.
+func (t *Thread) popFrame() func() {
+	if t.pop == nil {
+		t.pop = func() {
+			t.mu.Lock()
+			t.frames = t.frames[:len(t.frames)-1]
+			t.mu.Unlock()
+		}
+	}
+	return t.pop
+}
+
+// Reset rewinds the thread to its post-NewThread state: entry frame
+// only, no held locks, errno clear. Worker pools call it between runs;
+// the Call scratch values are retained.
+func (t *Thread) Reset() {
+	t.mu.Lock()
+	t.frames = t.frames[:1]
+	t.locks = 0
+	t.mu.Unlock()
+	t.errno = errno.OK
+	t.depth = 0
 }
 
 // NewThread creates a thread bound to library c. The first stack frame
@@ -59,12 +90,9 @@ func (t *Thread) SetErrno(e errno.Errno) { t.errno = e }
 func (t *Thread) Enter(module, fn string, offset uint64) func() {
 	t.mu.Lock()
 	t.frames = append(t.frames, interpose.Frame{Module: module, Func: fn, Offset: offset})
+	pop := t.popFrame()
 	t.mu.Unlock()
-	return func() {
-		t.mu.Lock()
-		t.frames = t.frames[:len(t.frames)-1]
-		t.mu.Unlock()
-	}
+	return pop
 }
 
 // EnterAt is Enter with DWARF-style file/line debug info attached,
@@ -74,12 +102,9 @@ func (t *Thread) EnterAt(module, fn string, offset uint64, file string, line int
 	t.frames = append(t.frames, interpose.Frame{
 		Module: module, Func: fn, Offset: offset, File: file, Line: line,
 	})
+	pop := t.popFrame()
 	t.mu.Unlock()
-	return func() {
-		t.mu.Lock()
-		t.frames = t.frames[:len(t.frames)-1]
-		t.mu.Unlock()
-	}
+	return pop
 }
 
 // StackCopy returns a snapshot of the virtual call stack, innermost

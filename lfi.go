@@ -194,6 +194,10 @@ type (
 	ExecutorInfo = exec.Info
 	// ExecBatch is one dispatch unit: scenarios + system + seed.
 	ExecBatch = exec.Batch
+	// ProtoMismatchError reports a remote worker whose wire protocol
+	// this client cannot speak. Fleet assembly should drop the worker
+	// (it needs a rebuild), not abort the campaign.
+	ProtoMismatchError = exec.ProtoMismatchError
 	// ExecOutcome is one run's serializable, backend-independent
 	// result.
 	ExecOutcome = exec.Outcome

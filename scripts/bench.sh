@@ -15,7 +15,7 @@ BENCH_INDEX="${BENCH_INDEX:-1}"
 # BENCH_TIME shortens runs for smoke use (e.g. BENCH_TIME=100ms in CI).
 BENCH_TIME="${BENCH_TIME:-1s}"
 OUT="BENCH_${BENCH_INDEX}.json"
-PATTERN="${1:-BenchmarkDispatchUninstrumented|BenchmarkDispatchInstrumentedMiss|BenchmarkDispatchInstrumentedHit|BenchmarkCampaignParallel|BenchmarkInterceptionBaseline|BenchmarkTriggerEvaluation|BenchmarkExecutorBatchLocal|BenchmarkExecutorBatchRemote}"
+PATTERN="${1:-BenchmarkDispatchUninstrumented|BenchmarkDispatchInstrumentedMiss|BenchmarkDispatchInstrumentedHit|BenchmarkCampaignParallel|BenchmarkInterceptionBaseline|BenchmarkTriggerEvaluation|BenchmarkExecutorBatchLocal|BenchmarkExecutorBatchRemote|BenchmarkArenaRunReuse|BenchmarkWireEncodeResponse|BenchmarkWireDecodeResponse}"
 
 # BENCH_SKIP_TESTS=1 skips the tier-1 gate (CI runs it separately
 # under -race; no point paying for the suite twice).
@@ -26,7 +26,10 @@ if [ "${BENCH_SKIP_TESTS:-0}" != "1" ]; then
 fi
 
 echo "== benchmarks: $PATTERN" >&2
-RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCH_TIME" .)"
+# Root package carries the paper-level benchmarks; internal/exec the
+# wire-codec microbenchmarks. The awk below keys on Benchmark lines
+# only, so multiple package blocks concatenate cleanly.
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCH_TIME" . ./internal/exec)"
 echo "$RAW" >&2
 
 # Convert `go test -bench` lines into a JSON array:
