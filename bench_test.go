@@ -24,6 +24,7 @@ import (
 	"lfi/internal/core"
 	"lfi/internal/errno"
 	"lfi/internal/experiments"
+	"lfi/internal/explore"
 	"lfi/internal/isa"
 	"lfi/internal/libsim"
 	"lfi/internal/libspec"
@@ -520,6 +521,30 @@ func BenchmarkScenarioParse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkExploreCandidates measures candidate enumeration: the
+// call-site analysis plus scenario construction, canonicalization and
+// content hashing for the full minidb fault space — the explorer's
+// per-campaign startup cost, paid again on every resume before a
+// single test runs. Reports the space size so a generation change that
+// silently shrinks coverage shows up next to its speed.
+func BenchmarkExploreCandidates(b *testing.B) {
+	cfg, ok := explore.ConfigFor("minidb")
+	if !ok {
+		b.Fatal("minidb config missing")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		cands := explore.Generate(cfg)
+		if len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+		n = len(cands)
+	}
+	b.ReportMetric(float64(n), "candidates")
 }
 
 // BenchmarkMiniwebRequest measures one static request end to end (the

@@ -58,6 +58,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"lfi"
 )
@@ -108,10 +109,11 @@ func newSession(opts ...lfi.SessionOption) *lfi.Session {
 	return sess
 }
 
-// executorOpts translates the backend flags (-pool, -workers-remote)
-// into session options: the local pool always participates unless
-// -no-local is set, subprocess/remote backends join the mix.
-func executorOpts(jobs, pool int, remotes string, noLocal bool) []lfi.SessionOption {
+// executorOpts translates the backend flags (-pool, -workers-remote,
+// -drain-grace) into session options: the local pool always
+// participates unless -no-local is set, subprocess/remote backends join
+// the mix with the configured cancellation drain grace.
+func executorOpts(jobs, pool int, remotes string, noLocal bool, drainGrace time.Duration) []lfi.SessionOption {
 	var execs []lfi.Executor
 	if !noLocal {
 		execs = append(execs, lfi.NewLocalExecutor(jobs))
@@ -122,6 +124,7 @@ func executorOpts(jobs, pool int, remotes string, noLocal bool) []lfi.SessionOpt
 			fmt.Fprintln(os.Stderr, "lfi: -pool:", err)
 			os.Exit(2)
 		}
+		p.SetDrainGrace(drainGrace)
 		execs = append(execs, p)
 	}
 	for _, addr := range strings.Split(remotes, ",") {
@@ -143,6 +146,7 @@ func executorOpts(jobs, pool int, remotes string, noLocal bool) []lfi.SessionOpt
 			fmt.Fprintln(os.Stderr, "lfi: -workers-remote:", err)
 			os.Exit(2)
 		}
+		r.SetDrainGrace(drainGrace)
 		execs = append(execs, r)
 	}
 	if len(execs) == 0 {
@@ -198,6 +202,7 @@ func runExplore(args []string) {
 	pool := fs.Int("pool", 0, "add a crash-isolating pool of this many worker subprocesses")
 	remotes := fs.String("workers-remote", "", "comma-separated host:port list of `lfi serve` workers to fan batches across")
 	noLocal := fs.Bool("no-local", false, "run batches only on -pool/-workers-remote backends")
+	drainGrace := fs.Duration("drain-grace", 30*time.Second, "how long an interrupted run drains in-flight pool/remote batches before force-closing them")
 	seed := fs.Int64("seed", 0, "runtime random seed")
 	verbose := fs.Bool("v", false, "print per-batch progress and per-store compaction stats")
 	fs.Parse(args)
@@ -225,7 +230,7 @@ func runExplore(args []string) {
 	if *verbose {
 		opts = append(opts, lfi.WithLog(os.Stderr))
 	}
-	opts = append(opts, executorOpts(*jobs, *pool, *remotes, *noLocal)...)
+	opts = append(opts, executorOpts(*jobs, *pool, *remotes, *noLocal, *drainGrace)...)
 	sess := newSession(opts...)
 	defer sess.Close()
 	if *verbose {

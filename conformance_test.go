@@ -15,19 +15,20 @@ import (
 // controller adapters run the default suite, the coverage adapter
 // actually accumulates, and — the acceptance bar — Session.Explore
 // rediscovers every stock Table-1 crash bug with no hand-written
-// scenario, window-only bugs strictly through bred window mutants.
+// scenario, window-only bugs strictly through bred window mutants
+// (stack-window-only bugs strictly through bred call-stack windows).
 // This subsumes the per-system stock-bug tests the explorer used to
 // carry: a new system registers a descriptor in its own package and is
 // held to the same bar with no new test code.
 func TestSystemRegistryConformance(t *testing.T) {
 	systems := Systems()
-	for _, want := range []string{"minidb", "minidns", "minivcs", "miniweb", "pbft"} {
+	for _, want := range []string{"minidb", "minidns", "minivcs", "miniweb", "pbft", "raft"} {
 		if _, ok := LookupSystem(want); !ok {
 			t.Fatalf("built-in system %q not registered", want)
 		}
 	}
-	if len(systems) < 5 {
-		t.Fatalf("registry lists %d systems, want >= 5", len(systems))
+	if len(systems) < 6 {
+		t.Fatalf("registry lists %d systems, want >= 6", len(systems))
 	}
 
 	for _, sys := range systems {
@@ -95,8 +96,15 @@ func TestSystemRegistryConformance(t *testing.T) {
 					found = true
 					if sb.WindowOnly {
 						for _, name := range b.Scenarios {
-							if !strings.Contains(name, "explore-win-") {
+							if !strings.Contains(name, "explore-win-") && !strings.Contains(name, "explore-swin-") {
 								t.Errorf("window-only bug %q found by non-window scenario %q", sb.Match, name)
+							}
+						}
+					}
+					if sb.StackWindowOnly {
+						for _, name := range b.Scenarios {
+							if !strings.Contains(name, "explore-swin-") {
+								t.Errorf("stack-window-only bug %q found by non-stack-window scenario %q", sb.Match, name)
 							}
 						}
 					}

@@ -1,0 +1,152 @@
+// Package distharness is the protocol-agnostic scripted replica-trace
+// harness: the reusable distributed-recovery layer the paper's
+// extensibility claim asks for. A distributed target plugs in as a
+// Protocol — a replica factory, an encoded message trace, and a
+// liveness/safety oracle — and the harness supplies the rest: the
+// recvfrom-interception ↔ trace-datagram loop, zero-depth-buffer loss
+// semantics (netsim.Drop), and opt-in per-replica coverage, identical
+// for every protocol.
+//
+// The loop replays a recorded trace against one replica-under-test.
+// Each scripted datagram is staged on the wire and consumed by exactly
+// one interposed recvfrom; a failed receive — injected or real — drops
+// the staged datagram, modelling a zero-depth socket buffer, so the
+// i-th receive interception maps 1:1 to the i-th trace message and
+// injected receive faults have real loss semantics. Because the replica
+// polls synchronously, exploration over a replica binary is as
+// deterministic and as fast as the single-process application targets.
+package distharness
+
+import (
+	"fmt"
+
+	"lfi/internal/controller"
+	"lfi/internal/coverage"
+	"lfi/internal/libsim"
+	"lfi/internal/netsim"
+)
+
+// Replica is the harness's view of one replica-under-test.
+type Replica interface {
+	// Image is the replica's simulated process (the controller's
+	// injection surface).
+	Image() *libsim.C
+	// Coverage is the replica's block tracker; the harness merges it
+	// into the explorer's accumulator after each run.
+	Coverage() *coverage.Tracker
+	// Open creates and binds the replica socket without starting any
+	// background loop — the harness drives receives itself.
+	Open() error
+	// PollOnce performs exactly one non-blocking receive and handles
+	// the message if one arrived, reporting whether a datagram was
+	// consumed. Crashes raised while handling propagate as panics to
+	// the caller (what the controller's monitor expects).
+	PollOnce(buf []byte) bool
+	// Finish runs the replica's post-trace epilogue (checkpoints,
+	// snapshots, shutdown paths — where Table 1 loves to hide bugs).
+	Finish()
+}
+
+// Protocol describes one distributed target: everything protocol-
+// specific the generic trace loop needs. Implementations are stateless
+// values; all per-run state lives in the Replica a NewReplica call
+// returns.
+type Protocol interface {
+	// Name is the registry/system name ("pbft", "raft").
+	Name() string
+	// Addr is the replica-under-test's network address.
+	Addr() string
+	// Sinks are the peer and client addresses to bind sink endpoints
+	// on, in order, so every outbound send has a live destination.
+	Sinks() []string
+	// Trace is the recorded message sequence, one encoded datagram per
+	// receive interception.
+	Trace() [][]byte
+	// NewReplica builds a fresh replica-under-test bound to the shared
+	// network, with coverage recording enabled.
+	NewReplica(net *netsim.Network) Replica
+	// Check is the liveness/safety oracle, run after the trace and the
+	// epilogue: a non-nil error is a workload-detected failure that is
+	// not a crash.
+	Check(r Replica) error
+}
+
+// Harness is one scripted replay of a protocol's trace.
+type Harness struct {
+	Net *netsim.Network
+	R   Replica
+	// Drops records which trace messages (by index) were lost to a
+	// failed receive — the observable loss ordering, used by the
+	// determinism tests.
+	Drops []int
+
+	p    Protocol
+	wire libsim.NetEndpoint // staging endpoint the trace is sent from
+}
+
+// New stages a fresh replica plus sink endpoints for its peers and
+// clients. Endpoint creation order (replica, sinks in Sinks() order,
+// then the staging wire) is part of the determinism contract: same
+// seed, same network state, same outcome.
+func New(p Protocol) *Harness {
+	net := netsim.New()
+	h := &Harness{Net: net, R: p.NewReplica(net), p: p}
+	for _, addr := range p.Sinks() {
+		sink := net.NewEndpoint()
+		sink.Bind(addr)
+	}
+	h.wire = net.NewEndpoint()
+	return h
+}
+
+// Run replays the trace: stage one datagram, let the replica poll once,
+// and on a failed receive drop what was on the wire. Crashes propagate
+// as panics for the controller's monitor; the protocol's Check decides
+// whether a surviving run still failed its workload.
+func (h *Harness) Run() error {
+	if err := h.R.Open(); err != nil {
+		return err
+	}
+	addr := h.p.Addr()
+	buf := make([]byte, 4096)
+	for i, payload := range h.p.Trace() {
+		if e := h.wire.SendTo(addr, payload); e != 0 {
+			return fmt.Errorf("%s harness: stage datagram: errno %d", h.p.Name(), e)
+		}
+		if !h.R.PollOnce(buf) {
+			// Zero-depth buffer: the datagram is lost.
+			if h.Net.Drop(addr) {
+				h.Drops = append(h.Drops, i)
+			}
+		}
+	}
+	h.R.Finish()
+	return h.p.Check(h.R)
+}
+
+// Target adapts a protocol to the LFI controller. Each Start builds a
+// fresh harness, so campaign workers run independently.
+func Target(p Protocol) controller.Target {
+	return controller.Target{
+		Name: p.Name(),
+		Start: func() (*libsim.C, func() error) {
+			h := New(p)
+			return h.R.Image(), h.Run
+		},
+	}
+}
+
+// TargetWithCoverage is Target plus per-run coverage merged into acc —
+// the TargetWithCoverage shape the explorer consumes.
+func TargetWithCoverage(p Protocol, acc *coverage.Tracker) controller.Target {
+	return controller.Target{
+		Name: p.Name(),
+		Start: func() (*libsim.C, func() error) {
+			h := New(p)
+			return h.R.Image(), func() error {
+				defer func() { acc.Merge(h.R.Coverage()) }()
+				return h.Run()
+			}
+		},
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	osexec "os/exec"
@@ -277,6 +278,59 @@ func TestFleetCancellationSparse(t *testing.T) {
 	}
 	if completed == 0 || completed == len(scens) {
 		t.Fatalf("cancellation completed %d of %d runs; want a partial batch", completed, len(scens))
+	}
+}
+
+// TestRemoteDrainGraceTimeout: a cancelled Run against a wedged worker
+// gives up after the configured drain grace instead of the 30s default
+// — the connection is force-closed and the batch comes back as
+// BackendError for the scheduler to requeue.
+func TestRemoteDrainGraceTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A worker that answers hello and then wedges: it swallows the run
+	// request and never responds, the shape of a hung or livelocked
+	// worker process (a killed one fails fast with a transport error).
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var req request
+		if err := readFrame(conn, &req); err != nil || req.Method != "hello" {
+			return
+		}
+		hello := &response{ID: req.ID, Hello: &helloInfo{Proto: protoVersion, Capacity: 1, Systems: []string{"minidb"}}}
+		if err := writeFrame(conn, hello); err != nil {
+			return
+		}
+		io.Copy(io.Discard, conn) // swallow the run request, never answer
+	}()
+
+	r, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetDrainGrace(50 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: Run goes straight to the drain wait
+	start := time.Now()
+	outs, err := r.Run(ctx, &Batch{System: "minidb", Scenarios: testScenarios(t)})
+	elapsed := time.Since(start)
+	if outs != nil {
+		t.Fatalf("wedged worker returned outcomes: %v", outs)
+	}
+	if !IsBackendError(err) || !strings.Contains(err.Error(), "drain timed out") {
+		t.Fatalf("want drain-timeout BackendError, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("drain grace not honored: gave up after %v", elapsed)
 	}
 }
 

@@ -68,6 +68,14 @@ func NewPool(size int, argv ...string) (*Pool, error) {
 	return p, nil
 }
 
+// SetDrainGrace bounds how long a cancelled Run keeps draining a
+// worker's in-flight slice before killing the process (default 30s).
+func (p *Pool) SetDrainGrace(d time.Duration) {
+	if d > 0 {
+		p.drainGrace = d
+	}
+}
+
 // Info reports the pool's metadata: capacity is the worker count (each
 // worker runs its slice sequentially; pool parallelism is process-level).
 func (p *Pool) Info() Info {

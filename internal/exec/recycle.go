@@ -1,0 +1,32 @@
+package exec
+
+import "sync"
+
+// outcomePool recycles decoded Outcome structs between batches. The
+// steady-state explore loop decodes a full batch of outcomes, folds
+// them into scheduler state, and drops them — two allocations per
+// outcome (the struct and its coverage bitset) that the pool turns
+// into reuse. Recycled structs keep their Cov backing array, so a
+// same-universe redecode reslices instead of reallocating.
+var outcomePool = sync.Pool{New: func() any { return new(Outcome) }}
+
+// newOutcome returns a zeroed Outcome that may carry spare Cov
+// capacity from an earlier Recycle.
+func newOutcome() *Outcome { return outcomePool.Get().(*Outcome) }
+
+// Recycle returns a batch's outcomes to the decoder pool. Call it only
+// when nothing retains the *Outcome pointers themselves — slices the
+// caller copied out (BlockIDs results, signature strings) stay valid,
+// since recycling clears the struct but never mutates referenced
+// memory. Nil entries (unrun slots in a partial batch) are skipped.
+func Recycle(outs []*Outcome) {
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		cov := o.Cov[:0]
+		*o = Outcome{}
+		o.Cov = cov
+		outcomePool.Put(o)
+	}
+}

@@ -29,10 +29,15 @@ type Remote struct {
 	// local Ctrl-C.
 	drainGrace time.Duration
 
-	mu        sync.Mutex
-	conn      net.Conn
+	mu        sync.Mutex // serializes request/response exchanges
 	nextID    uint64
 	universes map[uint64]*coverage.Index // per-connection universe table
+
+	// conn teardown has its own lock: a drain timeout must force-close
+	// the connection while a call still holds mu blocked in a read —
+	// closing the socket is exactly what unblocks that read.
+	connMu sync.Mutex
+	conn   net.Conn
 }
 
 // ProtoMismatchError reports a worker whose wire protocol this client
@@ -89,6 +94,16 @@ func Dial(addr string) (*Remote, error) {
 	return r, nil
 }
 
+// SetDrainGrace bounds how long a cancelled Run keeps draining the
+// in-flight batch before force-closing the connection (default 30s).
+// Shorten it when losing an interrupted batch's tail beats waiting for
+// a wedged worker; it never delays an uncancelled run.
+func (r *Remote) SetDrainGrace(d time.Duration) {
+	if d > 0 {
+		r.drainGrace = d
+	}
+}
+
 // Info reports the worker's advertised metadata. A remote worker is
 // crash-isolated by construction: it is a different process on
 // (possibly) a different machine.
@@ -99,10 +114,11 @@ func (r *Remote) Info() Info {
 // Systems returns the registered system names the worker advertised.
 func (r *Remote) Systems() []string { return r.hello.Systems }
 
-// Close shuts the connection down.
+// Close shuts the connection down. It never waits on an in-flight
+// call: closing the socket is what fails that call's blocked read.
 func (r *Remote) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
 	if r.conn == nil {
 		return nil
 	}
@@ -111,13 +127,16 @@ func (r *Remote) Close() error {
 	return err
 }
 
-// drop tears the connection down after a protocol failure. Caller
-// holds r.mu.
+// drop tears the connection down after a protocol failure.
 func (r *Remote) drop() {
-	if r.conn != nil {
-		r.conn.Close()
-		r.conn = nil
-	}
+	r.Close()
+}
+
+// liveConn snapshots the connection for one exchange.
+func (r *Remote) liveConn() net.Conn {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	return r.conn
 }
 
 // call sends one request and reads its response under the connection
@@ -127,17 +146,18 @@ func (r *Remote) drop() {
 func (r *Remote) call(method string, b *Batch, resp *response) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.conn == nil {
+	conn := r.liveConn()
+	if conn == nil {
 		return fmt.Errorf("connection closed")
 	}
 	r.nextID++
 	id := r.nextID
 	if method == "run" && r.proto >= 2 {
-		if err := writeRawFrame(r.conn, encodeRunRequest(id, b)); err != nil {
+		if err := writeRawFrame(conn, encodeRunRequest(id, b)); err != nil {
 			r.drop()
 			return err
 		}
-		payload, err := readRawFrame(r.conn)
+		payload, err := readRawFrame(conn)
 		if err != nil {
 			r.drop()
 			return err
@@ -156,11 +176,11 @@ func (r *Remote) call(method string, b *Batch, resp *response) error {
 		if b != nil {
 			req.Batch = toWire(b)
 		}
-		if err := writeFrame(r.conn, req); err != nil {
+		if err := writeFrame(conn, req); err != nil {
 			r.drop()
 			return err
 		}
-		if err := readFrame(r.conn, resp); err != nil {
+		if err := readFrame(conn, resp); err != nil {
 			r.drop()
 			return err
 		}

@@ -330,7 +330,7 @@ func decodeRunResponse(payload []byte, resp *response, universes map[uint64]*cov
 	}
 	resp.Outcomes = make([]*Outcome, 0, n)
 	for i := uint64(0); i < n; i++ {
-		o := &Outcome{}
+		o := newOutcome() // pooled; the consumer hands it back via Recycle
 		flags := d.byte()
 		o.Crashed = flags&outCrashed != 0
 		o.Name = ref()
@@ -352,7 +352,11 @@ func decodeRunResponse(payload []byte, resp *response, universes map[uint64]*cov
 				d.fail()
 				return d.err
 			}
-			o.Cov = make(coverage.Bitset, nw)
+			if uint64(cap(o.Cov)) >= nw {
+				o.Cov = o.Cov[:nw]
+			} else {
+				o.Cov = make(coverage.Bitset, nw)
+			}
 			for w := uint64(0); w < nw; w++ {
 				o.Cov[w] = binary.LittleEndian.Uint64(d.data[d.off:])
 				d.off += 8

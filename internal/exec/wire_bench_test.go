@@ -60,5 +60,7 @@ func BenchmarkWireDecodeResponse(b *testing.B) {
 		if len(resp.Outcomes) != len(outs) {
 			b.Fatalf("%d outcomes", len(resp.Outcomes))
 		}
+		// Steady state: the consumer folds and recycles each batch.
+		Recycle(resp.Outcomes)
 	}
 }

@@ -19,6 +19,10 @@ import (
 	"lfi/internal/profile"
 	"lfi/internal/system"
 	"lfi/internal/trigger"
+
+	// The Explorer comparison enumerates the full registry, so every
+	// built-in system must be registered in this binary too.
+	_ "lfi/internal/system/all"
 )
 
 // campaignWorkers is the worker-pool width used by the campaign-style

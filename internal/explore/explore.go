@@ -18,12 +18,17 @@
 // bug signatures get boosted, and the run stops on a budget or when
 // consecutive batches add no coverage and no new bugs.
 //
-// Occurrence candidates that prove interesting — they injected and then
-// failed or reached recovery code the suite alone does not — breed
-// *window* mutants: CallCount from/to bursts that widen, shift, and
-// split, feeding back into the queue. Sustained-pressure bugs (PBFT's
+// Candidates that prove interesting breed *window* mutants that feed
+// back into the queue. Occurrence candidates that injected and then
+// failed or reached recovery code the suite alone does not breed
+// global CallCount from/to bursts that widen, shift, and split;
+// call-stack candidates whose single shot was tolerated but reached
+// recovery code breed *call-stack windows* — SiteCount bursts counted
+// locally at the call site. Sustained-pressure bugs (PBFT's
 // view-change crash needs both the request and the pre-prepare lost)
-// are only reachable through these.
+// are only reachable through the former; bursts hiding past the global
+// occurrence range (RAFT's log-truncation crash, deep in the receive
+// stream) only through the latter.
 //
 // Outcomes persist in a sharded store keyed by scenario content hash
 // plus a hash of the targeted code region — one shard file per region,
@@ -81,6 +86,17 @@ const (
 	// requires losing both the request and the pre-prepare — are only
 	// reachable through this kind.
 	Window
+	// StackWindow injects on a burst counted *locally at one call
+	// site*: a CallStackTrigger pinning the site composed with a
+	// SiteCountTrigger window (the conjunction short-circuits, so the
+	// counter only sees calls from that frame). Bred from call-stack
+	// candidates whose single shot was tolerated but reached recovery
+	// code, then widened, shifted, and split like Window. Distributed
+	// recovery bugs that hide *past* the global occurrence range —
+	// RAFT's log-truncation crash sits in the replication loop after
+	// the election churn has consumed the global recvfrom count — are
+	// only reachable through this kind.
+	StackWindow
 )
 
 // String names the kind.
@@ -94,6 +110,8 @@ func (k Kind) String() string {
 		return "occurrence"
 	case Window:
 		return "window"
+	case StackWindow:
+		return "stack-window"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -107,7 +125,7 @@ type Candidate struct {
 	Caller     string // enclosing symbol, call-stack kinds only
 	Offset     uint64 // call site offset, call-stack kinds only
 	Occurrence uint64 // n-th call, Occurrence kind only
-	From, To   uint64 // burst bounds, Window kind only
+	From, To   uint64 // burst bounds, Window and StackWindow kinds only
 	Code       int64
 	Errno      errno.Errno
 	Class      callsite.Class
@@ -357,6 +375,29 @@ func windowCandidate(cfg Config, fn string, from, to uint64, code int64, e errno
 	}
 }
 
+// stackWindowCandidate builds a call-stack window mutant from a
+// call-stack parent: inject on the from-th through to-th call *made
+// from the parent's call site*. The CallStackTrigger pins the frame and
+// the SiteCountTrigger counts its own evaluations, so (with the
+// conjunction's short-circuit) the burst is site-local — independent of
+// how often the rest of the program called the same function.
+func stackWindowCandidate(cfg Config, c *Candidate, from, to uint64) *Candidate {
+	name := fmt.Sprintf("explore-swin-%s-%s-%x-%d-%d-%d-%s", cfg.Binary.Name, c.Callee, c.Offset, from, to, c.Code, c.Errno)
+	bld := scenario.NewBuilder(name)
+	cs := bld.Trigger(fmt.Sprintf("%x", c.Offset), "CallStackTrigger", frameArgs(cfg.Binary.Name, c.Offset))
+	win := bld.Trigger("swin", "SiteCountTrigger", scenario.BurstArgs(from, to))
+	bld.Inject(c.Callee, 0, c.Code, c.Errno, cs, win)
+	s, err := bld.Build()
+	if err != nil {
+		panic("explore: generated scenario invalid: " + err.Error())
+	}
+	return &Candidate{
+		Scenario: s, Kind: StackWindow, Callee: c.Callee, Caller: c.Caller,
+		Offset: c.Offset, From: from, To: to, Code: c.Code, Errno: c.Errno,
+		Class: c.Class, Block: c.Block,
+	}
+}
+
 func frameArgs(module string, off uint64) *trigger.Args {
 	return &trigger.Args{
 		Name: "args",
@@ -465,12 +506,15 @@ type explorer struct {
 
 	// Mutation state: the scenario hashes already enumerated (initial
 	// candidates plus spawned mutants), the candidates already mutated,
-	// and the image-wide code region windows key on. (Mutation triggers
-	// only on coverage *beyond* the suite baseline, so the decision is
-	// identical whether an outcome was executed or replayed, in any
-	// order.)
+	// the code hasher for mutant store keys (stack-window mutants key on
+	// their caller's region, like the call-stack candidates they descend
+	// from), and the image-wide code region global windows key on.
+	// (Mutation triggers only on coverage *beyond* the suite baseline,
+	// so the decision is identical whether an outcome was executed or
+	// replayed, in any order.)
 	seen        map[string]bool
 	mutated     map[string]bool
+	hashes      *codeHasher
 	imageRegion string
 	spawned     int
 
@@ -516,24 +560,41 @@ func (x *explorer) mutationWorthy(e Entry) bool {
 	return false
 }
 
-// mutate breeds window candidates from a worthy occurrence or window
-// candidate: a single occurrence n seeds the bursts [n,n+1] and
-// [n,n+2]; a window widens, shifts, and splits. Results are bounded to
-// the [1, 2*MaxOccurrence] range with bursts no longer than
-// MaxOccurrence, and deduplicated against everything already
-// enumerated, so the mutation lattice is finite and the loop always
-// terminates.
-func (x *explorer) mutate(c *Candidate) []*Candidate {
+// mutate breeds window candidates from a worthy candidate. A single
+// occurrence n seeds the global bursts [n,n+1] and [n,n+2]; a window
+// (global or stack) widens, shifts, and splits in its own kind. A
+// call-stack candidate whose single shot was *tolerated* (failed is
+// false) but still reached recovery code seeds the site-local bursts
+// [1,2] and [1,3] — sustained pressure exactly where one fault was
+// absorbed; one that crashed seeds nothing, the single shot already
+// found the bug. Results are bounded to [1, 2*MaxOccurrence] for
+// global windows and [1, MaxOccurrence] for stack windows (site-local
+// counts are aligned to the site, so the interesting bursts sit near
+// the start), with bursts no longer than MaxOccurrence, and
+// deduplicated against everything already enumerated, so the mutation
+// lattice is finite and the loop always terminates. Every decision
+// depends only on the candidate and its outcome entry, never on
+// scheduling order, so a resumed run re-breeds the same lattice from
+// replayed entries alone.
+func (x *explorer) mutate(c *Candidate, failed bool) []*Candidate {
 	if x.mutated[c.Hash] {
 		return nil
 	}
 	x.mutated[c.Hash] = true
 	var wins [][2]uint64
+	stack := false
 	switch c.Kind {
+	case Vulnerable, Exercise:
+		if failed {
+			return nil
+		}
+		stack = true
+		wins = append(wins, [2]uint64{1, 2}, [2]uint64{1, 3})
 	case Occurrence:
 		n := c.Occurrence
 		wins = append(wins, [2]uint64{n, n + 1}, [2]uint64{n, n + 2})
-	case Window:
+	case Window, StackWindow:
+		stack = c.Kind == StackWindow
 		a, b := c.From, c.To
 		wins = append(wins, [2]uint64{a, b + 1}) // widen
 		wins = append(wins, [2]uint64{a + 1, b + 1})
@@ -548,6 +609,9 @@ func (x *explorer) mutate(c *Candidate) []*Candidate {
 		return nil
 	}
 	maxTo := uint64(2 * x.cfg.MaxOccurrence)
+	if stack {
+		maxTo = uint64(x.cfg.MaxOccurrence)
+	}
 	maxLen := uint64(x.cfg.MaxOccurrence)
 	var out []*Candidate
 	for _, w := range wins {
@@ -555,13 +619,22 @@ func (x *explorer) mutate(c *Candidate) []*Candidate {
 		if from < 1 || to <= from || to > maxTo || to-from+1 > maxLen {
 			continue
 		}
-		nc := windowCandidate(x.cfg, c.Callee, from, to, c.Code, c.Errno)
+		var nc *Candidate
+		if stack {
+			nc = stackWindowCandidate(x.cfg, c, from, to)
+		} else {
+			nc = windowCandidate(x.cfg, c.Callee, from, to, c.Code, c.Errno)
+		}
 		nc.Hash = contentHash(nc.Scenario)
 		if x.seen[nc.Hash] {
 			continue
 		}
 		x.seen[nc.Hash] = true
-		nc.key = nc.Hash + "@" + x.imageRegion
+		if stack {
+			nc.key = nc.Hash + "@" + x.hashes.forCaller(nc.Caller)
+		} else {
+			nc.key = nc.Hash + "@" + x.imageRegion
+		}
 		x.spawned++
 		out = append(out, nc)
 	}
@@ -590,6 +663,10 @@ func (x *explorer) score(c *Candidate) float64 {
 		// Mutants rank just above plain occurrences: they exist because
 		// an ancestor already proved the callee interesting.
 		s = 45 - float64(c.From) - 0.5*float64(c.To-c.From)
+	case StackWindow:
+		// A notch above global windows: the ancestor proved this exact
+		// call site tolerates a single fault, so the burst is aimed.
+		s = 46 - float64(c.From) - 0.5*float64(c.To-c.From)
 	}
 	if c.Block != "" {
 		if p, ok := x.idx.Pos(c.Block); ok && x.covBits.Has(p) {
@@ -676,7 +753,8 @@ func newRun(cfg Config) (*run, error) {
 	for _, c := range cands {
 		x.seen[c.Hash] = true
 	}
-	x.imageRegion = newCodeHasher(cfg.Binary).forCaller("")
+	x.hashes = newCodeHasher(cfg.Binary)
+	x.imageRegion = x.hashes.forCaller("")
 	res := &Result{System: cfg.System, Candidates: len(cands)}
 
 	// Baseline: the default suite with no injection. This registers
@@ -740,7 +818,7 @@ func newRun(cfg Config) (*run, error) {
 			x.sigs[e.Signature] = append(x.sigs[e.Signature], e.Name)
 		}
 		if x.mutationWorthy(e) {
-			for _, m := range x.mutate(c) {
+			for _, m := range x.mutate(c, e.Failed) {
 				keys[m.key] = true
 				work = append(work, m)
 			}
@@ -951,9 +1029,13 @@ func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, 
 		}
 		store.Put(c.key, entry)
 		if x.mutationWorthy(entry) {
-			mutants = append(mutants, x.mutate(c)...)
+			mutants = append(mutants, x.mutate(c, entry.Failed)...)
 		}
 	}
+	// The fold copied everything it keeps (BlockIDs materializes an
+	// owned slice; signatures are strings), so the decoded outcomes can
+	// go back to the wire pool for the next batch.
+	exec.Recycle(outs)
 	sort.Strings(report.NewBlocks)
 	report.Recovery = x.acc.Recovery()
 	return report, mutants, unrun, err

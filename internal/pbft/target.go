@@ -5,24 +5,23 @@ import (
 
 	"lfi/internal/controller"
 	"lfi/internal/coverage"
+	"lfi/internal/distharness"
 	"lfi/internal/libsim"
 	"lfi/internal/netsim"
 )
 
-// This file adapts PBFT to the fault-space explorer: a scripted
-// single-replica harness that replays a recorded protocol trace
-// synchronously, so exploration over the replica binary is as
-// deterministic and as fast as the single-process application targets.
+// This file adapts PBFT to the fault-space explorer through the
+// protocol-agnostic distharness trace loop: pbft supplies only the
+// protocol knowledge (which replica to stage, the recorded message
+// trace, the liveness oracle) and distharness supplies the scripted
+// recvfrom-interception ↔ trace-datagram loop with zero-depth-buffer
+// loss semantics.
 //
 // The harness drives replica 3 of an f=1 configuration (a backup in
 // view 0, not the primary of view 1) through one complete operation —
 // REQUEST, PRE-PREPARE, the prepare and commit quorums, then a NEW-VIEW
 // announcing view 1 — followed by a periodic checkpoint and the
-// shutdown checkpoint. Each scripted datagram is staged on the wire and
-// consumed by exactly one interposed recvfrom, and a failed receive
-// drops the datagram (netsim.Drop models the zero-depth socket buffer),
-// so the i-th receive interception maps 1:1 to the i-th trace message
-// and injected receive faults have real loss semantics.
+// shutdown checkpoint.
 //
 // Both release-build Table 1 bugs are reachable with no hand-written
 // scenario:
@@ -35,41 +34,43 @@ import (
 //     client request cache — but losing both (occurrence window 1-2)
 //     lets the commit quorum record a contentless entry that the
 //     NEW-VIEW then dereferences. That is exactly the burst shape the
-//     explorer's occurrence-window mutation discovers.
+//     explorer's window mutations discover.
 const harnessReplicaID = 3
 
-// Harness is one scripted replay of the protocol trace.
-type Harness struct {
-	Net *netsim.Network
-	R   *Replica
+// protocol is PBFT's distharness plug: a stateless value; all per-run
+// state lives in the Replica.
+type protocol struct{}
 
-	wire libsim.NetEndpoint // staging endpoint the trace is sent from
-}
+// Protocol returns PBFT's scripted-trace protocol description.
+func Protocol() distharness.Protocol { return protocol{} }
 
-// NewHarness stages a release-build replica plus sink endpoints for its
-// peers and the client, so every outbound send has a live destination.
-func NewHarness() *Harness {
-	net := netsim.New()
-	h := &Harness{Net: net, R: NewReplica(harnessReplicaID, 1, net, BuildRelease)}
-	h.R.EnableCoverage()
-	for i := 0; i < h.R.N; i++ {
-		if i != harnessReplicaID {
-			sink := net.NewEndpoint()
-			sink.Bind(ReplicaAddr(i))
-		}
+func (protocol) Name() string { return "pbft" }
+
+func (protocol) Addr() string { return ReplicaAddr(harnessReplicaID) }
+
+// Sinks lists the peer replicas and the client, so every outbound send
+// has a live destination.
+func (protocol) Sinks() []string {
+	sinks := make([]string, 0, 4)
+	for i := 0; i < harnessReplicaID; i++ { // replicas 0..2 of n=4
+		sinks = append(sinks, ReplicaAddr(i))
 	}
-	sink := net.NewEndpoint()
-	sink.Bind("client-0")
-	h.wire = net.NewEndpoint()
-	return h
+	return append(sinks, "client-0")
 }
 
-// trace is the recorded message sequence: one operation reaching
+// NewReplica stages a release-build replica with coverage recording on.
+func (protocol) NewReplica(net *netsim.Network) distharness.Replica {
+	r := NewReplica(harnessReplicaID, 1, net, BuildRelease)
+	r.EnableCoverage()
+	return r
+}
+
+// Trace is the recorded message sequence: one operation reaching
 // execution on a backup, then the move to view 1.
-func (h *Harness) trace() []Msg {
+func (protocol) Trace() [][]byte {
 	const client, op = "client-0", "op-1"
 	d := digest(client, 1, op)
-	return []Msg{
+	msgs := []Msg{
 		{Type: TypeRequest, Replica: -1, Client: client, ReqID: 1, Op: op},
 		{Type: TypePrePrepare, View: 0, Seq: 1, Replica: 0, Client: client, ReqID: 1, Op: op, Digest: d},
 		{Type: TypePrepare, View: 0, Seq: 1, Replica: 1, Digest: d},
@@ -79,57 +80,43 @@ func (h *Harness) trace() []Msg {
 		{Type: TypeCommit, View: 0, Seq: 1, Replica: 2, Digest: d},
 		{Type: TypeNewView, View: 1, Replica: 1},
 	}
+	trace := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		trace[i] = m.Encode()
+	}
+	return trace
 }
 
-// Run replays the trace. Crashes (the shutdown NULL-stream fwrite, the
-// view-change dereference) propagate as panics for the controller's
-// monitor; a run that survives but fails to execute the operation is a
-// workload-detected failure.
-func (h *Harness) Run() error {
-	r := h.R
-	if err := r.Open(); err != nil {
-		return err
-	}
-	buf := make([]byte, 4096)
-	for _, m := range h.trace() {
-		if e := h.wire.SendTo(ReplicaAddr(harnessReplicaID), m.Encode()); e != 0 {
-			return fmt.Errorf("pbft harness: stage datagram: errno %d", e)
-		}
-		if !r.PollOnce(buf) {
-			h.Net.Drop(ReplicaAddr(harnessReplicaID)) // zero-depth buffer: the datagram is lost
-		}
-	}
-	r.Checkpoint()
-	r.ShutdownCheckpoint()
-	if got := r.Executed(); got != 1 {
+// Check is the liveness oracle: a run that survives but fails to
+// execute the operation is a workload-detected failure.
+func (protocol) Check(r distharness.Replica) error {
+	if got := r.(*Replica).Executed(); got != 1 {
 		return fmt.Errorf("pbft harness: executed %d of 1 operations", got)
 	}
 	return nil
 }
 
-// Target adapts the scripted harness to the LFI controller. Each Start
-// builds a fresh harness, so campaign workers run independently.
-func Target() controller.Target {
-	return controller.Target{
-		Name: "pbft",
-		Start: func() (*libsim.C, func() error) {
-			h := NewHarness()
-			return h.R.C, h.Run
-		},
-	}
+// Image, Coverage and Finish adapt *Replica to distharness.Replica
+// (Open and PollOnce it already has).
+
+// Image returns the replica's simulated process.
+func (r *Replica) Image() *libsim.C { return r.C }
+
+// Coverage returns the replica's block tracker.
+func (r *Replica) Coverage() *coverage.Tracker { return r.Cov }
+
+// Finish writes the periodic checkpoint and then the shutdown
+// checkpoint (the unchecked-fopen Table 1 bug), directly so crashes
+// propagate to the controller's monitor.
+func (r *Replica) Finish() {
+	r.Checkpoint()
+	r.ShutdownCheckpoint()
 }
 
-// TargetWithCoverage is Target plus per-run coverage merged into acc —
-// the TargetWithCoverage shape the explorer consumes.
+// Target adapts the scripted harness to the LFI controller.
+func Target() controller.Target { return distharness.Target(Protocol()) }
+
+// TargetWithCoverage is Target plus per-run coverage merged into acc.
 func TargetWithCoverage(acc *coverage.Tracker) controller.Target {
-	return controller.Target{
-		Name: "pbft",
-		Start: func() (*libsim.C, func() error) {
-			h := NewHarness()
-			return h.R.C, func() error {
-				defer func() { acc.Merge(h.R.Cov) }()
-				return h.Run()
-			}
-		},
-	}
+	return distharness.TargetWithCoverage(Protocol(), acc)
 }

@@ -1,0 +1,128 @@
+package raft
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lfi/internal/controller"
+	"lfi/internal/errno"
+	"lfi/internal/scenario"
+	"lfi/internal/trigger"
+)
+
+// TestTraceAlignment pins the phase boundary: the election segment must
+// be exactly electionPolls messages, so every replication APPEND lands
+// on the applog call site.
+func TestTraceAlignment(t *testing.T) {
+	trace := Protocol().Trace()
+	if got, want := len(trace), electionPolls+5; got != want {
+		t.Fatalf("trace length %d, want %d", got, want)
+	}
+}
+
+// TestBaselineCommits runs the harness uninjected: all four entries
+// commit, no crash.
+func TestBaselineCommits(t *testing.T) {
+	out, err := controller.RunOne(Target(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() {
+		t.Fatalf("baseline failed: %v", out)
+	}
+}
+
+// siteWindow builds the shape the explorer breeds for this target: a
+// CallStackTrigger pinning one receive site composed with a
+// SiteCountTrigger burst counted locally at that site.
+func siteWindow(t *testing.T, label string, from, to uint64) *scenario.Scenario {
+	t.Helper()
+	_, offsets := Binary()
+	off, ok := offsets[label]
+	if !ok {
+		t.Fatalf("no site %q", label)
+	}
+	bld := scenario.NewBuilder(fmt.Sprintf("raft-%s-window-%d-%d", label, from, to))
+	cs := bld.Trigger("cs", "CallStackTrigger", &trigger.Args{
+		Name: "args",
+		Children: []*trigger.Args{{
+			Name: "frame",
+			Children: []*trigger.Args{
+				{Name: "module", Text: ModuleFollower},
+				{Name: "offset", Text: fmt.Sprintf("%x", off)},
+			},
+		}},
+	})
+	win := bld.Trigger("win", "SiteCountTrigger", scenario.BurstArgs(from, to))
+	bld.Inject("recvfrom", 0, -1, errno.EINTR, cs, win)
+	s, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSingleLossRepaired: losing exactly one APPEND is repaired from
+// the next message's piggybacked predecessor entry — the run commits
+// everything and survives.
+func TestSingleLossRepaired(t *testing.T) {
+	for _, win := range [][2]uint64{{1, 1}, {2, 2}, {3, 3}, {4, 4}} {
+		out, err := controller.RunOne(Target(), siteWindow(t, "ap_recvfrom", win[0], win[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Injections == 0 {
+			t.Fatalf("window %v: no injection", win)
+		}
+		if out.Failed() {
+			t.Fatalf("window %v: single loss not repaired: %v", win, out)
+		}
+	}
+}
+
+// TestConsecutiveLossTruncates: losing two consecutive APPENDs leaves a
+// hole below the commit index that single-entry repair cannot fill; the
+// snapshot of the committed prefix crashes — the seeded
+// StackWindowOnly bug.
+func TestConsecutiveLossTruncates(t *testing.T) {
+	for _, win := range [][2]uint64{{1, 2}, {2, 3}} {
+		out, err := controller.RunOne(Target(), siteWindow(t, "ap_recvfrom", win[0], win[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Crash == nil || !strings.Contains(out.Crash.Reason, "log truncation") {
+			t.Fatalf("window %v: want log truncation crash, got %v", win, out)
+		}
+	}
+}
+
+// TestElectionLossTolerated: the same burst at the election site is
+// protocol noise the follower rides out.
+func TestElectionLossTolerated(t *testing.T) {
+	out, err := controller.RunOne(Target(), siteWindow(t, "el_recvfrom", 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Injections == 0 {
+		t.Fatal("no injection")
+	}
+	if out.Failed() {
+		t.Fatalf("election losses not tolerated: %v", out)
+	}
+}
+
+// TestTailLossFailsWorkload: losing the commit-carrying tail is not a
+// crash but the liveness oracle notices the missing commits.
+func TestTailLossFailsWorkload(t *testing.T) {
+	out, err := controller.RunOne(Target(), siteWindow(t, "ap_recvfrom", 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crash != nil {
+		t.Fatalf("unexpected crash: %v", out.Crash)
+	}
+	if out.WorkErr == nil || !strings.Contains(out.WorkErr.Error(), "committed") {
+		t.Fatalf("want committed-X-of-4 workload failure, got %v", out)
+	}
+}

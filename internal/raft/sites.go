@@ -1,0 +1,64 @@
+package raft
+
+import (
+	"sync"
+
+	"lfi/internal/asm"
+	"lfi/internal/isa"
+)
+
+// ModuleFollower is the follower binary's module name; explorer
+// call-stack triggers pin to it.
+const ModuleFollower = "raft/follower"
+
+// Sites is the ground-truth call-site model of the follower binary.
+// The receive path is split across two call sites — the election loop
+// and the replication loop — which is what makes the log-truncation
+// burst a *call-stack* window: the global recvfrom count has already
+// passed the occurrence bound by the time the replication site runs.
+func Sites() []asm.FuncSpec {
+	return []asm.FuncSpec{
+		{Name: "election", Sites: []asm.SiteSpec{
+			// The election loop feeds the recvfrom return straight into
+			// message handling without an error check.
+			{Label: "el_recvfrom", Callee: "recvfrom", Style: asm.CheckNone},
+		}},
+		{Name: "applog", Sites: []asm.SiteSpec{
+			// Same unchecked pattern in the replication loop.
+			{Label: "ap_recvfrom", Callee: "recvfrom", Style: asm.CheckNone},
+		}},
+		{Name: "reply", Sites: []asm.SiteSpec{
+			// Vote replies and acks: send failures are silently retried
+			// a bounded number of times, then given up (release build).
+			{Label: "rp_sendto", Callee: "sendto", Style: asm.CheckNone},
+		}},
+		{Name: "snapshot", Sites: []asm.SiteSpec{
+			{Label: "sn_fopen_ok", Callee: "fopen", Style: asm.CheckEqZero},
+			{Label: "sn_fwrite_ok", Callee: "fwrite", Style: asm.CheckEq, Codes: []int64{0}},
+		}},
+		{Name: "shutdown", Sites: []asm.SiteSpec{
+			// BUG (Table 1 class): the final snapshot's fopen is
+			// unchecked; the following fwrite crashes on the NULL stream.
+			{Label: "sd_fopen", Callee: "fopen", Style: asm.CheckNone},
+			{Label: "sd_fwrite", Callee: "fwrite", Style: asm.CheckIneq},
+		}},
+	}
+}
+
+var (
+	binOnce sync.Once
+	bin     *isa.Binary
+	offs    map[string]uint64
+)
+
+// Binary returns the compiled follower program image and site offsets.
+func Binary() (*isa.Binary, map[string]uint64) {
+	binOnce.Do(func() {
+		var err error
+		bin, offs, err = asm.Program(ModuleFollower, Sites())
+		if err != nil {
+			panic("raft: " + err.Error())
+		}
+	})
+	return bin, offs
+}

@@ -12,4 +12,5 @@ import (
 	_ "lfi/internal/apps/minivcs"
 	_ "lfi/internal/apps/miniweb"
 	_ "lfi/internal/pbft"
+	_ "lfi/internal/raft"
 )

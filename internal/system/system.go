@@ -44,8 +44,16 @@ type StockBug struct {
 	Note string
 	// WindowOnly marks bugs that need sustained fault pressure: no
 	// single generated candidate can trigger them, only the explorer's
-	// occurrence-window mutants (e.g. PBFT's view-change crash).
+	// bred window mutants — global occurrence windows or site-local
+	// call-stack windows (e.g. PBFT's view-change crash).
 	WindowOnly bool
+	// StackWindowOnly marks bugs that additionally hide past the global
+	// occurrence counter's range: only a *call-stack* window — a burst
+	// counted locally at one call site — can place the faults (e.g.
+	// RAFT's log-truncation crash, which sits in the replication loop
+	// after the election churn has consumed the global count). Implies
+	// the WindowOnly contract.
+	StackWindowOnly bool
 }
 
 // Descriptor describes one testable target system. All fields up to

@@ -1,0 +1,54 @@
+package trigger
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lfi/internal/interpose"
+)
+
+func init() {
+	Register("SiteCountTrigger", func() Trigger { return &SiteCount{} })
+}
+
+// SiteCount fires on a window of its *own* evaluations: the n-th time
+// this trigger instance is consulted (1-based), not the n-th
+// interception of the function. CallCount compares against the
+// dispatcher-maintained global per-function count, so a burst deep in a
+// run is out of its reach once the function has already been called
+// many times elsewhere. SiteCount instead counts locally, which makes
+// it composable: placed in a conjunction AFTER a CallStackTrigger (the
+// conjunction short-circuits, so a stateful child after a false child
+// never sees the call), it counts only the calls made from that stack
+// frame — "the from-th through to-th recvfrom *of this call site*",
+// independent of how often the rest of the program called recvfrom.
+// The explorer's call-stack window mutants are built exactly this way.
+type SiteCount struct {
+	Base
+	From uint64
+	To   uint64 // 0 = unbounded
+
+	n atomic.Uint64
+}
+
+// Init parses <from> (required, >= 1) and <to> (0 = unbounded).
+func (t *SiteCount) Init(args *Args) error {
+	t.From = uint64(args.Int("from", 0))
+	t.To = uint64(args.Int("to", 0))
+	if t.From == 0 {
+		return fmt.Errorf("SiteCountTrigger: need <from> >= 1")
+	}
+	if t.To != 0 && t.To < t.From {
+		return fmt.Errorf("SiteCountTrigger: <to> %d < <from> %d", t.To, t.From)
+	}
+	return nil
+}
+
+// Eval counts this evaluation and fires inside the [From, To] window.
+func (t *SiteCount) Eval(*interpose.Call) bool {
+	n := t.n.Add(1)
+	return n >= t.From && (t.To == 0 || n <= t.To)
+}
+
+// Reset re-arms the counter (between controller test runs).
+func (t *SiteCount) Reset() { t.n.Store(0) }
