@@ -32,6 +32,20 @@
 // per-batch progress and the per-store compaction stats (shards,
 // retained image versions, entries migrated vs invalidated).
 //
+// Resumes are diff-aware on request. Every campaign records the
+// image's per-function code fingerprints in the store; after a code
+// change, -impact diffs the new binary against them, walks the CFG to
+// the recovery blocks the edit can reach, migrates cached outcomes
+// whose coverage the edit provably cannot touch, and re-executes only
+// the rest (falling back to whole-shard invalidation whenever the edit
+// cannot be bounded). The diff subcommand previews that classification
+// without running anything, and -patch applies an inert one-function
+// edit for exercising the workflow end to end:
+//
+//	lfi explore -app minidb -store .lfi-store
+//	lfi diff    -app minidb -store .lfi-store -patch errmsg_load
+//	lfi explore -app minidb -store .lfi-store -patch errmsg_load -impact -v
+//
 // Execution backends are pluggable. The serve subcommand turns this
 // binary into a remote test-execution worker speaking length-prefixed
 // JSON-RPC over TCP:
@@ -156,6 +170,49 @@ func executorOpts(jobs, pool int, remotes string, noLocal bool, drainGrace time.
 	return []lfi.SessionOption{lfi.WithExecutors(execs...), lfi.WithWorkers(jobs)}
 }
 
+// patchSystems applies the inert one-function -patch edit to every
+// listed system in place, exiting on an unknown function name.
+func patchSystems(systems []*lfi.System, fn string) {
+	if fn == "" {
+		return
+	}
+	for i, sys := range systems {
+		ps, err := lfi.PatchSystem(sys, fn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi: -patch:", err)
+			os.Exit(2)
+		}
+		systems[i] = ps
+	}
+}
+
+// runDiff implements `lfi diff`: classify the cached candidate space
+// against the current (optionally -patch'ed) binary without executing a
+// single test or writing the store.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("lfi diff", flag.ExitOnError)
+	app := fs.String("app", "", "target system(s), comma-separated: "+appsUsage())
+	store := fs.String("store", "", "campaign store root to diff against (required)")
+	patch := fs.String("patch", "", "flip this `function`'s inert prologue immediate before diffing")
+	fs.Parse(args)
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "lfi diff: need -store (nothing to diff without a campaign store)")
+		os.Exit(2)
+	}
+	systems := lookupApps(*app)
+	patchSystems(systems, *patch)
+	sess := newSession(lfi.WithStore(*store))
+	defer sess.Close()
+	for _, sys := range systems {
+		rep, err := sess.Diff(sys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi diff:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+	}
+}
+
 // runServe implements `lfi serve`: this process becomes a remote test
 // execution worker for `lfi explore -workers-remote`.
 func runServe(args []string) {
@@ -204,6 +261,8 @@ func runExplore(args []string) {
 	noLocal := fs.Bool("no-local", false, "run batches only on -pool/-workers-remote backends")
 	drainGrace := fs.Duration("drain-grace", 30*time.Second, "how long an interrupted run drains in-flight pool/remote batches before force-closing them")
 	seed := fs.Int64("seed", 0, "runtime random seed")
+	impact := fs.Bool("impact", false, "diff-aware resume: invalidate only cached entries the code change can reach (needs -store)")
+	patch := fs.String("patch", "", "flip this `function`'s inert prologue immediate before exploring (exercises -impact end to end)")
 	verbose := fs.Bool("v", false, "print per-batch progress and per-store compaction stats")
 	fs.Parse(args)
 
@@ -213,10 +272,18 @@ func runExplore(args []string) {
 	} else {
 		systems = lookupApps(*app)
 	}
+	if *impact && *store == "" {
+		fmt.Fprintln(os.Stderr, "lfi explore: -impact needs -store (the previous image's fingerprints live there)")
+		os.Exit(2)
+	}
+	patchSystems(systems, *patch)
 
 	opts := []lfi.SessionOption{
 		lfi.WithStore(*store),
 		lfi.WithSeed(*seed),
+	}
+	if *impact {
+		opts = append(opts, lfi.WithImpact())
 	}
 	if *budget > 0 {
 		opts = append(opts, lfi.WithBudget(*budget))
@@ -283,6 +350,9 @@ func main() {
 		switch os.Args[1] {
 		case "explore":
 			runExplore(os.Args[2:])
+			return
+		case "diff":
+			runDiff(os.Args[2:])
 			return
 		case "serve":
 			runServe(os.Args[2:])

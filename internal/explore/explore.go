@@ -56,6 +56,7 @@ import (
 	"lfi/internal/coverage"
 	"lfi/internal/errno"
 	"lfi/internal/exec"
+	"lfi/internal/impact"
 	"lfi/internal/isa"
 	"lfi/internal/profile"
 	"lfi/internal/scenario"
@@ -155,6 +156,19 @@ type Config struct {
 	// block its error path executes, when the application's site map
 	// knows it. Optional; "" means unknown.
 	BlockForSite func(callee string, offset uint64) string
+	// BlockOffsets maps recovery-block IDs to their check sites' code
+	// offsets — the inverse view impact analysis walks. Optional; when
+	// empty, -impact degrades to the conservative whole-shard fallback.
+	BlockOffsets map[string]uint64
+
+	// Impact enables change-impact-aware invalidation on the store
+	// resume path: when the image changed since the store's last save,
+	// entries whose recorded coverage is provably unreachable from the
+	// edit migrate forward with their outcomes intact, and only
+	// intersecting entries re-execute (highest expected gain first).
+	// Requires Store; off by default — the default resume path stays
+	// exactly the whole-shard behavior TestShardInvalidation pins.
+	Impact bool
 
 	// BatchSize is the number of candidates per scheduling round
 	// (default 16).
@@ -229,6 +243,9 @@ type Result struct {
 	// StoreStats is the persistent store's compaction summary after the
 	// final save (nil when the run had no store).
 	StoreStats *StoreStats
+	// Impact is the change-impact analysis summary (nil unless
+	// Config.Impact was set and the store recorded a previous image).
+	Impact *ImpactSummary
 }
 
 // CoverageGain reports whether exploration covered recovery blocks the
@@ -247,6 +264,9 @@ func (r *Result) String() string {
 		r.System, r.Candidates, r.Mutants, r.Executed, r.Replayed, len(r.Batches), r.Elapsed.Seconds())
 	fmt.Fprintf(&b, "  recovery coverage: %s (suite alone) -> %s\n", r.Baseline, r.Final)
 	fmt.Fprintf(&b, "  total coverage:    %s\n", r.Total)
+	if r.Impact != nil {
+		fmt.Fprintf(&b, "  %s\n", r.Impact)
+	}
 	fmt.Fprintf(&b, "  %d distinct failure signatures:\n", len(r.Bugs))
 	for _, bug := range r.Bugs {
 		fmt.Fprintf(&b, "    %s (%d scenarios)\n", bug.Signature, len(bug.Scenarios))
@@ -267,14 +287,14 @@ func Generate(cfg Config) []*Candidate {
 
 	var out []*Candidate
 	seen := make(map[string]bool)
-	hashes := newCodeHasher(cfg.Binary)
+	hashes := impact.NewHasher(cfg.Binary)
 	add := func(c *Candidate) {
 		c.Hash = contentHash(c.Scenario)
 		if seen[c.Hash] {
 			return
 		}
 		seen[c.Hash] = true
-		c.key = c.Hash + "@" + hashes.forCaller(c.Caller)
+		c.key = c.Hash + "@" + hashes.Region(c.Caller)
 		out = append(out, c)
 	}
 
@@ -438,48 +458,11 @@ func contentHash(s *scenario.Scenario) string {
 	return hex.EncodeToString(sum[:8])
 }
 
-// codeHasher identifies the code region whose change invalidates a
-// candidate's cached outcome: the enclosing function for call-stack
-// candidates, the whole image for occurrence candidates. The image is
-// hashed once and caller regions are memoized — Generate calls this
-// for every candidate.
-type codeHasher struct {
-	bin      *isa.Binary
-	image    string
-	byCaller map[string]string
-}
-
-func newCodeHasher(b *isa.Binary) *codeHasher {
-	sum := sha256.Sum256(b.Code)
-	return &codeHasher{
-		bin:      b,
-		image:    hex.EncodeToString(sum[:6]),
-		byCaller: make(map[string]string),
-	}
-}
-
-func (h *codeHasher) forCaller(caller string) string {
-	if caller == "" {
-		return h.image
-	}
-	if cached, ok := h.byCaller[caller]; ok {
-		return cached
-	}
-	region := h.image
-	if sym, ok := h.bin.FindSymbol(caller); ok {
-		if end := sym.Off + sym.Size; end <= uint64(len(h.bin.Code)) {
-			sum := sha256.Sum256(h.bin.Code[sym.Off:end])
-			region = hex.EncodeToString(sum[:6])
-		}
-	}
-	h.byCaller[caller] = region
-	return region
-}
-
 // ImageVersion identifies the target image the store entries belong to.
+// The region-hashing itself lives in internal/impact, shared with the
+// diff analysis so both sides always agree on what "changed" means.
 func ImageVersion(b *isa.Binary) string {
-	sum := sha256.Sum256(b.Code)
-	return b.Name + "@" + hex.EncodeToString(sum[:6])
+	return b.Name + "@" + impact.ImageHash(b.Code)
 }
 
 // --- the exploration loop ----------------------------------------------------
@@ -514,9 +497,15 @@ type explorer struct {
 	// replayed, in any order.)
 	seen        map[string]bool
 	mutated     map[string]bool
-	hashes      *codeHasher
+	hashes      *impact.Hasher
 	imageRegion string
 	spawned     int
+
+	// reval holds per-candidate re-validation boosts assigned by the
+	// impact plan: candidates whose cached outcome an image edit may
+	// have affected jump the queue, ordered by expected gain under the
+	// store's persisted EWMA cost model (nil when impact is off).
+	reval map[string]float64
 
 	// uniSame memoizes which outcome universes are bit-compatible with
 	// idx (same sorted ID table, possibly a different *Index — the local
@@ -631,7 +620,7 @@ func (x *explorer) mutate(c *Candidate, failed bool) []*Candidate {
 		}
 		x.seen[nc.Hash] = true
 		if stack {
-			nc.key = nc.Hash + "@" + x.hashes.forCaller(nc.Caller)
+			nc.key = nc.Hash + "@" + x.hashes.Region(nc.Caller)
 		} else {
 			nc.key = nc.Hash + "@" + x.imageRegion
 		}
@@ -674,6 +663,9 @@ func (x *explorer) score(c *Candidate) float64 {
 		} else {
 			s += 30
 		}
+	}
+	if x.reval != nil {
+		s += x.reval[c.Hash]
 	}
 	return s + x.boost[c.Callee]
 }
@@ -753,8 +745,8 @@ func newRun(cfg Config) (*run, error) {
 	for _, c := range cands {
 		x.seen[c.Hash] = true
 	}
-	x.hashes = newCodeHasher(cfg.Binary)
-	x.imageRegion = x.hashes.forCaller("")
+	x.hashes = impact.NewHasher(cfg.Binary)
+	x.imageRegion = x.hashes.Image()
 	res := &Result{System: cfg.System, Candidates: len(cands)}
 
 	// Baseline: the default suite with no injection. This registers
@@ -780,6 +772,7 @@ func newRun(cfg Config) (*run, error) {
 	// mutation chain replays to its fixpoint and a resumed run against
 	// an unchanged target still executes nothing.
 	var store *Store
+	var plan *impactPlan
 	if cfg.Store != "" {
 		var err error
 		store, err = LoadStore(cfg.Store, cfg.System, ImageVersion(cfg.Binary))
@@ -791,6 +784,18 @@ func newRun(cfg Config) (*run, error) {
 		if cost, ok := store.CostModel(); ok {
 			cfg.Exec.SeedCost(cfg.System, cost)
 		}
+		if cfg.Impact {
+			if plan = newImpactPlan(cfg, store); plan == nil {
+				x.logf("explore %s: impact: no previous image metadata in %s — falling back to whole-shard invalidation",
+					cfg.System, cfg.Store)
+			} else {
+				x.reval = make(map[string]float64)
+				x.logf("explore %s: %s", cfg.System, plan.sum)
+			}
+		}
+		// Record this image's function fingerprints so the *next*
+		// session can diff against us without the old binary.
+		store.SetFuncHashes(impact.FuncHashes(cfg.Binary))
 	}
 	keys := candidateKeys(cands)
 	pending := make([]*Candidate, 0, len(cands))
@@ -799,6 +804,24 @@ func newRun(cfg Config) (*run, error) {
 		c := work[0]
 		work = work[1:]
 		e, ok := store.Lookup(c.key)
+		if !ok && plan != nil {
+			// The candidate's region hash moved (or it keys on the
+			// image and the image moved). If the previous image cached
+			// this scenario, decide per entry instead of per shard:
+			// migrate it forward when the edit provably cannot reach
+			// its recorded coverage, otherwise queue it for
+			// re-validation ahead of fresh candidates.
+			if oldKey, old, hit := plan.lookupOld(store, c); hit {
+				if c.Caller == "" && !plan.set.Intersects(old.Blocks) {
+					store.Adopt(oldKey, c.key, old)
+					e, ok = old, true
+					plan.sum.Migrated++
+				} else {
+					x.reval[c.Hash] = plan.revalBoost(old)
+					plan.sum.Revalidated++
+				}
+			}
+		}
 		if !ok {
 			pending = append(pending, c)
 			continue
@@ -826,6 +849,9 @@ func newRun(cfg Config) (*run, error) {
 	}
 	if res.Replayed > 0 {
 		x.logf("explore %s: replayed %d cached outcomes from %s", cfg.System, res.Replayed, cfg.Store)
+	}
+	if plan != nil {
+		res.Impact = plan.sum
 	}
 	return &run{cfg: cfg, x: x, res: res, store: store, keys: keys, pending: pending, begin: begin, ownExec: ownExec}, nil
 }
@@ -904,12 +930,13 @@ func (r *run) step(ctx context.Context, cap int) error {
 	return nil
 }
 
-// finish saves the store one last time (the zero-batch pure-replay path
-// still has to land invalidated-entry pruning on disk), summarizes the
-// run, and attaches the store's compaction stats. runErr — cancellation
-// or a batch failure — wins over a save error, and the partial Result
-// is returned either way so callers can report progress up to the
-// interrupt.
+// finish saves the store one last time — the zero-batch pure-replay
+// path needs it too, since Save is where entry stamping, invalidated-
+// entry pruning, and migrated-entry flushing land on disk — then
+// summarizes the run and attaches the store's compaction stats. runErr
+// — cancellation or a batch failure — wins over a save error, and the
+// partial Result is returned either way so callers can report progress
+// up to the interrupt.
 func (r *run) finish(runErr error) (*Result, error) {
 	// Persist the measured execution economics next to the outcomes:
 	// the next session schedules on them from its first batch.

@@ -46,6 +46,15 @@ type Store struct {
 	shards map[string]*shard // codeHash -> entries
 	index  storeIndex
 
+	// funcs is the current image's per-function fingerprint map,
+	// recorded into its manifest at Save — the impact metadata a later
+	// session diffs against without needing the old binary.
+	funcs map[string]string
+	// adopted records old-image keys whose entries the impact plan
+	// migrated forward this run (Adopt), so compaction stats count them
+	// as migrated rather than invalidated.
+	adopted map[string]bool
+
 	// migrated/invalidated are computed by Save from the loaded sets:
 	// how many on-disk entries the current image's manifest still
 	// references vs how many it can no longer reach (stale code region,
@@ -77,10 +86,15 @@ type storeIndex struct {
 }
 
 // imageManifest names the shards one image version's candidate set
-// references.
+// references, plus that image's per-function code fingerprints — the
+// impact metadata the `-impact` resume path diffs against. Manifests
+// written before fingerprints existed load fine with Funcs nil; impact
+// analysis then reports "no previous image metadata" and the resume
+// path stays whole-shard.
 type imageManifest struct {
-	Image  string   `json:"image"`
-	Shards []string `json:"shards"`
+	Image  string            `json:"image"`
+	Shards []string          `json:"shards"`
+	Funcs  map[string]string `json:"funcs,omitempty"`
 }
 
 // shardFile is the on-disk shape of one shard.
@@ -97,6 +111,12 @@ type Entry struct {
 	Signature  string   `json:"signature,omitempty"`
 	Blocks     []string `json:"blocks,omitempty"` // all blocks the run covered
 	Injections int      `json:"injections,omitempty"`
+	// Image is the newest image version whose candidate set referenced
+	// this entry (stamped by Save). An entry whose image falls out of
+	// manifest retention is pruned from its shard file even when the
+	// shard itself survives for other images; "" (entries written
+	// before stamping existed) keeps the shard-level lifecycle.
+	Image string `json:"image,omitempty"`
 }
 
 // maxImages bounds how many image-version manifests a store retains;
@@ -176,7 +196,16 @@ func (s *Store) migrateLegacy(src string) error {
 		Entries map[string]Entry `json:"entries"`
 	}
 	if err := json.Unmarshal(data, &legacy); err != nil {
-		return fmt.Errorf("explore: store %s: %w", src, err)
+		// A torn v1 document (killed mid-write before the store was
+		// crash-safe, or a parked .v1 from an interrupted migration
+		// that never completed a write) holds nothing recoverable. Park
+		// the bytes aside for post-mortems and start the shard store
+		// fresh — the worst case is re-executing what the document
+		// would have cached, never an unusable store.
+		if rerr := os.Rename(src, strings.TrimSuffix(src, legacyParkSuffix)+".unreadable"); rerr != nil {
+			return fmt.Errorf("explore: store %s: unparsable legacy document (%v) could not be parked aside: %w", src, err, rerr)
+		}
+		return nil
 	}
 	if legacy.System != "" && legacy.System != s.system {
 		return fmt.Errorf("explore: store %s belongs to system %q, not %q — use a separate store path per target",
@@ -300,6 +329,22 @@ func (s *Store) Lookup(key string) (Entry, bool) {
 	return e, ok
 }
 
+// Adopt migrates an old image's cached entry to a new key (the same
+// scenario re-keyed under the current image), recording provenance so
+// the compaction stats report it as migrated, not invalidated.
+func (s *Store) Adopt(oldKey, newKey string, e Entry) {
+	if s == nil {
+		return
+	}
+	s.Put(newKey, e)
+	s.mu.Lock()
+	if s.adopted == nil {
+		s.adopted = make(map[string]bool)
+	}
+	s.adopted[oldKey] = true
+	s.mu.Unlock()
+}
+
 // Put records one outcome and marks its shard dirty.
 func (s *Store) Put(key string, e Entry) {
 	if s == nil {
@@ -403,7 +448,7 @@ func (s *Store) Save(currentKeys map[string]bool) error {
 		}
 		set[scen] = true
 	}
-	manifest := imageManifest{Image: s.image}
+	manifest := imageManifest{Image: s.image, Funcs: s.funcs}
 	for region := range liveByRegion {
 		manifest.Shards = append(manifest.Shards, region)
 	}
@@ -418,9 +463,27 @@ func (s *Store) Save(currentKeys map[string]bool) error {
 	}
 	s.index.Images = images
 
+	// Stamp every entry the current image's candidate set references.
+	// The stamp is the entry-level analogue of the manifest: it names
+	// the newest image that can still replay the entry, so retention
+	// can prune per entry, not just per shard file.
+	for region, live := range liveByRegion {
+		sh, ok := s.shards[region]
+		if !ok {
+			continue
+		}
+		for scen, e := range sh.entries {
+			if live[scen] && e.Image != s.image {
+				e.Image = s.image
+				sh.entries[scen] = e
+				sh.dirty = true
+			}
+		}
+	}
+
 	// Shards shared with an older retained manifest may hold entries
 	// for candidate sets we cannot see; only shards exclusive to the
-	// current image are pruned entry-by-entry.
+	// current image are pruned entry-by-entry against the live set.
 	shared := make(map[string]bool)
 	for _, m := range s.index.Images[1:] {
 		for _, region := range m.Shards {
@@ -440,11 +503,30 @@ func (s *Store) Save(currentKeys map[string]bool) error {
 		}
 	}
 
+	// Retention pruning for shared shards: an entry stamped with an
+	// image no retained manifest names can never replay again — drop it
+	// even though its shard file survives for other images, so stale
+	// shard files shrink instead of accreting dead entries. Unstamped
+	// entries (written before stamping existed) keep the conservative
+	// shard-level lifecycle.
+	retained := make(map[string]bool, len(s.index.Images))
+	for _, m := range s.index.Images {
+		retained[m.Image] = true
+	}
+	for _, sh := range s.shards {
+		for scen, e := range sh.entries {
+			if e.Image != "" && !retained[e.Image] {
+				delete(sh.entries, scen)
+				sh.dirty = true
+			}
+		}
+	}
+
 	// Compaction stats: of the entries that were on disk when the store
 	// was opened, how many the current image's manifest can still
-	// replay (migrated forward across image versions) vs how many it
-	// can no longer reach (their code region changed, or they were
-	// pruned from a shard exclusive to this image).
+	// replay — in place, or adopted forward across an image edit by the
+	// impact plan — vs how many it can no longer reach (their code
+	// region changed, or they were pruned).
 	current := make(map[string]bool, len(manifest.Shards))
 	for _, region := range manifest.Shards {
 		current[region] = true
@@ -453,6 +535,8 @@ func (s *Store) Save(currentKeys map[string]bool) error {
 	for region, sh := range s.shards {
 		for scen := range sh.loaded {
 			if _, live := sh.entries[scen]; live && current[region] {
+				s.migrated++
+			} else if s.adopted[scen+"@"+region] {
 				s.migrated++
 			} else {
 				s.invalidated++
@@ -519,6 +603,37 @@ func (s *Store) writeJSON(path string, v any) error {
 		return fmt.Errorf("explore: store: %w", err)
 	}
 	return nil
+}
+
+// SetFuncHashes records the current image's per-function fingerprints;
+// Save writes them into the image's manifest. The next session diffs
+// its own fingerprints against them to run impact analysis without the
+// old binary.
+func (s *Store) SetFuncHashes(funcs map[string]string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.funcs = funcs
+}
+
+// PreviousImage returns the most recently saved retained image other
+// than the current one, with its function fingerprints — the diff base
+// for impact analysis. ok is false when no such manifest exists or it
+// predates fingerprint recording.
+func (s *Store) PreviousImage() (image string, funcs map[string]string, ok bool) {
+	if s == nil {
+		return "", nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.index.Images {
+		if m.Image != s.image && len(m.Funcs) > 0 {
+			return m.Image, m.Funcs, true
+		}
+	}
+	return "", nil, false
 }
 
 // CostModel returns the persisted execution cost model, if any session

@@ -32,9 +32,17 @@ func ConfigForSystem(d *system.Descriptor) Config {
 		Target:       d.TargetWithCoverage,
 		Profiles:     d.Profiles(),
 		BlockForSite: d.BlockForSite,
+		BlockOffsets: make(map[string]uint64, len(offs)),
 	}
 	if cfg.BlockForSite == nil {
 		cfg.BlockForSite = blockForSite(offs)
+	}
+	// The site map, inverted for impact analysis: recovery-block ID →
+	// check-site offset. Workload blocks ("main.*") have no code
+	// location and are deliberately absent — they are hit on every run,
+	// so mapping them would make every entry intersect every edit.
+	for label, off := range offs {
+		cfg.BlockOffsets["rec."+label] = off
 	}
 	return cfg
 }

@@ -1,0 +1,221 @@
+package impact
+
+import (
+	"reflect"
+	"testing"
+
+	"lfi/internal/asm"
+	"lfi/internal/isa"
+)
+
+// twoFuncs builds a program with two independent functions, each with
+// one checked read() site, and returns the binary plus the
+// recovery-block → call-site-offset map the descriptors expose.
+func twoFuncs(t *testing.T) (*isa.Binary, map[string]uint64) {
+	t.Helper()
+	bin, offs, err := asm.Program("app", []asm.FuncSpec{
+		{Name: "alpha", Sites: []asm.SiteSpec{{Label: "alpha.read", Callee: "read", Style: asm.CheckEq, Codes: []int64{-1}}}},
+		{Name: "beta", Sites: []asm.SiteSpec{{Label: "beta.read", Callee: "read", Style: asm.CheckEq, Codes: []int64{-1}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockOffs := make(map[string]uint64, len(offs))
+	for label, off := range offs {
+		blockOffs["rec."+label] = off
+	}
+	return bin, blockOffs
+}
+
+func TestFuncHashesDiff(t *testing.T) {
+	bin, _ := twoFuncs(t)
+	old := FuncHashes(bin)
+	if len(old) != 2 {
+		t.Fatalf("want 2 function hashes, got %v", old)
+	}
+	if d := DiffFuncs(old, FuncHashes(bin)); !d.Empty() {
+		t.Fatalf("identical binaries diff non-empty: %+v", d)
+	}
+
+	pb, err := PatchFunc(bin, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffFuncs(old, FuncHashes(pb))
+	if !reflect.DeepEqual(d.Changed, []string{"alpha"}) || len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("patch of alpha diffed as %+v", d)
+	}
+	// The image hash moves with any function edit; unrelated regions
+	// stay put.
+	if ImageHash(bin.Code) == ImageHash(pb.Code) {
+		t.Fatal("image hash did not move under the patch")
+	}
+	if NewHasher(bin).Region("beta") != NewHasher(pb).Region("beta") {
+		t.Fatal("unrelated function's region hash moved")
+	}
+}
+
+func TestPatchFuncErrorsAndInertness(t *testing.T) {
+	bin, _ := twoFuncs(t)
+	if _, err := PatchFunc(bin, "nope"); err == nil {
+		t.Fatal("patching a missing function succeeded")
+	}
+	pb, err := PatchFunc(bin, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &pb.Code[0] == &bin.Code[0] {
+		t.Fatal("patch mutated the original image")
+	}
+	// The flip toggles: patching twice restores the original bytes.
+	pb2, err := PatchFunc(pb, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ImageHash(pb2.Code) != ImageHash(bin.Code) {
+		t.Fatal("double patch did not restore the image")
+	}
+	// The patched prologue is still a decodable MOVI to the dead r13.
+	sym, _ := pb.FindSymbol("alpha")
+	in, err := pb.DecodeAt(sym.Off)
+	if err != nil || in.Op != isa.MOVI || in.Rd != 13 {
+		t.Fatalf("patched prologue decodes as %v (err %v)", in, err)
+	}
+}
+
+func TestComputeBoundsBlocksToChangedFunction(t *testing.T) {
+	bin, blockOffs := twoFuncs(t)
+	set := Compute(bin, Funcs{Changed: []string{"alpha"}}, blockOffs)
+	if set.Fallback {
+		t.Fatalf("unexpected fallback: %s", set.Reason)
+	}
+	if !reflect.DeepEqual(set.BlockIDs(), []string{"rec.alpha.read"}) {
+		t.Fatalf("impacted blocks = %v, want [rec.alpha.read]", set.BlockIDs())
+	}
+	if !set.Intersects([]string{"main.x", "rec.alpha.read"}) {
+		t.Fatal("entry covering the impacted block reported disjoint")
+	}
+	if set.Intersects([]string{"main.x", "rec.beta.read"}) {
+		t.Fatal("entry covering only unrelated blocks reported intersecting")
+	}
+	// The walk re-analyzed alpha's library call site.
+	ck, ok := set.Checks[blockOffs["rec.alpha.read"]]
+	if !ok || ck.Callee != "read" || !reflect.DeepEqual(ck.Eq, []int64{-1}) {
+		t.Fatalf("check-site analysis missing or wrong: %+v (present %v)", ck, ok)
+	}
+}
+
+// callChain builds: main --CALLN--> mid --CALLN--> leaf, with a checked
+// site in every function (main's and mid's sit after their calls, so
+// they land in post-call windows).
+func callChain(t *testing.T) (*isa.Binary, map[string]uint64) {
+	t.Helper()
+	b := asm.NewBuilder("chain")
+	site := func(label string) {
+		b.EmitSite(asm.SiteSpec{Label: label, Callee: "read", Style: asm.CheckEq, Codes: []int64{-1}})
+	}
+	b.Func("leaf")
+	b.Label("leaf.entry")
+	b.Movi(13, 0)
+	site("leaf.read")
+	b.Movi(0, 0)
+	b.Ret()
+	b.Func("mid")
+	b.Label("mid.entry")
+	b.Movi(13, 0)
+	b.J(isa.CALLN, "leaf.entry")
+	site("mid.read")
+	b.Movi(0, 0)
+	b.Ret()
+	b.Func("main")
+	b.Movi(13, 0)
+	b.J(isa.CALLN, "mid.entry")
+	site("main.read")
+	b.Movi(0, 0)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockOffs := make(map[string]uint64)
+	for _, label := range []string{"leaf.read", "mid.read", "main.read"} {
+		off, ok := b.SiteOffset(label)
+		if !ok {
+			t.Fatalf("site %s not recorded", label)
+		}
+		blockOffs["rec."+label] = off
+	}
+	return bin, blockOffs
+}
+
+func TestComputeFollowsCalleesAndCallerWindows(t *testing.T) {
+	bin, blockOffs := callChain(t)
+
+	// A change to mid reaches: mid's own blocks, leaf's blocks (mid
+	// calls leaf), and main's post-call window (main calls mid) — i.e.
+	// everything here.
+	set := Compute(bin, Funcs{Changed: []string{"mid"}}, blockOffs)
+	if set.Fallback {
+		t.Fatalf("unexpected fallback: %s", set.Reason)
+	}
+	want := []string{"rec.leaf.read", "rec.main.read", "rec.mid.read"}
+	if !reflect.DeepEqual(set.BlockIDs(), want) {
+		t.Fatalf("impacted blocks = %v, want %v", set.BlockIDs(), want)
+	}
+
+	// A change to leaf propagates caller windows transitively: mid's
+	// post-call code, and — mid now being affected — main's too.
+	set = Compute(bin, Funcs{Changed: []string{"leaf"}}, blockOffs)
+	if set.Fallback {
+		t.Fatalf("unexpected fallback: %s", set.Reason)
+	}
+	if !reflect.DeepEqual(set.BlockIDs(), want) {
+		t.Fatalf("impacted blocks = %v, want %v", set.BlockIDs(), want)
+	}
+
+	// A change to main reaches down (mid, leaf) but has no callers.
+	set = Compute(bin, Funcs{Changed: []string{"main"}}, blockOffs)
+	if set.Fallback {
+		t.Fatalf("unexpected fallback: %s", set.Reason)
+	}
+	if !reflect.DeepEqual(set.BlockIDs(), want) {
+		t.Fatalf("impacted blocks = %v, want %v", set.BlockIDs(), want)
+	}
+}
+
+func TestComputeFallbacks(t *testing.T) {
+	bin, blockOffs := twoFuncs(t)
+
+	// A removed function: its blocks cannot be located in the new
+	// image, so the analysis refuses to bound the change.
+	set := Compute(bin, Funcs{Removed: []string{"gone"}}, blockOffs)
+	if !set.Fallback {
+		t.Fatal("removed function did not force fallback")
+	}
+	if !set.Intersects(nil) || !set.Intersects([]string{"rec.beta.read"}) {
+		t.Fatal("fallback set must intersect everything")
+	}
+
+	// A changed function with no symbol in the new image.
+	set = Compute(bin, Funcs{Changed: []string{"phantom"}}, blockOffs)
+	if !set.Fallback {
+		t.Fatal("symbol-less changed function did not force fallback")
+	}
+
+	// An indirect branch inside a changed function: the CFG walk
+	// cannot see where it goes.
+	b := asm.NewBuilder("ind")
+	b.Func("twisty")
+	b.Movi(13, 0)
+	b.EmitSite(asm.SiteSpec{Label: "twisty.read", Callee: "read", Style: asm.CheckHiddenIndirect, Codes: []int64{-1}})
+	b.Movi(0, 0)
+	b.Ret()
+	ibin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set = Compute(ibin, Funcs{Changed: []string{"twisty"}}, nil)
+	if !set.Fallback {
+		t.Fatal("indirect branch did not force fallback")
+	}
+}

@@ -35,6 +35,7 @@
 package lfi
 
 import (
+	"fmt"
 	"io"
 
 	"lfi/internal/callsite"
@@ -43,7 +44,9 @@ import (
 	"lfi/internal/errno"
 	"lfi/internal/exec"
 	"lfi/internal/explore"
+	"lfi/internal/impact"
 	"lfi/internal/interpose"
+	"lfi/internal/isa"
 	"lfi/internal/libsim"
 	"lfi/internal/profile"
 	"lfi/internal/scenario"
@@ -239,7 +242,43 @@ type (
 	// StoreStats is a persistent store's compaction summary (shards,
 	// retained image versions, entries migrated vs invalidated).
 	StoreStats = explore.StoreStats
+	// ImpactSummary reports what the change-impact plan did on an
+	// -impact resume: functions diffed, recovery blocks reached,
+	// entries migrated intact vs queued for re-validation
+	// (ExploreResult.Impact; see WithImpact).
+	ImpactSummary = explore.ImpactSummary
+	// DiffReport classifies the cached candidate space against a code
+	// edit without executing anything — the `lfi diff` shape (see
+	// Session.Diff).
+	DiffReport = explore.DiffReport
 )
 
 // GenerateCandidates enumerates the candidate fault space.
 var GenerateCandidates = explore.Generate
+
+// PatchSystem returns a copy of sys whose program image has fn's inert
+// prologue immediate flipped — a one-function code edit that moves that
+// function's fingerprint (and the image version) without changing any
+// behavior. It exists to exercise the incremental re-exploration
+// workflow end to end (`lfi explore -patch`, the CI incremental-smoke
+// job): explore, patch, re-explore with WithImpact, and watch only the
+// entries the edit can reach re-execute. Patching the same function
+// twice restores the original image. The returned descriptor is a
+// detached copy, not registered.
+func PatchSystem(sys *System, fn string) (*System, error) {
+	bin, _ := sys.Binary()
+	if _, err := impact.PatchFunc(bin, fn); err != nil {
+		return nil, fmt.Errorf("lfi: patching %s: %w", sys.Name, err)
+	}
+	ns := *sys
+	orig := sys.Binary
+	ns.Binary = func() (*isa.Binary, map[string]uint64) {
+		b, offs := orig()
+		pb, err := impact.PatchFunc(b, fn)
+		if err != nil {
+			return b, offs // validated above; cannot happen
+		}
+		return pb, offs
+	}
+	return &ns, nil
+}

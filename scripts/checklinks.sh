@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# checklinks.sh — verify every relative markdown link in the repo's
+# docs points at a file that exists. External links (http/https) and
+# pure in-page anchors are skipped. Run from anywhere; exits non-zero
+# listing every broken link. CI runs this in the docs step.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+for doc in "$root"/*.md "$root"/.github/*.md; do
+    [ -f "$doc" ] || continue
+    dir="$(dirname "$doc")"
+    # Extract inline markdown link targets: [text](target)
+    grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' |
+    while IFS= read -r target; do
+        case "$target" in
+        http://*|https://*|mailto:*|\#*|'') continue ;;
+        esac
+        # Strip an in-page anchor from a file link.
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link in ${doc#"$root"/}: $target" >&2
+            # Propagate failure out of the pipeline subshell via a marker.
+            touch "$root/.checklinks-failed"
+        fi
+    done
+done
+
+if [ -e "$root/.checklinks-failed" ]; then
+    rm -f "$root/.checklinks-failed"
+    fail=1
+fi
+exit $fail

@@ -64,6 +64,7 @@ type Session struct {
 	budget   int
 	batch    int
 	stall    int
+	impact   bool
 	seed     int64
 	log      io.Writer
 	observer func(system string, o Outcome)
@@ -132,6 +133,21 @@ func WithStallBatches(n int) SessionOption {
 		s.stall = n
 		return nil
 	}
+}
+
+// WithImpact enables change-impact-aware store invalidation on resume
+// (`lfi explore -impact`): instead of invalidating whole shards, the
+// explorer diffs the binary's per-function fingerprints against the
+// ones the store recorded for its previous image, walks the CFG to the
+// recovery blocks the edit can reach, migrates cached entries whose
+// recorded coverage is provably disjoint, and re-validates only the
+// rest — scheduled ahead of fresh candidates by the persisted cost
+// model. When the edit cannot be bounded (indirect branch, removed
+// function, a store without fingerprints) the run falls back to the
+// default whole-shard invalidation; correctness never depends on the
+// analysis. Meaningful only together with WithStore.
+func WithImpact() SessionOption {
+	return func(s *Session) error { s.impact = true; return nil }
 }
 
 // WithSeed fixes the runtime random source of every test the session
@@ -299,10 +315,20 @@ func (s *Session) config(sys *System) ExploreConfig {
 	cfg.Workers = s.workers
 	cfg.BatchSize = s.batch
 	cfg.StallBatches = s.stall
+	cfg.Impact = s.impact
 	cfg.Seed = s.seed
 	cfg.Log = s.log
 	cfg.Exec = s.fleet
 	return cfg
+}
+
+// Diff classifies the cached candidate space against the session's
+// store without executing a single test or writing anything — the
+// engine behind `lfi diff`: which candidates replay as-is, which would
+// migrate intact under WithImpact, which must re-validate, and which
+// were never cached. It requires WithStore.
+func (s *Session) Diff(sys *System) (*DiffReport, error) {
+	return explore.Diff(s.config(sys))
 }
 
 // Explore runs the coverage-guided fault-space explorer on one system,
