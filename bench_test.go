@@ -632,3 +632,109 @@ func BenchmarkExecutorBatchRemote(b *testing.B) {
 	}
 	b.ReportMetric(float64(tests)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
 }
+
+// delayedRelay proxies TCP bytes to target, adding a fixed one-way
+// latency to every segment — a simulated LAN hop. Pipelining is about
+// latency: on raw loopback the wire tax is single-digit microseconds
+// (see BenchmarkWireDecodeResponse) and depth-1 already matches
+// depth-4, so the pipelining benchmark measures across this relay.
+func delayedRelay(b *testing.B, target string, delay time.Duration) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", target)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			pipe := func(dst, src net.Conn) {
+				defer dst.Close()
+				defer src.Close()
+				buf := make([]byte, 64<<10)
+				for {
+					n, err := src.Read(buf)
+					if n > 0 {
+						time.Sleep(delay)
+						if _, werr := dst.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}
+			go pipe(up, c)
+			go pipe(c, up)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// BenchmarkFleetPipelined measures what protocol-3 pipelining buys on a
+// remote connection with realistic latency (a relay adds 200µs each
+// way): the same 32-scenario minidb coverage batch with one batch in
+// flight (the protocol-2 discipline — every round trip sits on the
+// worker's critical path and it idles between batches) versus the
+// proto-3 default of 4, where the scheduler keeps the worker saturated
+// while frames are in the air. The depth-4 tests/s over depth-1 is the
+// pipelining win BENCH_9 records.
+func BenchmarkFleetPipelined(b *testing.B) {
+	s, err := ParseScenarioString(`<scenario name="bench-exec-read">
+	  <trigger id="nth" class="CallCountTrigger"><args><n>3</n></args></trigger>
+	  <function name="read" return="-1" errno="EIO"><reftrigger ref="nth" /></function>
+	</scenario>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const tests = 32
+	scens := make([]*Scenario, tests)
+	for i := range scens {
+		scens[i] = s
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ServeExecutor(ctx, ln, 4, nil)
+	e, err := DialExecutor(delayedRelay(b, ln.Addr().String(), 200*time.Microsecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	for _, depth := range []int{1, 4} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			e.SetPipeline(depth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				errs := make(chan error, depth)
+				for d := 0; d < depth; d++ {
+					go func(seed int64) {
+						outs, err := e.Run(context.Background(), &ExecBatch{System: "minidb", Seed: seed, Coverage: true, Scenarios: scens})
+						if err == nil && len(outs) != tests {
+							err = fmt.Errorf("%d outcomes", len(outs))
+						}
+						errs <- err
+					}(int64(d))
+				}
+				for d := 0; d < depth; d++ {
+					if err := <-errs; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(tests*depth)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+		})
+	}
+}

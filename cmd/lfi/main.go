@@ -59,17 +59,35 @@
 //
 // Remote workers drain their in-flight batch on Ctrl-C; a worker killed
 // mid-batch has its unfinished runs requeued on the surviving backends.
+//
+// Fleet service mode removes the hand-maintained worker list entirely.
+// A registry process coordinates the cluster, workers announce
+// themselves to it, and explorers discover whatever is alive:
+//
+//	lfi fleet registry -addr :7410
+//	lfi serve -addr :0 -register host:7410      # on every worker box
+//	lfi explore -all -fleet host:7410
+//	lfi fleet status -registry host:7410        # live throughput + campaign progress
+//
+// Workers that join mid-campaign are dialed and used; workers that miss
+// heartbeats are evicted and their in-flight batches requeue on the
+// survivors. `lfi serve -patch system:function` starts a deliberately
+// mixed-build worker (inert one-function patch) whose outcomes the
+// explorer reconciles by impact analysis instead of dropping.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -126,8 +144,11 @@ func newSession(opts ...lfi.SessionOption) *lfi.Session {
 // executorOpts translates the backend flags (-pool, -workers-remote,
 // -drain-grace) into session options: the local pool always
 // participates unless -no-local is set, subprocess/remote backends join
-// the mix with the configured cancellation drain grace.
-func executorOpts(jobs, pool int, remotes string, noLocal bool, drainGrace time.Duration) []lfi.SessionOption {
+// the mix with the configured cancellation drain grace. haveFleet
+// relaxes the at-least-one-backend rule: with -fleet the session
+// discovers workers from the registry, so an empty explicit list is
+// legitimate.
+func executorOpts(jobs, pool int, remotes string, noLocal bool, drainGrace time.Duration, haveFleet bool) []lfi.SessionOption {
 	var execs []lfi.Executor
 	if !noLocal {
 		execs = append(execs, lfi.NewLocalExecutor(jobs))
@@ -164,7 +185,10 @@ func executorOpts(jobs, pool int, remotes string, noLocal bool, drainGrace time.
 		execs = append(execs, r)
 	}
 	if len(execs) == 0 {
-		fmt.Fprintln(os.Stderr, "lfi: -no-local needs at least one -pool or -workers-remote backend")
+		if haveFleet {
+			return []lfi.SessionOption{lfi.WithWorkers(jobs)}
+		}
+		fmt.Fprintln(os.Stderr, "lfi: -no-local needs at least one -pool, -workers-remote or -fleet backend")
 		os.Exit(2)
 	}
 	return []lfi.SessionOption{lfi.WithExecutors(execs...), lfi.WithWorkers(jobs)}
@@ -214,14 +238,25 @@ func runDiff(args []string) {
 }
 
 // runServe implements `lfi serve`: this process becomes a remote test
-// execution worker for `lfi explore -workers-remote`.
+// execution worker for `lfi explore -workers-remote`, or — with
+// -register — a self-registering member of a fleetd cluster that
+// `lfi explore -fleet` discovers without being handed any address.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("lfi serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7411", "TCP listen address")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "worker pool size for batches this worker executes")
-	verbose := fs.Bool("v", false, "log connections")
+	register := fs.String("register", "", "fleet registry `host:port` to self-register with (see `lfi fleet registry`)")
+	advertise := fs.String("advertise", "", "dial-back `address` announced to the registry (default: the listen address)")
+	patch := fs.String("patch", "", "apply an inert one-function patch (`system:function`) before serving — a deliberately mixed-build worker for exercising reconciliation")
+	verbose := fs.Bool("v", false, "log connections and registry traffic")
 	fs.Parse(args)
 
+	if *patch != "" {
+		if err := lfi.PatchWorkerSystem(*patch); err != nil {
+			fmt.Fprintln(os.Stderr, "lfi serve: -patch:", err)
+			os.Exit(2)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfi serve:", err)
@@ -231,11 +266,14 @@ func runServe(args []string) {
 	defer cancel()
 	fmt.Printf("listening %s\n", ln.Addr())
 	fmt.Fprintf(os.Stderr, "lfi serve: %d workers, systems: %s\n", *jobs, appsUsage())
-	var logw *os.File
+	if *register != "" {
+		fmt.Fprintf(os.Stderr, "lfi serve: registering with fleet registry %s\n", *register)
+	}
+	var logw io.Writer
 	if *verbose {
 		logw = os.Stderr
 	}
-	err = lfi.ServeExecutor(ctx, ln, *jobs, logw)
+	err = lfi.ServeRegistered(ctx, ln, *jobs, logw, *register, *advertise)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "lfi serve: interrupted")
 		os.Exit(130)
@@ -243,6 +281,103 @@ func runServe(args []string) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfi serve:", err)
 		os.Exit(1)
+	}
+}
+
+// runFleet implements `lfi fleet`: the registry process and the status
+// reader of fleet service mode.
+func runFleet(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "lfi fleet: need a verb: registry (run the coordinator) or status (query one)")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "registry":
+		runFleetRegistry(args[1:])
+	case "status":
+		runFleetStatus(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "lfi fleet: unknown verb %q (want registry or status)\n", args[0])
+		os.Exit(2)
+	}
+}
+
+// runFleetRegistry runs the fleetd coordinator: workers register with
+// it (`lfi serve -register`), explorers discover them from it
+// (`lfi explore -fleet`), and anyone can read the merged status.
+func runFleetRegistry(args []string) {
+	fs := flag.NewFlagSet("lfi fleet registry", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7410", "TCP listen address")
+	heartbeat := fs.Duration("heartbeat", lfi.DefaultFleetHeartbeat, "heartbeat interval assigned to workers")
+	miss := fs.Int("miss", lfi.DefaultFleetMiss, "missed heartbeats before a worker is evicted")
+	fs.Parse(args)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi fleet registry:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := interruptible()
+	defer cancel()
+	fmt.Printf("listening %s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "lfi fleet registry: heartbeat %v, eviction after %d missed\n", *heartbeat, *miss)
+	err = lfi.NewFleetRegistry(*heartbeat, *miss).Serve(ctx, ln, os.Stderr)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "lfi fleet registry: interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi fleet registry:", err)
+		os.Exit(1)
+	}
+}
+
+// runFleetStatus prints a registry's merged status: the live worker set
+// with throughput derived from heartbeats, and the latest campaign
+// snapshot a coordinator published.
+func runFleetStatus(args []string) {
+	fs := flag.NewFlagSet("lfi fleet status", flag.ExitOnError)
+	registry := fs.String("registry", "", "fleet registry `host:port` to query (required)")
+	asJSON := fs.Bool("json", false, "print the raw status document as JSON")
+	fs.Parse(args)
+	if *registry == "" {
+		fmt.Fprintln(os.Stderr, "lfi fleet status: need -registry")
+		os.Exit(2)
+	}
+	st, err := lfi.FleetStatus(*registry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi fleet status:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+		return
+	}
+	fmt.Printf("registry %s: %d worker(s) live, heartbeat %v, %d evicted\n",
+		*registry, len(st.Workers), time.Duration(st.HeartbeatMS)*time.Millisecond, st.Evicted)
+	for _, w := range st.Workers {
+		fmt.Printf("  %-4s %-22s cap %d proto %d  %7.1f runs/s  %d runs / %d batches / %d cancelled  last seen %s ago\n",
+			w.ID, w.Addr, w.Capacity, w.Proto, w.RunsPerSec,
+			w.Stats.Runs, w.Stats.Batches, w.Stats.Cancels,
+			st.Now.Sub(w.LastSeen).Round(time.Millisecond))
+	}
+	if st.Campaign == nil {
+		fmt.Println("no campaign published")
+		return
+	}
+	fmt.Printf("campaign %s (updated %s ago):\n",
+		st.Campaign.Session, st.Now.Sub(st.Campaign.Updated).Round(time.Millisecond))
+	names := make([]string, 0, len(st.Campaign.Systems))
+	for name := range st.Campaign.Systems {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := st.Campaign.Systems[name]
+		fmt.Printf("  %-10s %d executed, %d replayed, %d bugs, %d blocks covered (%d recovery), gain/run %.3f\n",
+			name, ss.Executed, ss.Replayed, ss.Bugs, ss.Covered, ss.RecoveryBlocks, ss.GainPerRun)
 	}
 }
 
@@ -258,7 +393,8 @@ func runExplore(args []string) {
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "local campaign worker pool size (1 = sequential)")
 	pool := fs.Int("pool", 0, "add a crash-isolating pool of this many worker subprocesses")
 	remotes := fs.String("workers-remote", "", "comma-separated host:port list of `lfi serve` workers to fan batches across")
-	noLocal := fs.Bool("no-local", false, "run batches only on -pool/-workers-remote backends")
+	fleet := fs.String("fleet", "", "fleet registry `host:port`; discover self-registered `lfi serve -register` workers and follow joins/evictions for the whole campaign")
+	noLocal := fs.Bool("no-local", false, "run batches only on -pool/-workers-remote/-fleet backends")
 	drainGrace := fs.Duration("drain-grace", 30*time.Second, "how long an interrupted run drains in-flight pool/remote batches before force-closing them")
 	seed := fs.Int64("seed", 0, "runtime random seed")
 	impact := fs.Bool("impact", false, "diff-aware resume: invalidate only cached entries the code change can reach (needs -store)")
@@ -297,7 +433,10 @@ func runExplore(args []string) {
 	if *verbose {
 		opts = append(opts, lfi.WithLog(os.Stderr))
 	}
-	opts = append(opts, executorOpts(*jobs, *pool, *remotes, *noLocal, *drainGrace)...)
+	if *fleet != "" {
+		opts = append(opts, lfi.WithFleet(*fleet))
+	}
+	opts = append(opts, executorOpts(*jobs, *pool, *remotes, *noLocal, *drainGrace, *fleet != "")...)
 	sess := newSession(opts...)
 	defer sess.Close()
 	if *verbose {
@@ -356,6 +495,9 @@ func main() {
 			return
 		case "serve":
 			runServe(os.Args[2:])
+			return
+		case "fleet":
+			runFleet(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,239 @@
+package lfi
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lfi/internal/exec"
+	"lfi/internal/fleetd"
+)
+
+// spawnWorkerProcess re-executes this test binary as a real `lfi serve`
+// worker subprocess (the MaybeExecWorker env hook) and returns its
+// dialable address and a kill function. Extra env entries layer fleet
+// registration (EnvRegister) or a mixed build (EnvPatch) on top.
+func spawnWorkerProcess(t *testing.T, extraEnv ...string) (addr string, kill func()) {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := osexec.Command(self)
+	cmd.Env = append(os.Environ(), exec.EnvServe+"=127.0.0.1:0", exec.EnvWorkerJobs+"=2")
+	cmd.Env = append(cmd.Env, extraEnv...)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(out).ReadString('\n')
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("worker said %q: %v", line, err)
+	}
+	addr = strings.TrimSpace(strings.TrimPrefix(line, "listening "))
+	killed := false
+	kill = func() {
+		if !killed {
+			killed = true
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+	t.Cleanup(kill)
+	return addr, kill
+}
+
+// startRegistry runs an in-process fleetd registry with a fast
+// heartbeat so the test observes eviction in milliseconds.
+func startRegistry(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go NewFleetRegistry(100*time.Millisecond, 3).Serve(ctx, ln, nil)
+	return ln.Addr().String()
+}
+
+func exploreSigs(res *ExploreResult) []string {
+	out := []string{}
+	for _, b := range res.Bugs {
+		out = append(out, b.Signature)
+	}
+	return out
+}
+
+// TestFleetServiceSelfRegistration is the fleet service mode
+// end-to-end: two real worker subprocesses self-register with a
+// registry, a session discovers them through WithFleet alone (no
+// address list), one worker is killed mid-campaign — its in-flight
+// batches requeue on the survivor and the registry evicts it on missed
+// heartbeats — and the campaign still finds exactly the bugs and
+// coverage an all-local run finds, folding every run exactly once.
+func TestFleetServiceSelfRegistration(t *testing.T) {
+	sys, ok := LookupSystem("minidb")
+	if !ok {
+		t.Fatal("minidb not registered")
+	}
+	baselineSess := mustSession(t, WithWorkers(4), WithStallBatches(1000))
+	baseline, err := baselineSess.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	regAddr := startRegistry(t)
+	_, killA := spawnWorkerProcess(t, exec.EnvRegister+"="+regAddr)
+	spawnWorkerProcess(t, exec.EnvRegister+"="+regAddr)
+
+	waitWorkers := func(n int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if ws, err := fleetd.Workers(regAddr); err == nil && len(ws) == n {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	waitWorkers(2, "both workers to self-register")
+
+	// Kill worker A as soon as the registry has seen it execute work —
+	// mid-campaign if the campaign is still running, which the requeue
+	// path then has to absorb.
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			ws, err := fleetd.Workers(regAddr)
+			if err == nil {
+				for _, w := range ws {
+					if w.Stats.Batches > 0 {
+						killA()
+						return
+					}
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	sess := mustSession(t, WithFleet(regAddr), WithStallBatches(1000))
+	if n := len(sess.Executors()); n != 2 {
+		t.Fatalf("session discovered %d backends from the registry, want 2", n)
+	}
+	res, err := sess.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatalf("fleet campaign: %v", err)
+	}
+	<-killDone
+
+	if !reflect.DeepEqual(exploreSigs(baseline), exploreSigs(res)) {
+		t.Fatalf("fleet campaign found different bugs:\nlocal: %v\nfleet: %v", exploreSigs(baseline), exploreSigs(res))
+	}
+	if res.Final.BlocksCovered != baseline.Final.BlocksCovered {
+		t.Fatalf("fleet coverage %d, local %d", res.Final.BlocksCovered, baseline.Final.BlocksCovered)
+	}
+	// Zero duplicate folds, zero lost runs: the deterministic candidate
+	// space executes exactly once each, worker death notwithstanding.
+	if res.Executed != baseline.Executed {
+		t.Fatalf("fleet executed %d runs, local %d: work lost or folded twice across the requeue", res.Executed, baseline.Executed)
+	}
+
+	// The registry evicts the killed worker on missed heartbeats.
+	waitWorkers(1, "the killed worker to be evicted")
+
+	// The session published campaign progress for `lfi fleet status`.
+	st, err := FleetStatus(regAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Campaign == nil {
+		t.Fatal("no campaign snapshot published to the registry")
+	}
+	if got := st.Campaign.Systems["minidb"]; got.Executed == 0 || got.Bugs == 0 {
+		t.Fatalf("published campaign status implausible: %+v", got)
+	}
+}
+
+// TestSessionMixedBuildReconciliation: a worker running a different
+// build (inert one-function patch, so behavior is identical but the
+// image version and one fingerprint differ) joins the fleet. Its
+// outcomes are reconciled by impact analysis — adopted when the edit
+// provably cannot reach their coverage, re-executed on a build-matched
+// backend otherwise — never silently dropped, and the store ends up
+// fully keyed under the coordinator's image: a resume replays
+// everything with zero re-execution.
+func TestSessionMixedBuildReconciliation(t *testing.T) {
+	sys, ok := LookupSystem("minidb")
+	if !ok {
+		t.Fatal("minidb not registered")
+	}
+	baselineSess := mustSession(t, WithWorkers(4), WithStallBatches(1000))
+	baseline, err := baselineSess.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr, _ := spawnWorkerProcess(t, exec.EnvPatch+"=minidb:errmsg_load")
+	remote, err := DialExecutor(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(t.TempDir(), "store")
+	sess := mustSession(t,
+		WithExecutors(NewLocalExecutor(2), remote),
+		WithStallBatches(1000),
+		WithStore(store),
+	)
+	res, err := sess.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Mixed == nil {
+		t.Fatal("no mixed-build summary: the patched worker executed nothing?")
+	}
+	if len(res.Mixed.Images) != 1 || !strings.HasPrefix(res.Mixed.Images[0], "minidb@") {
+		t.Fatalf("foreign images seen = %v, want the patched worker's minidb image", res.Mixed.Images)
+	}
+	if res.Mixed.Migrated+res.Mixed.Revalidated == 0 {
+		t.Fatal("mixed-build outcomes neither adopted nor re-validated")
+	}
+	// Identical results despite the mixed fleet: the patch is inert.
+	if !reflect.DeepEqual(exploreSigs(baseline), exploreSigs(res)) {
+		t.Fatalf("mixed fleet found different bugs:\nlocal: %v\nmixed: %v", exploreSigs(baseline), exploreSigs(res))
+	}
+	if res.Final.BlocksCovered != baseline.Final.BlocksCovered {
+		t.Fatalf("mixed fleet coverage %d, local %d", res.Final.BlocksCovered, baseline.Final.BlocksCovered)
+	}
+
+	// Every outcome — adopted foreign ones included — landed in the
+	// store under this build's keys exactly once: a local resume replays
+	// the whole space without executing a single run.
+	resumed := mustSession(t, WithWorkers(4), WithStallBatches(1000), WithStore(store))
+	res2, err := resumed.Explore(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Executed != 0 {
+		t.Fatalf("resume after mixed-build campaign re-executed %d runs, want 0", res2.Executed)
+	}
+	if !reflect.DeepEqual(exploreSigs(res), exploreSigs(res2)) {
+		t.Fatalf("resume lost bugs: %v vs %v", exploreSigs(res), exploreSigs(res2))
+	}
+}

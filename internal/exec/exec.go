@@ -86,6 +86,19 @@ type Batch struct {
 	Coverage  bool // collect per-run coverage block IDs
 	Scenarios []*scenario.Scenario
 
+	// Image is the image version the dispatching session expects the
+	// batch to execute against (explore.ImageVersion of its own
+	// binary). Optional; when set, a remote backend whose advertised
+	// image for the system differs tags the returned outcomes with its
+	// own version so the caller can reconcile them (see Outcome.Image).
+	Image string
+	// RequireImage restricts dispatch to backends whose image for the
+	// system matches Image (or is unknown — the local and pool backends
+	// run this very build). The explorer sets it when re-validating
+	// outcomes a mixed-build worker produced, so the re-run cannot land
+	// on another mismatched worker.
+	RequireImage bool
+
 	// Observe, when non-nil, streams each completed outcome (by batch
 	// index) as backends finish; the Fleet serializes calls. Wire
 	// backends only see the serializable fields above.
@@ -117,6 +130,13 @@ type Outcome struct {
 	// Raw carries the full in-process outcome (injection log included)
 	// when the run executed locally; wire backends leave it nil.
 	Raw *controller.Outcome `json:"-"`
+
+	// Image is set (client-side, never on the wire) when the outcome
+	// came from a backend whose image version for the batch's system
+	// differs from Batch.Image: the version the run actually executed
+	// against. Consumers reconcile such outcomes through change-impact
+	// analysis instead of folding them as current-image results.
+	Image string `json:"-"`
 }
 
 // BlockIDs returns the run's covered block IDs, sorted: the explicit

@@ -247,7 +247,7 @@ func TestFleetRequeuesKilledRemote(t *testing.T) {
 	if !bytes.Equal(marshalOutcomes(t, wantOuts), marshalOutcomes(t, outs)) {
 		t.Fatal("requeued outcomes diverge from all-local outcomes")
 	}
-	if got := len(fleet.live()); got != 1 {
+	if got := len(fleet.live(nil)); got != 1 {
 		t.Fatalf("dead remote still listed live: %d live backends", got)
 	}
 }

@@ -91,8 +91,24 @@ func NewFleet(execs ...Executor) *Fleet {
 	}
 }
 
+// pipeliner is implemented by backends that keep several batches in
+// flight on one connection (Remote against a protocol-3 worker): the
+// scheduler subdivides such a backend's chunk so the worker's input
+// queue never drains between batches.
+type pipeliner interface{ Pipeline() int }
+
+// imaged is implemented by backends that know which image version they
+// execute a system as ("" = unknown, treated as this very build: the
+// local and pool backends run in-process or re-exec the same binary).
+type imaged interface {
+	ImageVersion(sys string) string
+	FuncFingerprints(sys string) (map[string]string, error)
+}
+
 // Executors reports the fleet's backends, dead ones included.
 func (f *Fleet) Executors() []Info {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	out := make([]Info, len(f.execs))
 	for i, e := range f.execs {
 		out[i] = e.Info()
@@ -100,10 +116,65 @@ func (f *Fleet) Executors() []Info {
 	return out
 }
 
+// Add inserts a backend mid-campaign, preserving latency ordering —
+// the fleet-watcher path for a worker that registered after the
+// session started. A backend with the same name replaces (and closes)
+// the previous one and sheds any dead mark: a re-registered worker
+// comes back to life this way.
+func (f *Fleet) Add(e Executor) {
+	info := e.Info()
+	f.mu.Lock()
+	var old Executor
+	for i, ex := range f.execs {
+		if ex.Info().Name == info.Name {
+			old = ex
+			f.execs = append(f.execs[:i], f.execs[i+1:]...)
+			break
+		}
+	}
+	delete(f.dead, info.Name)
+	i := sort.Search(len(f.execs), func(i int) bool { return f.execs[i].Info().Kind > info.Kind })
+	f.execs = append(f.execs, nil)
+	copy(f.execs[i+1:], f.execs[i:])
+	f.execs[i] = e
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// Retire marks a named backend dead without waiting for a transport
+// failure — the fleet-watcher path for a registry heartbeat eviction.
+// Batches already in flight there still fail over through the normal
+// BackendError requeue; Retire just stops new dispatches.
+func (f *Fleet) Retire(name string) {
+	f.mu.Lock()
+	f.dead[name] = true
+	f.mu.Unlock()
+}
+
+// FuncsForImage fetches per-function fingerprints for a foreign image
+// version some backend advertised for sys — the reconciliation input
+// for mixed-build outcomes. It asks the first live backend advertising
+// exactly that image.
+func (f *Fleet) FuncsForImage(sys, image string) (map[string]string, error) {
+	for _, e := range f.live(nil) {
+		im, ok := e.(imaged)
+		if !ok || im.ImageVersion(sys) != image {
+			continue
+		}
+		return im.FuncFingerprints(sys)
+	}
+	return nil, fmt.Errorf("exec: no live backend advertises image %s for %s", image, sys)
+}
+
 // Close closes every backend.
 func (f *Fleet) Close() error {
+	f.mu.Lock()
+	execs := append([]Executor(nil), f.execs...)
+	f.mu.Unlock()
 	var first error
-	for _, e := range f.execs {
+	for _, e := range execs {
 		if err := e.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -111,15 +182,26 @@ func (f *Fleet) Close() error {
 	return first
 }
 
-// live returns the usable executors, in latency order.
-func (f *Fleet) live() []Executor {
+// live returns the usable executors, in latency order. A batch that
+// requires an image match (re-validation of mixed-build outcomes)
+// additionally excludes backends advertising a different image; nil is
+// "any batch".
+func (f *Fleet) live(b *Batch) []Executor {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var out []Executor
 	for _, e := range f.execs {
-		if !f.dead[e.Info().Name] {
-			out = append(out, e)
+		if f.dead[e.Info().Name] {
+			continue
 		}
+		if b != nil && b.RequireImage && b.Image != "" {
+			if im, ok := e.(imaged); ok {
+				if v := im.ImageVersion(b.System); v != "" && v != b.Image {
+					continue
+				}
+			}
+		}
+		out = append(out, e)
 	}
 	return out
 }
@@ -235,7 +317,7 @@ func (f *Fleet) GainEstimate(sys string, prior float64) float64 {
 // runs/sec summed over live backends.
 func (f *Fleet) SpeedEstimate(sys string) float64 {
 	total := 0.0
-	for _, e := range f.live() {
+	for _, e := range f.live(nil) {
 		total += f.speed(sys, e.Info())
 	}
 	return total
@@ -266,13 +348,15 @@ func (f *Fleet) Run(ctx context.Context, b *Batch) ([]*Outcome, error) {
 	first := true
 	var fatal error
 	for len(queue) > 0 && fatal == nil && ctx.Err() == nil {
-		live := f.live()
+		live := f.live(b)
 		if len(live) == 0 {
 			fatal = &BackendError{Backend: "fleet", Err: fmt.Errorf("no live executors")}
 			break
 		}
 		// First wave: split the whole batch by cost-model share. Retry
 		// waves keep failed chunks intact and spread them round-robin.
+		// Either way, a pipelining backend's chunk is subdivided so
+		// several slices ride its connection at once.
 		var wave []dispatch
 		if first {
 			wave = f.split(b.System, live, queue[0])
@@ -284,6 +368,7 @@ func (f *Fleet) Run(ctx context.Context, b *Batch) ([]*Outcome, error) {
 			}
 			queue = nil
 		}
+		wave = expandWave(wave)
 		var (
 			wg      sync.WaitGroup
 			retryMu sync.Mutex
@@ -294,7 +379,7 @@ func (f *Fleet) Run(ctx context.Context, b *Batch) ([]*Outcome, error) {
 			wg.Add(1)
 			go func(e Executor, c chunk) {
 				defer wg.Done()
-				sub := &Batch{System: b.System, Seed: b.Seed, Coverage: b.Coverage, Scenarios: b.Scenarios[c.off:c.end]}
+				sub := &Batch{System: b.System, Seed: b.Seed, Coverage: b.Coverage, Image: b.Image, RequireImage: b.RequireImage, Scenarios: b.Scenarios[c.off:c.end]}
 				if b.Observe != nil {
 					sub.Observe = func(i int, o *Outcome) {
 						f.obsMu.Lock()
@@ -385,6 +470,42 @@ func (f *Fleet) split(sys string, live []Executor, c chunk) []dispatch {
 	if off < c.end {
 		// All-zero rounding tail: the fastest backend takes the rest.
 		out = append(out, dispatch{c: chunk{off: off, end: c.end}, e: live[0]})
+	}
+	return out
+}
+
+// minPipelineSlice is the smallest slice worth pipelining: below this
+// the per-frame overhead outweighs the overlap.
+const minPipelineSlice = 8
+
+// expandWave subdivides each pipelining backend's chunk into up to
+// Pipeline() contiguous slices dispatched concurrently on the same
+// backend: while the worker executes one slice the next is already on
+// the wire, taking the round-trip off the critical path. Slices stay
+// contiguous and in order (the worker executes them FIFO), so outcome
+// determinism is untouched.
+func expandWave(wave []dispatch) []dispatch {
+	out := make([]dispatch, 0, len(wave))
+	for _, d := range wave {
+		p, ok := d.e.(pipeliner)
+		depth := 1
+		if ok {
+			depth = p.Pipeline()
+		}
+		n := d.c.end - d.c.off
+		if depth > n/minPipelineSlice {
+			depth = n / minPipelineSlice
+		}
+		if depth <= 1 {
+			out = append(out, d)
+			continue
+		}
+		off := d.c.off
+		for i := 0; i < depth; i++ {
+			size := (d.c.end - off) / (depth - i)
+			out = append(out, dispatch{c: chunk{off: off, end: off + size, attempts: d.c.attempts}, e: d.e})
+			off += size
+		}
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -12,32 +13,54 @@ import (
 )
 
 // Remote is the client side of the wire protocol: one TCP connection to
-// an `lfi serve` worker. A Remote dispatches one batch at a time (the
-// Fleet gives each backend its own dispatcher); a broken connection
-// fails the batch with BackendError and marks the backend dead — the
-// scheduler requeues the batch's runs elsewhere, so killing a worker
-// loses no work.
+// an `lfi serve` worker.
+//
+// Against a protocol-3 worker the connection is **pipelined**: Run is
+// safe for concurrent use and up to Pipeline() batches ride the wire
+// at once, matched back to callers by request id through a single
+// reader goroutine — the worker's input queue stays non-empty, so the
+// round-trip latency is off the critical path. Cancellation sends a
+// cancel frame and the worker answers promptly with the completed
+// prefix; the drain grace survives only as the fallback for wedged or
+// proto≤2 peers. A broken connection fails every in-flight batch with
+// BackendError and marks the backend dead — the scheduler requeues the
+// batches' runs elsewhere, so killing a worker loses no work.
 type Remote struct {
 	addr  string
 	hello helloInfo
 	proto int // negotiated protocol: min(ours, worker's)
 
 	// drainGrace bounds how long a cancelled Run keeps waiting for the
-	// in-flight response before force-closing the connection. Remote
-	// workers get no cancel message; draining the response is what
-	// lands an interrupted batch's outcomes in the store just like a
-	// local Ctrl-C.
+	// in-flight response before force-closing the connection. With a
+	// protocol-3 worker the cancel frame makes the response arrive in
+	// batch-drain time (milliseconds); older workers run the batch to
+	// completion, which is what the grace was sized for.
 	drainGrace time.Duration
+	// pipeline is the in-flight batch budget Pipeline() advertises to
+	// the fleet scheduler (protocol 3 only).
+	pipeline int
 
-	mu        sync.Mutex // serializes request/response exchanges
-	nextID    uint64
-	universes map[uint64]*coverage.Index // per-connection universe table
+	mu      sync.Mutex // request ids + pending-response registry
+	nextID  uint64
+	pending map[uint64]chan *response
+	readErr error // reader's terminal error; set once under mu
+
+	writeMu sync.Mutex // one frame writer at a time
+
+	// universes is the per-connection coverage-universe table. Only
+	// the reader goroutine touches it after Dial.
+	universes map[uint64]*coverage.Index
+
+	funcsMu sync.Mutex
+	funcs   map[string]map[string]string // system -> fingerprint cache
 
 	// conn teardown has its own lock: a drain timeout must force-close
-	// the connection while a call still holds mu blocked in a read —
-	// closing the socket is exactly what unblocks that read.
+	// the connection while the reader is blocked in a read — closing
+	// the socket is exactly what unblocks that read.
 	connMu sync.Mutex
 	conn   net.Conn
+
+	readDone chan struct{}
 }
 
 // ProtoMismatchError reports a worker whose wire protocol this client
@@ -58,12 +81,18 @@ func (e *ProtoMismatchError) Error() string {
 // simulated runs, each of which completes in milliseconds.
 const defaultDrainGrace = 30 * time.Second
 
+// defaultPipeline is how many batches a protocol-3 connection keeps in
+// flight: enough that the worker never idles waiting on the wire, few
+// enough that a cancel loses little queued work.
+const defaultPipeline = 4
+
 // Dial connects to an `lfi serve` worker and performs the hello
 // exchange, negotiating the protocol version and learning the worker's
-// capacity and registered systems. A protocol-1 worker is served with
-// JSON run frames; a worker outside [protoOldest, protoVersion] fails
-// with ProtoMismatchError so fleet assembly can drop the worker and
-// keep the campaign.
+// capacity, registered systems, and (protocol 3) per-system image
+// versions. A protocol-1 worker is served with JSON run frames; a
+// worker outside [protoOldest, protoVersion] fails with
+// ProtoMismatchError so fleet assembly can drop the worker and keep
+// the campaign.
 func Dial(addr string) (*Remote, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -74,14 +103,23 @@ func Dial(addr string) (*Remote, error) {
 		conn:       conn,
 		proto:      protoOldest, // hello itself is always JSON
 		drainGrace: defaultDrainGrace,
+		pipeline:   defaultPipeline,
+		pending:    make(map[uint64]chan *response),
 		universes:  make(map[uint64]*coverage.Index),
+		readDone:   make(chan struct{}),
 	}
-	var resp response
-	if err := r.call("hello", nil, &resp); err != nil {
+	// Hello runs synchronously, before the reader demux starts.
+	r.nextID = 1
+	if err := writeFrame(conn, &request{ID: 1, Method: "hello", Proto: protoVersion}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("exec: remote %s: hello: %w", addr, err)
 	}
-	if resp.Hello == nil {
+	var resp response
+	if err := readFrame(conn, &resp); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("exec: remote %s: hello: %w", addr, err)
+	}
+	if resp.ID != 1 || resp.Hello == nil {
 		conn.Close()
 		return nil, fmt.Errorf("exec: remote %s: malformed hello response", addr)
 	}
@@ -91,17 +129,37 @@ func Dial(addr string) (*Remote, error) {
 	}
 	r.hello = *resp.Hello
 	r.proto = resp.Hello.Proto
+	go r.readLoop(conn)
 	return r, nil
 }
 
 // SetDrainGrace bounds how long a cancelled Run keeps draining the
 // in-flight batch before force-closing the connection (default 30s).
-// Shorten it when losing an interrupted batch's tail beats waiting for
-// a wedged worker; it never delays an uncancelled run.
+// Against protocol-3 workers the cancel frame makes the grace a pure
+// fallback; it never delays an uncancelled run.
 func (r *Remote) SetDrainGrace(d time.Duration) {
 	if d > 0 {
 		r.drainGrace = d
 	}
+}
+
+// SetPipeline overrides the in-flight batch budget (default 4). It
+// only informs the scheduler via Pipeline(); Run itself accepts any
+// number of concurrent callers.
+func (r *Remote) SetPipeline(k int) {
+	if k > 0 {
+		r.pipeline = k
+	}
+}
+
+// Pipeline reports how many batches this backend wants in flight at
+// once: the configured depth against a protocol-3 worker, 1 against
+// anything older (those connections are strictly call-and-response).
+func (r *Remote) Pipeline() int {
+	if r.proto >= 3 {
+		return r.pipeline
+	}
+	return 1
 }
 
 // Info reports the worker's advertised metadata. A remote worker is
@@ -114,8 +172,56 @@ func (r *Remote) Info() Info {
 // Systems returns the registered system names the worker advertised.
 func (r *Remote) Systems() []string { return r.hello.Systems }
 
+// ImageVersion reports the image version the worker advertised for a
+// system ("" when unknown: a proto≤2 worker, or a system it lacks).
+func (r *Remote) ImageVersion(sys string) string { return r.hello.Images[sys] }
+
+// FuncFingerprints fetches (and caches) the worker's per-function
+// fingerprints for one system — the mixed-build reconciliation input:
+// diffing them against the local build's fingerprints bounds what an
+// image divergence can have touched.
+func (r *Remote) FuncFingerprints(sys string) (map[string]string, error) {
+	r.funcsMu.Lock()
+	defer r.funcsMu.Unlock()
+	if m, ok := r.funcs[sys]; ok {
+		return m, nil
+	}
+	if r.proto < 3 {
+		return nil, fmt.Errorf("exec: remote %s: proto v%d has no funcs method", r.addr, r.proto)
+	}
+	conn := r.liveConn()
+	if conn == nil {
+		return nil, fmt.Errorf("exec: remote %s: connection closed", r.addr)
+	}
+	id, ch, err := r.register()
+	if err != nil {
+		return nil, fmt.Errorf("exec: remote %s: funcs: %w", r.addr, err)
+	}
+	r.writeMu.Lock()
+	werr := writeFrame(conn, &request{ID: id, Method: "funcs", System: sys})
+	r.writeMu.Unlock()
+	if werr != nil {
+		r.abandon(id)
+		r.drop()
+		return nil, fmt.Errorf("exec: remote %s: funcs: %w", r.addr, werr)
+	}
+	resp := <-ch
+	if resp == nil {
+		return nil, fmt.Errorf("exec: remote %s: funcs: %w", r.addr, r.readError())
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("exec: remote %s: funcs: %s", r.addr, resp.Error)
+	}
+	if r.funcs == nil {
+		r.funcs = make(map[string]map[string]string)
+	}
+	r.funcs[sys] = resp.Funcs
+	return resp.Funcs, nil
+}
+
 // Close shuts the connection down. It never waits on an in-flight
-// call: closing the socket is what fails that call's blocked read.
+// call: closing the socket is what fails the reader's blocked read,
+// which in turn fails every pending request.
 func (r *Remote) Close() error {
 	r.connMu.Lock()
 	defer r.connMu.Unlock()
@@ -139,110 +245,171 @@ func (r *Remote) liveConn() net.Conn {
 	return r.conn
 }
 
-// call sends one request and reads its response under the connection
-// lock. Run requests to a protocol-2 worker go as binary frames (and
-// come back binary, decoded against the connection's universe table);
-// everything else is JSON. The caller holds no locks.
-func (r *Remote) call(method string, b *Batch, resp *response) error {
+// register allocates a request id and its response channel.
+func (r *Remote) register() (uint64, chan *response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	conn := r.liveConn()
-	if conn == nil {
-		return fmt.Errorf("connection closed")
+	if r.readErr != nil {
+		return 0, nil, r.readErr
 	}
 	r.nextID++
 	id := r.nextID
-	if method == "run" && r.proto >= 2 {
-		if err := writeRawFrame(conn, encodeRunRequest(id, b)); err != nil {
-			r.drop()
-			return err
-		}
-		payload, err := readRawFrame(conn)
+	ch := make(chan *response, 1)
+	r.pending[id] = ch
+	return id, ch, nil
+}
+
+// abandon forgets a request whose frame never made it out.
+func (r *Remote) abandon(id uint64) {
+	r.mu.Lock()
+	delete(r.pending, id)
+	r.mu.Unlock()
+}
+
+// readError reports why the reader stopped.
+func (r *Remote) readError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.readErr != nil {
+		return r.readErr
+	}
+	return fmt.Errorf("connection closed")
+}
+
+// readLoop is the connection's single reader: it decodes every inbound
+// frame (binary run responses against the shared universe table, JSON
+// for everything else) and hands it to the pending request it answers.
+// On any failure it tears the connection down and fails every pending
+// request — their callers surface BackendError and the scheduler
+// requeues.
+func (r *Remote) readLoop(conn net.Conn) {
+	var err error
+	for {
+		var payload []byte
+		payload, err = readRawFrame(conn)
 		if err != nil {
-			r.drop()
-			return err
+			break
 		}
+		resp := new(response)
 		if isBinaryFrame(payload, frameRunResp) {
 			err = decodeRunResponse(payload, resp, r.universes)
 		} else {
 			err = json.Unmarshal(payload, resp)
 		}
 		if err != nil {
-			r.drop()
-			return err
+			break
 		}
-	} else {
-		req := &request{ID: id, Method: method}
-		if b != nil {
-			req.Batch = toWire(b)
+		r.mu.Lock()
+		ch := r.pending[resp.ID]
+		delete(r.pending, resp.ID)
+		r.mu.Unlock()
+		if ch == nil {
+			err = fmt.Errorf("response id %d answers no in-flight request", resp.ID)
+			break
 		}
-		if err := writeFrame(conn, req); err != nil {
-			r.drop()
-			return err
-		}
-		if err := readFrame(conn, resp); err != nil {
-			r.drop()
-			return err
-		}
+		ch <- resp
 	}
-	if resp.ID != id {
-		r.drop()
-		return fmt.Errorf("response id %d for request %d", resp.ID, id)
+	r.Close()
+	r.mu.Lock()
+	r.readErr = err
+	for id, ch := range r.pending {
+		delete(r.pending, id)
+		close(ch)
 	}
-	return nil
+	r.mu.Unlock()
+	close(r.readDone)
 }
 
-// Run ships the batch to the worker and waits for its outcomes. On
-// cancellation it keeps draining the in-flight response for up to the
-// drain grace — outcomes that come back are returned with ctx.Err(), so
-// the caller persists them exactly like a locally interrupted batch —
-// then force-closes the connection. Transport failures (a killed
+// Run ships the batch to the worker and waits for its outcomes; it is
+// safe for concurrent use (the fleet pipelines several batches onto
+// one protocol-3 connection). On cancellation it sends a cancel frame
+// (protocol 3) so the worker stops after its in-flight runs and
+// answers with the completed prefix — returned with ctx.Err(), so the
+// caller persists them exactly like a locally interrupted batch. The
+// drain grace remains as the fallback: a proto≤2 worker runs the batch
+// out, a wedged worker is force-closed. Transport failures (a killed
 // worker) come back as BackendError: requeue, don't retry here.
 func (r *Remote) Run(ctx context.Context, b *Batch) ([]*Outcome, error) {
-	var resp response
-	done := make(chan error, 1)
-	go func() {
-		done <- r.call("run", b, &resp)
-	}()
-	var err error
-	select {
-	case err = <-done:
-	case <-ctx.Done():
-		// Drain: the worker finishes the whole batch; give it the
-		// grace period before declaring the backend dead.
-		t := time.NewTimer(r.drainGrace)
-		select {
-		case err = <-done:
-			t.Stop()
-		case <-t.C:
-			r.Close()
-			<-done // roundTrip fails fast once the conn is closed
-			return nil, &BackendError{Backend: r.Info().Name, Err: fmt.Errorf("cancelled and drain timed out")}
-		}
-		if err == nil {
-			if resp.Error != "" {
-				return r.observed(b, resp.Outcomes), fmt.Errorf("exec: remote %s: %s", r.addr, resp.Error)
-			}
-			return r.observed(b, resp.Outcomes), ctx.Err()
-		}
+	conn := r.liveConn()
+	if conn == nil {
+		return nil, &BackendError{Backend: r.Info().Name, Err: fmt.Errorf("connection closed")}
 	}
+	id, ch, err := r.register()
 	if err != nil {
 		return nil, &BackendError{Backend: r.Info().Name, Err: err}
 	}
-	if resp.Error != "" {
+	r.writeMu.Lock()
+	if r.proto >= 2 {
+		err = writeRawFrame(conn, encodeRunRequest(id, b))
+	} else {
+		err = writeFrame(conn, &request{ID: id, Method: "run", Batch: toWire(b)})
+	}
+	r.writeMu.Unlock()
+	if err != nil {
+		r.abandon(id)
+		r.drop()
+		return nil, &BackendError{Backend: r.Info().Name, Err: err}
+	}
+	var resp *response
+	cancelled := false
+	select {
+	case resp = <-ch:
+	case <-ctx.Done():
+		cancelled = true
+		if r.proto >= 3 {
+			// Fast drain: the worker stops after in-flight runs and
+			// answers with the prefix. A write failure just demotes us
+			// to the grace path below.
+			r.writeMu.Lock()
+			writeRawFrame(conn, encodeCancel(id))
+			r.writeMu.Unlock()
+		}
+		t := time.NewTimer(r.drainGrace)
+		select {
+		case resp = <-ch:
+			t.Stop()
+		case <-t.C:
+			r.Close()
+			<-r.readDone // reader fails remaining pending requests
+			return nil, &BackendError{Backend: r.Info().Name, Err: fmt.Errorf("cancelled and drain timed out")}
+		}
+	}
+	if resp == nil {
+		// Reader died and closed the channel: transport failure.
+		return nil, &BackendError{Backend: r.Info().Name, Err: r.readError()}
+	}
+	outs := r.observed(b, resp.Outcomes)
+	switch {
+	case cancelled:
+		if resp.Error != "" && resp.Error != cancelledBatch {
+			return outs, fmt.Errorf("exec: remote %s: %s", r.addr, resp.Error)
+		}
+		return outs, ctx.Err()
+	case resp.Error == cancelledBatch:
+		// The worker cancelled without us asking (it is shutting
+		// down): a backend failure with a salvageable prefix.
+		return outs, &BackendError{Backend: r.Info().Name, Err: errors.New("worker cancelled batch")}
+	case resp.Error != "":
 		// A batch problem (unknown system, bad scenario, mid-batch run
 		// error), not a backend one; the worker's completed prefix
 		// still comes back for the caller to fold.
-		return r.observed(b, resp.Outcomes), fmt.Errorf("exec: remote %s: %s", r.addr, resp.Error)
+		return outs, fmt.Errorf("exec: remote %s: %s", r.addr, resp.Error)
 	}
-	return r.observed(b, resp.Outcomes), nil
+	return outs, nil
 }
 
-// observed caps outcomes at the batch length and streams them to the
-// batch observer.
+// observed caps outcomes at the batch length, tags them with the
+// worker's image version when it differs from the batch's expected
+// image (the mixed-build handshake), and streams them to the batch
+// observer.
 func (r *Remote) observed(b *Batch, outs []*Outcome) []*Outcome {
 	if len(outs) > len(b.Scenarios) {
 		outs = outs[:len(b.Scenarios)]
+	}
+	if img := r.hello.Images[b.System]; img != "" && b.Image != "" && img != b.Image {
+		for _, o := range outs {
+			o.Image = img
+		}
 	}
 	if b.Observe != nil {
 		for i, o := range outs {

@@ -9,9 +9,14 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lfi/internal/coverage"
+	"lfi/internal/fleetd"
+	"lfi/internal/impact"
+	"lfi/internal/isa"
 	"lfi/internal/scenario"
 	"lfi/internal/system"
 )
@@ -36,6 +41,18 @@ const EnvServe = "LFI_EXEC_SERVE"
 // for stdio workers: pool parallelism comes from having several).
 const EnvWorkerJobs = "LFI_EXEC_WORKER_J"
 
+// EnvRegister, when set to a fleet registry address alongside
+// EnvServe, makes the serve worker self-register there and heartbeat
+// until it exits — the subprocess form of `lfi serve -register`.
+const EnvRegister = "LFI_EXEC_REGISTER"
+
+// EnvPatch, when set to "system:function" alongside EnvServe, applies
+// an inert one-function patch to that system's image before serving —
+// a deliberately mixed-build worker for tests and smoke jobs: it
+// executes identically but advertises a different image version and
+// per-function fingerprints, exercising the reconciliation path.
+const EnvPatch = "LFI_EXEC_PATCH"
+
 // MaybeWorker checks the worker environment hooks and, when one is
 // set, runs the corresponding protocol loop and exits the process.
 // Call it first thing in main (cmd/lfi does) or TestMain: it is what
@@ -58,13 +75,26 @@ func MaybeWorker() {
 		os.Exit(0)
 	}
 	if addr := os.Getenv(EnvServe); addr != "" {
+		if spec := os.Getenv(EnvPatch); spec != "" {
+			if err := PatchWorkerSystem(spec); err != nil {
+				fmt.Fprintln(os.Stderr, "lfi exec serve:", err)
+				os.Exit(1)
+			}
+		}
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lfi exec serve:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("listening %s\n", ln.Addr())
-		if err := Serve(context.Background(), ln, jobs, nil); err != nil {
+		opts := ServeOptions{Workers: jobs}
+		ctx := context.Background()
+		if reg := os.Getenv(EnvRegister); reg != "" {
+			opts.Counters = new(ServeCounters)
+			agent := fleetd.NewAgent(reg, WorkerRegistration(ln.Addr().String(), jobs), opts.Counters.Stats)
+			go agent.Run(ctx)
+		}
+		if err := ServeWith(ctx, ln, opts); err != nil && ctx.Err() == nil {
 			fmt.Fprintln(os.Stderr, "lfi exec serve:", err)
 			os.Exit(1)
 		}
@@ -72,15 +102,98 @@ func MaybeWorker() {
 	}
 }
 
+// PatchWorkerSystem replaces the registered system named in spec
+// ("system:function") with a copy whose image carries the inert
+// one-function patch of impact.PatchFunc. Execution is unchanged (the
+// patch is behavior-preserving by construction), but the image hash
+// and the function's fingerprint differ — this process now looks like
+// a worker built from a different commit, which is exactly what the
+// mixed-build reconciliation tests need.
+func PatchWorkerSystem(spec string) error {
+	name, fn, ok := strings.Cut(spec, ":")
+	if !ok || name == "" || fn == "" {
+		return fmt.Errorf("exec: patch spec %q: want system:function", spec)
+	}
+	d, ok := system.Lookup(name)
+	if !ok {
+		return fmt.Errorf("exec: patch: system %q not registered (have: %v)", name, system.Names())
+	}
+	orig := d.Binary
+	b, _ := orig()
+	if _, err := impact.PatchFunc(b, fn); err != nil {
+		return fmt.Errorf("exec: patch %s: %w", spec, err)
+	}
+	nd := *d
+	nd.Binary = func() (*isa.Binary, map[string]uint64) {
+		b, offs := orig()
+		pb, err := impact.PatchFunc(b, fn)
+		if err != nil {
+			return b, offs
+		}
+		return pb, offs
+	}
+	return system.Replace(&nd)
+}
+
+// WorkerRegistration describes this process as a fleet worker: the
+// registry record `lfi serve -register` announces, advertising the
+// same systems and image versions the hello exchange does.
+func WorkerRegistration(addr string, workers int) fleetd.Worker {
+	return fleetd.Worker{
+		Addr:     addr,
+		Capacity: workers,
+		Proto:    protoVersion,
+		Systems:  system.Names(),
+		Images:   workerImages(),
+	}
+}
+
+// ServeCounters aggregates a worker's lifetime execution counters for
+// heartbeat reporting: batches and runs completed, and batches cut
+// short by a protocol-3 cancel. All methods are safe for concurrent
+// use.
+type ServeCounters struct {
+	batches atomic.Int64
+	runs    atomic.Int64
+	cancels atomic.Int64
+}
+
+// Stats snapshots the counters in the registry's heartbeat form.
+func (c *ServeCounters) Stats() fleetd.WorkerStats {
+	if c == nil {
+		return fleetd.WorkerStats{}
+	}
+	return fleetd.WorkerStats{
+		Batches: c.batches.Load(),
+		Runs:    c.runs.Load(),
+		Cancels: c.cancels.Load(),
+	}
+}
+
+// ServeOptions parametrizes ServeWith beyond the listener: the
+// in-process pool width each connection's batches run on, an optional
+// log sink, and optional counters for heartbeat reporting.
+type ServeOptions struct {
+	Workers  int
+	Log      io.Writer
+	Counters *ServeCounters
+}
+
 // Serve accepts protocol connections on ln until ctx is cancelled and
-// answers each with ServeConn — the engine behind `lfi serve`. Every
-// batch a connection carries runs on an in-process pool of the given
-// width. Cancellation closes the listener and every active connection:
-// a client mid-batch observes a dead worker and requeues (the same
-// contract as a killed worker process).
+// answers each with the connection loop — the engine behind
+// `lfi serve`. See ServeWith for the full option set.
 func Serve(ctx context.Context, ln net.Listener, workers int, logw io.Writer) error {
-	if workers <= 0 {
-		workers = 1
+	return ServeWith(ctx, ln, ServeOptions{Workers: workers, Log: logw})
+}
+
+// ServeWith accepts protocol connections on ln until ctx is cancelled.
+// Every batch a connection carries runs on an in-process pool of
+// opts.Workers width. Cancellation closes the listener and every
+// active connection: a client mid-batch observes a dead worker and
+// requeues (the same contract as a killed worker process).
+func ServeWith(ctx context.Context, ln net.Listener, opts ServeOptions) error {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
 	}
 	var (
 		mu    sync.Mutex
@@ -97,8 +210,8 @@ func Serve(ctx context.Context, ln net.Listener, workers int, logw io.Writer) er
 	})
 	defer stop()
 	logf := func(format string, args ...any) {
-		if logw != nil {
-			fmt.Fprintf(logw, format+"\n", args...)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
 		}
 	}
 	for {
@@ -117,7 +230,7 @@ func Serve(ctx context.Context, ln net.Listener, workers int, logw io.Writer) er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := ServeConn(conn, workers)
+			err := serveConn(ctx, conn, opts)
 			conn.Close()
 			mu.Lock()
 			delete(conns, conn)
@@ -131,6 +244,20 @@ func Serve(ctx context.Context, ln net.Listener, workers int, logw io.Writer) er
 	}
 }
 
+// workerImages advertises the image version of every registered
+// system, computed exactly as the explorer computes its own
+// (explore.ImageVersion): binary name + "@" + image hash. A client
+// compares these against its build to detect a mixed-build worker.
+func workerImages() map[string]string {
+	ds := system.All()
+	out := make(map[string]string, len(ds))
+	for _, d := range ds {
+		b, _ := d.Binary()
+		out[d.Name] = b.Name + "@" + impact.ImageHash(b.Code)
+	}
+	return out
+}
+
 // scenarioCacheMax caps a connection's parsed-scenario cache; beyond it
 // the cache is dropped wholesale (campaigns resend a bounded working
 // set of scenario documents, and a fresh parse is always correct).
@@ -139,7 +266,8 @@ const scenarioCacheMax = 4096
 // serverConn is the per-connection protocol state: the parsed-scenario
 // cache (repeated batches reuse scenario — and therefore compiled-
 // program — identity) and the coverage-universe tags already sent to
-// this client.
+// this client. It is touched only by the connection's executor
+// goroutine, so it needs no locking even under pipelining.
 type serverConn struct {
 	scenarios map[string]*scenario.Scenario // canonical XML -> parsed
 	uniTags   map[*coverage.Index]uint64
@@ -183,17 +311,27 @@ func (sc *serverConn) universe(idx *coverage.Index) (tag uint64, inline []string
 	return tag, nil
 }
 
-// runBatch executes one received batch on the local backend, returning
-// the completed prefix and the in-band error string. On a mid-batch
-// error the completed prefix still ships alongside the error, mirroring
-// the local backend's contract — the client folds it so no completed
-// run is ever re-executed.
-func runBatch(local *Local, b *Batch) (outs []*Outcome, errStr string) {
-	outs, err := local.Run(context.Background(), b)
-	if err != nil {
-		errStr = err.Error()
-	}
-	return outs, errStr
+// cancelledBatch is the in-band error a worker answers a cancelled run
+// request with: the client that sent the cancel maps it back to its
+// own ctx.Err(), anyone else treats it as a dead backend and requeues.
+const cancelledBatch = "cancelled"
+
+// pipelineQueueMax bounds how many run requests one connection may
+// hold queued behind the executing batch. Clients pipeline far fewer
+// (Remote defaults to 4); a client that exceeds the bound just blocks
+// the connection's read loop — its own cancels included — until the
+// queue drains, which only hurts itself.
+const pipelineQueueMax = 64
+
+// queuedRun is one run request awaiting the connection's executor
+// goroutine: either a protocol-2/3 binary payload (decoded at
+// execution time, so the read loop never touches serverConn state) or
+// an already-unmarshalled JSON request.
+type queuedRun struct {
+	id      uint64
+	payload []byte   // binary form; nil when req is set
+	req     *request // JSON form; nil when payload is set
+	ctx     context.Context
 }
 
 // ServeConn answers one protocol connection: hello, then run requests,
@@ -201,71 +339,224 @@ func runBatch(local *Local, b *Batch) (outs []*Outcome, errStr string) {
 // width. It returns io.EOF on clean client disconnect. Which systems
 // the worker offers follows from which system packages the serving
 // binary imports (cmd/lfi imports them all via the lfi facade).
-//
-// Run requests arrive as protocol-2 binary frames (answered in kind)
-// or as protocol-1 JSON (answered with JSON, coverage materialized as
-// sorted block-ID strings) — the first payload byte tells them apart,
-// so one worker serves both old and new clients.
 func ServeConn(conn io.ReadWriter, workers int) error {
+	return serveConn(context.Background(), conn, ServeOptions{Workers: workers})
+}
+
+// serveConn is the connection loop. Run requests arrive as binary
+// frames (protocol 2/3, answered in kind) or as protocol-1 JSON
+// (answered with JSON, coverage materialized as sorted block-ID
+// strings) — the first payload byte tells them apart, so one worker
+// serves every client vintage.
+//
+// The loop splits into two goroutines so protocol-3 semantics work:
+// the read loop enqueues run requests (up to pipelineQueueMax deep —
+// pipelining) and handles control frames inline, while a single
+// executor goroutine runs batches strictly in arrival order
+// (determinism: same FIFO execution a sequential client got). A
+// cancel frame cancels the named request's context whether it is
+// executing or still queued; the cancelled batch answers with its
+// completed prefix and the in-band "cancelled" error, which is what
+// frees clients from the 30s drain grace.
+func serveConn(ctx context.Context, conn io.ReadWriter, opts ServeOptions) error {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	local := NewLocal(workers)
 	sc := &serverConn{}
+	var (
+		writeMu  sync.Mutex
+		cancelMu sync.Mutex
+		cancels  = make(map[uint64]context.CancelFunc)
+	)
+	write := func(data []byte) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeRawFrame(conn, data)
+	}
+	writeJSON := func(v any) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeFrame(conn, v)
+	}
+	admit := func(id uint64) context.Context {
+		rctx, rcancel := context.WithCancel(ctx)
+		cancelMu.Lock()
+		cancels[id] = rcancel
+		cancelMu.Unlock()
+		return rctx
+	}
+	retire := func(id uint64) {
+		cancelMu.Lock()
+		if c := cancels[id]; c != nil {
+			c()
+			delete(cancels, id)
+		}
+		cancelMu.Unlock()
+	}
+
+	// The executor: batches run one at a time, FIFO. Its write errors
+	// are not surfaced separately — a broken connection fails the read
+	// loop too, which is where the connection error is reported.
+	queue := make(chan queuedRun, pipelineQueueMax)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for qr := range queue {
+			serveRun(local, sc, opts.Counters, qr, write, writeJSON)
+			retire(qr.id)
+		}
+	}()
+
+	var readErr error
+read:
 	for {
 		payload, err := readRawFrame(conn)
 		if err != nil {
-			return err
+			readErr = err
+			break
 		}
-		if isBinaryFrame(payload, frameRunReq) {
-			id, b, derr := decodeRunRequest(payload, sc.parse)
-			var outs []*Outcome
-			var errStr string
-			if derr != nil {
-				errStr = derr.Error()
-			} else {
-				outs, errStr = runBatch(local, b)
-			}
-			var tag uint64
-			var inline []string
-			for _, o := range outs {
-				if o.CovU != nil {
-					// One system per batch, so one universe per response.
-					tag, inline = sc.universe(o.CovU)
-					break
-				}
-			}
-			if err := writeRawFrame(conn, encodeRunResponse(id, errStr, outs, tag, inline)); err != nil {
-				return err
-			}
-			continue
-		}
-		var req request
-		if err := json.Unmarshal(payload, &req); err != nil {
-			return fmt.Errorf("exec: unmarshal: %w", err)
-		}
-		resp := response{ID: req.ID}
-		switch req.Method {
-		case "hello":
-			resp.Hello = &helloInfo{Proto: protoVersion, Capacity: workers, Systems: system.Names()}
-		case "run":
-			if req.Batch == nil {
-				resp.Error = "run request without batch"
-				break
-			}
-			b, err := fromWireCached(sc, req.Batch)
+		switch {
+		case isBinaryFrame(payload, frameRunReq):
+			id, err := frameID(payload)
 			if err != nil {
-				resp.Error = err.Error()
-				break
+				readErr = err
+				break read
 			}
-			resp.Outcomes, resp.Error = runBatch(local, b)
-			for _, o := range resp.Outcomes {
-				if o.Blocks == nil && o.CovU != nil {
-					o.Blocks = o.BlockIDs() // JSON boundary: sorted-ID form
+			queue <- queuedRun{id: id, payload: payload, ctx: admit(id)}
+		case isBinaryFrame(payload, frameCancel):
+			// Cancel an executing or queued request; unknown ids (the
+			// response already shipped) are a harmless race.
+			if id, err := frameID(payload); err == nil {
+				cancelMu.Lock()
+				if c := cancels[id]; c != nil {
+					c()
 				}
+				cancelMu.Unlock()
 			}
 		default:
-			resp.Error = fmt.Sprintf("unknown method %q", req.Method)
-		}
-		if err := writeFrame(conn, &resp); err != nil {
-			return err
+			var req request
+			if err := json.Unmarshal(payload, &req); err != nil {
+				readErr = fmt.Errorf("exec: unmarshal: %w", err)
+				break read
+			}
+			switch req.Method {
+			case "hello":
+				resp := response{ID: req.ID, Hello: helloFor(req.Proto, workers)}
+				if err := writeJSON(&resp); err != nil {
+					readErr = err
+					break read
+				}
+			case "funcs":
+				resp := response{ID: req.ID}
+				if d, ok := system.Lookup(req.System); ok {
+					b, _ := d.Binary()
+					resp.Funcs = impact.FuncHashes(b)
+				} else {
+					resp.Error = fmt.Sprintf("system %q not registered", req.System)
+				}
+				if err := writeJSON(&resp); err != nil {
+					readErr = err
+					break read
+				}
+			case "run":
+				r := req
+				queue <- queuedRun{id: req.ID, req: &r, ctx: admit(req.ID)}
+			default:
+				resp := response{ID: req.ID, Error: fmt.Sprintf("unknown method %q", req.Method)}
+				if err := writeJSON(&resp); err != nil {
+					readErr = err
+					break read
+				}
+			}
 		}
 	}
+	// Stop queued work before waiting it out: the client is gone, so
+	// finishing its batches buys nothing.
+	cancelMu.Lock()
+	for _, c := range cancels {
+		c()
+	}
+	cancelMu.Unlock()
+	close(queue)
+	<-done
+	return readErr
+}
+
+// helloFor negotiates the hello response: min(ours, client's), where a
+// client that sent no version (the field exists since protocol 3)
+// counts as protocol 2 — exactly what those builds were. Image
+// versions are advertised to protocol-3 clients only.
+func helloFor(clientProto, workers int) *helloInfo {
+	p := protoVersion
+	if clientProto == 0 {
+		clientProto = 2
+	}
+	if clientProto < p {
+		p = clientProto
+	}
+	h := &helloInfo{Proto: p, Capacity: workers, Systems: system.Names()}
+	if p >= 3 {
+		h.Images = workerImages()
+	}
+	return h
+}
+
+// serveRun executes one queued run request and writes its response.
+func serveRun(local *Local, sc *serverConn, counters *ServeCounters, qr queuedRun, write func([]byte) error, writeJSON func(any) error) {
+	runCtx := func(b *Batch) (outs []*Outcome, errStr string) {
+		outs, err := local.Run(qr.ctx, b)
+		if err != nil {
+			if qr.ctx.Err() != nil && errors.Is(err, qr.ctx.Err()) {
+				errStr = cancelledBatch
+				if counters != nil {
+					counters.cancels.Add(1)
+				}
+			} else {
+				errStr = err.Error()
+			}
+		}
+		if counters != nil {
+			counters.batches.Add(1)
+			counters.runs.Add(int64(len(outs)))
+		}
+		return outs, errStr
+	}
+	if qr.payload != nil {
+		id, b, derr := decodeRunRequest(qr.payload, sc.parse)
+		var outs []*Outcome
+		var errStr string
+		if derr != nil {
+			errStr = derr.Error()
+		} else {
+			outs, errStr = runCtx(b)
+		}
+		var tag uint64
+		var inline []string
+		for _, o := range outs {
+			if o.CovU != nil {
+				// One system per batch, so one universe per response.
+				tag, inline = sc.universe(o.CovU)
+				break
+			}
+		}
+		write(encodeRunResponse(id, errStr, outs, tag, inline))
+		return
+	}
+	req := qr.req
+	resp := response{ID: req.ID}
+	if req.Batch == nil {
+		resp.Error = "run request without batch"
+	} else if b, err := fromWireCached(sc, req.Batch); err != nil {
+		resp.Error = err.Error()
+	} else {
+		resp.Outcomes, resp.Error = runCtx(b)
+		for _, o := range resp.Outcomes {
+			if o.Blocks == nil && o.CovU != nil {
+				o.Blocks = o.BlockIDs() // JSON boundary: sorted-ID form
+			}
+		}
+	}
+	writeJSON(&resp)
 }

@@ -34,6 +34,26 @@ import (
 //     learns the worker speaks protocol 2 switches its run frames to
 //     binary; everything else stays JSON.
 //
+// Protocol 3 keeps both encodings and adds service semantics on top:
+//
+//   - the hello request carries the client's protocol version and the
+//     two ends settle on min(client, worker), so every pairing of old
+//     and new builds still interoperates;
+//   - a binary **cancel** frame (kind 0x03) names an in-flight run
+//     request by id; the worker stops starting new runs, finishes the
+//     ones in flight, and answers the cancelled request with its
+//     completed prefix — drains no longer depend on the 30s grace
+//     timeout (kept only as the fallback for proto≤2 peers);
+//   - requests are **pipelined**: a worker reads the next run request
+//     while executing the current one (batches still execute in FIFO
+//     order per connection, preserving determinism), and responses
+//     carry ids so a client can keep several batches in flight;
+//   - the hello response advertises per-system **image versions** and a
+//     "funcs" control method serves per-function fingerprints, so a
+//     client can detect a mixed-build worker and reconcile its
+//     outcomes through the store's migration machinery instead of
+//     dropping them.
+//
 // A batch's scenarios travel as canonical XML (scenario.Serialize is
 // byte-deterministic), so content hashes — and therefore store keys —
 // mean the same thing on both ends. Errors come back in-band on the
@@ -44,7 +64,7 @@ import (
 // outside [protoOldest, protoVersion] is rejected at connection setup,
 // not mid-campaign.
 const (
-	protoVersion = 2
+	protoVersion = 3
 	protoOldest  = 1
 )
 
@@ -56,6 +76,11 @@ type request struct {
 	ID     uint64     `json:"id"`
 	Method string     `json:"method"`
 	Batch  *wireBatch `json:"batch,omitempty"`
+	// Proto is the client's native protocol version, sent with hello
+	// since protocol 3 (absent — zero — means a proto≤2 client).
+	Proto int `json:"proto,omitempty"`
+	// System parametrizes the "funcs" method (protocol 3).
+	System string `json:"system,omitempty"`
 }
 
 type response struct {
@@ -63,12 +88,20 @@ type response struct {
 	Error    string     `json:"error,omitempty"`
 	Hello    *helloInfo `json:"hello,omitempty"`
 	Outcomes []*Outcome `json:"outcomes,omitempty"`
+	// Funcs answers a "funcs" request: the worker's per-function
+	// fingerprints for one system (protocol 3).
+	Funcs map[string]string `json:"funcs,omitempty"`
 }
 
 type helloInfo struct {
 	Proto    int      `json:"proto"`
 	Capacity int      `json:"capacity"`
 	Systems  []string `json:"systems"`
+	// Images maps each advertised system to the image version the
+	// worker would execute it as (protocol 3) — the mixed-build
+	// handshake: a client whose own image differs reconciles this
+	// worker's outcomes instead of trusting them blindly.
+	Images map[string]string `json:"images,omitempty"`
 }
 
 // wireBatch is a Batch with scenarios serialized for transport.

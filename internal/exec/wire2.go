@@ -13,7 +13,7 @@ import (
 // recognized by its first byte:
 //
 //	payload := 0xB2 kind body
-//	kind    := 0x01 (run request) | 0x02 (run response)
+//	kind    := 0x01 (run request) | 0x02 (run response) | 0x03 (cancel, protocol 3)
 //
 // Run request body:
 //
@@ -57,6 +57,7 @@ const (
 	frameMagic     = 0xB2
 	frameRunReq    = 0x01
 	frameRunResp   = 0x02
+	frameCancel    = 0x03
 	outCrashed     = 1 << 0
 	outHasCoverage = 1 << 1
 	reqCoverage    = 1 << 0
@@ -90,6 +91,23 @@ func encodeRunRequest(id uint64, b *Batch) []byte {
 		out = append(out, doc...)
 	}
 	return out
+}
+
+// encodeCancel encodes a protocol-3 cancel frame naming an in-flight
+// run request. Cancel has no response of its own: the cancelled run
+// request answers with its completed prefix.
+func encodeCancel(id uint64) []byte {
+	out := []byte{frameMagic, frameCancel}
+	return appendUvarint(out, id)
+}
+
+// frameID reads the request/response id every binary frame kind leads
+// with, without decoding the rest — the server's read loop needs the
+// id before the (potentially deferred) full decode.
+func frameID(payload []byte) (uint64, error) {
+	d := &bdec{data: payload, off: 2}
+	id := d.uvarint()
+	return id, d.err
 }
 
 // respEncoder assembles one run response's string table while encoding.

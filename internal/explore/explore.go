@@ -41,8 +41,6 @@ package explore
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"io"
 	"runtime"
@@ -197,6 +195,24 @@ type Config struct {
 	Seed int64
 	// Log receives per-batch progress lines (nil = silent).
 	Log io.Writer
+	// Status, when set, receives a progress snapshot after every batch
+	// — the hook the session's fleet publisher forwards to the registry
+	// so `lfi fleet status` can watch a campaign live. Called from the
+	// scheduling goroutine; keep it fast (hand off, don't block).
+	Status func(StatusUpdate)
+}
+
+// StatusUpdate is one live campaign progress snapshot: outcomes folded
+// so far, the coverage frontier, and the EWMA cost-model state the
+// fleet is scheduling on.
+type StatusUpdate struct {
+	System         string
+	Executed       int
+	Replayed       int
+	Bugs           int
+	Covered        int // recovery blocks reached so far
+	RecoveryBlocks int // recovery blocks in the universe
+	Cost           exec.CostModel
 }
 
 func (c Config) withDefaults() Config {
@@ -246,6 +262,27 @@ type Result struct {
 	// Impact is the change-impact analysis summary (nil unless
 	// Config.Impact was set and the store recorded a previous image).
 	Impact *ImpactSummary
+	// Mixed is the mixed-build reconciliation summary (nil unless some
+	// fleet worker ran a different image version than the coordinator).
+	Mixed *MixedSummary
+}
+
+// MixedSummary reports how outcomes from workers running a *different*
+// image version were reconciled instead of dropped: per foreign image,
+// the function-level diff bounds what the divergence can reach
+// (internal/impact); outcomes whose coverage the divergence provably
+// cannot touch fold in and adopt into the store, everything else
+// re-executes on a build-matched backend.
+type MixedSummary struct {
+	Images      []string // foreign image versions seen (sorted)
+	Migrated    int      // outcomes adopted — divergence cannot reach their coverage
+	Revalidated int      // outcomes discarded, candidates re-run on matching builds
+}
+
+// String renders the one-line mixed-build report.
+func (s *MixedSummary) String() string {
+	return fmt.Sprintf("mixed builds: %d foreign image(s) %v, %d outcomes adopted, %d re-validated on matching builds",
+		len(s.Images), s.Images, s.Migrated, s.Revalidated)
 }
 
 // CoverageGain reports whether exploration covered recovery blocks the
@@ -266,6 +303,9 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "  total coverage:    %s\n", r.Total)
 	if r.Impact != nil {
 		fmt.Fprintf(&b, "  %s\n", r.Impact)
+	}
+	if r.Mixed != nil {
+		fmt.Fprintf(&b, "  %s\n", r.Mixed)
 	}
 	fmt.Fprintf(&b, "  %d distinct failure signatures:\n", len(r.Bugs))
 	for _, bug := range r.Bugs {
@@ -452,10 +492,11 @@ func profileErrorCodes(ps []*profile.Profile, callee string) []int64 {
 }
 
 // contentHash is the scenario identity: a hash of the canonical
-// (deterministic) XML serialization.
+// (deterministic) XML serialization. Built scenarios carry the hash
+// (and the serialized bytes the wire encoders reuse) sealed in, so
+// this never re-serializes a scenario the Builder produced.
 func contentHash(s *scenario.Scenario) string {
-	sum := sha256.Sum256(s.Serialize())
-	return hex.EncodeToString(sum[:8])
+	return s.ContentHash()
 }
 
 // ImageVersion identifies the target image the store entries belong to.
@@ -506,6 +547,23 @@ type explorer struct {
 	// have affected jump the queue, ordered by expected gain under the
 	// store's persisted EWMA cost model (nil when impact is off).
 	reval map[string]float64
+
+	// profileChanged marks callees whose library fault profile changed
+	// since the store's last save (impact.DiffProfiles): their cached
+	// outcomes were produced under a different fault model and must
+	// re-validate even though no code byte — and so no store key —
+	// moved (nil when impact is off or nothing changed).
+	profileChanged map[string]bool
+
+	// Mixed-build reconciliation state: this coordinator's image
+	// version and function fingerprints, plus — per foreign image
+	// version some worker reported — the impact set bounding what the
+	// build divergence can reach (lazily computed from the worker's
+	// own fingerprints; a fallback set when it cannot be bounded).
+	imageVersion string
+	funcHashes   map[string]string
+	mixed        map[string]*mixedImage
+	mixedSum     *MixedSummary
 
 	// uniSame memoizes which outcome universes are bit-compatible with
 	// idx (same sorted ID table, possibly a different *Index — the local
@@ -716,8 +774,12 @@ type run struct {
 	store   *Store
 	keys    map[string]bool
 	pending []*Candidate
-	stall   int
-	begin   time.Time
+	// reval queues candidates whose mixed-build outcome could not be
+	// proven build-independent; they re-run ahead of pending, in
+	// batches pinned to build-matched backends (Batch.RequireImage).
+	reval []*Candidate
+	stall int
+	begin time.Time
 	// ownExec marks a fleet newRun built itself (no Config.Exec);
 	// finish closes it.
 	ownExec bool
@@ -747,6 +809,9 @@ func newRun(cfg Config) (*run, error) {
 	}
 	x.hashes = impact.NewHasher(cfg.Binary)
 	x.imageRegion = x.hashes.Image()
+	x.imageVersion = ImageVersion(cfg.Binary)
+	x.funcHashes = impact.FuncHashes(cfg.Binary)
+	x.mixed = make(map[string]*mixedImage)
 	res := &Result{System: cfg.System, Candidates: len(cands)}
 
 	// Baseline: the default suite with no injection. This registers
@@ -773,9 +838,10 @@ func newRun(cfg Config) (*run, error) {
 	// an unchanged target still executes nothing.
 	var store *Store
 	var plan *impactPlan
+	var sum *ImpactSummary
 	if cfg.Store != "" {
 		var err error
-		store, err = LoadStore(cfg.Store, cfg.System, ImageVersion(cfg.Binary))
+		store, err = LoadStore(cfg.Store, cfg.System, x.imageVersion)
 		if err != nil {
 			return nil, err
 		}
@@ -789,13 +855,41 @@ func newRun(cfg Config) (*run, error) {
 				x.logf("explore %s: impact: no previous image metadata in %s — falling back to whole-shard invalidation",
 					cfg.System, cfg.Store)
 			} else {
+				sum = plan.sum
 				x.reval = make(map[string]float64)
 				x.logf("explore %s: %s", cfg.System, plan.sum)
 			}
 		}
-		// Record this image's function fingerprints so the *next*
-		// session can diff against us without the old binary.
-		store.SetFuncHashes(impact.FuncHashes(cfg.Binary))
+		profHashes := impact.ProfileHashes(cfg.Profiles)
+		if cfg.Impact {
+			// A profile edit moves no code byte — every store key still
+			// matches — but the cached outcomes were produced under a
+			// different fault model. Diff the persisted profile
+			// fingerprints and force the affected callees' cached
+			// entries through re-execution, ahead of fresh candidates.
+			if prior, ok := store.PriorProfileHashes(); ok {
+				if changed := impact.DiffProfiles(prior, profHashes); len(changed) > 0 {
+					x.profileChanged = make(map[string]bool, len(changed))
+					for _, fn := range changed {
+						x.profileChanged[fn] = true
+					}
+					if x.reval == nil {
+						x.reval = make(map[string]float64)
+					}
+					if sum == nil {
+						sum = &ImpactSummary{PrevImage: x.imageVersion}
+					}
+					sum.ProfilesChanged = changed
+					x.logf("explore %s: impact: %d callee profile(s) changed %v — re-validating their cached outcomes",
+						cfg.System, len(changed), changed)
+				}
+			}
+		}
+		// Record this image's function and profile fingerprints so the
+		// *next* session can diff against us without the old binary or
+		// the old profile set.
+		store.SetFuncHashes(x.funcHashes)
+		store.SetProfileHashes(profHashes)
 	}
 	keys := candidateKeys(cands)
 	pending := make([]*Candidate, 0, len(cands))
@@ -804,6 +898,19 @@ func newRun(cfg Config) (*run, error) {
 		c := work[0]
 		work = work[1:]
 		e, ok := store.Lookup(c.key)
+		if ok && x.profileChanged[c.Callee] {
+			// Cached under the old fault model: skip the replay and
+			// re-execute, failed entries boosted first — a bug found
+			// under the old profile is the outcome most worth
+			// re-confirming under the new one.
+			boost := 125.0
+			if e.Failed {
+				boost += 40
+			}
+			x.reval[c.Hash] = boost
+			sum.Revalidated++
+			ok = false
+		}
 		if !ok && plan != nil {
 			// The candidate's region hash moved (or it keys on the
 			// image and the image moved). If the previous image cached
@@ -850,8 +957,8 @@ func newRun(cfg Config) (*run, error) {
 	if res.Replayed > 0 {
 		x.logf("explore %s: replayed %d cached outcomes from %s", cfg.System, res.Replayed, cfg.Store)
 	}
-	if plan != nil {
-		res.Impact = plan.sum
+	if sum != nil {
+		res.Impact = sum
 	}
 	return &run{cfg: cfg, x: x, res: res, store: store, keys: keys, pending: pending, begin: begin, ownExec: ownExec}, nil
 }
@@ -859,7 +966,7 @@ func newRun(cfg Config) (*run, error) {
 // done reports whether scheduling is finished: queue drained, stalled,
 // or the per-run budget spent.
 func (r *run) done() bool {
-	if len(r.pending) == 0 || r.stall >= r.cfg.StallBatches {
+	if len(r.pending)+len(r.reval) == 0 || r.stall >= r.cfg.StallBatches {
 		return true
 	}
 	return r.cfg.MaxRuns > 0 && r.res.Executed >= r.cfg.MaxRuns
@@ -893,15 +1000,33 @@ func (r *run) step(ctx context.Context, cap int) error {
 	if size <= 0 {
 		return nil
 	}
-	batch, rest := r.x.takeBatch(r.pending, size)
-	r.pending = rest
+	// Mixed-build re-validations run first, pinned to build-matched
+	// backends: they are completed experiments waiting on a trusted
+	// executor — the cheapest path back to a fully-folded frontier.
+	require := len(r.reval) > 0
+	var batch []*Candidate
+	if require {
+		if size > len(r.reval) {
+			size = len(r.reval)
+		}
+		batch, r.reval = r.reval[:size], r.reval[size:]
+	} else {
+		batch, r.pending = r.x.takeBatch(r.pending, size)
+	}
 
-	report, mutants, unrun, err := r.x.runBatch(ctx, len(r.res.Batches), batch, r.store)
+	report, mutants, unrun, reval, err := r.x.runBatch(ctx, len(r.res.Batches), batch, r.store, require)
 	for _, m := range mutants {
 		r.keys[m.key] = true
 	}
 	r.pending = append(r.pending, mutants...)
-	r.pending = append(r.pending, unrun...)
+	if require {
+		// Candidates a pinned batch never ran still need a matched
+		// build; everything else requeues on the general queue.
+		r.reval = append(r.reval, unrun...)
+	} else {
+		r.pending = append(r.pending, unrun...)
+	}
+	r.reval = append(r.reval, reval...)
 	if report.Runs > 0 {
 		r.res.Executed += report.Runs
 		r.res.Batches = append(r.res.Batches, report)
@@ -916,18 +1041,40 @@ func (r *run) step(ctx context.Context, cap int) error {
 	if err := r.store.Save(r.keys); err != nil {
 		return err
 	}
+	r.publishStatus()
 
 	// A batch that breeds mutants is progress even when it adds no
 	// immediate coverage: the interesting part of a mutation chain
 	// (pbft's view-change burst) can sit several generations past
 	// the last coverage gain, and stalling it off would orphan the
-	// bred candidates.
+	// bred candidates. Pinned re-validation batches are exempt both
+	// ways: they re-confirm known outcomes, which is neither progress
+	// nor a stall signal.
+	if require {
+		return nil
+	}
 	if len(report.NewBlocks) == 0 && len(report.NewBugs) == 0 && len(mutants) == 0 {
 		r.stall++
 	} else {
 		r.stall = 0
 	}
 	return nil
+}
+
+// publishStatus pushes a progress snapshot to the Config.Status hook.
+func (r *run) publishStatus() {
+	if r.cfg.Status == nil {
+		return
+	}
+	r.cfg.Status(StatusUpdate{
+		System:         r.cfg.System,
+		Executed:       r.res.Executed,
+		Replayed:       r.res.Replayed,
+		Bugs:           len(r.x.sigs),
+		Covered:        r.x.covBits.Count(),
+		RecoveryBlocks: r.x.recBits.Count(),
+		Cost:           r.cfg.Exec.Cost(r.cfg.System),
+	})
 }
 
 // finish saves the store one last time — the zero-batch pure-replay
@@ -938,6 +1085,7 @@ func (r *run) step(ctx context.Context, cap int) error {
 // partial Result is returned either way so callers can report progress
 // up to the interrupt.
 func (r *run) finish(runErr error) (*Result, error) {
+	r.publishStatus()
 	// Persist the measured execution economics next to the outcomes:
 	// the next session schedules on them from its first batch.
 	r.store.SetCostModel(r.cfg.Exec.Cost(r.cfg.System))
@@ -946,6 +1094,7 @@ func (r *run) finish(runErr error) (*Result, error) {
 		r.cfg.Exec.Close()
 	}
 	r.res.Mutants = r.x.spawned
+	r.res.Mixed = r.x.mixedSum
 	r.res.Bugs = r.x.distinctBugs()
 	r.res.Final = r.x.acc.Recovery()
 	r.res.Total = r.x.acc.Total()
@@ -979,24 +1128,95 @@ func (x *explorer) takeBatch(pending []*Candidate, size int) (batch, rest []*Can
 	return pending[:size], pending[size:]
 }
 
+// mixedImage is the reconciliation state for one foreign worker image:
+// the worker's own function fingerprints and the impact set bounding
+// which recovery blocks its divergence from our image can reach.
+type mixedImage struct {
+	set   *impact.Set
+	funcs map[string]string
+}
+
+// mixedImageFor resolves (memoized) the reconciliation state for a
+// foreign image version some worker reported. The fingerprints come
+// from the worker itself over the proto-3 "funcs" RPC, routed through
+// the fleet; when no live backend can serve them the set degrades to a
+// fallback that intersects everything, so every outcome from that
+// image re-validates — never adopts on a bound we cannot prove.
+func (x *explorer) mixedImageFor(image string) *mixedImage {
+	if m, ok := x.mixed[image]; ok {
+		return m
+	}
+	m := &mixedImage{}
+	theirs, err := x.cfg.Exec.FuncsForImage(x.cfg.System, image)
+	switch {
+	case err != nil:
+		m.set = &impact.Set{Fallback: true, Reason: err.Error()}
+	default:
+		m.funcs = theirs
+		d := impact.DiffFuncs(theirs, x.funcHashes)
+		if d.Empty() {
+			m.set = &impact.Set{Fallback: true, Reason: "image differs outside function symbols"}
+		} else {
+			m.set = impact.Compute(x.cfg.Binary, d, x.cfg.BlockOffsets)
+		}
+	}
+	x.mixed[image] = m
+	if x.mixedSum == nil {
+		x.mixedSum = &MixedSummary{}
+	}
+	x.mixedSum.Images = append(x.mixedSum.Images, image)
+	sort.Strings(x.mixedSum.Images)
+	x.logf("explore %s: worker image %s differs from ours (%s): %s",
+		x.cfg.System, image, x.imageVersion, mixedBound(m.set))
+	return m
+}
+
+// mixedBound renders what the reconciliation decided for a log line.
+func mixedBound(s *impact.Set) string {
+	if s.Fallback {
+		return "divergence unbounded (" + s.Reason + "); all its outcomes re-validate"
+	}
+	return fmt.Sprintf("%d changed fn, %d impacted blocks; disjoint outcomes adopt", len(s.Changed), len(s.Blocks))
+}
+
+// foreignKey derives the store key the candidate would have under the
+// foreign image — the provenance Adopt records when an outcome
+// migrates across the build divergence. "" when the foreign region
+// cannot be named (no fingerprint for the caller).
+func (m *mixedImage) foreignKey(c *Candidate, image string) string {
+	region := regionOfImage(image)
+	if c.Caller != "" {
+		region = m.funcs[c.Caller]
+	}
+	if region == "" {
+		return ""
+	}
+	return c.Hash + "@" + region
+}
+
 // runBatch dispatches one batch across the execution fleet, then folds
 // coverage and failure deltas back into the scheduler state. Every
 // completed outcome is folded even when the dispatch returned an error
 // — that is how a cancelled batch's drained remote responses land in
 // the store — and candidates the fleet never ran come back as unrun for
 // the caller to requeue. It also returns the window mutants bred from
-// this batch's worthy occurrence/window outcomes.
-func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, store *Store) (report BatchReport, mutants, unrun []*Candidate, err error) {
+// this batch's worthy occurrence/window outcomes, plus the candidates
+// whose outcome came from a mixed-build worker and could not be proven
+// build-independent (reval) — the caller re-runs those on a
+// build-matched backend, which is what require requests.
+func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, store *Store, require bool) (report BatchReport, mutants, unrun, reval []*Candidate, err error) {
 	report = BatchReport{Index: index}
 	scens := make([]*scenario.Scenario, len(batch))
 	for i, c := range batch {
 		scens[i] = c.Scenario
 	}
 	outs, err := x.cfg.Exec.Run(ctx, &exec.Batch{
-		System:    x.cfg.System,
-		Seed:      x.cfg.Seed,
-		Coverage:  true,
-		Scenarios: scens,
+		System:       x.cfg.System,
+		Seed:         x.cfg.Seed,
+		Coverage:     true,
+		Scenarios:    scens,
+		Image:        x.imageVersion,
+		RequireImage: require,
 	})
 
 	// Delta attribution is sequential in batch order, so results are
@@ -1017,6 +1237,25 @@ func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, 
 		// the JSON form the store entry keeps (and an owned copy, so
 		// nothing wire- or scratch-backed is retained).
 		covBlocks := out.BlockIDs()
+
+		// Mixed build: the worker executed a different image version
+		// than the coordinator analyzed. Bound the divergence with the
+		// worker's own function fingerprints: an outcome whose recorded
+		// coverage the divergence provably cannot reach folds in (and
+		// adopts into the store with foreign-key provenance); anything
+		// else is discarded here and re-executed on a build-matched
+		// backend — reconciled, never silently dropped.
+		var adoptKey string
+		if out.Image != "" && out.Image != x.imageVersion {
+			m := x.mixedImageFor(out.Image)
+			if m.set.Intersects(covBlocks) {
+				x.mixedSum.Revalidated++
+				reval = append(reval, c)
+				continue
+			}
+			x.mixedSum.Migrated++
+			adoptKey = m.foreignKey(c, out.Image)
+		}
 		if out.CovU != nil && x.sameUniverse(out.CovU) {
 			// Bitset fast path: the outcome's universe matches ours, so
 			// the fold is pure bit arithmetic.
@@ -1054,7 +1293,11 @@ func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, 
 			}
 			x.sigs[out.Signature] = append(x.sigs[out.Signature], c.Scenario.Name)
 		}
-		store.Put(c.key, entry)
+		if adoptKey != "" {
+			store.Adopt(adoptKey, c.key, entry)
+		} else {
+			store.Put(c.key, entry)
+		}
 		if x.mutationWorthy(entry) {
 			mutants = append(mutants, x.mutate(c, entry.Failed)...)
 		}
@@ -1065,7 +1308,7 @@ func (x *explorer) runBatch(ctx context.Context, index int, batch []*Candidate, 
 	exec.Recycle(outs)
 	sort.Strings(report.NewBlocks)
 	report.Recovery = x.acc.Recovery()
-	return report, mutants, unrun, err
+	return report, mutants, unrun, reval, err
 }
 
 // distinctBugs renders the accumulated signatures in DistinctBugs shape.

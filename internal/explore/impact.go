@@ -39,18 +39,27 @@ type ImpactSummary struct {
 	Reason    string   // why, when Fallback
 	// Migrated counts cached entries carried across the edit with
 	// outcomes intact; Revalidated counts entries queued for
-	// re-execution because the edit may reach their coverage.
+	// re-execution because the edit may reach their coverage (or, for
+	// ProfilesChanged callees, because the fault model they were cached
+	// under changed).
 	Migrated    int
 	Revalidated int
+	// ProfilesChanged lists callees whose library fault profile changed
+	// since the last save — an edit no code hash can see (sorted).
+	ProfilesChanged []string
 }
 
 // String renders the one-line impact report.
 func (s *ImpactSummary) String() string {
-	if s.Fallback {
-		return fmt.Sprintf("impact vs %s: fallback to whole-shard invalidation (%s)", s.PrevImage, s.Reason)
+	var prof string
+	if len(s.ProfilesChanged) > 0 {
+		prof = fmt.Sprintf(", %d profile(s) changed [%s]", len(s.ProfilesChanged), strings.Join(s.ProfilesChanged, " "))
 	}
-	return fmt.Sprintf("impact vs %s: %d changed fn [%s], %d impacted blocks, %d migrated, %d revalidated",
-		s.PrevImage, len(s.Changed), strings.Join(s.Changed, " "), len(s.Blocks), s.Migrated, s.Revalidated)
+	if s.Fallback {
+		return fmt.Sprintf("impact vs %s: fallback to whole-shard invalidation (%s)%s", s.PrevImage, s.Reason, prof)
+	}
+	return fmt.Sprintf("impact vs %s: %d changed fn [%s], %d impacted blocks, %d migrated, %d revalidated%s",
+		s.PrevImage, len(s.Changed), strings.Join(s.Changed, " "), len(s.Blocks), s.Migrated, s.Revalidated, prof)
 }
 
 // impactPlan is the per-run decision table: how to treat a candidate

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"lfi/internal/profile"
 )
 
 // TestImpactInvalidation pins the diff-aware resume contract: after an
@@ -114,6 +116,115 @@ func TestImpactInvalidation(t *testing.T) {
 	}
 	if !reflect.DeepEqual(bugSigs(second), bugSigs(third)) {
 		t.Fatalf("bug signatures diverged on identical-binary resume:\n%v\nvs\n%v", bugSigs(second), bugSigs(third))
+	}
+}
+
+// dupReturnProfiles deep-copies a profile set and appends an exact
+// duplicate of fn's first constant error return. The edit is
+// candidate-space neutral — classification is set-semantic over E and
+// duplicate scenarios collapse under the content hash — but it changes
+// fn's canonical profile fingerprint (impact.ProfileHashes serializes
+// per Return), which is precisely what a fault-model edit looks like
+// to the store.
+func dupReturnProfiles(t *testing.T, ps []*profile.Profile, fn string) []*profile.Profile {
+	t.Helper()
+	edited := false
+	out := make([]*profile.Profile, len(ps))
+	for i, p := range ps {
+		np := &profile.Profile{Lib: p.Lib, Funcs: make(map[string]*profile.FuncProfile, len(p.Funcs))}
+		for name, fp := range p.Funcs {
+			nfp := &profile.FuncProfile{Name: fp.Name, Returns: append([]profile.Return(nil), fp.Returns...)}
+			if name == fn && !edited {
+				for _, r := range nfp.Returns {
+					if r.Const && len(r.Errnos) > 0 {
+						nfp.Returns = append(nfp.Returns, r)
+						edited = true
+						break
+					}
+				}
+			}
+			np.Funcs[name] = nfp
+		}
+		out[i] = np
+	}
+	if !edited {
+		t.Fatalf("profile set has no constant error return for %q to duplicate", fn)
+	}
+	return out
+}
+
+// TestImpactProfileEdit pins the profile-fingerprint half of the impact
+// contract: an edit to one library function's fault profile moves no
+// code byte — image, region, and function hashes are all identical, so
+// every store key still matches — yet an -impact resume must not trust
+// outcomes cached under the old fault model. Exactly the changed
+// callee's cached entries re-execute; everything else replays.
+func TestImpactProfileEdit(t *testing.T) {
+	const changed = "read"
+	cfg := minidbConfig(t)
+	cfg.Store = filepath.Join(t.TempDir(), "store")
+	cfg.Impact = true
+
+	first, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed == 0 || first.Impact != nil {
+		t.Fatalf("first run: executed %d, impact %+v; want a plain full run", first.Executed, first.Impact)
+	}
+
+	cfg.Profiles = dupReturnProfiles(t, cfg.Profiles, changed)
+	second, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Impact == nil {
+		t.Fatal("profile edit produced no impact summary")
+	}
+	if !reflect.DeepEqual(second.Impact.ProfilesChanged, []string{changed}) {
+		t.Fatalf("changed profiles = %v, want [%s]", second.Impact.ProfilesChanged, changed)
+	}
+	// The binary never changed, so nothing migrates — the only work is
+	// re-validating the changed callee's cached outcomes.
+	if second.Impact.Migrated != 0 {
+		t.Fatalf("pure profile edit migrated %d entries; image is identical", second.Impact.Migrated)
+	}
+	if second.Impact.Revalidated == 0 {
+		t.Fatal("profile edit re-validated nothing")
+	}
+	// Precision: strictly fewer re-executions than the full space, all
+	// of them attributable to the changed callee (the base candidates
+	// counted by Revalidated plus their runtime-bred window mutants).
+	if second.Executed == 0 || second.Executed >= first.Executed {
+		t.Fatalf("profile-edit resume executed %d of %d; want a strict non-empty subset", second.Executed, first.Executed)
+	}
+	if second.Executed < second.Impact.Revalidated {
+		t.Fatalf("executed %d < revalidated %d: a re-validated entry fell through", second.Executed, second.Impact.Revalidated)
+	}
+	// Every first-run entry is still accounted for exactly once.
+	if second.Executed+second.Replayed != first.Executed {
+		t.Fatalf("executed %d + replayed %d, want total %d", second.Executed, second.Replayed, first.Executed)
+	}
+	// The duplicated-return edit is semantically inert: the re-executed
+	// outcomes reproduce the cached bugs bit-for-bit.
+	if !reflect.DeepEqual(bugSigs(first), bugSigs(second)) {
+		t.Fatalf("bug signatures diverged across profile-edit resume:\n%v\nvs\n%v", bugSigs(first), bugSigs(second))
+	}
+
+	// The store manifest now records the edited fingerprints: an
+	// unchanged rerun replays everything and re-validates nothing.
+	third, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Executed != 0 {
+		t.Fatalf("identical-profile resume executed %d scenarios", third.Executed)
+	}
+	if third.Impact != nil && len(third.Impact.ProfilesChanged) != 0 {
+		t.Fatalf("identical-profile resume still flags changes: %v", third.Impact.ProfilesChanged)
+	}
+	if !reflect.DeepEqual(bugSigs(second), bugSigs(third)) {
+		t.Fatalf("bug signatures diverged on identical-profile resume:\n%v\nvs\n%v", bugSigs(second), bugSigs(third))
 	}
 }
 

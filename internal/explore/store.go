@@ -50,6 +50,9 @@ type Store struct {
 	// recorded into its manifest at Save — the impact metadata a later
 	// session diffs against without needing the old binary.
 	funcs map[string]string
+	// profiles is the current profile set's per-function fingerprint
+	// map (impact.ProfileHashes), recorded alongside funcs.
+	profiles map[string]string
 	// adopted records old-image keys whose entries the impact plan
 	// migrated forward this run (Adopt), so compaction stats count them
 	// as migrated rather than invalidated.
@@ -95,6 +98,12 @@ type imageManifest struct {
 	Image  string            `json:"image"`
 	Shards []string          `json:"shards"`
 	Funcs  map[string]string `json:"funcs,omitempty"`
+	// Profiles fingerprints the library fault profiles the candidate
+	// set was generated from (impact.ProfileHashes). A profile edit
+	// moves no code byte — image and region hashes all stay put — so
+	// this is the only record that lets a later `-impact` session spot
+	// one and re-validate the affected callees' cached outcomes.
+	Profiles map[string]string `json:"profiles,omitempty"`
 }
 
 // shardFile is the on-disk shape of one shard.
@@ -448,7 +457,7 @@ func (s *Store) Save(currentKeys map[string]bool) error {
 		}
 		set[scen] = true
 	}
-	manifest := imageManifest{Image: s.image, Funcs: s.funcs}
+	manifest := imageManifest{Image: s.image, Funcs: s.funcs, Profiles: s.profiles}
 	for region := range liveByRegion {
 		manifest.Shards = append(manifest.Shards, region)
 	}
@@ -616,6 +625,39 @@ func (s *Store) SetFuncHashes(funcs map[string]string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.funcs = funcs
+}
+
+// SetProfileHashes records the current profile set's per-function
+// fingerprints; Save writes them into the image's manifest next to the
+// code fingerprints.
+func (s *Store) SetProfileHashes(profiles map[string]string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles = profiles
+}
+
+// PriorProfileHashes returns the profile fingerprints of the most
+// recently saved manifest — the diff base for detecting a profile
+// edit. Unlike PreviousImage it does not skip the current image: a
+// pure profile edit leaves the image hash untouched, so the manifest
+// to diff against is usually the current image's own, written by the
+// last session. ok is false when no retained manifest recorded
+// profile fingerprints.
+func (s *Store) PriorProfileHashes() (map[string]string, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.index.Images {
+		if len(m.Profiles) > 0 {
+			return m.Profiles, true
+		}
+	}
+	return nil, false
 }
 
 // PreviousImage returns the most recently saved retained image other

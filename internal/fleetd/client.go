@@ -1,0 +1,194 @@
+package fleetd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrUnknownWorker is returned by Heartbeat when the registry no longer
+// knows the worker (evicted, or the registry restarted). The correct
+// reaction is to re-register, which Agent.Run does automatically.
+var ErrUnknownWorker = errors.New("fleetd: unknown worker")
+
+// httpClient bounds every registry call: the registry is on the same
+// network as the workers, so anything slower than this is down.
+var httpClient = &http.Client{Timeout: 5 * time.Second}
+
+// baseURL normalizes a registry address ("host:port" or a full URL)
+// into an http base.
+func baseURL(registry string) string {
+	if strings.Contains(registry, "://") {
+		return strings.TrimSuffix(registry, "/")
+	}
+	return "http://" + registry
+}
+
+// postJSON POSTs v to the endpoint and decodes the reply into out (nil
+// out discards the body). Non-2xx statuses become errors; 404 maps to
+// ErrUnknownWorker so heartbeat loops can distinguish "re-register"
+// from "registry unreachable".
+func postJSON(registry, path string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := httpClient.Post(baseURL(registry)+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrUnknownWorker
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("fleetd: %s: registry answered %s", path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// getJSON GETs the endpoint and decodes the reply into out.
+func getJSON(registry, path string, out any) error {
+	resp, err := httpClient.Get(baseURL(registry) + path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("fleetd: %s: registry answered %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Register announces a worker to the registry and returns the assigned
+// id plus the heartbeat interval the registry expects.
+func Register(registry string, w Worker) (string, time.Duration, error) {
+	var reply registerReply
+	if err := postJSON(registry, "/v1/register", w, &reply); err != nil {
+		return "", 0, err
+	}
+	interval := time.Duration(reply.HeartbeatMS) * time.Millisecond
+	if interval <= 0 {
+		interval = DefaultHeartbeat
+	}
+	return reply.ID, interval, nil
+}
+
+// Heartbeat reports a worker alive with its cumulative counters.
+func Heartbeat(registry, id string, stats WorkerStats) error {
+	return postJSON(registry, "/v1/heartbeat", heartbeatMsg{ID: id, Stats: stats}, nil)
+}
+
+// Workers fetches the registry's live worker set.
+func Workers(registry string) ([]Worker, error) {
+	var reply workersReply
+	if err := getJSON(registry, "/v1/workers", &reply); err != nil {
+		return nil, err
+	}
+	return reply.Workers, nil
+}
+
+// PublishCampaign replaces the registry's campaign progress snapshot.
+func PublishCampaign(registry string, c CampaignStatus) error {
+	return postJSON(registry, "/v1/campaign", c, nil)
+}
+
+// FetchStatus reads the registry's merged status document.
+func FetchStatus(registry string) (*Status, error) {
+	var st Status
+	if err := getJSON(registry, "/v1/status", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Agent is a worker's registration keeper: it registers, heartbeats at
+// the registry-assigned interval, and re-registers whenever the
+// registry forgets it or stops answering. Run it in its own goroutine
+// next to the worker's accept loop.
+type Agent struct {
+	registry string
+	worker   Worker
+	stats    func() WorkerStats
+	// Log receives one line per state change (registered, evicted,
+	// registry unreachable); nil silences it.
+	Log io.Writer
+	// retry is the pause between failed registration attempts,
+	// injectable for tests.
+	retry time.Duration
+}
+
+// NewAgent builds an agent that keeps the given worker registered with
+// the registry; stats is sampled at every heartbeat and must be safe to
+// call concurrently with the worker's serving goroutines.
+func NewAgent(registry string, w Worker, stats func() WorkerStats) *Agent {
+	if stats == nil {
+		stats = func() WorkerStats { return WorkerStats{} }
+	}
+	return &Agent{registry: registry, worker: w, stats: stats, retry: time.Second}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Log != nil {
+		fmt.Fprintf(a.Log, "fleetd: "+format+"\n", args...)
+	}
+}
+
+// Run keeps the worker registered until ctx is cancelled. Registration
+// failures retry every second; a heartbeat 404 re-registers
+// immediately; transient heartbeat transport errors ride through until
+// the registry either answers again or has evicted us (which the next
+// successful heartbeat reports as a 404).
+func (a *Agent) Run(ctx context.Context) {
+	for ctx.Err() == nil {
+		id, interval, err := Register(a.registry, a.worker)
+		if err != nil {
+			a.logf("register with %s failed: %v (retrying)", a.registry, err)
+			if !sleep(ctx, a.retry) {
+				return
+			}
+			continue
+		}
+		a.logf("registered with %s as %s (heartbeat %v)", a.registry, id, interval)
+		for {
+			if !sleep(ctx, interval) {
+				return
+			}
+			err := Heartbeat(a.registry, id, a.stats())
+			if errors.Is(err, ErrUnknownWorker) {
+				a.logf("registration %s lost, re-registering", id)
+				break
+			}
+			if err != nil {
+				a.logf("heartbeat failed: %v", err)
+			}
+		}
+	}
+}
+
+// sleep waits d or until ctx is cancelled; false means cancelled.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

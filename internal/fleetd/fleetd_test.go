@@ -1,0 +1,190 @@
+package fleetd
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testClock is an injectable registry clock: heartbeat/eviction logic
+// is tested by advancing it explicitly, never by sleeping.
+type testClock struct {
+	base time.Time
+	off  atomic.Int64
+}
+
+func (c *testClock) now() time.Time          { return c.base.Add(time.Duration(c.off.Load())) }
+func (c *testClock) advance(d time.Duration) { c.off.Add(int64(d)) }
+
+// newTestRegistry starts a registry on a loopback HTTP listener with an
+// injected clock.
+func newTestRegistry(t *testing.T, heartbeat time.Duration, miss int) (*Server, *testClock, string) {
+	t.Helper()
+	s := NewServer(heartbeat, miss)
+	clk := &testClock{base: time.Unix(1_000_000, 0)}
+	s.now = clk.now
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return s, clk, srv.URL
+}
+
+func TestRegisterHeartbeatWorkers(t *testing.T) {
+	_, clk, url := newTestRegistry(t, 2*time.Second, 3)
+
+	id1, interval, err := Register(url, Worker{Addr: "10.0.0.1:7411", Capacity: 4, Proto: 3, Systems: []string{"minidb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == "" || interval != 2*time.Second {
+		t.Fatalf("registration reply: id %q, interval %v", id1, interval)
+	}
+	clk.advance(time.Second)
+	id2, _, err := Register(url, Worker{Addr: "10.0.0.2:7411", Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id1 {
+		t.Fatalf("two workers share id %q", id1)
+	}
+
+	// Throughput comes from heartbeat counter deltas: 50 runs in 1s.
+	clk.advance(time.Second)
+	if err := Heartbeat(url, id1, WorkerStats{Batches: 5, Runs: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	workers, err := Workers(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 2 {
+		t.Fatalf("want 2 live workers, got %d: %+v", len(workers), workers)
+	}
+	// Stable registration order.
+	if workers[0].ID != id1 || workers[1].ID != id2 {
+		t.Fatalf("worker order not by registration: %+v", workers)
+	}
+	// w1 registered at t0, heartbeat at t0+2s with 100 runs: 50 runs/s.
+	if got := workers[0].RunsPerSec; got < 49.9 || got > 50.1 {
+		t.Fatalf("runs/sec from heartbeat delta: got %v, want ~50", got)
+	}
+	if workers[0].Stats.Runs != 100 || workers[0].Stats.Batches != 5 {
+		t.Fatalf("heartbeat stats not recorded: %+v", workers[0].Stats)
+	}
+}
+
+func TestEvictionAndReregistration(t *testing.T) {
+	srv, clk, url := newTestRegistry(t, time.Second, 3)
+
+	id, _, err := Register(url, Worker{Addr: "10.0.0.1:7411"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the miss horizon the worker stays live.
+	clk.advance(2 * time.Second)
+	if ws, _ := Workers(url); len(ws) != 1 {
+		t.Fatalf("worker evicted before the miss horizon: %+v", ws)
+	}
+	// Past it (3 × 1s of silence) the worker is gone and its heartbeat
+	// answers ErrUnknownWorker — the re-register signal.
+	clk.advance(2 * time.Second)
+	if ws, _ := Workers(url); len(ws) != 0 {
+		t.Fatalf("worker not evicted after missed heartbeats: %+v", ws)
+	}
+	if err := Heartbeat(url, id, WorkerStats{}); err != ErrUnknownWorker {
+		t.Fatalf("heartbeat after eviction: got %v, want ErrUnknownWorker", err)
+	}
+	srv.mu.Lock()
+	evicted := srv.evicted
+	srv.mu.Unlock()
+	if evicted != 1 {
+		t.Fatalf("eviction counter = %d, want 1", evicted)
+	}
+
+	// Re-registration under the same address replaces, never duplicates.
+	if _, _, err := Register(url, Worker{Addr: "10.0.0.1:7411"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Register(url, Worker{Addr: "10.0.0.1:7411"}); err != nil {
+		t.Fatal(err)
+	}
+	ws, _ := Workers(url)
+	if len(ws) != 1 {
+		t.Fatalf("re-registration duplicated the worker: %+v", ws)
+	}
+}
+
+func TestCampaignStatusRoundTrip(t *testing.T) {
+	_, clk, url := newTestRegistry(t, time.Second, 3)
+	clk.advance(time.Minute)
+
+	c := CampaignStatus{
+		Session: "host/123",
+		Systems: map[string]SystemStatus{
+			"minidb": {Executed: 40, Replayed: 2, Bugs: 3, Covered: 17, RecoveryBlocks: 20, GainPerRun: 0.25},
+		},
+	}
+	if err := PublishCampaign(url, c); err != nil {
+		t.Fatal(err)
+	}
+	st, err := FetchStatus(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HeartbeatMS != 1000 {
+		t.Fatalf("status heartbeat = %dms, want 1000", st.HeartbeatMS)
+	}
+	if st.Campaign == nil || st.Campaign.Session != "host/123" {
+		t.Fatalf("campaign snapshot lost: %+v", st.Campaign)
+	}
+	if got := st.Campaign.Systems["minidb"]; got.Executed != 40 || got.Bugs != 3 {
+		t.Fatalf("campaign system status mangled: %+v", got)
+	}
+	if !st.Campaign.Updated.Equal(clk.now()) {
+		t.Fatalf("registry did not stamp Updated: %v vs %v", st.Campaign.Updated, clk.now())
+	}
+}
+
+// TestAgentReregisters drives a real Agent loop against the registry:
+// it registers, heartbeats, and — when the registry forgets it (clock
+// jump past the miss horizon) — re-registers on its own.
+func TestAgentReregisters(t *testing.T) {
+	_, clk, url := newTestRegistry(t, 20*time.Millisecond, 3)
+
+	var runs atomic.Int64
+	agent := NewAgent(url, Worker{Addr: "10.0.0.9:7411", Capacity: 2}, func() WorkerStats {
+		return WorkerStats{Runs: runs.Load()}
+	})
+	agent.retry = 10 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go agent.Run(ctx)
+
+	waitFor := func(cond func([]Worker) bool, what string) []Worker {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			ws, err := Workers(url)
+			if err == nil && cond(ws) {
+				return ws
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+		return nil
+	}
+
+	ws := waitFor(func(ws []Worker) bool { return len(ws) == 1 }, "initial registration")
+	firstID := ws[0].ID
+
+	// Heartbeats carry the live counters.
+	runs.Store(77)
+	waitFor(func(ws []Worker) bool { return len(ws) == 1 && ws[0].Stats.Runs == 77 }, "heartbeat stats")
+
+	// Evict by jumping the registry clock far past the miss horizon: the
+	// agent's next heartbeat gets a 404 and it re-registers immediately.
+	clk.advance(time.Hour)
+	waitFor(func(ws []Worker) bool { return len(ws) == 1 && ws[0].ID != firstID }, "re-registration after eviction")
+}

@@ -47,6 +47,7 @@ import (
 	"lfi/internal/cfg"
 	"lfi/internal/dataflow"
 	"lfi/internal/isa"
+	"lfi/internal/profile"
 )
 
 // ImageHash fingerprints a whole code image (12 hex digits — the same
@@ -108,6 +109,76 @@ func FuncHashes(b *isa.Binary) map[string]string {
 	for _, sym := range b.Symbols {
 		out[sym.Name] = h.Region(sym.Name)
 	}
+	return out
+}
+
+// ProfileHashes fingerprints every profiled library function across a
+// profile set: a canonical serialization of the function's return
+// behaviours (constant values, errno side effects, computed-return
+// flag), hashed to the store's usual 12-hex-digit width. The store
+// persists the map in each image manifest so a later session can
+// detect a *profile* edit — which moves no code byte and therefore no
+// image or region hash — and re-validate exactly the candidates whose
+// callee's fault model changed.
+func ProfileHashes(ps []*profile.Profile) map[string]string {
+	out := make(map[string]string)
+	for _, p := range ps {
+		for _, name := range p.FuncNames() {
+			fp := p.Func(name)
+			var b []byte
+			b = append(b, p.Lib...)
+			b = append(b, 0)
+			for _, r := range canonicalReturns(fp) {
+				b = append(b, r...)
+				b = append(b, 0)
+			}
+			sum := sha256.Sum256(b)
+			// First profile wins on a duplicate name, matching how the
+			// generator resolves callees across profiles.
+			if _, dup := out[name]; !dup {
+				out[name] = hex.EncodeToString(sum[:6])
+			}
+		}
+	}
+	return out
+}
+
+// canonicalReturns renders a function profile's return behaviours in a
+// sorted, unambiguous text form.
+func canonicalReturns(fp *profile.FuncProfile) []string {
+	out := make([]string, 0, len(fp.Returns))
+	for _, r := range fp.Returns {
+		if !r.Const {
+			out = append(out, "computed")
+			continue
+		}
+		s := fmt.Sprintf("const:%d", r.Value)
+		es := make([]string, 0, len(r.Errnos))
+		for _, e := range r.Errnos {
+			es = append(es, e.String())
+		}
+		sort.Strings(es)
+		for _, e := range es {
+			s += ":" + e
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DiffProfiles compares two ProfileHashes maps and returns the function
+// names whose fault model changed or appeared, sorted. (Removed
+// functions generate no candidates under the new profile set, so they
+// need no re-validation.)
+func DiffProfiles(old, new map[string]string) []string {
+	var out []string
+	for name, h := range new {
+		if oh, ok := old[name]; !ok || oh != h {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 

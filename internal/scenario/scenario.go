@@ -76,10 +76,20 @@ func (f *FunctionAssoc) RetvalErrno() (int64, errno.Errno, error) {
 }
 
 // Scenario is a complete fault injection scenario.
+//
+// The canon/canonHash fields cache the canonical serialized form and
+// its content hash. They are written exactly once, by seal(), before
+// the scenario escapes Build or Parse — after that the scenario is
+// treated as immutable, so concurrent readers (wire encoders on
+// parallel fleet backends) need no synchronization. Hand-constructed
+// literals skip the cache and recompute per call.
 type Scenario struct {
 	Name      string
 	Triggers  []TriggerDecl
 	Functions []FunctionAssoc
+
+	canon     []byte
+	canonHash string
 }
 
 // FindTrigger returns the declaration with the given id, or nil.
@@ -226,12 +236,14 @@ func (b *Builder) Observe(fn string, refs ...string) *Builder {
 	return b
 }
 
-// Build validates and returns the scenario.
+// Build validates, seals (caching the canonical form and content
+// hash), and returns the scenario.
 func (b *Builder) Build() (*Scenario, error) {
 	s := b.s
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	s.seal()
 	return &s, nil
 }
 

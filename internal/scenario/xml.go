@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -65,6 +67,7 @@ func Parse(r io.Reader) (*Scenario, error) {
 			s.Functions = append(s.Functions, fa)
 		}
 	}
+	s.seal()
 	return s, nil
 }
 
@@ -116,10 +119,40 @@ func decodeTree(dec *xml.Decoder) (*trigger.Args, error) {
 	return root, nil
 }
 
-// Serialize writes the scenario as an XML document with a <scenario>
+// Serialize returns the scenario as an XML document with a <scenario>
 // root. The output is byte-deterministic and parses back to an equal
-// Scenario.
+// Scenario. Scenarios built by Build or Parse return their sealed
+// canonical bytes without re-serializing; callers must not modify the
+// returned slice.
 func (s *Scenario) Serialize() []byte {
+	if s.canon != nil {
+		return s.canon
+	}
+	return s.serialize()
+}
+
+// ContentHash returns the hex of the first 8 bytes of the SHA-256 of
+// the canonical serialized form — the scenario-identity half of every
+// store key. Sealed scenarios answer from cache.
+func (s *Scenario) ContentHash() string {
+	if s.canonHash != "" {
+		return s.canonHash
+	}
+	sum := sha256.Sum256(s.Serialize())
+	return hex.EncodeToString(sum[:8])
+}
+
+// seal computes and caches the canonical form and content hash. It
+// must be called before the scenario is shared across goroutines and
+// the scenario must not be mutated afterwards.
+func (s *Scenario) seal() {
+	s.canon = s.serialize()
+	sum := sha256.Sum256(s.canon)
+	s.canonHash = hex.EncodeToString(sum[:8])
+}
+
+// serialize materializes the canonical XML document.
+func (s *Scenario) serialize() []byte {
 	var b bytes.Buffer
 	b.WriteString("<scenario")
 	if s.Name != "" {

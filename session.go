@@ -70,6 +70,13 @@ type Session struct {
 	observer func(system string, o Outcome)
 	execs    []Executor
 	fleet    *exec.Fleet
+
+	// Fleet service mode (WithFleet): the registry address, the
+	// goroutine keeping the executor fleet in sync with the registry's
+	// live worker set, and the campaign status publisher (see fleet.go).
+	fleetReg     string
+	fleetWatcher *fleetWatch
+	publisher    *fleetPublisher
 }
 
 // SessionOption configures a Session. Options validate their arguments:
@@ -221,10 +228,20 @@ func NewSession(opts ...SessionOption) (*Session, error) {
 		probe.Close()
 		os.Remove(probe.Name())
 	}
-	if len(s.execs) == 0 {
+	if len(s.execs) == 0 && s.fleetReg == "" {
+		// No explicit backends: default to the in-process pool. In fleet
+		// mode the backends come from registry discovery instead — an
+		// empty initial fleet is legitimate there (workers may join a
+		// heartbeat later).
 		s.execs = []Executor{exec.NewLocal(s.workers)}
 	}
 	s.fleet = exec.NewFleet(s.execs...)
+	if s.fleetReg != "" {
+		if err := s.initFleet(); err != nil {
+			s.fleet.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -232,7 +249,12 @@ func NewSession(opts ...SessionOption) (*Session, error) {
 // subprocesses are reaped, remote connections closed. The session must
 // not be used afterwards. Sessions with only the default local backend
 // may skip Close; it is then a no-op.
-func (s *Session) Close() error { return s.fleet.Close() }
+func (s *Session) Close() error {
+	if s.fleetWatcher != nil {
+		s.fleetWatcher.close()
+	}
+	return s.fleet.Close()
+}
 
 // Executors reports the session's execution backends and their
 // capability metadata, in dispatch (latency) order.
@@ -319,6 +341,9 @@ func (s *Session) config(sys *System) ExploreConfig {
 	cfg.Seed = s.seed
 	cfg.Log = s.log
 	cfg.Exec = s.fleet
+	if s.publisher != nil {
+		cfg.Status = s.publisher.publish
+	}
 	return cfg
 }
 
