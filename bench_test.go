@@ -547,6 +547,29 @@ func BenchmarkExploreCandidates(b *testing.B) {
 	b.ReportMetric(float64(n), "candidates")
 }
 
+// BenchmarkLintAnalyze measures the whole-program interprocedural
+// analysis cold (no stored summaries): per-function summarization,
+// SCC condensation, the RetChecked fixpoint and final classification
+// for the full minivcs image — the `lfi lint` unit cost, also paid by
+// the explorer at campaign start to seed its static prior.
+func BenchmarkLintAnalyze(b *testing.B) {
+	cfg, ok := explore.ConfigFor("minivcs")
+	if !ok {
+		b.Fatal("minivcs config missing")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sites int
+	for i := 0; i < b.N; i++ {
+		rep, err := explore.Lint(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites = len(rep.Sites)
+	}
+	b.ReportMetric(float64(sites), "sites")
+}
+
 // BenchmarkMiniwebRequest measures one static request end to end (the
 // Table 5 workload unit).
 func BenchmarkMiniwebRequest(b *testing.B) {

@@ -21,12 +21,33 @@ import (
 	"lfi"
 )
 
+// resolveWindow maps the -window flag to the analyzer's window: 0 (the
+// flag default) selects the paper's standard window explicitly rather
+// than relying on the analyzer's internal fallback; negative widths
+// are a usage error.
+func resolveWindow(w int) (int, error) {
+	if w < 0 {
+		return 0, fmt.Errorf("-window %d: analysis window cannot be negative", w)
+	}
+	if w == 0 {
+		return lfi.DefaultAnalysisWindow, nil
+	}
+	return w, nil
+}
+
 func main() {
 	app := flag.String("app", "minivcs", "application binary: "+strings.Join(lfi.SystemNames(), ", "))
 	emit := flag.Bool("scenarios", false, "emit generated injection scenarios (XML) for C_not and C_part")
 	dis := flag.Bool("dis", false, "dump the binary disassembly to stderr")
-	window := flag.Int("window", 0, "post-call analysis window in instructions (default 100)")
+	window := flag.Int("window", 0, fmt.Sprintf("post-call analysis window in instructions (default %d)", lfi.DefaultAnalysisWindow))
 	flag.Parse()
+
+	win, err := resolveWindow(*window)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-analyzer:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sys, ok := lfi.LookupSystem(*app)
 	if !ok {
@@ -40,7 +61,7 @@ func main() {
 	}
 
 	profs := sys.Profiles()
-	a := &lfi.Analyzer{Window: *window}
+	a := &lfi.Analyzer{Window: win}
 	rep := a.Analyze(bin, profs...)
 
 	yes, part, not := rep.ByClass()

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"lfi"
+)
+
+func TestResolveWindow(t *testing.T) {
+	if _, err := resolveWindow(-1); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := resolveWindow(-100); err == nil {
+		t.Error("negative window accepted")
+	}
+	w, err := resolveWindow(0)
+	if err != nil || w != lfi.DefaultAnalysisWindow {
+		t.Errorf("resolveWindow(0) = %d, %v; want the default window %d", w, err, lfi.DefaultAnalysisWindow)
+	}
+	w, err = resolveWindow(25)
+	if err != nil || w != 25 {
+		t.Errorf("resolveWindow(25) = %d, %v; want 25 verbatim", w, err)
+	}
+}

@@ -1,0 +1,36 @@
+// Command lfi-lintgo runs the repository's own Go-source policy linter
+// (internal/lint): no hand-rolled system-name dispatch outside the
+// registry, no ambient clocks or global randomness in deterministic
+// packages. CI runs it beside go vet; a non-empty finding set fails
+// the build.
+//
+// Usage: lfi-lintgo [root]
+//
+// root defaults to the current directory.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lfi/internal/lint"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	issues, err := lint.Run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-lintgo:", err)
+		os.Exit(2)
+	}
+	for _, i := range issues {
+		fmt.Println(i)
+	}
+	if len(issues) > 0 {
+		fmt.Fprintf(os.Stderr, "lfi-lintgo: %d issue(s)\n", len(issues))
+		os.Exit(1)
+	}
+}

@@ -237,6 +237,44 @@ func runDiff(args []string) {
 	}
 }
 
+// runLint implements `lfi lint`: the whole-program interprocedural
+// error-propagation analysis, registry-resolved, no test executed. With
+// -store, per-function summaries persist next to the campaign's
+// manifests, so linting after a -patch edit recomputes only the changed
+// function and its call-graph ancestors.
+func runLint(args []string) {
+	fs := flag.NewFlagSet("lfi lint", flag.ExitOnError)
+	app := fs.String("app", "", "target system(s), comma-separated (default: every registered system): "+appsUsage())
+	store := fs.String("store", "", "campaign store root to persist summaries in (optional)")
+	patch := fs.String("patch", "", "flip this `function`'s inert prologue immediate before linting")
+	asJSON := fs.Bool("json", false, "emit one JSON report per system instead of text")
+	fs.Parse(args)
+	systems := lfi.Systems()
+	if *app != "" {
+		systems = lookupApps(*app)
+	}
+	patchSystems(systems, *patch)
+	sess := newSession(lfi.WithStore(*store))
+	defer sess.Close()
+	for _, sys := range systems {
+		rep, err := sess.Lint(sys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi lint:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			out, err := json.Marshal(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfi lint:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", out)
+			continue
+		}
+		fmt.Print(rep)
+	}
+}
+
 // runServe implements `lfi serve`: this process becomes a remote test
 // execution worker for `lfi explore -workers-remote`, or — with
 // -register — a self-registering member of a fleetd cluster that
@@ -492,6 +530,9 @@ func main() {
 			return
 		case "diff":
 			runDiff(os.Args[2:])
+			return
+		case "lint":
+			runLint(os.Args[2:])
 			return
 		case "serve":
 			runServe(os.Args[2:])

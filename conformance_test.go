@@ -5,9 +5,39 @@ import (
 	"strings"
 	"testing"
 
+	"lfi/internal/callgraph"
 	"lfi/internal/controller"
 	"lfi/internal/coverage"
 )
+
+// lintGoldens pins the interprocedural site-class tally of every
+// built-in system (`lfi lint`): the paper's windowed classes refined by
+// the whole-program analysis. Swallowed counts the planted
+// error-dropping sites — each is a dead recovery block; checked-in-
+// caller is 0 because the stock applications make no internal calls
+// (the demotion is pinned on synthetic binaries in internal/callgraph).
+var lintGoldens = map[string]callgraph.Counts{
+	"minidb":  {Checked: 15, Partial: 1, Unchecked: 0, Swallowed: 0, CheckedInCaller: 0},
+	"minidns": {Checked: 23, Partial: 1, Unchecked: 1, Swallowed: 1, CheckedInCaller: 0},
+	"minivcs": {Checked: 18, Partial: 1, Unchecked: 0, Swallowed: 5, CheckedInCaller: 0},
+	"miniweb": {Checked: 7, Partial: 0, Unchecked: 0, Swallowed: 1, CheckedInCaller: 0},
+	"pbft":    {Checked: 3, Partial: 0, Unchecked: 0, Swallowed: 3, CheckedInCaller: 0},
+	"raft":    {Checked: 3, Partial: 0, Unchecked: 0, Swallowed: 4, CheckedInCaller: 0},
+}
+
+// runsToAllBugsCeiling pins the explorer's executed outcomes until the
+// last stock Table-1 bug surfaces (batch granularity), with the static
+// prior active — measured before the prior landed and required not to
+// regress. Exploration is deterministic under the session seed, so
+// these are exact.
+var runsToAllBugsCeiling = map[string]int{
+	"minidb":  48,
+	"minidns": 64,
+	"minivcs": 16,
+	"miniweb": 16,
+	"pbft":    144,
+	"raft":    544,
+}
 
 // TestSystemRegistryConformance is the descriptor contract, enforced
 // for every registered system in one table-driven sweep: the binary
@@ -80,12 +110,50 @@ func TestSystemRegistryConformance(t *testing.T) {
 				t.Fatal("coverage adapter merged no hits from the suite")
 			}
 
+			// The static analysis contract: the interprocedural lint
+			// reproduces the pinned site-class tally, and every
+			// swallowed site names a dead recovery block.
+			sess := mustSession(t, WithWorkers(4), WithStallBatches(1000))
+			if want, pinned := lintGoldens[sys.Name]; pinned {
+				rep, err := sess.Lint(sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Counts != want {
+					t.Errorf("lint counts %+v, want %+v", rep.Counts, want)
+				}
+				if len(rep.DeadBlocks) != rep.Counts.Swallowed {
+					t.Errorf("dead recovery blocks %v vs %d swallowed sites",
+						rep.DeadBlocks, rep.Counts.Swallowed)
+				}
+			}
+
 			// The acceptance bar: exploration through the Session API
 			// rediscovers every advertised stock bug.
-			sess := mustSession(t, WithWorkers(4), WithStallBatches(1000))
 			res, err := sess.Explore(context.Background(), sys)
 			if err != nil {
 				t.Fatal(err)
+			}
+			remaining := make(map[string]bool, len(sys.StockBugs))
+			for _, sb := range sys.StockBugs {
+				remaining[sb.Match] = true
+			}
+			runsToAll := 0
+			for _, b := range res.Batches {
+				runsToAll += b.Runs
+				for _, sig := range b.NewBugs {
+					for m := range remaining {
+						if strings.Contains(sig, m) {
+							delete(remaining, m)
+						}
+					}
+				}
+				if len(remaining) == 0 {
+					break
+				}
+			}
+			if ceil, pinned := runsToAllBugsCeiling[sys.Name]; pinned && len(remaining) == 0 && runsToAll > ceil {
+				t.Errorf("executed %d outcomes before the last stock bug, ceiling %d — the static prior regressed the schedule", runsToAll, ceil)
 			}
 			for _, sb := range sys.StockBugs {
 				found := false

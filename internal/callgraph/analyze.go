@@ -1,0 +1,261 @@
+package callgraph
+
+import (
+	"sort"
+
+	"lfi/internal/callsite"
+	"lfi/internal/cfg"
+	"lfi/internal/impact"
+	"lfi/internal/isa"
+	"lfi/internal/profile"
+)
+
+// Site is one library call site with its interprocedural verdict.
+type Site struct {
+	Offset uint64
+	Callee string
+	Caller string
+	// Intra is the paper's windowed Algorithm 1 class.
+	Intra callsite.Class
+	// Final is the interprocedural class: the whole-function refinement
+	// of Intra, further resolved across frames (CheckedInCaller,
+	// Swallowed) by the fixpoint.
+	Final callsite.Class
+	// Propagates/Stored mirror the summary fates (asserted only under a
+	// complete walk).
+	Propagates bool
+	Stored     bool
+	// DeadRecovery: the error is provably dropped at this site, so any
+	// recovery block registered for it is unreachable by an error path.
+	DeadRecovery bool
+}
+
+// Analysis is the whole-program result over one binary.
+type Analysis struct {
+	Binary    *isa.Binary
+	Summaries Summaries
+	// Sites lists every profiled library call site, sorted by offset.
+	Sites []Site
+	// SCCs is the call-graph condensation in bottom-up (callees-first)
+	// fixpoint order.
+	SCCs [][]string
+	// RetChecked marks functions whose own return value is checked (or
+	// propagated to a checking frame) by every direct caller.
+	RetChecked map[string]bool
+	// IndirectCalls counts IJMP/ICALL instructions across the binary —
+	// when nonzero the call graph is incomplete and no cross-frame
+	// demotion (CheckedInCaller) is claimed anywhere.
+	IndirectCalls int
+	// Recomputed lists the functions whose summaries were computed this
+	// run (sorted); Reused counts summaries taken from the prior set.
+	Recomputed []string
+	Reused     int
+}
+
+// Counts tallies the final classes — the golden numbers the
+// conformance harness pins per system.
+type Counts struct {
+	Checked         int `json:"checked"`
+	Partial         int `json:"partial"`
+	Unchecked       int `json:"unchecked"`
+	Swallowed       int `json:"swallowed"`
+	CheckedInCaller int `json:"checkedInCaller"`
+}
+
+// Counts tallies the analysis' final site classes.
+func (a *Analysis) Counts() Counts {
+	var c Counts
+	for _, s := range a.Sites {
+		switch s.Final {
+		case callsite.Checked:
+			c.Checked++
+		case callsite.Partial:
+			c.Partial++
+		case callsite.Swallowed:
+			c.Swallowed++
+		case callsite.CheckedInCaller:
+			c.CheckedInCaller++
+		default:
+			c.Unchecked++
+		}
+	}
+	return c
+}
+
+// ClassAt returns the final class for the site at a code offset.
+func (a *Analysis) ClassAt(off uint64) (callsite.Class, bool) {
+	for _, s := range a.Sites {
+		if s.Offset == off {
+			return s.Final, true
+		}
+	}
+	return 0, false
+}
+
+// Analyze runs the full interprocedural analysis from scratch.
+func Analyze(b *isa.Binary, profiles []*profile.Profile) *Analysis {
+	return AnalyzeIncremental(b, profiles, nil)
+}
+
+// AnalyzeIncremental analyzes b, reusing prior summaries for functions
+// whose body fingerprint is unchanged. A changed, added, or removed
+// function invalidates its own summary plus — because cross-frame
+// facts flow through call edges — those of its transitive callers;
+// everything else is taken from prior verbatim. Prior summaries must
+// come from an analysis over the same fault profiles: a profile edit
+// changes the site set itself, so callers diff profile hashes and pass
+// nil prior when they differ.
+func AnalyzeIncremental(b *isa.Binary, profiles []*profile.Profile, prior Summaries) *Analysis {
+	a := &Analysis{Binary: b, Summaries: make(Summaries, len(b.Symbols))}
+	E := errCodes(b, profiles)
+	entries := funcAt(b)
+	hashes := impact.FuncHashes(b)
+
+	// Decide which functions must be re-summarized.
+	recompute := make(map[string]bool, len(b.Symbols))
+	if prior == nil {
+		for _, sym := range b.Symbols {
+			recompute[sym.Name] = true
+		}
+	} else {
+		d := impact.DiffFuncs(prior.Hashes(), hashes)
+		for _, f := range d.Changed {
+			recompute[f] = true
+		}
+		for _, f := range d.Added {
+			recompute[f] = true
+		}
+		// Transitive callers: their bodies are unchanged, but the facts
+		// flowing through their edges to/from the changed functions are
+		// not. Caller edges of unchanged functions are identical in
+		// prior, so the prior graph plus fresh edges of changed
+		// functions covers the ancestry exactly.
+		seed := make([]string, 0, len(recompute))
+		for f := range recompute {
+			seed = append(seed, f)
+		}
+		sort.Strings(seed)
+		merged := make(Summaries, len(b.Symbols))
+		for _, sym := range b.Symbols {
+			if recompute[sym.Name] {
+				merged[sym.Name] = summarize(b, sym, hashes[sym.Name], E, entries, cfg.DefaultWindow)
+			} else if ps, ok := prior[sym.Name]; ok {
+				merged[ps.Name] = ps
+			}
+		}
+		for _, f := range buildGraph(merged).ancestors(seed) {
+			recompute[f] = true
+		}
+	}
+
+	for _, sym := range b.Symbols {
+		if recompute[sym.Name] {
+			a.Summaries[sym.Name] = summarize(b, sym, hashes[sym.Name], E, entries, cfg.DefaultWindow)
+			a.Recomputed = append(a.Recomputed, sym.Name)
+		} else {
+			a.Summaries[sym.Name] = prior[sym.Name]
+			a.Reused++
+		}
+	}
+	sort.Strings(a.Recomputed)
+
+	g := buildGraph(a.Summaries)
+	a.SCCs = g.scc()
+	for _, fs := range a.Summaries {
+		a.IndirectCalls += fs.Indirect
+	}
+	a.RetChecked = retCheckedFixpoint(g, a.Summaries, a.IndirectCalls > 0)
+	a.Sites = finalSites(a.Summaries, a.RetChecked)
+	return a
+}
+
+// retCheckedFixpoint computes, per function, whether every direct
+// caller checks the function's returned value — either locally or by
+// propagating it to a frame that does. It is the least fixpoint of
+//
+//	RetChecked(f) = callers(f) ≠ ∅ ∧ ∀ call sites s of f:
+//	    walkable(s) ∧ (checked(s) ∨ (propagates(s) ∧ RetChecked(caller(s))))
+//
+// starting from all-false, so cycle-supported claims never bootstrap
+// and entry functions (no callers: the value escapes to the harness)
+// stay false. Iteration runs over the condensation in top-down
+// (callers-first) order — the reverse of the bottom-up summary order —
+// because the facts flow from callers to callees; mutual recursion
+// converges by re-running the sweep until nothing changes. Any
+// indirect call in the image means unknown callers, which makes every
+// positive claim unprovable.
+func retCheckedFixpoint(g *graph, sums Summaries, indirect bool) map[string]bool {
+	ret := make(map[string]bool, len(g.nodes))
+	if indirect {
+		return ret
+	}
+	// Call sites indexed by callee.
+	type siteRef struct {
+		caller string
+		cs     CallSummary
+	}
+	sitesOf := make(map[string][]siteRef)
+	for _, caller := range g.nodes {
+		for _, cs := range sums[caller].Calls {
+			sitesOf[cs.Callee] = append(sitesOf[cs.Callee], siteRef{caller, cs})
+		}
+	}
+	comps := g.scc()
+	for changed := true; changed; {
+		changed = false
+		for i := len(comps) - 1; i >= 0; i-- { // callers first
+			for _, f := range comps[i] {
+				if ret[f] {
+					continue
+				}
+				refs := sitesOf[f]
+				if len(refs) == 0 {
+					continue
+				}
+				ok := true
+				for _, r := range refs {
+					if !r.cs.Walkable || !(r.cs.Checked || (r.cs.Propagates && ret[r.caller])) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					ret[f] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return ret
+}
+
+// finalSites resolves every library site's final class: the local
+// (whole-function) class, demoted to CheckedInCaller when the error
+// provably propagates to the function's return and every caller checks
+// it. Swallowed sites additionally mark their recovery block dead — no
+// error-conditional path out of the call exists.
+func finalSites(sums Summaries, retChecked map[string]bool) []Site {
+	var out []Site
+	for name, fs := range sums {
+		for _, ss := range fs.Sites {
+			s := Site{
+				Offset:     ss.Offset,
+				Callee:     ss.Callee,
+				Caller:     name,
+				Intra:      ss.Intra,
+				Final:      ss.Local,
+				Propagates: ss.Propagates,
+				Stored:     ss.Stored,
+			}
+			if s.Final == callsite.Unchecked && ss.Propagates && retChecked[name] {
+				s.Final = callsite.CheckedInCaller
+			}
+			if s.Final == callsite.Swallowed {
+				s.DeadRecovery = true
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}

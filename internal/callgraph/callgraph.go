@@ -1,0 +1,162 @@
+// Package callgraph lifts the paper's deliberately intra-procedural §5
+// analysis whole-program. It builds a call graph over a synthetic
+// binary's direct CALLN edges, condenses it with Tarjan's SCC
+// algorithm, and runs a summary-based interprocedural
+// error-propagation analysis over the condensation: each function gets
+// a summary recording, for every library call site, whether the error
+// return is checked locally, propagated to the caller through the
+// return register, stored to memory, or provably overwritten unchecked
+// — and, for every internal call site, whether the caller inspects the
+// callee's return. A fixpoint over the condensation then resolves the
+// cross-frame facts: a site whose error provably propagates to a
+// caller that checks it is demoted from C_not to CheckedInCaller
+// (a windowed-analysis false positive), and a site whose error is
+// provably dropped on every path is promoted to Swallowed (an
+// error-swallowing bug the windowed analysis cannot distinguish from
+// mere distance).
+//
+// Soundness follows the repo's conservative-fallback discipline:
+// indirect branches and calls (IJMP/ICALL) are not followed, and any
+// walk that meets one — or that the function boundary truncates —
+// disables the interprocedural refinement for the facts it was
+// computing, falling back to the paper's windowed result. Summaries
+// are content-addressed by the same per-function fingerprints the
+// store's image manifests carry (internal/impact), so an edit
+// recomputes only the changed functions' summaries plus their
+// transitive callers — the precision-reuse idea of Beyer et al.
+// applied to the analysis instead of the test entries.
+package callgraph
+
+import (
+	"sort"
+
+	"lfi/internal/isa"
+)
+
+// graph is the direct-call structure of one binary: nodes are function
+// symbol names, edges are CALLN sites. It is reconstructed from
+// summaries, so a cached summary is as good as a fresh one.
+type graph struct {
+	nodes   []string            // sorted function names
+	callees map[string][]string // f -> functions f calls directly
+	callers map[string][]string // f -> functions that call f directly
+}
+
+// buildGraph derives the call graph from a summary set.
+func buildGraph(sums Summaries) *graph {
+	g := &graph{
+		callees: make(map[string][]string, len(sums)),
+		callers: make(map[string][]string, len(sums)),
+	}
+	for name := range sums {
+		g.nodes = append(g.nodes, name)
+	}
+	sort.Strings(g.nodes)
+	for _, name := range g.nodes {
+		seen := map[string]bool{}
+		for _, c := range sums[name].Calls {
+			if _, ok := sums[c.Callee]; !ok {
+				continue // unresolved target (e.g. CALLN into data)
+			}
+			if !seen[c.Callee] {
+				seen[c.Callee] = true
+				g.callees[name] = append(g.callees[name], c.Callee)
+			}
+			g.callers[c.Callee] = append(g.callers[c.Callee], name)
+		}
+	}
+	return g
+}
+
+// ancestors returns the transitive callers of the given functions
+// (excluding functions not in the graph), sorted.
+func (g *graph) ancestors(of []string) []string {
+	seen := map[string]bool{}
+	queue := append([]string(nil), of...)
+	start := map[string]bool{}
+	for _, f := range of {
+		start[f] = true
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, caller := range g.callers[f] {
+			if !seen[caller] {
+				seen[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+	var out []string
+	for f := range seen {
+		if !start[f] {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scc condenses the graph with Tarjan's algorithm. Components are
+// returned in reverse-topological order of the condensation — callees
+// before callers — which is the bottom-up order the summary fixpoint
+// iterates in. Node order within a component, and the tie-break across
+// independent components, follow the sorted node list, so the output
+// is deterministic.
+func (g *graph) scc() [][]string {
+	n := len(g.nodes)
+	index := make(map[string]int, n)
+	low := make(map[string]int, n)
+	onStack := make(map[string]bool, n)
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range g.nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// funcAt maps code offsets to entry symbols, for CALLN resolution.
+func funcAt(b *isa.Binary) map[uint64]string {
+	out := make(map[uint64]string, len(b.Symbols))
+	for _, s := range b.Symbols {
+		out[s.Off] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package callgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"lfi/internal/asm"
+	"lfi/internal/callsite"
+	"lfi/internal/impact"
+	"lfi/internal/isa"
+	"lfi/internal/libspec"
+	"lfi/internal/profile"
+)
+
+func libcProfiles() []*profile.Profile {
+	return []*profile.Profile{profile.ProfileBinary(libspec.BuildLibc())}
+}
+
+func siteAt(t *testing.T, a *Analysis, offs map[string]uint64, label string) Site {
+	t.Helper()
+	off, ok := offs[label]
+	if !ok {
+		t.Fatalf("label %s not in site map", label)
+	}
+	for _, s := range a.Sites {
+		if s.Offset == off {
+			return s
+		}
+	}
+	t.Fatalf("no analyzed site at %s (offset %#x)", label, off)
+	return Site{}
+}
+
+// TestWholeFunctionRefinement: the function-bounded walk keeps the
+// windowed classes where they are right, promotes provably-dropped
+// errors to Swallowed, sees checks beyond the 100-instruction window,
+// and falls back to the windowed class under indirect control flow.
+func TestWholeFunctionRefinement(t *testing.T) {
+	specs := []asm.FuncSpec{
+		{Name: "load", Sites: []asm.SiteSpec{
+			{Label: "read_full", Callee: "read", Style: asm.CheckEq, Codes: []int64{-1, 0}},
+			{Label: "read_none", Callee: "read", Style: asm.CheckNone},
+		}},
+		{Name: "slow", Sites: []asm.SiteSpec{
+			{Label: "close_far", Callee: "close", Style: asm.CheckBeyondWindow},
+		}},
+		{Name: "hidden", Sites: []asm.SiteSpec{
+			{Label: "open_hidden", Callee: "open", Style: asm.CheckHiddenIndirect, Codes: []int64{-1}},
+		}},
+	}
+	bin, offs, err := asm.Program("app", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(bin, libcProfiles())
+
+	if s := siteAt(t, a, offs, "read_full"); s.Final != callsite.Checked {
+		t.Errorf("read_full: final %v, want checked", s.Final)
+	}
+	s := siteAt(t, a, offs, "read_none")
+	if s.Final != callsite.Swallowed || !s.DeadRecovery {
+		t.Errorf("read_none: final %v (dead=%v), want swallowed+dead", s.Final, s.DeadRecovery)
+	}
+	s = siteAt(t, a, offs, "close_far")
+	if s.Intra != callsite.Unchecked {
+		t.Errorf("close_far: windowed class %v, want unchecked (beyond window)", s.Intra)
+	}
+	if s.Final != callsite.Checked {
+		t.Errorf("close_far: final %v, want checked (whole-function walk)", s.Final)
+	}
+	// The hidden-indirect site keeps the paper's known false positive:
+	// the walk meets an IJMP, so the windowed class stands.
+	s = siteAt(t, a, offs, "open_hidden")
+	if s.Final != callsite.Unchecked || s.Final != s.Intra {
+		t.Errorf("open_hidden: final %v intra %v, want both unchecked", s.Final, s.Intra)
+	}
+	if a.IndirectCalls == 0 {
+		t.Error("IndirectCalls = 0, want > 0 (hidden IJMP accounted)")
+	}
+}
+
+// checkingCaller emits a function that CALLNs target and checks the
+// returned value against -1 with a recovery branch.
+func checkingCaller(b *asm.Builder, name, target string) {
+	b.Func(name)
+	b.Movi(13, 0)
+	b.J(isa.CALLN, target)
+	b.Cmpi(0, -1)
+	b.J(isa.JE, name+".err")
+	b.Movi(0, 0)
+	b.Ret()
+	b.Label(name + ".err")
+	b.Movi(11, -1)
+	b.Movi(0, 0)
+	b.Ret()
+}
+
+// TestCheckedInCaller: an unchecked-but-propagating site is demoted
+// once every direct caller checks the propagated value — including
+// through a chain of propagating frames — and stays C_not as soon as
+// one caller drops it.
+func TestCheckedInCaller(t *testing.T) {
+	build := func(extra func(*asm.Builder)) (*isa.Binary, uint64) {
+		b := asm.NewBuilder("chain")
+		b.Func("prop")
+		b.Label("prop.entry")
+		b.Movi(13, 0)
+		off := b.CallImport("read")
+		b.Ret()
+		checkingCaller(b, "good", "prop.entry")
+		if extra != nil {
+			extra(b)
+		}
+		bin, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bin, off
+	}
+
+	// Single checking caller: demoted.
+	bin, off := build(nil)
+	a := Analyze(bin, libcProfiles())
+	if cls, ok := a.ClassAt(off); !ok || cls != callsite.CheckedInCaller {
+		t.Fatalf("prop read: class %v, want checked-in-caller", cls)
+	}
+	if !a.RetChecked["prop"] {
+		t.Error("RetChecked[prop] = false, want true")
+	}
+
+	// A second caller that drops the value: demotion withdrawn.
+	bin, off = build(func(b *asm.Builder) {
+		b.Func("bad")
+		b.Movi(13, 0)
+		b.J(isa.CALLN, "prop.entry")
+		b.Movi(0, 0)
+		b.Ret()
+	})
+	a = Analyze(bin, libcProfiles())
+	if cls, _ := a.ClassAt(off); cls != callsite.Unchecked {
+		t.Fatalf("prop read with dropping caller: class %v, want unchecked", cls)
+	}
+
+	// A propagating middle frame checked at the top: demoted through
+	// the chain.
+	b := asm.NewBuilder("deep")
+	b.Func("prop")
+	b.Label("prop.entry")
+	b.Movi(13, 0)
+	off = b.CallImport("read")
+	b.Ret()
+	b.Func("mid")
+	b.Label("mid.entry")
+	b.Movi(13, 0)
+	b.J(isa.CALLN, "prop.entry")
+	b.Ret()
+	checkingCaller(b, "top", "mid.entry")
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = Analyze(bin, libcProfiles())
+	if cls, _ := a.ClassAt(off); cls != callsite.CheckedInCaller {
+		t.Fatalf("chained prop read: class %v, want checked-in-caller", cls)
+	}
+
+	// An indirect call anywhere in the image: unknown callers, no
+	// demotion claimable.
+	bin, off = build(func(b *asm.Builder) {
+		b.Func("dyn")
+		b.Movi(13, 0)
+		b.MoviLabel(5, "prop.entry")
+		b.IJmp(5)
+	})
+	a = Analyze(bin, libcProfiles())
+	if cls, _ := a.ClassAt(off); cls != callsite.Unchecked {
+		t.Fatalf("prop read under indirect flow: class %v, want unchecked", cls)
+	}
+}
+
+// TestSCCCondensation: mutual recursion lands in one component, and
+// components come out callees-first.
+func TestSCCCondensation(t *testing.T) {
+	b := asm.NewBuilder("rec")
+	b.Func("a")
+	b.Label("a.entry")
+	b.Movi(13, 0)
+	b.J(isa.CALLN, "b.entry")
+	b.Ret()
+	b.Func("b")
+	b.Label("b.entry")
+	b.Movi(13, 0)
+	b.J(isa.CALLN, "a.entry")
+	b.Ret()
+	b.Func("main")
+	b.Movi(13, 0)
+	b.J(isa.CALLN, "a.entry")
+	b.Movi(0, 0)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(bin, libcProfiles())
+	want := [][]string{{"a", "b"}, {"main"}}
+	if !reflect.DeepEqual(a.SCCs, want) {
+		t.Fatalf("SCCs = %v, want %v", a.SCCs, want)
+	}
+}
+
+// chainBinary builds main -> mid -> leaf plus an unrelated function,
+// each with one library site.
+func chainBinary(t *testing.T) *isa.Binary {
+	t.Helper()
+	b := asm.NewBuilder("chain")
+	site := func(label string) {
+		b.EmitSite(asm.SiteSpec{Label: label, Callee: "read", Style: asm.CheckEq, Codes: []int64{-1}})
+	}
+	b.Func("leaf")
+	b.Label("leaf.entry")
+	b.Movi(13, 0)
+	site("leaf.read")
+	b.Movi(0, 0)
+	b.Ret()
+	b.Func("mid")
+	b.Label("mid.entry")
+	b.Movi(13, 0)
+	b.J(isa.CALLN, "leaf.entry")
+	site("mid.read")
+	b.Movi(0, 0)
+	b.Ret()
+	b.Func("main")
+	b.Movi(13, 0)
+	b.J(isa.CALLN, "mid.entry")
+	site("main.read")
+	b.Movi(0, 0)
+	b.Ret()
+	b.Func("other")
+	b.Movi(13, 0)
+	site("other.read")
+	b.Movi(0, 0)
+	b.Ret()
+	bin, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// TestIncrementalRecompute: an unchanged image reuses every summary; a
+// one-function edit recomputes exactly that function plus its
+// transitive callers; results match a from-scratch analysis.
+func TestIncrementalRecompute(t *testing.T) {
+	bin := chainBinary(t)
+	ps := libcProfiles()
+	full := Analyze(bin, ps)
+	if got := len(full.Recomputed); got != 4 {
+		t.Fatalf("cold analysis recomputed %d funcs, want 4", got)
+	}
+
+	same := AnalyzeIncremental(bin, ps, full.Summaries)
+	if len(same.Recomputed) != 0 || same.Reused != 4 {
+		t.Fatalf("unchanged image: recomputed %v reused %d, want none/4", same.Recomputed, same.Reused)
+	}
+
+	patched, err := impact.PatchFunc(bin, "leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := AnalyzeIncremental(patched, ps, full.Summaries)
+	wantRecomputed := []string{"leaf", "main", "mid"}
+	if !reflect.DeepEqual(inc.Recomputed, wantRecomputed) {
+		t.Fatalf("patched leaf: recomputed %v, want %v (changed + ancestors)", inc.Recomputed, wantRecomputed)
+	}
+	if inc.Reused != 1 {
+		t.Fatalf("patched leaf: reused %d summaries, want 1 (other)", inc.Reused)
+	}
+
+	scratch := Analyze(patched, ps)
+	if !reflect.DeepEqual(inc.Sites, scratch.Sites) {
+		t.Fatalf("incremental sites diverge from scratch:\n inc: %+v\n scr: %+v", inc.Sites, scratch.Sites)
+	}
+}

@@ -1,0 +1,165 @@
+package callgraph
+
+import (
+	"sort"
+
+	"lfi/internal/callsite"
+	"lfi/internal/cfg"
+	"lfi/internal/dataflow"
+	"lfi/internal/isa"
+	"lfi/internal/profile"
+)
+
+// SiteSummary is the per-library-call-site element of the summary
+// lattice: the windowed Algorithm 1 class, the whole-function-bounded
+// refinement of it, and the fate of the returned value at the function
+// boundary. Propagates/Stored are only asserted when the post-call
+// walk is complete (no indirect branches, no truncation); an
+// incomplete walk keeps them false so no cross-frame refinement can be
+// built on unknown control flow.
+type SiteSummary struct {
+	Offset uint64         `json:"off"`
+	Callee string         `json:"callee"`
+	Intra  callsite.Class `json:"intra"` // paper's 100-instruction-window class
+	Local  callsite.Class `json:"local"` // whole-function class; Swallowed when provably dropped
+	// Propagates: the error return may reach the enclosing function's
+	// own return register at a RET.
+	Propagates bool `json:"prop,omitempty"`
+	// Stored: a copy may be written to a stack slot.
+	Stored bool `json:"stored,omitempty"`
+}
+
+// CallSummary is the per-internal-call-site (CALLN) element: whether
+// this caller inspects the callee's return, and whether it forwards it
+// to its own caller. Walkable gates both — an incomplete post-call
+// walk proves nothing.
+type CallSummary struct {
+	Offset     uint64 `json:"off"`
+	Callee     string `json:"callee"`
+	Checked    bool   `json:"checked,omitempty"`
+	Propagates bool   `json:"prop,omitempty"`
+	Walkable   bool   `json:"walkable,omitempty"`
+}
+
+// FuncSummary is one function's complete local analysis record. It
+// carries everything the interprocedural fixpoint needs, so a summary
+// loaded from a store manifest substitutes for re-analyzing the
+// function as long as its fingerprint still matches.
+type FuncSummary struct {
+	Name string `json:"name"`
+	// Hash is the function-body fingerprint (impact.FuncHashes), the
+	// reuse key for incremental re-analysis.
+	Hash string `json:"hash"`
+	// Indirect counts IJMP/ICALL instructions in the body — unknown
+	// control flow that disables cross-frame refinement.
+	Indirect int           `json:"indirect,omitempty"`
+	Calls    []CallSummary `json:"calls,omitempty"`
+	Sites    []SiteSummary `json:"sites,omitempty"`
+}
+
+// Summaries maps function name to summary — the unit persisted in
+// store image manifests next to the funcs/profiles hash maps.
+type Summaries map[string]*FuncSummary
+
+// Hashes extracts the name → fingerprint map, the shape
+// impact.DiffFuncs consumes.
+func (s Summaries) Hashes() map[string]string {
+	out := make(map[string]string, len(s))
+	for name, fs := range s {
+		out[name] = fs.Hash
+	}
+	return out
+}
+
+// errCodes maps each profiled library function the binary imports to
+// its injectable error-code set E — first profile wins on duplicates,
+// matching the scenario generator's resolution order.
+func errCodes(b *isa.Binary, profiles []*profile.Profile) map[string][]int64 {
+	out := make(map[string][]int64)
+	for _, p := range profiles {
+		for _, fn := range p.FuncNames() {
+			if _, dup := out[fn]; dup {
+				continue
+			}
+			E := p.Func(fn).ErrorCodes()
+			if len(E) == 0 || b.ImportIndex(fn) < 0 {
+				continue
+			}
+			out[fn] = E
+		}
+	}
+	return out
+}
+
+// summarize computes one function's summary from scratch: a linear
+// sweep over the symbol extent enumerates call sites and indirect
+// instructions (completeness does not depend on reachability), and a
+// function-bounded post-call walk per site computes the whole-function
+// class and the return-value fates.
+func summarize(b *isa.Binary, sym isa.Symbol, hash string, E map[string][]int64, entries map[uint64]string, window int) *FuncSummary {
+	fs := &FuncSummary{Name: sym.Name, Hash: hash}
+	for _, in := range b.DecodeRange(sym.Off, sym.Off+sym.Size) {
+		switch in.Op {
+		case isa.IJMP, isa.ICALL:
+			fs.Indirect++
+		case isa.CALL:
+			callee := b.ImportName(in.Imm)
+			codes, profiled := E[callee]
+			if !profiled {
+				continue
+			}
+			fs.Sites = append(fs.Sites, summarizeSite(b, sym, in.Offset, callee, codes, window))
+		case isa.CALLN:
+			target := uint64(uint32(in.Imm))
+			callee := entries[target]
+			if callee == "" {
+				// Unresolvable target: record the edge loss as unknown
+				// control flow so the fixpoint stays conservative.
+				fs.Indirect++
+				continue
+			}
+			fs.Calls = append(fs.Calls, summarizeCall(b, sym, in.Offset, callee))
+		}
+	}
+	sort.Slice(fs.Sites, func(i, j int) bool { return fs.Sites[i].Offset < fs.Sites[j].Offset })
+	sort.Slice(fs.Calls, func(i, j int) bool { return fs.Calls[i].Offset < fs.Calls[j].Offset })
+	return fs
+}
+
+func summarizeSite(b *isa.Binary, sym isa.Symbol, off uint64, callee string, E []int64, window int) SiteSummary {
+	s := SiteSummary{Offset: off, Callee: callee}
+
+	// The paper's windowed result — the conservative fallback.
+	wg := cfg.BuildPartial(b, off+isa.InstSize, window)
+	s.Intra, _ = callsite.Classify(dataflow.Analyze(wg), E)
+
+	// The whole-function-bounded walk. The window region is a subset
+	// of the function region (both stop at RET and follow the same
+	// direct edges), so the refined class is never less checked.
+	fg := cfg.BuildFrom(b, sym, off+isa.InstSize)
+	if fg.Indirect > 0 || fg.Truncated {
+		s.Local = s.Intra // unknown control flow: keep the windowed class
+		return s
+	}
+	fates := dataflow.AnalyzeFates(fg)
+	s.Local, _ = callsite.Classify(fates.Result, E)
+	s.Propagates = fates.Propagates
+	s.Stored = fates.Stored
+	if s.Local == callsite.Unchecked && fates.Dropped() {
+		s.Local = callsite.Swallowed
+	}
+	return s
+}
+
+func summarizeCall(b *isa.Binary, sym isa.Symbol, off uint64, callee string) CallSummary {
+	c := CallSummary{Offset: off, Callee: callee}
+	fg := cfg.BuildFrom(b, sym, off+isa.InstSize)
+	if fg.Indirect > 0 || fg.Truncated {
+		return c // not walkable: proves nothing
+	}
+	fates := dataflow.AnalyzeFates(fg)
+	c.Walkable = true
+	c.Checked = fates.Checked()
+	c.Propagates = fates.Propagates
+	return c
+}

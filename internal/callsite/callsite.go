@@ -34,6 +34,17 @@ const (
 	// Unchecked (C_not): no error code in E is checked, even if codes
 	// outside E are.
 	Unchecked
+	// CheckedInCaller refines C_not interprocedurally (package
+	// callgraph): the site is unchecked locally, but the returned value
+	// provably propagates to the enclosing function's own return and
+	// every direct caller checks it one frame up. The windowed Algorithm
+	// 1 analyzer never produces this class.
+	CheckedInCaller
+	// Swallowed refines C_not interprocedurally (package callgraph):
+	// the returned value is provably dropped — overwritten on every
+	// path with no check, no store, and no propagation to the caller.
+	// The windowed Algorithm 1 analyzer never produces this class.
+	Swallowed
 )
 
 // String names the class.
@@ -45,9 +56,21 @@ func (c Class) String() string {
 		return "partial"
 	case Unchecked:
 		return "unchecked"
+	case CheckedInCaller:
+		return "checked-in-caller"
+	case Swallowed:
+		return "swallowed"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
+}
+
+// Vulnerable reports whether a site of this class is an injection
+// target: anything not known to be checked, locally or in a caller.
+// Swallowed sites are vulnerable — the error is statically proven to be
+// dropped — while CheckedInCaller sites are not.
+func (c Class) Vulnerable() bool {
+	return c == Unchecked || c == Partial || c == Swallowed
 }
 
 // Site is the analysis result for one call site.
@@ -112,14 +135,17 @@ func (a *Analyzer) AnalyzeFunction(b *isa.Binary, fn string, E []int64) []Site {
 			ErrnoChk: res.ErrnoCodes(),
 			Indirect: g.Indirect > 0,
 		}
-		s.Class, s.Missing = classify(res, E) // lines 6-11
+		s.Class, s.Missing = Classify(res, E) // lines 6-11
 		sites = append(sites, s)
 	}
 	return sites
 }
 
-// classify applies lines 6-11 of Algorithm 1.
-func classify(res dataflow.Result, E []int64) (Class, []int64) {
+// Classify applies lines 6-11 of Algorithm 1 to a dataflow result,
+// returning the class and the error codes in E not covered by checks.
+// Exported so the interprocedural analyzer (package callgraph) can
+// classify whole-function-bounded results under the same rules.
+func Classify(res dataflow.Result, E []int64) (Class, []int64) {
 	eqCovered := func(code int64) bool { return res.ChkEq[code] }
 	allEq := true
 	anyEq := false

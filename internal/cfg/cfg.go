@@ -53,6 +53,20 @@ func BuildFunc(b *isa.Binary, sym isa.Symbol) *Graph {
 	return build(b, sym.Off, limit, sym.Off, sym.Off+sym.Size)
 }
 
+// BuildFrom constructs the CFG reachable from start, bounded by the
+// enclosing function symbol's extent instead of a fixed window. The
+// budget is the whole function, so — unlike BuildPartial — the walk can
+// only be Truncated by the symbol boundary itself, never by an
+// instruction count; the interprocedural analyzer (package callgraph)
+// uses this to see checks the paper's 100-instruction window misses.
+func BuildFrom(b *isa.Binary, sym isa.Symbol, start uint64) *Graph {
+	limit := int(sym.Size / isa.InstSize)
+	if limit == 0 {
+		limit = 1
+	}
+	return build(b, start, limit, sym.Off, sym.Off+sym.Size)
+}
+
 func build(b *isa.Binary, start uint64, window int, lo, hi uint64) *Graph {
 	g := &Graph{byOffset: make(map[uint64]int)}
 	if start < lo || start >= hi {

@@ -76,9 +76,61 @@ func (s *slotTable) bit(slot int32) (locSet, bool) {
 	return 1 << locSet(id), true
 }
 
+// Fates extends Result with the fate of the returned value at the
+// boundary of the analyzed region — the raw facts the interprocedural
+// summary lattice (package callgraph) is built from. Fates over a
+// truncated or indirect-branching graph are meaningless; callers must
+// consult the graph's Indirect/Truncated flags before trusting them.
+type Fates struct {
+	Result
+	// Propagates: a copy of the returned value may be live in R0 at a
+	// RET, i.e. the caller may receive it as this function's own return.
+	Propagates bool
+	// Stored: a copy of the returned value may be written to a stack
+	// slot, i.e. it may outlive the locations the analysis tracks.
+	Stored bool
+}
+
+// Checked reports whether the returned value is compared-and-branched
+// on at all — the check predicate for internal (CALLN) call sites,
+// where no profile error-code set exists to classify against.
+func (f Fates) Checked() bool { return len(f.ChkEq) > 0 || len(f.ChkIneq) > 0 }
+
+// Dropped reports whether the returned value is provably discarded:
+// never checked, never stored, and never propagated to the caller.
+func (f Fates) Dropped() bool { return !f.Checked() && !f.Stored && !f.Propagates }
+
 // Analyze runs the return-value (and errno) propagation analysis over a
 // partial CFG whose entry is the first instruction after the call.
 func Analyze(g *cfg.Graph) Result {
+	res, _ := analyze(g)
+	return res
+}
+
+// AnalyzeFates runs Analyze and additionally extracts the return-value
+// fates at the region boundary. The caller is expected to pass a
+// function-bounded graph (cfg.BuildFrom).
+func AnalyzeFates(g *cfg.Graph) Fates {
+	res, in := analyze(g)
+	f := Fates{Result: res}
+	for i, ins := range g.Insts {
+		switch ins.Op {
+		case isa.RET:
+			if in[i]&regBit(0) != 0 {
+				f.Propagates = true
+			}
+		case isa.ST:
+			if in[i]&regBit(ins.Rs) != 0 {
+				f.Stored = true
+			}
+		}
+	}
+	return f
+}
+
+// analyze is the shared fixpoint; it returns the result plus the
+// per-instruction return-value copy sets for fate extraction.
+func analyze(g *cfg.Graph) (Result, []locSet) {
 	res := Result{
 		ChkEq:      make(map[int64]bool),
 		ChkIneq:    make(map[int64]bool),
@@ -86,7 +138,7 @@ func Analyze(g *cfg.Graph) Result {
 	}
 	n := g.Len()
 	if n == 0 {
-		return res
+		return res, nil
 	}
 	slots := &slotTable{ids: make(map[int32]uint)}
 
@@ -150,7 +202,7 @@ func Analyze(g *cfg.Graph) Result {
 			}
 		}
 	}
-	return res
+	return res, in
 }
 
 // classify records the literal of a comparison according to the

@@ -205,3 +205,68 @@ func TestEmptyGraph(t *testing.T) {
 		t.Fatal("empty graph produced checks")
 	}
 }
+
+func TestAnalyzeFates(t *testing.T) {
+	build := func(emit func(b *asm.Builder)) (*isa.Binary, uint64) {
+		b := asm.NewBuilder("m")
+		b.Func("f")
+		site := b.CallImport("read")
+		emit(b)
+		return b.MustBuild(), site
+	}
+	fatesOf := func(bin *isa.Binary, site uint64) Fates {
+		sym := bin.Symbols[0]
+		return AnalyzeFates(cfg.BuildFrom(bin, sym, site+isa.InstSize))
+	}
+
+	// The raw return value reaching RET propagates.
+	bin, site := build(func(b *asm.Builder) { b.Ret() })
+	f := fatesOf(bin, site)
+	if !f.Propagates || f.Stored || f.Checked() || f.Dropped() {
+		t.Fatalf("bare return: %+v, want propagates only", f)
+	}
+
+	// A copy moved into R0 through another register still propagates.
+	bin, site = build(func(b *asm.Builder) {
+		b.Mov(4, 0)
+		b.Movi(0, 0)
+		b.Mov(0, 4)
+		b.Ret()
+	})
+	if f = fatesOf(bin, site); !f.Propagates {
+		t.Fatalf("copied return: %+v, want propagates", f)
+	}
+
+	// Overwritten before RET: dropped.
+	bin, site = build(func(b *asm.Builder) {
+		b.Movi(0, 0)
+		b.Ret()
+	})
+	if f = fatesOf(bin, site); !f.Dropped() || f.Propagates || f.Stored {
+		t.Fatalf("overwritten return: %+v, want dropped", f)
+	}
+
+	// Spilled to a stack slot: stored, not dropped.
+	bin, site = build(func(b *asm.Builder) {
+		b.St(16, 0)
+		b.Movi(0, 0)
+		b.Ret()
+	})
+	if f = fatesOf(bin, site); !f.Stored || f.Dropped() {
+		t.Fatalf("spilled return: %+v, want stored", f)
+	}
+
+	// Compared and branched on: checked.
+	bin, site = build(func(b *asm.Builder) {
+		b.Cmpi(0, -1)
+		b.J(isa.JE, "err")
+		b.Movi(0, 0)
+		b.Ret()
+		b.Label("err")
+		b.Movi(0, -1)
+		b.Ret()
+	})
+	if f = fatesOf(bin, site); !f.Checked() || f.Dropped() {
+		t.Fatalf("checked return: %+v, want checked", f)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"lfi/internal/callgraph"
 	"lfi/internal/callsite"
 	"lfi/internal/controller"
 	"lfi/internal/coverage"
@@ -548,6 +549,12 @@ type explorer struct {
 	// store's persisted EWMA cost model (nil when impact is off).
 	reval map[string]float64
 
+	// static is the interprocedural prior: final site class by call
+	// offset (package callgraph). Swallowed sites — statically proven
+	// to drop a library error — outrank plain C_not sites; sites every
+	// caller provably checks rank below recovery exercising.
+	static map[uint64]callsite.Class
+
 	// profileChanged marks callees whose library fault profile changed
 	// since the store's last save (impact.DiffProfiles): their cached
 	// outcomes were produced under a different fault model and must
@@ -702,6 +709,17 @@ func (x *explorer) score(c *Candidate) float64 {
 		if c.Class == callsite.Partial {
 			s = 90
 		}
+		// Static prior: a site whose error is statically proven to be
+		// dropped is the likeliest crash — run it first. A site every
+		// caller provably checks is a windowed-analysis false positive;
+		// keep it (the proof rests on walkable CFGs) but run it after
+		// the genuinely vulnerable sites and recovery exercising.
+		switch x.static[c.Offset] {
+		case callsite.Swallowed:
+			s += 8
+		case callsite.CheckedInCaller:
+			s = 50
+		}
 	case Exercise:
 		s = 60
 	case Occurrence:
@@ -839,6 +857,7 @@ func newRun(cfg Config) (*run, error) {
 	var store *Store
 	var plan *impactPlan
 	var sum *ImpactSummary
+	profHashes := impact.ProfileHashes(cfg.Profiles)
 	if cfg.Store != "" {
 		var err error
 		store, err = LoadStore(cfg.Store, cfg.System, x.imageVersion)
@@ -860,7 +879,6 @@ func newRun(cfg Config) (*run, error) {
 				x.logf("explore %s: %s", cfg.System, plan.sum)
 			}
 		}
-		profHashes := impact.ProfileHashes(cfg.Profiles)
 		if cfg.Impact {
 			// A profile edit moves no code byte — every store key still
 			// matches — but the cached outcomes were produced under a
@@ -891,6 +909,28 @@ func newRun(cfg Config) (*run, error) {
 		store.SetFuncHashes(x.funcHashes)
 		store.SetProfileHashes(profHashes)
 	}
+
+	// Static prior: refine the windowed site classes across frames
+	// (package callgraph) and hand the final classes to the scheduler.
+	// Summaries persisted by an earlier session are reused for every
+	// function the current build left untouched — but only under an
+	// unchanged fault-profile set, since a profile edit changes the
+	// site universe the summaries describe. The fresh summary set is
+	// staged for this image's manifest so the next session (lint or
+	// explore) diffs against us.
+	var priorSums callgraph.Summaries
+	if sums, _, ok := store.PriorSummaries(); ok {
+		if prev, pok := store.PriorProfileHashes(); pok && sameHashes(prev, profHashes) {
+			priorSums = sums
+		}
+	}
+	inter := callgraph.AnalyzeIncremental(cfg.Binary, cfg.Profiles, priorSums)
+	x.static = make(map[uint64]callsite.Class, len(inter.Sites))
+	for _, st := range inter.Sites {
+		x.static[st.Offset] = st.Final
+	}
+	store.SetSummaries(inter.Summaries)
+
 	keys := candidateKeys(cands)
 	pending := make([]*Candidate, 0, len(cands))
 	work := append([]*Candidate(nil), cands...)
@@ -961,6 +1001,19 @@ func newRun(cfg Config) (*run, error) {
 		res.Impact = sum
 	}
 	return &run{cfg: cfg, x: x, res: res, store: store, keys: keys, pending: pending, begin: begin, ownExec: ownExec}, nil
+}
+
+// sameHashes reports whether two fingerprint maps are identical.
+func sameHashes(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // done reports whether scheduling is finished: queue drained, stalled,

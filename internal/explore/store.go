@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"lfi/internal/callgraph"
 	"lfi/internal/exec"
 )
 
@@ -53,6 +54,11 @@ type Store struct {
 	// profiles is the current profile set's per-function fingerprint
 	// map (impact.ProfileHashes), recorded alongside funcs.
 	profiles map[string]string
+	// summaries is the current image's interprocedural analysis record
+	// (callgraph.Summaries), persisted in the manifest next to funcs so
+	// a later lint or -impact session recomputes only the summaries an
+	// edit can reach.
+	summaries callgraph.Summaries
 	// adopted records old-image keys whose entries the impact plan
 	// migrated forward this run (Adopt), so compaction stats count them
 	// as migrated rather than invalidated.
@@ -104,6 +110,11 @@ type imageManifest struct {
 	// this is the only record that lets a later `-impact` session spot
 	// one and re-validate the affected callees' cached outcomes.
 	Profiles map[string]string `json:"profiles,omitempty"`
+	// Summaries is the image's per-function interprocedural analysis
+	// record, content-addressed by the same fingerprints as Funcs.
+	// `lfi lint` and the explorer's static prior reuse every summary
+	// whose function body is unchanged.
+	Summaries callgraph.Summaries `json:"summaries,omitempty"`
 }
 
 // shardFile is the on-disk shape of one shard.
@@ -457,7 +468,17 @@ func (s *Store) Save(currentKeys map[string]bool) error {
 		}
 		set[scen] = true
 	}
-	manifest := imageManifest{Image: s.image, Funcs: s.funcs, Profiles: s.profiles}
+	manifest := imageManifest{Image: s.image, Funcs: s.funcs, Profiles: s.profiles, Summaries: s.summaries}
+	if manifest.Summaries == nil {
+		// Keep summaries a previous session saved for this image: Save
+		// rebuilds the manifest, and not every caller recomputes them.
+		for _, m := range s.index.Images {
+			if m.Image == s.image {
+				manifest.Summaries = m.Summaries
+				break
+			}
+		}
+	}
 	for region := range liveByRegion {
 		manifest.Shards = append(manifest.Shards, region)
 	}
@@ -637,6 +658,79 @@ func (s *Store) SetProfileHashes(profiles map[string]string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.profiles = profiles
+}
+
+// SetSummaries records the current image's interprocedural summary
+// set; Save writes it into the image's manifest next to the funcs and
+// profiles fingerprints.
+func (s *Store) SetSummaries(sums callgraph.Summaries) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.summaries = sums
+}
+
+// PriorSummaries returns the most recently saved summary set and the
+// image it was computed for — the reuse base for incremental
+// re-analysis. Like PriorProfileHashes it does not skip the current
+// image: an unchanged build should reuse every summary. ok is false
+// when no retained manifest recorded summaries.
+func (s *Store) PriorSummaries() (sums callgraph.Summaries, image string, ok bool) {
+	if s == nil {
+		return nil, "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.index.Images {
+		if len(m.Summaries) > 0 {
+			return m.Summaries, m.Image, true
+		}
+	}
+	return nil, "", false
+}
+
+// SaveSummaries persists a summary set for the current image by
+// rewriting only index.json — the lint path's persistence point. It
+// must not go through Save: Save rebuilds the current image's manifest
+// from a live candidate-key set, and lint has none, so a full Save
+// would disconnect the image's shards and let retention prune cached
+// outcomes. The image's existing manifest (shards, funcs, profiles) is
+// updated in place when present; otherwise a minimal manifest is
+// prepended under the usual retention bound.
+func (s *Store) SaveSummaries(sums callgraph.Summaries, funcs, profiles map[string]string) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.summaries = sums
+	found := false
+	for i := range s.index.Images {
+		if s.index.Images[i].Image == s.image {
+			s.index.Images[i].Summaries = sums
+			if len(s.index.Images[i].Funcs) == 0 {
+				s.index.Images[i].Funcs = funcs
+			}
+			if len(s.index.Images[i].Profiles) == 0 {
+				s.index.Images[i].Profiles = profiles
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		images := []imageManifest{{Image: s.image, Funcs: funcs, Profiles: profiles, Summaries: sums}}
+		for _, m := range s.index.Images {
+			if len(images) < maxImages {
+				images = append(images, m)
+			}
+		}
+		s.index.Images = images
+	}
+	idx := s.index
+	s.mu.Unlock()
+	return s.writeJSON(filepath.Join(s.dir, "index.json"), idx)
 }
 
 // PriorProfileHashes returns the profile fingerprints of the most

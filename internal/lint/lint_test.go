@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write lays out a synthetic source tree and returns its root.
+func write(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func rules(issues []Issue) []string {
+	var out []string
+	for _, i := range issues {
+		out = append(out, i.Rule)
+	}
+	return out
+}
+
+func TestSystemSwitchFlagged(t *testing.T) {
+	root := write(t, map[string]string{
+		"cmd/tool/main.go": `package main
+func pick(app string) int {
+	switch app {
+	case "minivcs":
+		return 1
+	case "pbft", "raft":
+		return 2
+	}
+	return 0
+}
+`,
+	})
+	issues, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || issues[0].Rule != "system-switch" {
+		t.Fatalf("issues = %v, want one system-switch", issues)
+	}
+	if !strings.Contains(issues[0].Msg, "minivcs") || !strings.Contains(issues[0].Msg, "raft") {
+		t.Fatalf("message does not name the offending systems: %s", issues[0].Msg)
+	}
+}
+
+func TestSystemSwitchExemptions(t *testing.T) {
+	sw := `package p
+func pick(app string) int {
+	switch app {
+	case "minidb":
+		return 1
+	case "miniweb":
+		return 2
+	}
+	return 0
+}
+`
+	root := write(t, map[string]string{
+		// The registry and the application packages may name systems.
+		"internal/system/registry.go": sw,
+		"internal/apps/minidb/reg.go": sw,
+		// Tests may too.
+		"internal/explore/x_test.go": sw,
+		// A switch with just one system-name case is not dispatch.
+		"internal/explore/one.go": `package explore
+func f(s string) bool {
+	switch s {
+	case "minidb":
+		return true
+	case "something-else":
+		return false
+	}
+	return false
+}
+`,
+	})
+	issues, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("exempt files flagged: %v", issues)
+	}
+}
+
+func TestDeterminismRule(t *testing.T) {
+	root := write(t, map[string]string{
+		"internal/explore/sched.go": `package explore
+import "time"
+func stamp() int64 { return time.Now().UnixNano() }
+`,
+		"internal/scenario/shuffle.go": `package scenario
+import "math/rand"
+func pick() int { return rand.Int() }
+`,
+		// Outside the deterministic set: clocks are fine.
+		"internal/controller/run.go": `package controller
+import "time"
+func now() time.Time { return time.Now() }
+`,
+		// Allowlisted elapsed reporting.
+		"internal/explore/explore.go": `package explore
+import "time"
+func elapsed(begin time.Time) time.Duration { return time.Since(begin) }
+`,
+		// time.Duration types and constants are not clock reads.
+		"internal/explore/types.go": `package explore
+import "time"
+const tick = 5 * time.Millisecond
+func wait(d time.Duration) {}
+`,
+		// A local variable named like the package is not the package.
+		"internal/explore/shadow.go": `package explore
+type clock struct{ Now func() int64 }
+func use(time clock) int64 { return time.Now() }
+`,
+	})
+	issues, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rules(issues)
+	if len(issues) != 2 || got[0] != "determinism" || got[1] != "determinism" {
+		t.Fatalf("issues = %v, want exactly two determinism findings", issues)
+	}
+	var files []string
+	for _, i := range issues {
+		files = append(files, strings.SplitN(i.Pos, ":", 2)[0])
+	}
+	want := []string{"internal/explore/sched.go", "internal/scenario/shuffle.go"}
+	for i := range want {
+		if files[i] != want[i] {
+			t.Fatalf("flagged files %v, want %v", files, want)
+		}
+	}
+}
+
+// TestRepositoryClean runs the linter over the real repository — the
+// same invocation CI makes. A failure here means a policy violation
+// crept in (or a new legitimate clock use needs allowlisting).
+func TestRepositoryClean(t *testing.T) {
+	issues, err := Run(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range issues {
+		t.Errorf("%s", i)
+	}
+}
+
+// repoRoot walks up from the package directory to the directory
+// holding go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above package directory")
+		}
+		dir = parent
+	}
+}

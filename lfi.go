@@ -39,6 +39,7 @@ import (
 	"io"
 
 	"lfi/internal/callsite"
+	"lfi/internal/cfg"
 	"lfi/internal/controller"
 	"lfi/internal/core"
 	"lfi/internal/errno"
@@ -251,7 +252,17 @@ type (
 	// edit without executing anything — the `lfi diff` shape (see
 	// Session.Diff).
 	DiffReport = explore.DiffReport
+	// LintReport is the whole-program interprocedural analysis of one
+	// system — the `lfi lint` shape (see Session.Lint).
+	LintReport = explore.LintReport
+	// LintSite is one classified library call site in a LintReport.
+	LintSite = explore.LintSite
 )
+
+// DefaultAnalysisWindow is the paper's post-call analysis window (§5):
+// the number of instructions the windowed Algorithm 1 walks after a
+// library call. cmd/lfi-analyzer resolves `-window 0` to it.
+const DefaultAnalysisWindow = cfg.DefaultWindow
 
 // GenerateCandidates enumerates the candidate fault space.
 var GenerateCandidates = explore.Generate

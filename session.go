@@ -356,6 +356,19 @@ func (s *Session) Diff(sys *System) (*DiffReport, error) {
 	return explore.Diff(s.config(sys))
 }
 
+// Lint runs the whole-program interprocedural error-propagation
+// analysis on one system without executing a single test — the engine
+// behind `lfi lint`: every library call site classified by the paper's
+// windowed Algorithm 1 and then refined across frames (checks beyond
+// the window, errors checked in a caller, errors provably swallowed
+// with their recovery blocks dead). With WithStore, per-function
+// summaries persist in the image manifest and a later lint of an
+// edited binary recomputes only the changed functions and their
+// call-graph ancestors.
+func (s *Session) Lint(sys *System) (*LintReport, error) {
+	return explore.Lint(s.config(sys))
+}
+
 // Explore runs the coverage-guided fault-space explorer on one system,
 // batches dispatched across the session's execution backends.
 // Cancellation flushes the sharded store cleanly — completed local runs
